@@ -1,0 +1,89 @@
+// Microbenchmarks (google-benchmark) for the bitrate optimizer — the
+// per-solve costs behind Figure 9, measured in isolation: the continuous
+// KKT/bisection solver, the greedy discrete solver, and Algorithm 1's
+// full DecideBai path.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/optimizer.h"
+#include "core/rate_controller.h"
+#include "has/mpd.h"
+#include "util/rng.h"
+
+namespace flare {
+namespace {
+
+OptProblem MakeProblem(int n_flows, std::uint64_t seed) {
+  Rng rng(seed);
+  OptProblem problem;
+  problem.n_data_flows = 2;
+  // Constant per-flow RB budget: a saturated cell pins every flow at the
+  // floor and the solve trivially short-circuits (cf. bench_fig9).
+  problem.rb_rate = 3'125.0 * n_flows;
+  for (int i = 0; i < n_flows; ++i) {
+    OptFlow flow;
+    for (double kbps : DenseLadderKbps()) {
+      flow.ladder_bps.push_back(kbps * 1000.0);
+    }
+    flow.max_level = static_cast<int>(flow.ladder_bps.size()) - 1;
+    flow.bits_per_rb = rng.Uniform(100.0, 600.0);
+    problem.flows.push_back(std::move(flow));
+  }
+  return problem;
+}
+
+void BM_SolveContinuous(benchmark::State& state) {
+  const OptProblem problem =
+      MakeProblem(static_cast<int>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveContinuous(problem));
+  }
+}
+BENCHMARK(BM_SolveContinuous)->Arg(8)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SolveGreedy(benchmark::State& state) {
+  const OptProblem problem =
+      MakeProblem(static_cast<int>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveGreedy(problem));
+  }
+}
+BENCHMARK(BM_SolveGreedy)->Arg(8)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_DecideBai(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  FlareParams params;
+  params.solver = SolverMode::kContinuousRelaxation;
+  FlareRateController controller(params);
+  std::vector<double> ladder;
+  for (double kbps : DenseLadderKbps()) ladder.push_back(kbps * 1000.0);
+  Rng rng(3);
+  std::vector<FlowObservation> observations;
+  for (int i = 0; i < n; ++i) {
+    controller.AddFlow(static_cast<FlowId>(i + 1), ladder);
+    FlowObservation obs;
+    obs.id = static_cast<FlowId>(i + 1);
+    obs.bits_per_rb = rng.Uniform(100.0, 600.0);
+    observations.push_back(obs);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        controller.DecideBai(observations, 2, 25'000.0));
+  }
+}
+BENCHMARK(BM_DecideBai)->Arg(8)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SolveExhaustiveSmall(benchmark::State& state) {
+  // Exponential solver: tests/cross-validation scale only.
+  OptProblem problem = MakeProblem(3, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveExhaustive(problem));
+  }
+}
+BENCHMARK(BM_SolveExhaustiveSmall);
+
+}  // namespace
+}  // namespace flare
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Ablation: robustness of FLARE's previous-BAI capacity estimate to a
+// lossy PHY (DESIGN.md Section 5 — "stale-state robustness").
+//
+// The optimizer's e_u = bits-per-RB observation automatically absorbs
+// HARQ losses (failed transport blocks burn RBs without delivering
+// bytes), so the capacity constraint self-corrects: assignments shrink
+// with the effective — not nominal — spectral efficiency. Sweeps the
+// transport-block error rate and reports what FLARE's clients get.
+#include <cstdio>
+
+#include "scenario/experiment.h"
+#include "scenario/scenario.h"
+#include "util/csv.h"
+
+namespace flare {
+namespace {
+
+int Main(int argc, char** argv) {
+  const BenchScale scale = ScaleFromEnv(3, 600.0, argc, argv);
+  std::printf(
+      "=== Ablation: FLARE under transport-block errors "
+      "(%d runs x %.0f s, static testbed) ===\n\n%8s %12s %10s %12s "
+      "%12s\n",
+      scale.runs, scale.duration_s, "BLER", "rate (Kbps)", "changes",
+      "rebuffer(s)", "data (Kbps)");
+
+  CsvWriter csv(BenchCsvPath("robustness_bler"),
+                {"bler", "avg_rate_kbps", "changes", "rebuffer_s",
+                 "data_kbps"});
+
+  for (const double bler : {0.0, 0.05, 0.1, 0.2, 0.3}) {
+    ScenarioConfig config = TestbedPreset(Scheme::kFlare);
+    config.duration_s = scale.duration_s;
+    config.target_bler = bler;
+    config.seed = 7;
+    const auto runs = RunMany(config, scale.runs);
+
+    double rate = 0.0;
+    double changes = 0.0;
+    double rebuffer = 0.0;
+    double data = 0.0;
+    for (const ScenarioResult& r : runs) {
+      rate += r.avg_video_bitrate_bps / 1000.0;
+      changes += r.avg_bitrate_changes;
+      rebuffer += r.avg_rebuffer_s;
+      data += r.avg_data_throughput_bps / 1000.0;
+    }
+    const double n = static_cast<double>(runs.size());
+    std::printf("%8.2f %12.0f %10.1f %12.1f %12.0f\n", bler, rate / n,
+                changes / n, rebuffer / n, data / n);
+    csv.Row({bler, rate / n, changes / n, rebuffer / n, data / n});
+  }
+
+  std::printf(
+      "\nExpected: graceful degradation — video rates step down with the\n"
+      "effective capacity while rebuffering stays near zero, because the\n"
+      "RB & Rate Trace feeds the optimizer effective (post-HARQ)\n"
+      "bits-per-RB.\nRows written to %s\n",
+      BenchCsvPath("robustness_bler").c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace flare
+
+int main(int argc, char** argv) { return flare::Main(argc, argv); }

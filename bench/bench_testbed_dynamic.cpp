@@ -1,0 +1,131 @@
+// Table II + Figure 5: femtocell testbed, dynamic scenario.
+//
+// Same cell as the static testbed, but the iTbs Override Module sweeps
+// the MCS through a triangle (1 -> 12 -> 1 over 4 minutes) with per-UE
+// phase offsets. GOOGLE runs with its enlarged 40 s request buffer, the
+// modification the paper made for this scenario. Prints Table II rows
+// against the paper and dumps the Figure 5 time series to CSV.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "scenario/experiment.h"
+#include "scenario/scenario.h"
+#include "util/csv.h"
+
+namespace flare {
+namespace {
+
+struct PaperRow {
+  double rate_kbps;
+  double underflow_s;
+  double changes;
+  double jain;
+  double data_kbps;
+};
+
+// Table II, as printed in the paper.
+const std::map<Scheme, PaperRow> kPaper = {
+    {Scheme::kFestive, {839, 0, 22.7, 0.998, 3870}},
+    {Scheme::kGoogle, {1297, 10.7, 14, 0.997, 1870}},
+    {Scheme::kFlare, {1025, 0, 11.3, 0.998, 2300}},
+};
+
+int Main(int argc, char** argv) {
+  const BenchScale scale = ScaleFromEnv(3, 600.0, argc, argv);
+  std::printf(
+      "=== Table II / Figure 5: testbed dynamic scenario "
+      "(%d runs x %.0f s, iTbs triangle 1..12 / 4 min) ===\n\n",
+      scale.runs, scale.duration_s);
+
+  CsvWriter series_csv(BenchCsvPath("fig5_series"),
+                       {"scheme", "t_s", "video0_kbps", "video1_kbps",
+                        "video2_kbps", "buf0_s", "buf1_s", "buf2_s",
+                        "data_kbps"});
+  CsvWriter table_csv(BenchCsvPath("table2"),
+                      {"scheme", "avg_rate_kbps", "underflow_s", "changes",
+                       "jain", "data_kbps"});
+
+  for (Scheme scheme :
+       {Scheme::kFestive, Scheme::kGoogle, Scheme::kFlare}) {
+    ScenarioConfig config = TestbedPreset(scheme);
+    config.duration_s = scale.duration_s;
+    config.channel = ChannelKind::kItbsTriangle;
+    config.google_max_buffer_s = 40.0;  // paper's dynamic-scenario tweak
+    config.sample_series = true;
+    config.seed = 7;
+    const std::vector<ScenarioResult> runs = RunMany(config, scale.runs);
+
+    double rate = 0.0;
+    double underflow = 0.0;
+    double changes = 0.0;
+    double jain = 0.0;
+    double data = 0.0;
+    for (const ScenarioResult& r : runs) {
+      rate += r.avg_video_bitrate_bps / 1000.0;
+      underflow += r.avg_rebuffer_s;
+      changes += r.avg_bitrate_changes;
+      jain += r.jain_avg_bitrate;
+      data += r.avg_data_throughput_bps / 1000.0;
+    }
+    const double n = static_cast<double>(runs.size());
+    rate /= n;
+    underflow /= n;
+    changes /= n;
+    jain /= n;
+    data /= n;
+
+    std::printf("--- %s ---\n", SchemeName(scheme));
+    const PaperRow& paper = kPaper.at(scheme);
+    PrintPaperComparison("average video rate (Kbps)", paper.rate_kbps,
+                         rate);
+    PrintPaperComparison("avg buffer underflow time (s)",
+                         paper.underflow_s, underflow);
+    PrintPaperComparison("avg number of bitrate changes", paper.changes,
+                         changes);
+    PrintPaperComparison("Jain index of average video rates", paper.jain,
+                         jain);
+    PrintPaperComparison("avg data flow throughput (Kbps)",
+                         paper.data_kbps, data);
+    std::printf("\n");
+
+    table_csv.RawRow({SchemeName(scheme), FormatNumber(rate),
+                      FormatNumber(underflow), FormatNumber(changes),
+                      FormatNumber(jain), FormatNumber(data)});
+
+    for (const SeriesSample& s : runs.front().series) {
+      std::vector<std::string> row{SchemeName(scheme), FormatNumber(s.t_s)};
+      for (int i = 0; i < 3; ++i) {
+        row.push_back(FormatNumber(
+            i < static_cast<int>(s.video_bitrate_bps.size())
+                ? s.video_bitrate_bps[static_cast<std::size_t>(i)] / 1000.0
+                : 0.0));
+      }
+      for (int i = 0; i < 3; ++i) {
+        row.push_back(FormatNumber(
+            i < static_cast<int>(s.video_buffer_s.size())
+                ? s.video_buffer_s[static_cast<std::size_t>(i)]
+                : 0.0));
+      }
+      row.push_back(FormatNumber(
+          s.data_throughput_bps.empty()
+              ? 0.0
+              : s.data_throughput_bps[0] / 1000.0));
+      series_csv.RawRow(row);
+    }
+  }
+
+  std::printf(
+      "Figure 5 time series written to %s\n"
+      "Expected shape: FLARE's bitrate follows the MCS triangle with the\n"
+      "fewest switches and no underflow; FESTIVE oscillates without\n"
+      "visible correlation to the cycle; GOOGLE tracks aggressively.\n",
+      BenchCsvPath("fig5_series").c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace flare
+
+int main(int argc, char** argv) { return flare::Main(argc, argv); }

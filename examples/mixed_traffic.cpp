@@ -1,0 +1,49 @@
+// Example: video and data flows coexisting under FLARE, and the alpha
+// knob that balances them.
+//
+// The scenario from the paper's Figure 10/11 motivation: a cell shared by
+// HAS video clients and bulk TCP downloads. Unlike AVIS's static slicing,
+// FLARE folds both flow classes into one utility optimization; the alpha
+// parameter shifts the balance. This example runs the same mixed workload
+// at three alpha values and prints the per-class outcome.
+//
+//   ./build/examples/mixed_traffic [alpha=<value>]
+#include <cstdio>
+
+#include "scenario/scenario.h"
+#include "util/config.h"
+
+int main(int argc, char** argv) {
+  using namespace flare;
+  const Config args = Config::FromArgs(argc, argv);
+  const double only_alpha = args.GetDouble("alpha", 0.0);
+
+  std::printf(
+      "mixed_traffic: 4 FLARE video clients + 4 bulk TCP flows, 5 MHz "
+      "cell\n\n%8s %22s %22s %14s\n",
+      "alpha", "video avg (Kbps)", "data avg (Kbps)", "video changes");
+
+  for (double alpha : {0.25, 1.0, 4.0}) {
+    if (only_alpha > 0.0 && alpha != only_alpha) continue;
+    ScenarioConfig config = SimStaticPreset(Scheme::kFlare);
+    config.duration_s = 400.0;
+    config.n_video = 4;
+    config.n_data = 4;
+    config.ladder_kbps = DenseLadderKbps();
+    config.oneapi.params.alpha = alpha;
+    config.oneapi.params.delta = 2;
+    config.seed = 5;
+
+    const ScenarioResult result = RunScenario(config);
+    std::printf("%8.2f %22.0f %22.0f %14.1f\n", alpha,
+                result.avg_video_bitrate_bps / 1000.0,
+                result.avg_data_throughput_bps / 1000.0,
+                result.avg_bitrate_changes);
+  }
+
+  std::printf(
+      "\nHigher alpha weighs the data flows' log-utility more, so video\n"
+      "bitrates step down a rung and bulk transfers speed up — one knob,\n"
+      "no static slicing.\n");
+  return 0;
+}

@@ -1,0 +1,164 @@
+// scenario_runner — config-driven experiment CLI.
+//
+// Assemble any scenario the library supports from key=value arguments,
+// without writing code:
+//
+//   ./build/examples/scenario_runner scheme=flare channel=mobile
+//       n_video=8 n_data=2 duration_s=600 seed=3 alpha=2 delta=6
+//       bler=0.1 vbr_sigma=0.2 series_csv=run.csv
+//   (one line; wrapped here for readability)
+//
+// Keys (defaults in parentheses): scheme (flare | flare-relaxed |
+// festive | google | avis | flare-network-only | panda | mpc | bba),
+// channel (static-itbs | triangle | placed | mobile), n_video, n_data,
+// n_conventional, duration_s, seed, num_rbs, static_itbs, segment_s,
+// ladder (comma Kbps), alpha, delta, bai_s, bler, vbr_sigma,
+// client_theta_mbps (comma list, screen sizes disclosed to the server),
+// client_caps (comma rung caps, -1 = none), testbed (0/1), runs,
+// series_csv (path).
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+#include "util/config.h"
+#include "util/csv.h"
+
+namespace {
+
+using namespace flare;
+
+std::optional<Scheme> ParseScheme(const std::string& name) {
+  if (name == "flare") return Scheme::kFlare;
+  if (name == "flare-relaxed") return Scheme::kFlareRelaxed;
+  if (name == "festive") return Scheme::kFestive;
+  if (name == "google") return Scheme::kGoogle;
+  if (name == "avis") return Scheme::kAvis;
+  if (name == "flare-network-only") return Scheme::kFlareNetworkOnly;
+  if (name == "panda") return Scheme::kPanda;
+  if (name == "mpc") return Scheme::kMpc;
+  if (name == "bba") return Scheme::kBba;
+  return std::nullopt;
+}
+
+std::optional<ChannelKind> ParseChannel(const std::string& name) {
+  if (name == "static-itbs") return ChannelKind::kStaticItbs;
+  if (name == "triangle") return ChannelKind::kItbsTriangle;
+  if (name == "placed") return ChannelKind::kPlacedStatic;
+  if (name == "mobile") return ChannelKind::kMobile;
+  return std::nullopt;
+}
+
+std::vector<double> ParseLadder(const std::string& text) {
+  std::vector<double> ladder;
+  std::istringstream in(text);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    ladder.push_back(std::strtod(token.c_str(), nullptr));
+  }
+  return ladder;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config args = Config::FromArgs(argc, argv);
+
+  const std::string scheme_name =
+      args.GetString("scheme").value_or("flare");
+  const auto scheme = ParseScheme(scheme_name);
+  if (!scheme) {
+    std::fprintf(stderr, "unknown scheme '%s'\n", scheme_name.c_str());
+    return 1;
+  }
+  const std::string channel_name =
+      args.GetString("channel").value_or("static-itbs");
+  const auto channel = ParseChannel(channel_name);
+  if (!channel) {
+    std::fprintf(stderr, "unknown channel '%s'\n", channel_name.c_str());
+    return 1;
+  }
+
+  const bool sim_style = *channel == ChannelKind::kPlacedStatic ||
+                         *channel == ChannelKind::kMobile;
+  ScenarioConfig config = sim_style
+                              ? SimStaticPreset(*scheme)
+                              : TestbedPreset(*scheme);
+  config.channel = *channel;
+  config.testbed = args.GetBool("testbed", !sim_style);
+  config.duration_s = args.GetDouble("duration_s", config.duration_s);
+  config.seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  config.n_video = args.GetInt("n_video", config.n_video);
+  config.n_data = args.GetInt("n_data", config.n_data);
+  config.n_conventional = args.GetInt("n_conventional", 0);
+  config.num_rbs = args.GetInt("num_rbs", config.num_rbs);
+  config.static_itbs = args.GetInt("static_itbs", config.static_itbs);
+  config.segment_duration_s =
+      args.GetDouble("segment_s", config.segment_duration_s);
+  config.target_bler = args.GetDouble("bler", 0.0);
+  config.vbr_sigma = args.GetDouble("vbr_sigma", 0.0);
+  config.oneapi.params.alpha =
+      args.GetDouble("alpha", config.oneapi.params.alpha);
+  config.oneapi.params.delta =
+      args.GetInt("delta", config.oneapi.params.delta);
+  config.oneapi.bai = FromSeconds(
+      args.GetDouble("bai_s", ToSeconds(config.oneapi.bai)));
+  if (const auto ladder = args.GetString("ladder")) {
+    config.ladder_kbps = ParseLadder(*ladder);
+  }
+  if (const auto thetas = args.GetString("client_theta_mbps")) {
+    for (double mbps : ParseLadder(*thetas)) {
+      config.client_theta_bps.push_back(mbps * 1e6);
+    }
+  }
+  if (const auto caps = args.GetString("client_caps")) {
+    for (double cap : ParseLadder(*caps)) {
+      config.client_max_level.push_back(static_cast<int>(cap));
+    }
+  }
+  const auto series_csv = args.GetString("series_csv");
+  config.sample_series = series_csv.has_value();
+  const int runs = args.GetInt("runs", 1);
+
+  std::printf("scenario_runner: %s on %s, %d video / %d data / %d "
+              "conventional, %.0f s x %d run(s)\n\n",
+              SchemeName(*scheme), channel_name.c_str(), config.n_video,
+              config.n_data, config.n_conventional, config.duration_s,
+              runs);
+
+  double rate = 0.0;
+  double changes = 0.0;
+  double rebuffer = 0.0;
+  double jain = 0.0;
+  double data = 0.0;
+  const auto results = RunMany(config, runs);
+  for (const ScenarioResult& r : results) {
+    rate += r.avg_video_bitrate_bps / 1000.0;
+    changes += r.avg_bitrate_changes;
+    rebuffer += r.avg_rebuffer_s;
+    jain += r.jain_avg_bitrate;
+    data += r.avg_data_throughput_bps / 1000.0;
+  }
+  const double n = static_cast<double>(results.size());
+  std::printf("avg video bitrate : %8.0f Kbps\n", rate / n);
+  std::printf("avg bitrate changes:%8.1f\n", changes / n);
+  std::printf("avg rebuffering   : %8.1f s\n", rebuffer / n);
+  std::printf("Jain fairness     : %8.3f\n", jain / n);
+  if (config.n_data > 0) {
+    std::printf("avg data throughput:%8.0f Kbps\n", data / n);
+  }
+
+  if (series_csv) {
+    CsvWriter csv(*series_csv, {"t_s", "client", "bitrate_kbps",
+                                "buffer_s"});
+    for (const SeriesSample& s : results.front().series) {
+      for (std::size_t c = 0; c < s.video_bitrate_bps.size(); ++c) {
+        csv.Row({s.t_s, static_cast<double>(c),
+                 s.video_bitrate_bps[c] / 1000.0, s.video_buffer_s[c]});
+      }
+    }
+    std::printf("\nseries written to %s\n", series_csv->c_str());
+  }
+  return 0;
+}

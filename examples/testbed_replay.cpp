@@ -1,0 +1,66 @@
+// Example: replay of the femtocell testbed's dynamic scenario (Figure 5).
+//
+// Reconstructs the paper's testbed: a 50-RB cell whose iTbs Override
+// Module sweeps the MCS through a triangle (1 -> 12 -> 1 every 4 min,
+// per-UE offsets), three FLARE video players, one iperf flow. Prints an
+// ASCII timeline of client 0's selected bitrate and buffer against the
+// cell's MCS so the coordination is visible at a glance.
+//
+//   ./build/examples/testbed_replay [duration_s=<s>]
+#include <algorithm>
+#include <cstdio>
+
+#include "lte/channel.h"
+#include "lte/tbs_table.h"
+#include "scenario/scenario.h"
+#include "util/config.h"
+
+int main(int argc, char** argv) {
+  using namespace flare;
+  const Config args = Config::FromArgs(argc, argv);
+  const double duration = args.GetDouble("duration_s", 480.0);
+
+  ScenarioConfig config = TestbedPreset(Scheme::kFlare);
+  config.channel = ChannelKind::kItbsTriangle;
+  config.duration_s = duration;
+  config.sample_series = true;
+  config.seed = 7;
+
+  std::printf(
+      "testbed_replay: FLARE on the femtocell, dynamic MCS (%.0f s)\n\n",
+      duration);
+  const ScenarioResult result = RunScenario(config);
+
+  // ASCII timeline, one row per 20 s: MCS-implied capacity vs client 0.
+  const auto itbs_at = TriangleItbsSchedule(
+      config.triangle_lo_itbs, config.triangle_hi_itbs,
+      FromSeconds(config.triangle_period_s), 0);
+  std::printf("%6s %10s %12s %10s %s\n", "t(s)", "iTbs(UE0)",
+              "rate(Kbps)", "buffer(s)", "selected bitrate");
+  for (std::size_t i = 0; i < result.series.size(); i += 20) {
+    const SeriesSample& s = result.series[i];
+    const int itbs = itbs_at(FromSeconds(s.t_s));
+    const double rate = s.video_bitrate_bps.empty()
+                            ? 0.0
+                            : s.video_bitrate_bps[0] / 1000.0;
+    const double buffer =
+        s.video_buffer_s.empty() ? 0.0 : s.video_buffer_s[0];
+    const int bars = std::clamp(static_cast<int>(rate / 100.0), 0, 30);
+    std::printf("%6.0f %10d %12.0f %10.1f %.*s\n", s.t_s, itbs, rate,
+                buffer, bars, "##############################");
+  }
+
+  std::printf("\nPer-client summary:\n");
+  for (std::size_t i = 0; i < result.video.size(); ++i) {
+    const ClientMetrics& m = result.video[i];
+    std::printf(
+        "  client %zu: avg %5.0f Kbps, %2d changes, %4.1f s rebuffering\n",
+        i, m.avg_bitrate_bps / 1000.0, m.bitrate_changes,
+        m.rebuffer_time_s);
+  }
+  std::printf(
+      "\nThe selected bitrate follows the MCS triangle: drops are applied\n"
+      "the BAI the capacity estimate falls, rises wait out the delta-gate\n"
+      "— the Figure 5c shape.\n");
+  return 0;
+}

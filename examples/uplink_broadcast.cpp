@@ -1,0 +1,94 @@
+// Example: FLARE-managed uplink live broadcast (Section V extension).
+//
+// A phone streams live video *up* through the cell while two other UEs
+// run bulk uploads. The same OneAPI machinery that steers downlink HAS
+// assigns the broadcaster's encoding rate and pins a GBR on its uplink
+// bearer, so the stream's upload lag stays bounded no matter what the
+// bulk flows do. For contrast, the run is repeated without FLARE (the
+// encoder picks rates greedily from measured upload throughput).
+#include <cstdio>
+#include <memory>
+
+#include "abr/google.h"
+#include "has/uplink_session.h"
+#include "lte/cell.h"
+#include "lte/gbr_scheduler.h"
+#include "net/oneapi_server.h"
+#include "sim/simulator.h"
+#include "transport/transport_host.h"
+
+namespace {
+
+using namespace flare;
+
+struct Outcome {
+  double avg_kbps = 0.0;
+  double max_lag_s = 0.0;
+  int backlog = 0;
+};
+
+Outcome RunBroadcast(bool with_flare) {
+  Simulator sim;
+  Cell cell(sim, std::make_unique<TwoPhaseGbrScheduler>(), CellConfig{},
+            Rng(1));
+  TransportHost host(sim, cell);
+  Pcrf pcrf;
+  Pcef pcef(sim, cell, 10 * kMillisecond);
+  OneApiConfig oneapi_config;
+  oneapi_config.bai = FromSeconds(1.0);
+  oneapi_config.params.delta = 2;
+  OneApiServer server(sim, cell, pcrf, pcef, oneapi_config);
+
+  // Broadcaster UE + two bulk uploaders sharing the uplink.
+  const UeId broadcaster = cell.AddUe(std::make_unique<StaticItbsChannel>(7));
+  TcpFlow& video = host.CreateFlow(broadcaster, FlowType::kVideo);
+  for (int i = 0; i < 2; ++i) {
+    const UeId ue = cell.AddUe(std::make_unique<StaticItbsChannel>(7));
+    TcpFlow& bulk = host.CreateFlow(ue, FlowType::kData);
+    pcrf.RegisterFlow(bulk.id(), FlowType::kData);
+    host.MakeGreedy(bulk.id());
+  }
+
+  const Mpd mpd = MakeMpd(SimulationLadderKbps(), 2.0);
+  std::unique_ptr<AbrAlgorithm> abr;
+  FlarePlugin* plugin_ptr = nullptr;
+  if (with_flare) {
+    auto plugin = std::make_unique<FlarePlugin>(video.id());
+    plugin_ptr = plugin.get();
+    abr = std::move(plugin);
+  } else {
+    abr = std::make_unique<GoogleAbr>();  // greedy estimator-driven
+  }
+  UplinkBroadcastSession session(sim, video, mpd, std::move(abr),
+                                 UplinkSessionConfig{});
+  if (plugin_ptr != nullptr) {
+    server.ConnectVideoClient(plugin_ptr, mpd);
+    server.Start();
+  }
+  session.Start(0);
+  cell.Start();
+  sim.RunUntil(FromSeconds(180.0));
+
+  return Outcome{session.avg_bitrate_bps() / 1000.0,
+                 session.max_upload_lag_s(), session.backlog()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "uplink_broadcast: live uplink stream vs two bulk uploads "
+      "(180 s)\n\n%-24s %12s %14s %10s\n",
+      "mode", "rate (Kbps)", "max lag (s)", "backlog");
+  const Outcome flare = RunBroadcast(/*with_flare=*/true);
+  const Outcome greedy = RunBroadcast(/*with_flare=*/false);
+  std::printf("%-24s %12.0f %14.1f %10d\n", "FLARE-coordinated",
+              flare.avg_kbps, flare.max_lag_s, flare.backlog);
+  std::printf("%-24s %12.0f %14.1f %10d\n", "greedy (uncoordinated)",
+              greedy.avg_kbps, greedy.max_lag_s, greedy.backlog);
+  std::printf(
+      "\nThe GBR on the broadcaster's bearer keeps the upload lag bounded\n"
+      "against the bulk flows — Section V's uplink extension with zero\n"
+      "changes to the FLARE core.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Example: vehicular clients — the scenario where coordination pays most.
+//
+// Eight UEs drive through a 2 km cell at 10-30 m/s (random waypoint).
+// The same workload is run under FLARE, AVIS and FESTIVE, and the
+// per-client outcomes are printed side by side: with fast-changing
+// channels, client-side estimators lag and network-only control
+// mismatches the player, while FLARE re-assigns every BAI and enforces
+// the result on both sides.
+//
+//   ./build/examples/vehicular_mobility [duration_s=<s>] [seed=<n>]
+#include <cstdio>
+
+#include "scenario/scenario.h"
+#include "util/config.h"
+
+int main(int argc, char** argv) {
+  using namespace flare;
+  const Config args = Config::FromArgs(argc, argv);
+  const double duration = args.GetDouble("duration_s", 600.0);
+  const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 9));
+
+  std::printf(
+      "vehicular_mobility: 8 UEs at 10..30 m/s in a 2 km cell, %.0f s\n\n",
+      duration);
+
+  for (Scheme scheme : {Scheme::kFlare, Scheme::kAvis, Scheme::kFestive}) {
+    ScenarioConfig config = SimMobilePreset(scheme);
+    config.duration_s = duration;
+    config.seed = seed;
+    const ScenarioResult result = RunScenario(config);
+
+    std::printf("--- %s ---\n", SchemeName(scheme));
+    for (std::size_t i = 0; i < result.video.size(); ++i) {
+      const ClientMetrics& m = result.video[i];
+      std::printf(
+          "  client %zu: avg %5.0f Kbps, %3d changes, %5.1f s "
+          "rebuffering\n",
+          i, m.avg_bitrate_bps / 1000.0, m.bitrate_changes,
+          m.rebuffer_time_s);
+    }
+    std::printf("  => mean %5.0f Kbps, %.1f changes, Jain %.3f\n\n",
+                result.avg_video_bitrate_bps / 1000.0,
+                result.avg_bitrate_changes, result.jain_avg_bitrate);
+  }
+  return 0;
+}

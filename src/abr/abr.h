@@ -1,0 +1,52 @@
+// Adaptive-bitrate (ABR) algorithm interface.
+//
+// A VideoSession consults its AbrAlgorithm before each segment request.
+// Client-side algorithms (FESTIVE, GOOGLE) decide from throughput history
+// and buffer state; coordinated/network-side clients (FLARE plugin, AVIS
+// client) fold in rates pushed from the network.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "has/mpd.h"
+#include "util/time.h"
+
+namespace flare {
+
+struct AbrContext {
+  const Mpd* mpd = nullptr;
+  SimTime now = 0;
+  int segment_number = 0;    // 0-based index of the segment being decided
+  int last_index = -1;       // representation of the previous segment
+  double buffer_s = 0.0;     // client buffer level
+  /// Most recent per-segment download throughputs, oldest first (capped by
+  /// the session's history limit). Goodput: request send -> last byte.
+  std::vector<double> throughput_history_bps;
+  /// Receive-phase rates for the same segments (first byte -> last byte).
+  /// Optimistic: excludes request gaps, so it tracks the instantaneous
+  /// link share. GOOGLE's estimator uses these, mirroring the demo
+  /// player's bytes-received-over-receive-time measurement.
+  std::vector<double> download_rate_history_bps;
+};
+
+class AbrAlgorithm {
+ public:
+  virtual ~AbrAlgorithm() = default;
+
+  /// Representation index (0-based) for the next segment.
+  virtual int NextRepresentation(const AbrContext& context) = 0;
+
+  /// Called when a segment download completes (hook for algorithm-side
+  /// state such as FESTIVE's bandwidth estimator).
+  virtual void OnSegmentComplete(const AbrContext& /*context*/,
+                                 double /*throughput_bps*/) {}
+
+  /// Extra delay to insert before the next segment request (FESTIVE's
+  /// randomized scheduling hook; default none).
+  virtual SimTime RequestDelay(const AbrContext& /*context*/) { return 0; }
+
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace flare

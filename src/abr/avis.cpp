@@ -1,0 +1,98 @@
+#include "abr/avis.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flare {
+
+int AvisClientAbr::NextRepresentation(const AbrContext& context) {
+  const std::vector<double>& history = context.throughput_history_bps;
+  if (history.empty()) return 0;
+  const auto n = std::min<std::size_t>(history.size(),
+                                       static_cast<std::size_t>(window_));
+  double sum = 0.0;
+  for (std::size_t i = history.size() - n; i < history.size(); ++i) {
+    sum += history[i];
+  }
+  const double estimate = sum / static_cast<double>(n);
+  return std::max(context.mpd->HighestIndexBelow(estimate), 0);
+}
+
+AvisGateway::AvisGateway(Simulator& sim, Cell& cell,
+                         const AvisConfig& config)
+    : sim_(sim), cell_(cell), config_(config) {}
+
+void AvisGateway::RegisterVideoFlow(FlowId id, const Mpd* mpd) {
+  VideoEntry entry;
+  entry.mpd = mpd;
+  video_[id] = entry;
+}
+
+void AvisGateway::RegisterDataFlow(FlowId id) { data_[id] = true; }
+
+void AvisGateway::Deregister(FlowId id) {
+  video_.erase(id);
+  data_.erase(id);
+}
+
+void AvisGateway::Start() {
+  if (started_) return;
+  started_ = true;
+  const SimTime epoch = FromSeconds(config_.epoch_s);
+  sim_.Every(epoch, epoch, [this] { RunEpoch(); });
+}
+
+double AvisGateway::AssignedRate(FlowId id) const {
+  const auto it = video_.find(id);
+  return it == video_.end() ? 0.0 : it->second.assigned_bps;
+}
+
+void AvisGateway::RunEpoch() {
+  const auto n_video = static_cast<double>(video_.size());
+
+  // --- Video slice: per-flow sustainable share, EWMA-smoothed, quantized.
+  // Table IV's alpha = 0.01 is a per-TTI weight; an epoch of W TTIs
+  // compounds to 1 - (1-alpha)^W, so with W = 150 the estimate essentially
+  // tracks the latest channel sample — which is what makes AVIS's
+  // assignment flap across rung boundaries under fading.
+  const double w_eff =
+      1.0 - std::pow(1.0 - config_.alpha, config_.epoch_s * 1000.0);
+  for (auto& [id, entry] : video_) {
+    if (!cell_.HasFlow(id)) continue;
+    const double full_rate = cell_.UeFullCellRateBps(cell_.flow(id).ue);
+    const double share =
+        config_.video_rb_fraction * full_rate / std::max(n_video, 1.0);
+    entry.est_bps = entry.est_bps <= 0.0
+                        ? share
+                        : (1.0 - w_eff) * entry.est_bps + w_eff * share;
+    const int index =
+        std::max(entry.mpd->HighestIndexBelow(entry.est_bps), 0);
+    entry.assigned_bps = entry.mpd->BitrateOf(index);
+    cell_.SetGbr(id, entry.assigned_bps);
+    cell_.SetMbr(id, config_.mbr_headroom > 0.0
+                         ? entry.assigned_bps * config_.mbr_headroom
+                         : 0.0);  // 0 => uncapped
+  }
+
+  // --- Data slice: statically capped at the remaining RB fraction, split
+  // evenly. This is the static partition the FLARE paper criticizes.
+  if (!data_.empty()) {
+    double mean_rate = 0.0;
+    int counted = 0;
+    for (const auto& [id, unused] : data_) {
+      if (!cell_.HasFlow(id)) continue;
+      mean_rate += cell_.UeFullCellRateBps(cell_.flow(id).ue);
+      ++counted;
+    }
+    if (counted > 0) {
+      mean_rate /= static_cast<double>(counted);
+      const double per_flow = (1.0 - config_.video_rb_fraction) * mean_rate /
+                              static_cast<double>(counted);
+      for (const auto& [id, unused] : data_) {
+        if (cell_.HasFlow(id)) cell_.SetMbr(id, per_flow);
+      }
+    }
+  }
+}
+
+}  // namespace flare

@@ -1,0 +1,86 @@
+// AVIS (Chen et al., MOBICOM 2013) — network-side HAS resource management,
+// in the variant the FLARE paper simulates (§IV-B): an in-network gateway
+// estimates a sustainable rate per video flow, quantizes it to the ladder,
+// and enforces it by setting the GBR/MBR of the flow's bearer at the
+// scheduler; the UE independently runs a simple greedy adaptation that
+// requests the highest rate its *measured* throughput supports. The two
+// control loops are not coordinated — the mismatch between network-assigned
+// and client-requested rates is AVIS's characteristic failure mode.
+//
+// AVIS statically partitions radio resources between video and data slices
+// (`video_rb_fraction`), which the paper identifies as its second weakness:
+// idle video headroom cannot be reclaimed by data flows.
+#pragma once
+
+#include <map>
+
+#include "abr/abr.h"
+#include "lte/cell.h"
+#include "sim/simulator.h"
+
+namespace flare {
+
+struct AvisConfig {
+  /// Gateway epoch W, in seconds (Table IV: W = 150 TTIs).
+  double epoch_s = 0.150;
+  /// EWMA weight for the sustainable-rate estimate (Table IV: 0.01).
+  double alpha = 0.01;
+  /// Static share of RBs reserved for the video slice.
+  double video_rb_fraction = 0.7;
+  /// MBR = headroom * GBR; <= 0 leaves the flow uncapped (GBR only). With
+  /// no cap the UE's throughput samples (boosted by leftover phase-2 RBs)
+  /// run ahead of the GBR, so the greedy client requests rates the network
+  /// did not assign — the client/network mismatch the FLARE paper
+  /// attributes to AVIS ("the network sets only the GBR/MBR, while the
+  /// rate controller in the UE selects the actual video bitrate").
+  double mbr_headroom = 1.25;
+};
+
+/// UE-side greedy adaptation: highest ladder rate <= short-window mean
+/// throughput.
+class AvisClientAbr final : public AbrAlgorithm {
+ public:
+  explicit AvisClientAbr(int window = 3) : window_(window) {}
+  int NextRepresentation(const AbrContext& context) override;
+  std::string Name() const override { return "avis-client"; }
+
+ private:
+  int window_;
+};
+
+/// Network-side gateway: per-epoch sustainable-rate estimation and GBR/MBR
+/// enforcement through the cell.
+class AvisGateway {
+ public:
+  AvisGateway(Simulator& sim, Cell& cell, const AvisConfig& config);
+
+  /// Register a video flow and the bitrate ladder its MPD advertises.
+  void RegisterVideoFlow(FlowId id, const Mpd* mpd);
+  void RegisterDataFlow(FlowId id);
+  void Deregister(FlowId id);
+
+  /// Begin the per-epoch control loop.
+  void Start();
+
+  /// One gateway epoch (exposed for tests).
+  void RunEpoch();
+
+  /// Last rate assigned to a video flow (bits/s), 0 if none yet.
+  double AssignedRate(FlowId id) const;
+
+ private:
+  struct VideoEntry {
+    const Mpd* mpd = nullptr;
+    double est_bps = 0.0;  // EWMA sustainable-rate estimate
+    double assigned_bps = 0.0;
+  };
+
+  Simulator& sim_;
+  Cell& cell_;
+  AvisConfig config_;
+  std::map<FlowId, VideoEntry> video_;
+  std::map<FlowId, bool> data_;
+  bool started_ = false;
+};
+
+}  // namespace flare

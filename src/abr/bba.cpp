@@ -1,0 +1,17 @@
+#include "abr/bba.h"
+
+#include <algorithm>
+
+namespace flare {
+
+int BbaAbr::NextRepresentation(const AbrContext& context) {
+  const int top = context.mpd->NumRepresentations() - 1;
+  if (context.buffer_s <= config_.reservoir_s) return 0;
+  if (context.buffer_s >= config_.cushion_s) return top;
+  const double span = std::max(config_.cushion_s - config_.reservoir_s,
+                               1e-9);
+  const double frac = (context.buffer_s - config_.reservoir_s) / span;
+  return std::clamp(static_cast<int>(frac * top), 0, top);
+}
+
+}  // namespace flare

@@ -1,0 +1,32 @@
+// BBA — buffer-based adaptation (Huang et al., SIGCOMM 2014).
+//
+// Ignores throughput estimates entirely: the bitrate is a function of the
+// playout buffer level. Below the reservoir the player takes the lowest
+// rung; above the cushion the highest; in between, a linear map. The
+// classic counterpoint to estimator-driven ABR — included as an extended
+// baseline (the FLARE paper's related work discusses rate- vs buffer-
+// based client adaptation).
+#pragma once
+
+#include "abr/abr.h"
+
+namespace flare {
+
+struct BbaConfig {
+  double reservoir_s = 5.0;  // below this: minimum rate
+  double cushion_s = 25.0;   // above this: maximum rate
+};
+
+class BbaAbr final : public AbrAlgorithm {
+ public:
+  explicit BbaAbr(const BbaConfig& config = BbaConfig{})
+      : config_(config) {}
+
+  int NextRepresentation(const AbrContext& context) override;
+  std::string Name() const override { return "bba"; }
+
+ private:
+  BbaConfig config_;
+};
+
+}  // namespace flare

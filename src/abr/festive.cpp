@@ -1,0 +1,120 @@
+#include "abr/festive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace flare {
+
+FestiveAbr::FestiveAbr(const FestiveConfig& config, Rng rng)
+    : config_(config), rng_(rng) {}
+
+double FestiveAbr::BandwidthEstimate() const {
+  return HarmonicMean(std::vector<double>(samples_.begin(), samples_.end()));
+}
+
+int FestiveAbr::GradualTarget(const AbrContext& context,
+                              int reference) const {
+  const double estimate = BandwidthEstimate();
+  if (estimate <= 0.0) return 0;
+  int target = context.mpd->HighestIndexBelow(config_.p * estimate);
+  target = std::max(target, 0);
+  if (target > reference) {
+    // Up-switches are gradual and need k*L segments of patience at the
+    // current rung (L = rung being left, 1-based as in the paper).
+    const int patience = config_.k * (reference + 1);
+    if (segments_at_level_ >= patience) return reference + 1;
+    return reference;
+  }
+  if (target < reference) return reference - 1;  // gradual down
+  return reference;
+}
+
+double FestiveAbr::Efficiency(double bitrate_bps,
+                              double reference_bps) const {
+  // FESTIVE's efficiency score: distance of the bitrate from the usable
+  // reference, |b / min(p*w, b_candidate) - 1| (the reference is computed
+  // by the caller).
+  return std::abs(bitrate_bps / std::max(reference_bps, 1.0) - 1.0);
+}
+
+int FestiveAbr::RecentSwitches() const {
+  int n = 0;
+  for (bool s : switch_history_) n += s ? 1 : 0;
+  return n;
+}
+
+int FestiveAbr::NextRepresentation(const AbrContext& context) {
+  const int reference = std::max(context.last_index, 0);
+  if (samples_.empty()) {
+    // No estimate yet: start at the lowest rung.
+    current_level_ = 0;
+    return 0;
+  }
+
+  // Stall avoidance: with the buffer nearly empty, gradual one-rung
+  // descent is too slow (a rung per segment); jump straight to the rate
+  // the estimate supports. FESTIVE trades bitrate, never rebuffers.
+  if (context.buffer_s < 1.5 * context.mpd->segment_duration_s) {
+    const double estimate = BandwidthEstimate();
+    const int safe =
+        std::max(context.mpd->HighestIndexBelow(config_.p * estimate), 0);
+    if (safe < reference) return safe;
+  }
+
+  const int candidate = GradualTarget(context, reference);
+  int chosen = reference;
+  if (candidate != reference) {
+    // Delayed update: switch only if it lowers stability+alpha*efficiency.
+    // Both options are scored against the same usable-bandwidth reference
+    // min(p * estimate, candidate bitrate), per the FESTIVE paper.
+    const double usable = config_.p * BandwidthEstimate();
+    const double anchor =
+        std::min(usable, context.mpd->BitrateOf(candidate));
+    const double stay_score =
+        RecentSwitches() +
+        config_.alpha * Efficiency(context.mpd->BitrateOf(reference),
+                                   anchor);
+    const double switch_score =
+        (RecentSwitches() + 1) +
+        config_.alpha * Efficiency(context.mpd->BitrateOf(candidate),
+                                   anchor);
+    if (switch_score < stay_score) chosen = candidate;
+  }
+  return chosen;
+}
+
+void FestiveAbr::OnSegmentComplete(const AbrContext& context,
+                                   double throughput_bps) {
+  samples_.push_back(throughput_bps);
+  while (static_cast<int>(samples_.size()) > config_.bw_window) {
+    samples_.pop_front();
+  }
+
+  const int level = context.last_index;
+  const bool switched = current_level_ >= 0 && level != current_level_;
+  if (switched) {
+    segments_at_level_ = 1;
+  } else {
+    ++segments_at_level_;
+  }
+  current_level_ = level;
+
+  switch_history_.push_back(switched);
+  while (static_cast<int>(switch_history_.size()) > config_.switch_window) {
+    switch_history_.pop_front();
+  }
+}
+
+SimTime FestiveAbr::RequestDelay(const AbrContext& context) {
+  // Randomized scheduling: jitter requests once the client is in steady
+  // state (buffer built up) to break synchronization across clients.
+  if (context.buffer_s < 2.0 * context.mpd->segment_duration_s) return 0;
+  const double max_delay_s =
+      config_.random_delay_frac * context.mpd->segment_duration_s;
+  return FromSeconds(rng_.Uniform(0.0, max_delay_s));
+}
+
+}  // namespace flare

@@ -1,0 +1,58 @@
+// FESTIVE client-side ABR (Jiang, Sekar, Zhang — CoNEXT 2012).
+//
+// Components, as reimplemented from the paper the FLARE authors compare
+// against:
+//  * Bandwidth estimation — harmonic mean of the last `bw_window` segment
+//    throughputs (robust to outliers, conservative on variable links).
+//  * Gradual switching — move at most one ladder rung at a time; an
+//    up-switch to rung L is allowed only after k*L segments at the current
+//    rung (higher rates probe more slowly).
+//  * Delayed update — the candidate switch is taken only if it lowers the
+//    combined score  stability + alpha * efficiency, where stability counts
+//    recent switches and efficiency measures |bitrate/(p*estimate) - 1|.
+//  * Randomized scheduling — when the buffer is near target, the next
+//    request is jittered uniformly to desynchronize competing clients.
+#pragma once
+
+#include <deque>
+
+#include "abr/abr.h"
+#include "util/rng.h"
+
+namespace flare {
+
+struct FestiveConfig {
+  int bw_window = 20;
+  double p = 0.85;       // Table IV
+  double alpha = 12.0;   // Table IV
+  int k = 4;             // Table IV: up-switch patience factor
+  int switch_window = 10;  // recent segments considered by stability score
+  double random_delay_frac = 0.5;  // of a segment duration
+};
+
+class FestiveAbr final : public AbrAlgorithm {
+ public:
+  FestiveAbr(const FestiveConfig& config, Rng rng);
+
+  int NextRepresentation(const AbrContext& context) override;
+  void OnSegmentComplete(const AbrContext& context,
+                         double throughput_bps) override;
+  SimTime RequestDelay(const AbrContext& context) override;
+  std::string Name() const override { return "festive"; }
+
+  double BandwidthEstimate() const;
+
+ private:
+  int GradualTarget(const AbrContext& context, int reference) const;
+  double Efficiency(double bitrate_bps, double reference_bps) const;
+  int RecentSwitches() const;
+
+  FestiveConfig config_;
+  Rng rng_;
+  std::deque<double> samples_;
+  int segments_at_level_ = 0;
+  int current_level_ = -1;
+  std::deque<bool> switch_history_;  // true = that segment switched rungs
+};
+
+}  // namespace flare

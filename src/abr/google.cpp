@@ -1,0 +1,31 @@
+#include "abr/google.h"
+
+#include <algorithm>
+
+namespace flare {
+
+double GoogleAbr::MeanOfTail(const std::vector<double>& xs, int window) {
+  if (xs.empty() || window <= 0) return 0.0;
+  const auto n = std::min<std::size_t>(xs.size(),
+                                       static_cast<std::size_t>(window));
+  double sum = 0.0;
+  for (std::size_t i = xs.size() - n; i < xs.size(); ++i) sum += xs[i];
+  return sum / static_cast<double>(n);
+}
+
+int GoogleAbr::NextRepresentation(const AbrContext& context) {
+  // The demo player measures bandwidth as bytes received over receive
+  // time, which excludes request gaps and therefore tracks the optimistic
+  // instantaneous share; fall back to goodput when unavailable (tests).
+  const std::vector<double>& history =
+      context.download_rate_history_bps.empty()
+          ? context.throughput_history_bps
+          : context.download_rate_history_bps;
+  if (history.empty()) return 0;
+  const double b_long = MeanOfTail(history, config_.long_window);
+  const double b_short = MeanOfTail(history, config_.short_window);
+  const double usable = config_.safety * std::min(b_long, b_short);
+  return std::max(context.mpd->HighestIndexBelow(usable), 0);
+}
+
+}  // namespace flare

@@ -1,0 +1,32 @@
+// "GOOGLE" — the MPEG-DASH / Media Source demo player's rate logic, as the
+// FLARE paper describes it (§IV-A): keep a long-term and a short-term link
+// bandwidth estimate from recently received segments and select the highest
+// available rate <= 0.85 * min(b_long, b_short). Aggressive: the mean-based
+// estimates chase throughput peaks, which is what causes the frequent
+// rebuffering the paper observes.
+#pragma once
+
+#include "abr/abr.h"
+
+namespace flare {
+
+struct GoogleAbrConfig {
+  double safety = 0.85;
+  int long_window = 30;  // segments in the long-term mean
+  int short_window = 12;  // segments in the short-term mean
+};
+
+class GoogleAbr final : public AbrAlgorithm {
+ public:
+  explicit GoogleAbr(const GoogleAbrConfig& config = GoogleAbrConfig{})
+      : config_(config) {}
+
+  int NextRepresentation(const AbrContext& context) override;
+  std::string Name() const override { return "google"; }
+
+ private:
+  static double MeanOfTail(const std::vector<double>& xs, int window);
+  GoogleAbrConfig config_;
+};
+
+}  // namespace flare

@@ -1,0 +1,83 @@
+#include "abr/mpc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace flare {
+
+double MpcAbr::PredictThroughput(const AbrContext& context) const {
+  const std::vector<double>& history = context.throughput_history_bps;
+  if (history.empty()) return 0.0;
+  const auto n = std::min<std::size_t>(
+      history.size(), static_cast<std::size_t>(config_.throughput_window));
+  const std::vector<double> tail(history.end() - static_cast<long>(n),
+                                 history.end());
+  return config_.discount * HarmonicMean(tail);
+}
+
+double MpcAbr::ScorePlan(const Mpd& mpd, const std::vector<int>& plan,
+                         int previous_index, double buffer_s,
+                         double predicted_bps) const {
+  double score = 0.0;
+  double buffer = buffer_s;
+  int prev = previous_index;
+  for (int index : plan) {
+    const double rate = mpd.BitrateOf(index);
+    const double download_s =
+        rate * mpd.segment_duration_s / std::max(predicted_bps, 1.0);
+    // Buffer drains during the download; rebuffering accrues if it runs
+    // dry before the segment lands.
+    const double rebuf = std::max(0.0, download_s - buffer);
+    buffer = std::max(buffer - download_s, 0.0) + mpd.segment_duration_s;
+
+    const double q = rate / 1e6;
+    const double q_prev = prev >= 0 ? mpd.BitrateOf(prev) / 1e6 : q;
+    score += q - config_.lambda * std::abs(q - q_prev) -
+             config_.mu * rebuf;
+    prev = index;
+  }
+  return score;
+}
+
+int MpcAbr::NextRepresentation(const AbrContext& context) {
+  const double predicted = PredictThroughput(context);
+  if (predicted <= 0.0) return 0;
+  const Mpd& mpd = *context.mpd;
+  const int top = mpd.NumRepresentations() - 1;
+  const int start = std::max(context.last_index, 0);
+
+  // Depth-first enumeration of plans whose steps move at most max_step
+  // rungs at a time.
+  std::vector<int> plan;
+  std::vector<int> best_plan;
+  double best_score = -1e300;
+  const int horizon = std::max(config_.horizon, 1);
+
+  const std::function<void(int, int)> recurse = [&](int depth, int prev) {
+    if (depth == horizon) {
+      const double score = ScorePlan(mpd, plan, context.last_index,
+                                     context.buffer_s, predicted);
+      if (score > best_score) {
+        best_score = score;
+        best_plan = plan;
+      }
+      return;
+    }
+    const int lo = std::max(prev - config_.max_step, 0);
+    const int hi = std::min(prev + config_.max_step, top);
+    for (int index = lo; index <= hi; ++index) {
+      plan.push_back(index);
+      recurse(depth + 1, index);
+      plan.pop_back();
+    }
+  };
+  recurse(0, start);
+
+  return best_plan.empty() ? start : best_plan.front();
+}
+
+}  // namespace flare

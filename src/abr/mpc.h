@@ -1,0 +1,48 @@
+// MPC — model-predictive-control rate adaptation (Yin et al., SIGCOMM
+// 2015), cited by the FLARE paper as the control-theoretic combination of
+// throughput and buffer-occupancy information [11].
+//
+// Each segment boundary the controller enumerates bitrate plans over a
+// lookahead horizon, simulates the buffer trajectory under a harmonic-
+// mean throughput prediction, scores each plan with the paper's QoE
+// objective
+//     sum_k [ q(R_k)  -  lambda |q(R_k) - q(R_{k-1})|  -  mu * rebuf_k ]
+// (q = bitrate in Mbps), and plays the first step of the best plan.
+// Enumeration is restricted to monotone-ish plans (each step moves at
+// most `max_step` rungs from the previous) to keep the search tractable;
+// with max_step = 1 and horizon 5 this is a few hundred plans.
+#pragma once
+
+#include "abr/abr.h"
+
+namespace flare {
+
+struct MpcConfig {
+  int horizon = 5;            // segments of lookahead
+  int throughput_window = 5;  // harmonic-mean prediction window
+  double lambda = 1.0;        // switching penalty weight
+  double mu = 8.0;            // rebuffering penalty weight (per second)
+  int max_step = 1;           // per-step rung movement bound in plans
+  /// Conservative throughput discount (robust-MPC flavour).
+  double discount = 0.9;
+};
+
+class MpcAbr final : public AbrAlgorithm {
+ public:
+  explicit MpcAbr(const MpcConfig& config = MpcConfig{})
+      : config_(config) {}
+
+  int NextRepresentation(const AbrContext& context) override;
+  std::string Name() const override { return "mpc"; }
+
+  /// Score a fixed plan from the given start state (exposed for tests).
+  double ScorePlan(const Mpd& mpd, const std::vector<int>& plan,
+                   int previous_index, double buffer_s,
+                   double predicted_bps) const;
+
+ private:
+  double PredictThroughput(const AbrContext& context) const;
+  MpcConfig config_;
+};
+
+}  // namespace flare

@@ -1,0 +1,58 @@
+#include "abr/panda.h"
+
+#include <algorithm>
+
+namespace flare {
+
+void PandaAbr::OnSegmentComplete(const AbrContext& context,
+                                 double throughput_bps) {
+  // Stage 1 — probing estimate update. T is the time since the previous
+  // request (actual inter-request time).
+  const double t_s = last_request_ >= 0
+                         ? std::max(ToSeconds(context.now - last_request_),
+                                    1e-3)
+                         : context.mpd->segment_duration_s;
+  last_request_ = context.now;
+
+  if (x_hat_bps_ <= 0.0) {
+    x_hat_bps_ = throughput_bps;
+  } else {
+    const double overshoot = std::max(0.0, x_hat_bps_ - throughput_bps);
+    x_hat_bps_ += config_.kappa * t_s * (config_.w_bps - overshoot);
+    x_hat_bps_ = std::max(x_hat_bps_, 1.0);
+  }
+
+  // Stage 2 — smoothing.
+  y_hat_bps_ = y_hat_bps_ <= 0.0
+                   ? x_hat_bps_
+                   : (1.0 - config_.smoothing) * y_hat_bps_ +
+                         config_.smoothing * x_hat_bps_;
+}
+
+int PandaAbr::NextRepresentation(const AbrContext& context) {
+  if (y_hat_bps_ <= 0.0) return 0;
+  const int current = std::max(context.last_index, 0);
+
+  // Stage 3 — dead-zone quantizer.
+  const int up_target = std::max(
+      context.mpd->HighestIndexBelow(config_.up_safety * y_hat_bps_), 0);
+  const int down_target =
+      std::max(context.mpd->HighestIndexBelow(y_hat_bps_), 0);
+  if (up_target > current) return up_target;
+  if (down_target < current) return down_target;
+  return current;
+}
+
+SimTime PandaAbr::RequestDelay(const AbrContext& context) {
+  // Stage 4 — scheduling: pace requests so the buffer settles at the
+  // target. The session already paces by its buffer cap; this adds the
+  // proportional term when the buffer runs above target.
+  if (y_hat_bps_ <= 0.0 || context.last_index < 0) return 0;
+  const double extra_s =
+      config_.beta * (context.buffer_s - config_.buffer_target_s);
+  if (extra_s <= 0.0) return 0;
+  return FromSeconds(
+      std::min(extra_s, context.mpd->segment_duration_s));
+}
+
+}  // namespace flare

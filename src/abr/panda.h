@@ -1,0 +1,55 @@
+// PANDA — "Probe AND Adapt" (Li et al., IEEE JSAC 2014), the rate
+// adaptation the FLARE paper cites for the observation that discrete
+// bitrates prevent clients from finding their fair share [10].
+//
+// Four stages per segment, as in the original:
+//  1. Estimating — additive-increase probing of the network share:
+//       x̂_n = x̂_{n-1} + kappa * T * (w - max(0, x̂_{n-1} - x̃_{n-1}))
+//     where x̃ is the measured per-segment throughput, w the probe
+//     increment and T the actual inter-request time. Unlike raw
+//     measurement, x̂ keeps nudging upward (probing) and collapses only
+//     when the measurement falls below it (congestion back-off) — TCP-like
+//     dynamics at segment granularity.
+//  2. Smoothing — EWMA over x̂ to get ŷ.
+//  3. Quantizing — dead-zone quantizer: switch up only if ŷ clears the
+//     next rung by an up-margin, down only when ŷ falls below the current
+//     rung; prevents boundary flapping.
+//  4. Scheduling — inter-request time targets a buffer setpoint:
+//       T = seg * rate / ŷ + beta * (buffer - buffer_target).
+#pragma once
+
+#include "abr/abr.h"
+
+namespace flare {
+
+struct PandaConfig {
+  double kappa = 0.28;        // probe convergence rate (paper default)
+  double w_bps = 0.3e6;       // additive probe increment
+  double smoothing = 0.2;     // EWMA weight for y-hat
+  double up_safety = 0.85;    // up-switch margin on y-hat
+  double buffer_target_s = 25.0;
+  double beta = 0.2;          // buffer feedback gain on scheduling
+};
+
+class PandaAbr final : public AbrAlgorithm {
+ public:
+  explicit PandaAbr(const PandaConfig& config = PandaConfig{})
+      : config_(config) {}
+
+  int NextRepresentation(const AbrContext& context) override;
+  void OnSegmentComplete(const AbrContext& context,
+                         double throughput_bps) override;
+  SimTime RequestDelay(const AbrContext& context) override;
+  std::string Name() const override { return "panda"; }
+
+  double probe_estimate_bps() const { return x_hat_bps_; }
+  double smoothed_estimate_bps() const { return y_hat_bps_; }
+
+ private:
+  PandaConfig config_;
+  double x_hat_bps_ = 0.0;
+  double y_hat_bps_ = 0.0;
+  SimTime last_request_ = -1;
+};
+
+}  // namespace flare

@@ -1,0 +1,87 @@
+// Solvers for FLARE's per-BAI bitrate optimization, problem (3)-(4).
+//
+//   max   sum_u beta_u (1 - theta_u / R_u)  +  n alpha log(1 - r)
+//   s.t.  sum_u R_u / e_u  <=  r * N_rate ,   lo_u <= R_u <= hi_u
+//
+// where e_u = bits-per-RB the flow achieved in the previous BAI (from the
+// RB & Rate Trace Module; this is the paper's B*R/b * n <= rN constraint
+// with the BAI length cancelled) and N_rate is the cell's RB budget per
+// second (num_rbs * 1000 TTIs).
+//
+// Three solvers:
+//  * SolveContinuous — the convex relaxation of Proposition 1. At the
+//    optimum R_u(lambda) = clamp(sqrt(beta_u theta_u e_u / lambda), lo, hi)
+//    with lambda = n alpha / (N - S); S(lambda) is monotone, so a scalar
+//    bisection finds the global optimum. (This replaces the paper's KNITRO
+//    dependency with a closed-form KKT solver for the same program.)
+//  * SolveGreedy — discrete solver: start every flow at its lowest rung
+//    and repeatedly apply the single-level upgrade with the best objective
+//    gain while positive and feasible. Near-optimal in practice
+//    (cross-validated against SolveExhaustive in the test suite).
+//  * SolveExhaustive — brute force over all rung combinations; exponential,
+//    for tests and small instances only.
+#pragma once
+
+#include <vector>
+
+#include "core/utility.h"
+
+namespace flare {
+
+struct OptFlow {
+  std::vector<double> ladder_bps;  // ascending, non-empty
+  VideoUtilityParams utility;
+  /// Bits one RB carried for this flow in the previous BAI.
+  double bits_per_rb = 1.0;
+  /// Inclusive rung bounds (stability cap / client-info constraints),
+  /// indices into ladder_bps.
+  int min_level = 0;
+  int max_level = 0;
+};
+
+struct OptProblem {
+  std::vector<OptFlow> flows;
+  int n_data_flows = 0;
+  double alpha = 1.0;
+  /// RB budget per second (num_rbs * 1000 for 1 ms TTIs).
+  double rb_rate = 50'000.0;
+  /// Cap on r so the data term stays finite (and data flows never starve
+  /// completely) even with n = 0.
+  double max_video_fraction = 0.999;
+};
+
+struct OptResult {
+  /// Chosen rung per flow (discrete solvers) — empty for SolveContinuous.
+  std::vector<int> levels;
+  /// Chosen rate per flow, bits/s (continuous: the un-rounded optimum).
+  std::vector<double> rates_bps;
+  /// Fraction r of RBs assigned to video.
+  double video_fraction = 0.0;
+  /// Objective value (2) at the solution.
+  double objective = 0.0;
+  /// False if even the all-minimum assignment violates capacity; the
+  /// returned solution is then the all-minimum one.
+  bool feasible = true;
+};
+
+/// Validate bounds/ladders; throws std::invalid_argument on bad input.
+void ValidateProblem(const OptProblem& problem);
+
+/// RB-rate cost of an assignment: sum R_u / e_u.
+double RbRateCost(const OptProblem& problem,
+                  const std::vector<double>& rates_bps);
+
+/// Objective (2) for an assignment, -inf if capacity is violated.
+double Objective(const OptProblem& problem,
+                 const std::vector<double>& rates_bps);
+
+OptResult SolveContinuous(const OptProblem& problem);
+OptResult SolveGreedy(const OptProblem& problem);
+OptResult SolveExhaustive(const OptProblem& problem);
+
+/// Round a continuous solution down to ladder rungs (Algorithm 1's
+/// discretization step: L* = max{k : r(k) <= R*}, floored at min_level).
+std::vector<int> DiscretizeDown(const OptProblem& problem,
+                                const std::vector<double>& rates_bps);
+
+}  // namespace flare

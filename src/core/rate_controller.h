@@ -1,0 +1,100 @@
+// Algorithm 1: FLARE's per-BAI bitrate calculation with stability
+// hysteresis.
+//
+// Each BAI the controller rebuilds problem (3)-(4) from the RB & Rate Trace
+// observations (bits-per-RB per flow), solves it (exact/greedy or the
+// continuous relaxation + round-down), and then applies the paper's
+// stability rule: a recommended one-rung increase is only adopted after it
+// has been recommended for delta * (L+1) consecutive BAIs (slower increases
+// at higher rungs, after FESTIVE); decreases are adopted immediately
+// (L_i = min(L_{i-1}, L*)). New flows start at the lowest rung.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "lte/types.h"
+
+namespace flare {
+
+enum class SolverMode {
+  kGreedyDiscrete,  // the paper's "exact (3)-(4)" path
+  kContinuousRelaxation,
+};
+
+struct FlareParams {
+  double alpha = 1.0;  // data-vs-video weight (Table IV)
+  int delta = 4;       // stability hysteresis (Table IV)
+  VideoUtilityParams utility;  // beta = 10, theta = 0.2 Mbps (Table IV)
+  SolverMode solver = SolverMode::kGreedyDiscrete;
+  double max_video_fraction = 0.999;
+};
+
+/// Per-flow observation for one BAI.
+struct FlowObservation {
+  FlowId id = kInvalidFlow;
+  /// Bits per RB this flow achieved over the last BAI (e_u = b_u / n_u).
+  /// Callers fall back to the channel's nominal bits-per-RB when the flow
+  /// transmitted nothing (new flow or idle gap).
+  double bits_per_rb = 1.0;
+  /// Client-info constraint: hard cap on the rung (e.g. device resolution
+  /// or a data-cost limit sent by the plugin); nullopt = none.
+  std::optional<int> client_max_level;
+  /// Per-client utility override (clients may disclose screen size).
+  std::optional<VideoUtilityParams> utility;
+};
+
+struct RateAssignment {
+  FlowId id = kInvalidFlow;
+  int level = 0;
+  double rate_bps = 0.0;
+};
+
+struct BaiDecision {
+  std::vector<RateAssignment> assignments;
+  double video_fraction = 0.0;
+  double objective = 0.0;
+  bool feasible = true;
+  /// Wall-clock time the solver took (the paper's Figure 9 metric).
+  std::chrono::nanoseconds solve_time{0};
+};
+
+class FlareRateController {
+ public:
+  explicit FlareRateController(const FlareParams& params);
+
+  /// Register a video flow with its ladder (from the MPD the plugin
+  /// forwarded). Idempotent per id.
+  void AddFlow(FlowId id, std::vector<double> ladder_bps);
+  void RemoveFlow(FlowId id);
+  bool HasFlow(FlowId id) const { return flows_.count(id) > 0; }
+  std::size_t NumFlows() const { return flows_.size(); }
+
+  /// Run one BAI: solve (3)-(4) over the registered flows and apply the
+  /// stability rule. `rb_rate` is the cell RB budget per second.
+  BaiDecision DecideBai(const std::vector<FlowObservation>& observations,
+                        int n_data_flows, double rb_rate);
+
+  /// Current rung of a flow (-1 before its first BAI).
+  int CurrentLevel(FlowId id) const;
+
+  const FlareParams& params() const { return params_; }
+  void set_alpha(double alpha) { params_.alpha = alpha; }
+  void set_delta(int delta) { params_.delta = delta; }
+  void set_solver(SolverMode mode) { params_.solver = mode; }
+
+ private:
+  struct FlowCtl {
+    std::vector<double> ladder;
+    int last_level = -1;       // L^{i-1}, -1 before first assignment
+    int consecutive_up = 0;    // BAIs in a row the solver recommended +1
+  };
+
+  FlareParams params_;
+  std::map<FlowId, FlowCtl> flows_;
+};
+
+}  // namespace flare

@@ -1,0 +1,44 @@
+#include "core/utility.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace flare {
+
+double VideoUtility(double rate_bps, const VideoUtilityParams& params) {
+  if (rate_bps <= 0.0) return -std::numeric_limits<double>::infinity();
+  return params.beta * (1.0 - params.theta_bps / rate_bps);
+}
+
+double VideoUtilityDerivative(double rate_bps,
+                              const VideoUtilityParams& params) {
+  if (rate_bps <= 0.0) return std::numeric_limits<double>::infinity();
+  return params.beta * params.theta_bps / (rate_bps * rate_bps);
+}
+
+double DataUtility(int n_data_flows, double alpha,
+                   double video_rb_fraction) {
+  if (n_data_flows <= 0) return 0.0;
+  if (video_rb_fraction >= 1.0) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(n_data_flows) * alpha *
+         std::log(1.0 - video_rb_fraction);
+}
+
+double TotalUtility(const std::vector<double>& rates_bps,
+                    const std::vector<VideoUtilityParams>& params,
+                    int n_data_flows, double alpha,
+                    double video_rb_fraction) {
+  if (rates_bps.size() != params.size()) {
+    throw std::invalid_argument("TotalUtility: size mismatch");
+  }
+  double total = DataUtility(n_data_flows, alpha, video_rb_fraction);
+  for (std::size_t i = 0; i < rates_bps.size(); ++i) {
+    total += VideoUtility(rates_bps[i], params[i]);
+  }
+  return total;
+}
+
+}  // namespace flare

@@ -1,0 +1,38 @@
+// FLARE's utility model — equations (1) and (2) of the paper.
+//
+// Video flow u with bitrate R_u contributes beta_u * (1 - theta_u / R_u):
+// saturating utility, where theta_u encodes screen size (larger screens
+// need more rate for the same experience) and beta_u the importance of
+// video to the client. The n data flows contribute, after Lemma 1's
+// reduction, n * alpha * log(1 - r), where r is the fraction of resource
+// blocks given to video. The optimizer maximizes the sum.
+#pragma once
+
+#include <vector>
+
+namespace flare {
+
+struct VideoUtilityParams {
+  double beta = 10.0;       // Table IV
+  double theta_bps = 0.2e6; // Table IV (0.2 Mbps)
+};
+
+/// beta * (1 - theta / R); defined for R > 0.
+double VideoUtility(double rate_bps, const VideoUtilityParams& params);
+
+/// d/dR of VideoUtility = beta * theta / R^2.
+double VideoUtilityDerivative(double rate_bps,
+                              const VideoUtilityParams& params);
+
+/// Lemma 1's aggregate data term: n * alpha * log(1 - r), r in [0, 1).
+double DataUtility(int n_data_flows, double alpha, double video_rb_fraction);
+
+/// Total objective (2) for a candidate assignment. `video_rb_fraction`
+/// must be < 1 when n_data_flows > 0 (returns -infinity otherwise, which
+/// keeps infeasible points out of argmax searches).
+double TotalUtility(const std::vector<double>& rates_bps,
+                    const std::vector<VideoUtilityParams>& params,
+                    int n_data_flows, double alpha,
+                    double video_rb_fraction);
+
+}  // namespace flare

@@ -1,0 +1,45 @@
+// Per-client QoE metrics used throughout the paper's evaluation: average
+// video bitrate, number of bitrate changes, buffer-underflow (rebuffer)
+// time, and Jain's fairness index across clients (computed elsewhere from
+// these summaries).
+#pragma once
+
+#include <vector>
+
+#include "has/video_session.h"
+
+namespace flare {
+
+struct ClientMetrics {
+  double avg_bitrate_bps = 0.0;
+  int bitrate_changes = 0;
+  double rebuffer_time_s = 0.0;
+  int rebuffer_events = 0;
+  int segments = 0;
+  double avg_throughput_bps = 0.0;  // mean of per-segment download rates
+  /// Composite QoE (Yin et al. form, per segment): see QoeScore.
+  double qoe = 0.0;
+};
+
+/// Weights of the composite QoE objective
+///   (1/K) * sum_k [ q(R_k) - lambda |q(R_k) - q(R_{k-1})| ]
+///          - mu * rebuffer_s / playtime,
+/// with q = bitrate in Mbps — the linear QoE model of Yin et al. that the
+/// MPC baseline also optimizes internally.
+struct QoeWeights {
+  double lambda_switch = 1.0;
+  double mu_rebuffer = 8.0;
+};
+
+/// Switches in a per-segment bitrate sequence (adjacent unequal pairs).
+int CountBitrateChanges(const std::vector<double>& bitrates);
+
+/// Composite QoE from a per-segment bitrate sequence plus stall time over
+/// the playback horizon. Returns 0 for an empty sequence.
+double QoeScore(const std::vector<double>& bitrates_bps,
+                double rebuffer_s, double playtime_s,
+                const QoeWeights& weights = QoeWeights{});
+
+ClientMetrics ComputeClientMetrics(const VideoSession& session);
+
+}  // namespace flare

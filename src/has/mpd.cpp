@@ -1,0 +1,182 @@
+#include "has/mpd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/csv.h"
+
+namespace flare {
+
+double Mpd::BitrateOf(int index) const {
+  if (index < 0 || index >= NumRepresentations()) return 0.0;
+  return representations[static_cast<std::size_t>(index)].bitrate_bps;
+}
+
+std::uint64_t Mpd::SegmentBytes(int index) const {
+  const double bits = BitrateOf(index) * segment_duration_s;
+  return static_cast<std::uint64_t>(std::llround(bits / 8.0));
+}
+
+std::uint64_t Mpd::SegmentBytesAt(int index, int segment_number) const {
+  const std::uint64_t nominal = SegmentBytes(index);
+  if (vbr_sigma <= 0.0 || nominal == 0) return nominal;
+  // SplitMix64 over (segment, representation) -> deterministic scale
+  // factor; sum of two uniforms approximates the bell shape cheaply.
+  std::uint64_t z = (static_cast<std::uint64_t>(segment_number) << 20) ^
+                    static_cast<std::uint64_t>(index);
+  z = (z + 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z = z ^ (z >> 31);
+  const double u1 = static_cast<double>(z & 0xffffffffULL) / 4294967296.0;
+  const double u2 = static_cast<double>(z >> 32) / 4294967296.0;
+  // Mean 0, stddev ~0.408; rescale to vbr_sigma and clamp at +-2.5 sigma.
+  const double noise = (u1 + u2 - 1.0) / 0.4082 * vbr_sigma;
+  const double scale =
+      std::clamp(1.0 + noise, 1.0 - 2.5 * vbr_sigma, 1.0 + 2.5 * vbr_sigma);
+  const double bytes = static_cast<double>(nominal) * std::max(scale, 0.1);
+  return static_cast<std::uint64_t>(std::llround(bytes));
+}
+
+int Mpd::HighestIndexBelow(double bps) const {
+  int best = -1;
+  for (const Representation& r : representations) {
+    if (r.bitrate_bps <= bps) best = r.index;
+  }
+  return best;
+}
+
+int Mpd::IndexOfBitrate(double bps) const {
+  for (const Representation& r : representations) {
+    if (std::abs(r.bitrate_bps - bps) < 0.5) return r.index;
+  }
+  return -1;
+}
+
+bool Mpd::Valid() const {
+  if (representations.empty() || segment_duration_s <= 0.0) return false;
+  double prev = 0.0;
+  for (std::size_t i = 0; i < representations.size(); ++i) {
+    const Representation& r = representations[i];
+    if (r.index != static_cast<int>(i)) return false;
+    if (r.bitrate_bps <= prev) return false;
+    prev = r.bitrate_bps;
+  }
+  return true;
+}
+
+Mpd MakeMpd(const std::vector<double>& ladder_kbps,
+            double segment_duration_s, double media_duration_s,
+            const std::string& title) {
+  Mpd mpd;
+  mpd.title = title;
+  mpd.segment_duration_s = segment_duration_s;
+  mpd.media_duration_s = media_duration_s;
+  std::vector<double> sorted = ladder_kbps;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    mpd.representations.push_back(
+        Representation{static_cast<int>(i), sorted[i] * 1000.0});
+  }
+  return mpd;
+}
+
+std::string SerializeMpd(const Mpd& mpd) {
+  std::ostringstream out;
+  out << "<MPD title=\"" << mpd.title << "\" segmentDuration=\""
+      << FormatNumber(mpd.segment_duration_s) << "\" mediaDuration=\""
+      << FormatNumber(mpd.media_duration_s) << "\" vbrSigma=\""
+      << FormatNumber(mpd.vbr_sigma) << "\">\n";
+  for (const Representation& r : mpd.representations) {
+    out << "  <Representation id=\"" << r.index << "\" bandwidth=\""
+        << FormatNumber(r.bitrate_bps) << "\"/>\n";
+  }
+  out << "</MPD>\n";
+  return out.str();
+}
+
+namespace {
+
+/// Extract attribute `name="value"` from `tag`; nullopt if absent.
+std::optional<std::string> Attribute(const std::string& tag,
+                                     const std::string& name) {
+  const std::string needle = name + "=\"";
+  const auto start = tag.find(needle);
+  if (start == std::string::npos) return std::nullopt;
+  const auto value_start = start + needle.size();
+  const auto end = tag.find('"', value_start);
+  if (end == std::string::npos) return std::nullopt;
+  return tag.substr(value_start, end - value_start);
+}
+
+std::optional<double> NumberAttribute(const std::string& tag,
+                                      const std::string& name) {
+  const auto text = Attribute(tag, name);
+  if (!text) return std::nullopt;
+  char* end = nullptr;
+  const double value = std::strtod(text->c_str(), &end);
+  if (end == text->c_str()) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::optional<Mpd> ParseMpd(const std::string& xml) {
+  const auto mpd_open = xml.find("<MPD");
+  if (mpd_open == std::string::npos) return std::nullopt;
+  const auto mpd_tag_end = xml.find('>', mpd_open);
+  if (mpd_tag_end == std::string::npos) return std::nullopt;
+  const std::string mpd_tag = xml.substr(mpd_open, mpd_tag_end - mpd_open);
+
+  Mpd mpd;
+  mpd.title = Attribute(mpd_tag, "title").value_or("");
+  const auto seg = NumberAttribute(mpd_tag, "segmentDuration");
+  if (!seg) return std::nullopt;
+  mpd.segment_duration_s = *seg;
+  mpd.media_duration_s =
+      NumberAttribute(mpd_tag, "mediaDuration").value_or(0.0);
+  mpd.vbr_sigma = NumberAttribute(mpd_tag, "vbrSigma").value_or(0.0);
+
+  std::size_t cursor = mpd_tag_end;
+  while (true) {
+    const auto rep_open = xml.find("<Representation", cursor);
+    if (rep_open == std::string::npos) break;
+    const auto rep_end = xml.find('>', rep_open);
+    if (rep_end == std::string::npos) return std::nullopt;
+    const std::string rep_tag = xml.substr(rep_open, rep_end - rep_open);
+    const auto bandwidth = NumberAttribute(rep_tag, "bandwidth");
+    if (!bandwidth) return std::nullopt;
+    mpd.representations.push_back(Representation{
+        static_cast<int>(mpd.representations.size()), *bandwidth});
+    cursor = rep_end;
+  }
+
+  // Normalize: sort ascending and re-index, then validate.
+  std::sort(mpd.representations.begin(), mpd.representations.end(),
+            [](const Representation& a, const Representation& b) {
+              return a.bitrate_bps < b.bitrate_bps;
+            });
+  for (std::size_t i = 0; i < mpd.representations.size(); ++i) {
+    mpd.representations[i].index = static_cast<int>(i);
+  }
+  if (!mpd.Valid()) return std::nullopt;
+  return mpd;
+}
+
+std::vector<double> TestbedLadderKbps() {
+  return {200, 310, 450, 790, 1100, 1320, 2280, 2750};
+}
+
+std::vector<double> SimulationLadderKbps() {
+  return {100, 250, 500, 1000, 2000, 3000};
+}
+
+std::vector<double> DenseLadderKbps() {
+  std::vector<double> ladder;
+  for (int k = 1; k <= 12; ++k) ladder.push_back(100.0 * k);
+  return ladder;
+}
+
+}  // namespace flare

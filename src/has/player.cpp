@@ -1,0 +1,49 @@
+#include "has/player.h"
+
+#include <algorithm>
+
+namespace flare {
+
+VideoPlayer::VideoPlayer(const PlayerConfig& config) : config_(config) {}
+
+void VideoPlayer::AdvanceTo(SimTime now) {
+  if (now <= last_update_) return;
+  const double elapsed = ToSeconds(now - last_update_);
+  last_update_ = now;
+
+  switch (state_) {
+    case State::kStartup:
+    case State::kStalled:
+      // Waiting on downloads; buffer only grows via OnSegment. Stall time
+      // (after startup) accrues in real time.
+      if (state_ == State::kStalled) rebuffer_s_ += elapsed;
+      break;
+    case State::kPlaying: {
+      const double drained = std::min(buffer_s_, elapsed);
+      buffer_s_ -= drained;
+      played_s_ += drained;
+      if (drained < elapsed) {
+        // Ran dry mid-interval: the remainder was a stall.
+        state_ = State::kStalled;
+        ++rebuffer_events_;
+        rebuffer_s_ += elapsed - drained;
+      }
+      break;
+    }
+  }
+}
+
+void VideoPlayer::OnSegment(double duration_s, double bitrate_bps,
+                            SimTime now) {
+  AdvanceTo(now);
+  buffer_s_ += duration_s;
+  segment_bitrates_.push_back(bitrate_bps);
+  if (state_ == State::kStartup && buffer_s_ >= config_.startup_threshold_s) {
+    state_ = State::kPlaying;
+  } else if (state_ == State::kStalled &&
+             buffer_s_ >= config_.resume_threshold_s) {
+    state_ = State::kPlaying;
+  }
+}
+
+}  // namespace flare

@@ -1,0 +1,102 @@
+#include "has/uplink_session.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flare {
+
+UplinkBroadcastSession::UplinkBroadcastSession(
+    Simulator& sim, TcpFlow& flow, Mpd mpd,
+    std::unique_ptr<AbrAlgorithm> abr, const UplinkSessionConfig& config)
+    : sim_(sim),
+      flow_(flow),
+      mpd_(std::move(mpd)),
+      abr_(std::move(abr)),
+      config_(config) {
+  if (!mpd_.Valid()) {
+    throw std::invalid_argument("UplinkBroadcastSession: bad MPD");
+  }
+  if (!abr_) {
+    throw std::invalid_argument("UplinkBroadcastSession: ABR is null");
+  }
+  flow_.SetOnReceive([this](std::uint64_t bytes, SimTime now) {
+    OnUploaded(bytes, now);
+  });
+}
+
+void UplinkBroadcastSession::Start(SimTime start) {
+  if (started_) return;
+  started_ = true;
+  const SimTime period = FromSeconds(mpd_.segment_duration_s);
+  sim_.Every(start + period, period, [this] {
+    if (!stopped_) EncodeTick();
+  });
+}
+
+void UplinkBroadcastSession::EncodeTick() {
+  AbrContext context;
+  context.mpd = &mpd_;
+  context.now = sim_.Now();
+  context.segment_number = segments_encoded_;
+  context.last_index = selections_.empty() ? -1 : selections_.back();
+  // For uplink the "buffer" signal is inverted: report the backlog (in
+  // seconds of media awaiting upload) so buffer-aware ABRs see pressure.
+  context.buffer_s =
+      static_cast<double>(backlog()) * mpd_.segment_duration_s;
+  context.throughput_history_bps = throughputs_;
+
+  int index = abr_->NextRepresentation(context);
+  // Encoder back-pressure: a deep backlog forces the lowest rung.
+  if (backlog() >= config_.max_backlog_segments) index = 0;
+  index = std::clamp(index, 0, mpd_.NumRepresentations() - 1);
+  selections_.push_back(index);
+
+  const std::uint64_t bytes =
+      mpd_.SegmentBytesAt(index, segments_encoded_);
+  ++segments_encoded_;
+  pending_.push_back(PendingSegment{sim_.Now(), bytes});
+  flow_.Send(bytes);
+}
+
+void UplinkBroadcastSession::OnUploaded(std::uint64_t bytes, SimTime now) {
+  while (bytes > 0 && !pending_.empty()) {
+    PendingSegment& head = pending_.front();
+    const std::uint64_t consumed =
+        std::min<std::uint64_t>(bytes, head.remaining);
+    head.remaining -= consumed;
+    bytes -= consumed;
+    if (head.remaining > 0) break;
+
+    ++segments_uploaded_;
+    const double lag_s = ToSeconds(now - head.encoded_at);
+    max_lag_s_ = std::max(max_lag_s_, lag_s);
+    const double rate =
+        static_cast<double>(mpd_.SegmentBytesAt(
+            selections_[static_cast<std::size_t>(segments_uploaded_ - 1)],
+            segments_uploaded_ - 1)) *
+        8.0 / std::max(lag_s, 1e-9);
+    throughputs_.push_back(rate);
+    if (throughputs_.size() > 20) throughputs_.erase(throughputs_.begin());
+
+    AbrContext context;
+    context.mpd = &mpd_;
+    context.now = now;
+    context.last_index =
+        selections_[static_cast<std::size_t>(segments_uploaded_ - 1)];
+    context.buffer_s =
+        static_cast<double>(backlog()) * mpd_.segment_duration_s;
+    context.throughput_history_bps = throughputs_;
+    abr_->OnSegmentComplete(context, rate);
+
+    pending_.erase(pending_.begin());
+  }
+}
+
+double UplinkBroadcastSession::avg_bitrate_bps() const {
+  if (selections_.empty()) return 0.0;
+  double sum = 0.0;
+  for (int index : selections_) sum += mpd_.BitrateOf(index);
+  return sum / static_cast<double>(selections_.size());
+}
+
+}  // namespace flare

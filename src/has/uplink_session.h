@@ -1,0 +1,82 @@
+// Uplink live broadcast session — the paper's Section V extension claim
+// ("FLARE can be easily extended to uplink video streaming with minor
+// modifications"), made concrete.
+//
+// A UE encodes video live and uploads one segment per segment duration
+// over an uplink bearer (the Cell models whichever direction's shared
+// radio resource; for uplink the UE is the sender, so the "RLC queue"
+// lives in the UE and the GBR protects its transmissions). The ABR —
+// typically a FlarePlugin steered by the OneAPI server — picks each
+// segment's encoding rate *before* it is produced. The quality metric is
+// upload lag: how far the last fully-uploaded segment trails the encoder.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "abr/abr.h"
+#include "has/mpd.h"
+#include "sim/simulator.h"
+#include "transport/tcp_flow.h"
+
+namespace flare {
+
+struct UplinkSessionConfig {
+  /// Segments the sender may buffer before it must drop to the lowest
+  /// rung regardless of the ABR (encoder back-pressure).
+  int max_backlog_segments = 3;
+};
+
+class UplinkBroadcastSession {
+ public:
+  UplinkBroadcastSession(Simulator& sim, TcpFlow& flow, Mpd mpd,
+                         std::unique_ptr<AbrAlgorithm> abr,
+                         const UplinkSessionConfig& config);
+
+  UplinkBroadcastSession(const UplinkBroadcastSession&) = delete;
+  UplinkBroadcastSession& operator=(const UplinkBroadcastSession&) =
+      delete;
+
+  /// Begin encoding/uploading at `start`.
+  void Start(SimTime start);
+  void Stop() { stopped_ = true; }
+
+  int segments_encoded() const { return segments_encoded_; }
+  int segments_uploaded() const { return segments_uploaded_; }
+  /// Segments currently queued or in flight.
+  int backlog() const { return segments_encoded_ - segments_uploaded_; }
+  /// Seconds the last completed upload trailed its encode time (max over
+  /// the run) — the broadcast's worst-case glass-to-glass contribution.
+  double max_upload_lag_s() const { return max_lag_s_; }
+  const std::vector<int>& selection_history() const { return selections_; }
+  double avg_bitrate_bps() const;
+
+  AbrAlgorithm& abr() { return *abr_; }
+
+ private:
+  void EncodeTick();
+  void OnUploaded(std::uint64_t bytes, SimTime now);
+
+  Simulator& sim_;
+  TcpFlow& flow_;
+  Mpd mpd_;
+  std::unique_ptr<AbrAlgorithm> abr_;
+  UplinkSessionConfig config_;
+
+  bool started_ = false;
+  bool stopped_ = false;
+  int segments_encoded_ = 0;
+  int segments_uploaded_ = 0;
+  std::vector<int> selections_;
+  std::vector<double> throughputs_;
+
+  // Upload-completion tracking: FIFO of (encode time, bytes remaining).
+  struct PendingSegment {
+    SimTime encoded_at = 0;
+    std::uint64_t remaining = 0;
+  };
+  std::vector<PendingSegment> pending_;
+  double max_lag_s_ = 0.0;
+};
+
+}  // namespace flare

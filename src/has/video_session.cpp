@@ -1,0 +1,143 @@
+#include "has/video_session.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace flare {
+
+VideoSession::VideoSession(Simulator& sim, HttpClient& http, Mpd mpd,
+                           std::unique_ptr<AbrAlgorithm> abr,
+                           const VideoSessionConfig& config)
+    : sim_(sim),
+      http_(&http),
+      mpd_(std::move(mpd)),
+      abr_(std::move(abr)),
+      config_(config),
+      player_(config.player) {
+  if (!mpd_.Valid()) throw std::invalid_argument("VideoSession: bad MPD");
+  if (!abr_) throw std::invalid_argument("VideoSession: ABR is null");
+}
+
+void VideoSession::Start(SimTime start) {
+  if (started_) return;
+  started_ = true;
+  sim_.At(start, [this] {
+    live_origin_ = sim_.Now();
+    PumpLoop();
+  });
+}
+
+void VideoSession::RebindHttp(HttpClient& http) {
+  http_ = &http;
+  ++http_epoch_;
+  if (request_in_flight_) {
+    // The abandoned request's selection never completed; drop it from
+    // the history so selections stay aligned with downloaded segments.
+    request_in_flight_ = false;
+    if (!selections_.empty()) selections_.pop_back();
+  }
+  if (started_ && !stopped_) {
+    sim_.After(0, [this] { PumpLoop(); });
+  }
+}
+
+void VideoSession::PumpLoop() {
+  if (stopped_ || request_in_flight_) return;
+  player_.AdvanceTo(sim_.Now());
+
+  // Finite media: stop once every segment has been fetched.
+  if (mpd_.media_duration_s > 0.0) {
+    const int total = static_cast<int>(mpd_.media_duration_s /
+                                       mpd_.segment_duration_s);
+    if (segments_completed_ >= total) {
+      stopped_ = true;
+      return;
+    }
+  }
+
+  if (!player_.WantsMoreSegments()) {
+    sim_.After(config_.idle_poll, [this] { PumpLoop(); });
+    return;
+  }
+
+  // Live mode: wait for the encoder to finish the next segment.
+  if (config_.live) {
+    const SimTime available_at =
+        live_origin_ + FromSeconds((segments_completed_ + 1) *
+                                   mpd_.segment_duration_s);
+    if (sim_.Now() < available_at) {
+      sim_.At(available_at, [this] { PumpLoop(); });
+      return;
+    }
+  }
+
+  // Give the ABR a chance to jitter the request time (FESTIVE's randomized
+  // scheduling); the delay applies once per request.
+  AbrContext context;
+  context.mpd = &mpd_;
+  context.now = sim_.Now();
+  context.segment_number = segments_completed_;
+  context.last_index = selections_.empty() ? -1 : selections_.back();
+  context.buffer_s = player_.buffer_s();
+  const SimTime delay = abr_->RequestDelay(context);
+  if (delay > 0 && !delay_applied_) {
+    delay_applied_ = true;
+    sim_.After(delay, [this] { PumpLoop(); });
+    return;
+  }
+  delay_applied_ = false;
+  RequestSegment();
+}
+
+void VideoSession::RequestSegment() {
+  AbrContext context;
+  context.mpd = &mpd_;
+  context.now = sim_.Now();
+  context.segment_number = segments_completed_;
+  context.last_index = selections_.empty() ? -1 : selections_.back();
+  context.buffer_s = player_.buffer_s();
+  context.throughput_history_bps = throughputs_;
+  context.download_rate_history_bps = download_rates_;
+
+  int index = abr_->NextRepresentation(context);
+  index = std::clamp(index, 0, mpd_.NumRepresentations() - 1);
+  selections_.push_back(index);
+
+  request_in_flight_ = true;
+  const double bitrate = mpd_.BitrateOf(index);
+  const double duration = mpd_.segment_duration_s;
+  http_->Get(mpd_.SegmentBytesAt(index, segments_completed_),
+             [this, bitrate, duration,
+              epoch = http_epoch_](const HttpResult& result) {
+    // A completion from a client we rebound away from is stale: that
+    // segment was abandoned at handover.
+    if (epoch != http_epoch_) return;
+    request_in_flight_ = false;
+    ++segments_completed_;
+    player_.OnSegment(duration, bitrate, sim_.Now());
+
+    throughputs_.push_back(result.throughput_bps);
+    download_rates_.push_back(result.download_bps);
+    if (static_cast<int>(throughputs_.size()) > config_.history_limit) {
+      throughputs_.erase(throughputs_.begin());
+      download_rates_.erase(download_rates_.begin());
+    }
+
+    AbrContext context;
+    context.mpd = &mpd_;
+    context.now = sim_.Now();
+    context.segment_number = segments_completed_;
+    context.last_index = selections_.back();
+    context.buffer_s = player_.buffer_s();
+    context.throughput_history_bps = throughputs_;
+    context.download_rate_history_bps = download_rates_;
+    abr_->OnSegmentComplete(context, result.throughput_bps);
+
+    PumpLoop();
+  });
+}
+
+}  // namespace flare

@@ -1,0 +1,37 @@
+#include "lte/amc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lte/tbs_table.h"
+
+namespace flare {
+namespace {
+
+// CQI -> I_TBS, index 0 unused (CQI 0 = out of range, clamped to 1).
+constexpr int kCqiToItbs[kMaxCqi + 1] = {
+    0, 0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 26,
+};
+
+// SINR range covered by the 15 CQI steps.
+constexpr double kMinSinrDb = -6.0;
+constexpr double kMaxSinrDb = 20.0;
+
+}  // namespace
+
+int SinrDbToCqi(double sinr_db) {
+  const double span = kMaxSinrDb - kMinSinrDb;
+  const double frac = (sinr_db - kMinSinrDb) / span;
+  const int cqi =
+      kMinCqi + static_cast<int>(std::floor(frac * (kMaxCqi - kMinCqi)));
+  return std::clamp(cqi, kMinCqi, kMaxCqi);
+}
+
+int CqiToItbs(int cqi) {
+  cqi = std::clamp(cqi, kMinCqi, kMaxCqi);
+  return kCqiToItbs[cqi];
+}
+
+int SinrDbToItbs(double sinr_db) { return CqiToItbs(SinrDbToCqi(sinr_db)); }
+
+}  // namespace flare

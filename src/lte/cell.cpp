@@ -1,0 +1,244 @@
+#include "lte/cell.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "lte/tbs_table.h"
+#include "util/logging.h"
+
+namespace flare {
+
+Cell::Cell(Simulator& sim, std::unique_ptr<Scheduler> scheduler,
+           const CellConfig& config, Rng rng)
+    : sim_(sim),
+      scheduler_(std::move(scheduler)),
+      config_(config),
+      rng_(rng) {
+  if (!scheduler_) throw std::invalid_argument("Cell: scheduler is null");
+  if (config_.num_rbs <= 0) throw std::invalid_argument("Cell: num_rbs <= 0");
+}
+
+UeId Cell::AddUe(std::unique_ptr<ChannelModel> channel) {
+  if (!channel) throw std::invalid_argument("Cell::AddUe: channel is null");
+  UeEntry entry;
+  entry.channel = std::move(channel);
+  entry.itbs = entry.channel->ItbsAt(sim_.Now());
+  ues_.push_back(std::move(entry));
+  return static_cast<UeId>(ues_.size() - 1);
+}
+
+FlowId Cell::AddFlow(UeId ue, FlowType type) {
+  if (ue >= ues_.size()) throw std::out_of_range("Cell::AddFlow: bad UE");
+  const FlowId id = next_flow_id_++;
+  FlowEntry entry;
+  entry.state.id = id;
+  entry.state.ue = ue;
+  entry.state.type = type;
+  entry.window_start = sim_.Now();
+  flows_.emplace(id, std::move(entry));
+  return id;
+}
+
+void Cell::RemoveFlow(FlowId id) { flows_.erase(id); }
+
+Cell::FlowEntry& Cell::Entry(FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) throw std::out_of_range("Cell: unknown flow");
+  return it->second;
+}
+
+const Cell::FlowEntry& Cell::Entry(FlowId id) const {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) throw std::out_of_range("Cell: unknown flow");
+  return it->second;
+}
+
+std::uint64_t Cell::Enqueue(FlowId id, std::uint64_t bytes) {
+  FlowState& f = Entry(id).state;
+  const std::uint64_t room =
+      f.queued_bytes >= config_.queue_limit_bytes
+          ? 0
+          : config_.queue_limit_bytes - f.queued_bytes;
+  const std::uint64_t accepted = std::min(bytes, room);
+  f.queued_bytes += accepted;
+  if (accepted < bytes && drop_) drop_(id, bytes - accepted);
+  return accepted;
+}
+
+void Cell::SetGbr(FlowId id, double bps) {
+  FlowState& f = Entry(id).state;
+  f.gbr_bps = std::max(bps, 0.0);
+  // Re-cap the credit so lowering the GBR takes effect promptly.
+  const double cap = f.gbr_bps / 8.0 * config_.gbr_bucket_cap_s;
+  f.gbr_credit_bytes = std::min(f.gbr_credit_bytes, cap);
+}
+
+void Cell::SetMbr(FlowId id, double bps) {
+  FlowState& f = Entry(id).state;
+  f.mbr_bps = bps <= 0.0 ? kNoRateLimit : bps;
+  if (f.mbr_bps != kNoRateLimit) {
+    const double cap = f.mbr_bps / 8.0 * config_.mbr_bucket_cap_s;
+    f.mbr_credit_bytes = std::min(f.mbr_credit_bytes, cap);
+  }
+}
+
+const FlowState& Cell::flow(FlowId id) const { return Entry(id).state; }
+
+bool Cell::HasFlow(FlowId id) const { return flows_.count(id) > 0; }
+
+std::vector<FlowId> Cell::Flows() const {
+  std::vector<FlowId> out;
+  out.reserve(flows_.size());
+  for (const auto& [id, entry] : flows_) out.push_back(id);
+  return out;
+}
+
+std::vector<FlowId> Cell::FlowsOfType(FlowType type) const {
+  std::vector<FlowId> out;
+  for (const auto& [id, entry] : flows_) {
+    if (entry.state.type == type) out.push_back(id);
+  }
+  return out;
+}
+
+int Cell::UeItbs(UeId ue) const {
+  if (ue >= ues_.size()) throw std::out_of_range("Cell::UeItbs: bad UE");
+  return ues_[ue].itbs;
+}
+
+double Cell::UeFullCellRateBps(UeId ue) const {
+  return ItbsToCellRateBps(UeItbs(ue), config_.num_rbs);
+}
+
+RbRateWindow Cell::TakeWindow(FlowId id) {
+  FlowEntry& entry = Entry(id);
+  RbRateWindow window;
+  window.tx_bytes = entry.state.window_tx_bytes;
+  window.rbs = entry.state.window_rbs;
+  window.duration = sim_.Now() - entry.window_start;
+  entry.state.window_tx_bytes = 0;
+  entry.state.window_rbs = 0;
+  entry.window_start = sim_.Now();
+  return window;
+}
+
+RbRateWindow Cell::PeekWindow(FlowId id) const {
+  const FlowEntry& entry = Entry(id);
+  return RbRateWindow{entry.state.window_tx_bytes, entry.state.window_rbs,
+                      sim_.Now() - entry.window_start};
+}
+
+std::uint64_t Cell::total_tx_bytes(FlowId id) const {
+  return Entry(id).state.total_tx_bytes;
+}
+
+void Cell::Start() {
+  if (started_) return;
+  started_ = true;
+  sim_.Every(0, kTti, [this] { RunTti(); });
+}
+
+void Cell::RunTti() {
+  const SimTime now = sim_.Now();
+  const double tti_s = ToSeconds(kTti);
+  ++ttis_elapsed_;
+
+  // 1. Refresh channels.
+  for (UeEntry& ue : ues_) ue.itbs = ue.channel->ItbsAt(now);
+
+  // 2. Refill token buckets and build candidates.
+  std::vector<SchedCandidate> candidates;
+  candidates.reserve(flows_.size());
+  for (auto& [id, entry] : flows_) {
+    FlowState& f = entry.state;
+    if (f.has_gbr()) {
+      const double cap = f.gbr_bps / 8.0 * config_.gbr_bucket_cap_s;
+      f.gbr_credit_bytes =
+          std::min(f.gbr_credit_bytes + f.gbr_bps / 8.0 * tti_s, cap);
+    } else {
+      f.gbr_credit_bytes = 0.0;
+    }
+    if (f.mbr_bps != kNoRateLimit) {
+      const double cap = f.mbr_bps / 8.0 * config_.mbr_bucket_cap_s;
+      f.mbr_credit_bytes =
+          std::min(f.mbr_credit_bytes + f.mbr_bps / 8.0 * tti_s, cap);
+    }
+
+    if (f.queued_bytes == 0) continue;
+    SchedCandidate c;
+    c.flow = &f;
+    const int bits = TbsBitsPerPrb(ues_[f.ue].itbs);
+    c.bytes_per_rb = static_cast<std::uint32_t>(bits / 8);
+    c.max_bytes = f.queued_bytes;
+    if (f.mbr_bps != kNoRateLimit) {
+      c.max_bytes = std::min<std::uint64_t>(
+          c.max_bytes,
+          static_cast<std::uint64_t>(std::max(f.mbr_credit_bytes, 0.0)));
+    }
+    if (c.max_bytes == 0 || c.bytes_per_rb == 0) continue;
+    candidates.push_back(c);
+  }
+
+  // 3. Schedule.
+  std::vector<SchedGrant> grants;
+  if (!candidates.empty()) {
+    grants = scheduler_->Allocate(candidates, config_.num_rbs, rng_);
+  }
+
+  // 4. Apply grants: drain queues, charge buckets, update trace counters.
+  std::map<FlowId, std::uint64_t> served;
+  int rbs_used = 0;
+  for (const SchedGrant& g : grants) {
+    if (g.flow == nullptr || g.bytes == 0) continue;
+    FlowState& f = *g.flow;
+
+    // BLER/HARQ: a failed transport block burns its RBs but delivers
+    // nothing; the bytes stay queued and go out on a later grant.
+    if (config_.target_bler > 0.0 &&
+        rng_.Uniform() < config_.target_bler) {
+      f.window_rbs += static_cast<std::uint64_t>(g.rbs);
+      f.total_rbs += static_cast<std::uint64_t>(g.rbs);
+      rbs_used += g.rbs;
+      ++harq_retx_;
+      continue;
+    }
+
+    const std::uint64_t bytes = std::min<std::uint64_t>(g.bytes,
+                                                        f.queued_bytes);
+    f.queued_bytes -= bytes;
+    f.gbr_credit_bytes -= static_cast<double>(bytes);
+    if (f.gbr_credit_bytes < 0.0) f.gbr_credit_bytes = 0.0;
+    if (f.mbr_bps != kNoRateLimit) {
+      f.mbr_credit_bytes -= static_cast<double>(bytes);
+    }
+    f.window_tx_bytes += bytes;
+    f.window_rbs += static_cast<std::uint64_t>(g.rbs);
+    f.total_tx_bytes += bytes;
+    f.total_rbs += static_cast<std::uint64_t>(g.rbs);
+    served[f.id] += bytes;
+    rbs_used += g.rbs;
+  }
+  assert(rbs_used <= config_.num_rbs);
+  total_rbs_used_ += static_cast<std::uint64_t>(rbs_used);
+
+  // 5. PF averages: every flow decays; served flows add their TTI rate.
+  const double tc = std::max(config_.pf_time_constant, 1.0);
+  for (auto& [id, entry] : flows_) {
+    FlowState& f = entry.state;
+    const auto it = served.find(id);
+    const double rate_bps =
+        it == served.end() ? 0.0
+                           : static_cast<double>(it->second) * 8.0 / tti_s;
+    f.pf_avg_bps = (1.0 - 1.0 / tc) * f.pf_avg_bps + rate_bps / tc;
+    if (f.pf_avg_bps < 1.0) f.pf_avg_bps = 1.0;
+  }
+
+  // 6. Deliver.
+  if (deliver_) {
+    for (const auto& [id, bytes] : served) deliver_(id, bytes, now);
+  }
+}
+
+}  // namespace flare

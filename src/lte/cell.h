@@ -1,0 +1,146 @@
+// The eNodeB cell: per-TTI MAC loop.
+//
+// Owns UEs (each with a channel model), per-flow MAC state (RLC queue, QoS
+// token buckets, PF averages, RB & Rate Trace counters) and a pluggable
+// scheduler. Each 1 ms TTI it:
+//   1. refreshes each UE's I_TBS from its channel model,
+//   2. refills GBR/MBR token buckets,
+//   3. builds scheduling candidates from flows with queued data,
+//   4. asks the scheduler to distribute the cell's RBs,
+//   5. dequeues the granted bytes and hands them to the delivery callback
+//      (the transport layer), updating trace counters and PF averages.
+//
+// The Continuous GBR Updater of the femtocell prototype corresponds to
+// SetGbr()/SetMbr(), callable at any time, not just at bearer setup.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "lte/channel.h"
+#include "lte/flow_state.h"
+#include "lte/scheduler.h"
+#include "lte/types.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace flare {
+
+struct CellConfig {
+  int num_rbs = kDefaultNumRbs;
+  /// PF EWMA time constant, in TTIs.
+  double pf_time_constant = 100.0;
+  /// GBR token bucket capacity, as seconds of GBR-rate traffic.
+  double gbr_bucket_cap_s = 0.5;
+  /// MBR token bucket capacity, as seconds of MBR-rate traffic.
+  double mbr_bucket_cap_s = 0.2;
+  /// Per-flow RLC queue limit; excess arrivals are dropped (tail drop),
+  /// which is what makes TCP sources back off.
+  std::uint64_t queue_limit_bytes = 750'000;
+  /// Transport-block error rate at the AMC operating point. A failed TB
+  /// consumes its RBs but delivers nothing; HARQ keeps the bytes queued,
+  /// so they are retransmitted on a later grant (LTE's standard target is
+  /// ~0.1 after first transmission; 0 disables the model).
+  double target_bler = 0.0;
+};
+
+/// Snapshot of the RB & Rate Trace Module for one flow over one window.
+struct RbRateWindow {
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t rbs = 0;
+  SimTime duration = 0;
+};
+
+class Cell {
+ public:
+  /// Called when bytes reach the UE (i.e., are transmitted over the air).
+  using DeliveryFn =
+      std::function<void(FlowId flow, std::uint64_t bytes, SimTime now)>;
+  /// Called when an Enqueue overflows the RLC queue.
+  using DropFn = std::function<void(FlowId flow, std::uint64_t bytes)>;
+
+  Cell(Simulator& sim, std::unique_ptr<Scheduler> scheduler,
+       const CellConfig& config, Rng rng);
+
+  Cell(const Cell&) = delete;
+  Cell& operator=(const Cell&) = delete;
+
+  // --- Topology -----------------------------------------------------------
+  UeId AddUe(std::unique_ptr<ChannelModel> channel);
+  FlowId AddFlow(UeId ue, FlowType type);
+  void RemoveFlow(FlowId id);
+
+  // --- Data path ----------------------------------------------------------
+  /// Offer `bytes` to the flow's RLC queue; returns the bytes accepted.
+  std::uint64_t Enqueue(FlowId id, std::uint64_t bytes);
+  void SetDeliveryCallback(DeliveryFn fn) { deliver_ = std::move(fn); }
+  void SetDropCallback(DropFn fn) { drop_ = std::move(fn); }
+
+  // --- QoS control (Continuous GBR Updater / PCEF enforcement point) ------
+  void SetGbr(FlowId id, double bps);
+  void SetMbr(FlowId id, double bps);
+
+  // --- Introspection ------------------------------------------------------
+  const FlowState& flow(FlowId id) const;
+  bool HasFlow(FlowId id) const;
+  std::vector<FlowId> Flows() const;
+  std::vector<FlowId> FlowsOfType(FlowType type) const;
+  int num_rbs() const { return config_.num_rbs; }
+  Simulator& sim() { return sim_; }
+
+  /// Current I_TBS of a UE (refreshes from the channel model).
+  int UeItbs(UeId ue) const;
+  /// Rate (bits/s) the UE would get with the whole cell to itself.
+  double UeFullCellRateBps(UeId ue) const;
+
+  // --- RB & Rate Trace Module --------------------------------------------
+  /// Per-flow counters accumulated since the last TakeWindow for that flow;
+  /// resets the window. Used by the per-BAI controllers (FLARE, AVIS).
+  RbRateWindow TakeWindow(FlowId id);
+  /// Peek without resetting (Statistics Reporter path).
+  RbRateWindow PeekWindow(FlowId id) const;
+
+  std::uint64_t total_tx_bytes(FlowId id) const;
+  std::uint64_t total_rbs_used() const { return total_rbs_used_; }
+  std::uint64_t ttis_elapsed() const { return ttis_elapsed_; }
+  /// Transport blocks lost to the BLER model (HARQ retransmitted).
+  std::uint64_t harq_retransmissions() const { return harq_retx_; }
+
+  /// Begin the TTI loop. Call once after construction.
+  void Start();
+
+ private:
+  struct UeEntry {
+    std::unique_ptr<ChannelModel> channel;
+    int itbs = 0;  // refreshed each TTI
+  };
+  struct FlowEntry {
+    FlowState state;
+    SimTime window_start = 0;
+  };
+
+  void RunTti();
+  FlowEntry& Entry(FlowId id);
+  const FlowEntry& Entry(FlowId id) const;
+
+  Simulator& sim_;
+  std::unique_ptr<Scheduler> scheduler_;
+  CellConfig config_;
+  Rng rng_;
+
+  std::vector<UeEntry> ues_;
+  std::map<FlowId, FlowEntry> flows_;
+  FlowId next_flow_id_ = 1;
+
+  DeliveryFn deliver_;
+  DropFn drop_;
+
+  std::uint64_t total_rbs_used_ = 0;
+  std::uint64_t ttis_elapsed_ = 0;
+  std::uint64_t harq_retx_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace flare

@@ -1,0 +1,55 @@
+// MAC downlink scheduler interface.
+//
+// Each TTI the cell builds one SchedCandidate per flow with pending data
+// (and positive MBR credit) and asks the scheduler to distribute the TTI's
+// resource blocks. Wideband CQI is assumed: every RB of a UE carries the
+// same number of bytes in a given TTI.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lte/flow_state.h"
+#include "util/rng.h"
+
+namespace flare {
+
+struct SchedCandidate {
+  FlowState* flow = nullptr;
+  /// Bytes one RB carries for this UE this TTI (from its I_TBS).
+  std::uint32_t bytes_per_rb = 0;
+  /// Upper bound on bytes the flow may receive this TTI
+  /// (min of queue and MBR credit).
+  std::uint64_t max_bytes = 0;
+};
+
+struct SchedGrant {
+  FlowState* flow = nullptr;
+  int rbs = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Distribute `n_rbs` resource blocks over `candidates`. Grants must not
+  /// exceed each candidate's max_bytes (except for the final partially
+  /// filled RB) and the total RB count must not exceed n_rbs.
+  virtual std::vector<SchedGrant> Allocate(
+      std::vector<SchedCandidate>& candidates, int n_rbs, Rng& rng) = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+/// RBs needed to move `bytes` at `bytes_per_rb` per RB (ceiling division).
+int RbsForBytes(std::uint64_t bytes, std::uint32_t bytes_per_rb);
+
+/// Shared helper: proportional-fair allocation of up to `n_rbs` RBs over
+/// the candidate list, skipping candidates whose `max_bytes` is exhausted
+/// by earlier grants in `grants`. Appends to `grants` and returns RBs used.
+int ProportionalFairPass(std::vector<SchedCandidate>& candidates, int n_rbs,
+                         std::vector<SchedGrant>& grants);
+
+}  // namespace flare

@@ -1,0 +1,35 @@
+#include "lte/stats_reporter.h"
+
+#include <algorithm>
+
+namespace flare {
+
+StatsReporter::StatsReporter(Cell& cell, SimTime period, ReportFn on_report)
+    : cell_(cell), period_(period), on_report_(std::move(on_report)) {
+  cell_.sim().Every(period_, period_, [this] {
+    if (on_report_) on_report_(cell_.sim().Now(), Collect());
+  });
+}
+
+std::vector<FlowStatsReport> StatsReporter::Collect() {
+  std::vector<FlowStatsReport> reports;
+  for (FlowId id : cell_.Flows()) {
+    const RbRateWindow window = cell_.TakeWindow(id);
+    FlowStatsReport report;
+    report.flow = id;
+    report.type = cell_.flow(id).type;
+    report.tx_bytes = window.tx_bytes;
+    report.rbs = window.rbs;
+    const double duration_s = std::max(ToSeconds(window.duration), 1e-9);
+    report.throughput_bps =
+        static_cast<double>(window.tx_bytes) * 8.0 / duration_s;
+    const double total_rbs =
+        duration_s * 1000.0 * static_cast<double>(cell_.num_rbs());
+    report.rb_utilization =
+        total_rbs > 0.0 ? static_cast<double>(window.rbs) / total_rbs : 0.0;
+    reports.push_back(report);
+  }
+  return reports;
+}
+
+}  // namespace flare

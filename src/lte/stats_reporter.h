@@ -1,0 +1,46 @@
+// Statistics Reporter + Communication Module (femtocell, Fig. 3).
+//
+// Periodically collects each flow's RB utilization and throughput from the
+// RB & Rate Trace counters and pushes a report to a registered consumer
+// (the OneAPI server's communication endpoint in the full system).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "lte/cell.h"
+
+namespace flare {
+
+struct FlowStatsReport {
+  FlowId flow = kInvalidFlow;
+  FlowType type = FlowType::kData;
+  /// Bytes transmitted over the reporting period.
+  std::uint64_t tx_bytes = 0;
+  /// RBs consumed over the reporting period.
+  std::uint64_t rbs = 0;
+  /// Achieved throughput over the period, bits/s.
+  double throughput_bps = 0.0;
+  /// Fraction of the cell's RBs this flow consumed over the period.
+  double rb_utilization = 0.0;
+};
+
+class StatsReporter {
+ public:
+  using ReportFn =
+      std::function<void(SimTime now, const std::vector<FlowStatsReport>&)>;
+
+  /// Reports every `period`, starting one period into the run.
+  StatsReporter(Cell& cell, SimTime period, ReportFn on_report);
+
+  /// Build a report for the window since the last snapshot of each flow.
+  /// Exposed for tests; normally driven by the periodic timer.
+  std::vector<FlowStatsReport> Collect();
+
+ private:
+  Cell& cell_;
+  SimTime period_;
+  ReportFn on_report_;
+};
+
+}  // namespace flare

@@ -1,0 +1,31 @@
+#include "lte/tbs_table.h"
+
+#include <algorithm>
+
+namespace flare {
+namespace {
+
+// 3GPP TS 36.213 Table 7.1.7.2.1-1, n_PRB = 1 column (bits).
+constexpr int kTbsPerPrb[kMaxItbs + 1] = {
+    16,  24,  32,  40,  56,  72,  88,  104, 120, 136, 144, 176, 208, 224,
+    256, 280, 328, 336, 376, 408, 440, 488, 520, 552, 584, 616, 712,
+};
+
+}  // namespace
+
+int TbsBitsPerPrb(int itbs) {
+  itbs = std::clamp(itbs, kMinItbs, kMaxItbs);
+  return kTbsPerPrb[itbs];
+}
+
+int TbsBits(int itbs, int n_prb) {
+  if (n_prb <= 0) return 0;
+  return TbsBitsPerPrb(itbs) * n_prb;
+}
+
+double ItbsToCellRateBps(int itbs, int n_prb) {
+  // One TTI is 1 ms, so bits per TTI * 1000 = bits per second.
+  return static_cast<double>(TbsBits(itbs, n_prb)) * 1000.0;
+}
+
+}  // namespace flare

@@ -1,0 +1,92 @@
+#include "lte/trace_channel.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/simulator.h"
+#include "util/csv.h"
+
+namespace flare {
+
+bool SaveItbsTrace(const std::string& path, const ItbsTrace& trace) {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  out << "t_s,itbs\n";
+  for (const auto& [t, itbs] : trace) {
+    out << FormatNumber(t) << ',' << itbs << '\n';
+  }
+  return true;
+}
+
+std::optional<ItbsTrace> LoadItbsTrace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return std::nullopt;
+  ItbsTrace trace;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (first && line.rfind("t_s", 0) == 0) {
+      first = false;
+      continue;  // header
+    }
+    first = false;
+    const auto comma = line.find(',');
+    if (comma == std::string::npos) return std::nullopt;
+    char* end = nullptr;
+    const std::string t_text = line.substr(0, comma);
+    const double t = std::strtod(t_text.c_str(), &end);
+    if (end == t_text.c_str() || *end != '\0') return std::nullopt;
+    const std::string i_text = line.substr(comma + 1);
+    const long itbs = std::strtol(i_text.c_str(), &end, 10);
+    if (end == i_text.c_str() || *end != '\0') return std::nullopt;
+    if (!trace.empty() && t <= trace.back().first) return std::nullopt;
+    trace.emplace_back(t, static_cast<int>(itbs));
+  }
+  if (trace.empty()) return std::nullopt;
+  return trace;
+}
+
+TraceFileChannel::TraceFileChannel(ItbsTrace trace, bool loop)
+    : trace_(std::move(trace)), loop_(loop) {
+  if (trace_.empty()) {
+    throw std::invalid_argument("TraceFileChannel: empty trace");
+  }
+}
+
+int TraceFileChannel::ItbsAt(SimTime now) {
+  double t = ToSeconds(now);
+  if (loop_) {
+    const double period = trace_.back().first;
+    if (period > 0.0) {
+      t = std::fmod(t, period);
+    }
+  }
+  // Last entry with time <= t (step function); before the first entry the
+  // first value applies.
+  const auto it = std::upper_bound(
+      trace_.begin(), trace_.end(), t,
+      [](double value, const std::pair<double, int>& entry) {
+        return value < entry.first;
+      });
+  if (it == trace_.begin()) return trace_.front().second;
+  return std::prev(it)->second;
+}
+
+ChannelRecorder::ChannelRecorder(Simulator& sim, ChannelModel& source,
+                                 SimTime period)
+    : sim_(sim), source_(source), period_(period) {}
+
+void ChannelRecorder::Start() {
+  if (started_) return;
+  started_ = true;
+  sim_.Every(0, period_, [this] {
+    trace_.emplace_back(ToSeconds(sim_.Now()),
+                        source_.ItbsAt(sim_.Now()));
+  });
+}
+
+}  // namespace flare

@@ -1,0 +1,67 @@
+// Trace-driven channels: record a channel's iTbs-versus-time into a CSV
+// trace and play traces back as a ChannelModel.
+//
+// Trace-driven evaluation is the workhorse of HAS research (drive every
+// scheme over the *same* recorded channel); the paper's own "trace based"
+// fading model is the same idea one layer down. Format: two CSV columns,
+// `t_s,itbs`, strictly increasing times.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lte/channel.h"
+
+namespace flare {
+
+class Simulator;
+
+/// One trace: (time, iTbs) steps; the value holds until the next entry.
+using ItbsTrace = std::vector<std::pair<double, int>>;
+
+/// Write a trace as CSV. Returns false if the file cannot be opened.
+bool SaveItbsTrace(const std::string& path, const ItbsTrace& trace);
+
+/// Parse a trace CSV; nullopt on malformed content (non-numeric fields,
+/// non-increasing times, empty file). A header row "t_s,itbs" is allowed.
+std::optional<ItbsTrace> LoadItbsTrace(const std::string& path);
+
+/// Plays a trace back as a step function of time. When `loop` is set the
+/// trace repeats with period equal to its last timestamp; otherwise the
+/// final value holds forever.
+class TraceFileChannel final : public ChannelModel {
+ public:
+  explicit TraceFileChannel(ItbsTrace trace, bool loop = false);
+
+  int ItbsAt(SimTime now) override;
+
+  const ItbsTrace& trace() const { return trace_; }
+
+ private:
+  ItbsTrace trace_;
+  bool loop_;
+};
+
+/// Samples another channel at a fixed period and accumulates a trace.
+/// Attach to a simulator with Start(); Save() writes the result.
+class ChannelRecorder {
+ public:
+  ChannelRecorder(Simulator& sim, ChannelModel& source, SimTime period);
+
+  void Start();
+  const ItbsTrace& trace() const { return trace_; }
+  bool Save(const std::string& path) const {
+    return SaveItbsTrace(path, trace_);
+  }
+
+ private:
+  Simulator& sim_;
+  ChannelModel& source_;
+  SimTime period_;
+  ItbsTrace trace_;
+  bool started_ = false;
+};
+
+}  // namespace flare

@@ -1,0 +1,31 @@
+// Common identifier and flow types for the LTE substrate.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace flare {
+
+using UeId = std::uint32_t;
+using FlowId = std::uint32_t;
+
+inline constexpr FlowId kInvalidFlow = std::numeric_limits<FlowId>::max();
+
+/// Flow classes the paper distinguishes: HAS video flows (which FLARE/AVIS
+/// service with a GBR bearer) and best-effort data flows (iperf-style TCP).
+enum class FlowType { kVideo, kData };
+
+inline const char* FlowTypeName(FlowType t) {
+  return t == FlowType::kVideo ? "video" : "data";
+}
+
+/// Cell-level constants for the 10 MHz FDD femtocell in the paper (JL-620):
+/// 50 resource blocks per 1 ms TTI.
+inline constexpr int kDefaultNumRbs = 50;
+
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+}  // namespace flare

@@ -1,0 +1,30 @@
+#include "net/flare_plugin.h"
+
+#include <algorithm>
+
+namespace flare {
+
+int FlarePlugin::NextRepresentation(const AbrContext& context) {
+  const int top = context.mpd->NumRepresentations() - 1;
+  // Before the first assignment, start conservatively at the lowest rung
+  // (the OneAPI server's first BAI will take over).
+  int level = assigned_level_.value_or(0);
+  if (max_level_) level = std::min(level, *max_level_);
+  return std::clamp(level, 0, top);
+}
+
+ClientInfo FlarePlugin::BuildClientInfo(const Mpd& mpd) const {
+  ClientInfo info;
+  info.flow = flow_;
+  // Bitrates only — segment URLs, titles and timing stay on the client.
+  info.ladder_bps.reserve(mpd.representations.size());
+  for (const Representation& r : mpd.representations) {
+    info.ladder_bps.push_back(r.bitrate_bps);
+  }
+  info.max_level = max_level_;
+  info.utility = utility_;
+  info.skimming = skimming_;
+  return info;
+}
+
+}  // namespace flare

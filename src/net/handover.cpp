@@ -1,0 +1,86 @@
+#include "net/handover.h"
+
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace flare {
+
+int HandoverManager::AddUe(std::vector<FadedMobilityChannel*> channels,
+                           int initial_serving) {
+  if (channels.size() < 2) {
+    throw std::invalid_argument("HandoverManager: need >= 2 cells");
+  }
+  if (initial_serving < 0 ||
+      initial_serving >= static_cast<int>(channels.size())) {
+    throw std::invalid_argument("HandoverManager: bad serving index");
+  }
+  for (FadedMobilityChannel* c : channels) {
+    if (c == nullptr) {
+      throw std::invalid_argument("HandoverManager: null channel");
+    }
+  }
+  UeEntry entry;
+  entry.channels = std::move(channels);
+  entry.serving = initial_serving;
+  ues_.push_back(std::move(entry));
+  return static_cast<int>(ues_.size()) - 1;
+}
+
+int HandoverManager::ServingCell(int ue) const {
+  if (ue < 0 || ue >= static_cast<int>(ues_.size())) {
+    throw std::out_of_range("HandoverManager: unknown UE");
+  }
+  return ues_[static_cast<std::size_t>(ue)].serving;
+}
+
+void HandoverManager::Start() {
+  if (started_) return;
+  started_ = true;
+  sim_.Every(config_.measurement_period, config_.measurement_period,
+             [this] { Measure(); });
+}
+
+void HandoverManager::Measure() {
+  const SimTime now = sim_.Now();
+  for (std::size_t u = 0; u < ues_.size(); ++u) {
+    UeEntry& ue = ues_[u];
+    const double serving_sinr =
+        ue.channels[static_cast<std::size_t>(ue.serving)]->SinrDbAt(now);
+
+    // Best A3 neighbour this round.
+    int best = -1;
+    double best_sinr = serving_sinr + config_.hysteresis_db;
+    for (int c = 0; c < static_cast<int>(ue.channels.size()); ++c) {
+      if (c == ue.serving) continue;
+      const double sinr =
+          ue.channels[static_cast<std::size_t>(c)]->SinrDbAt(now);
+      if (sinr > best_sinr) {
+        best_sinr = sinr;
+        best = c;
+      }
+    }
+
+    if (best < 0) {
+      ue.candidate = -1;  // A3 condition broken: reset time-to-trigger
+      continue;
+    }
+    if (best != ue.candidate) {
+      ue.candidate = best;
+      ue.candidate_since = now;
+      continue;
+    }
+    if (now - ue.candidate_since < config_.time_to_trigger) continue;
+
+    // Execute.
+    const int from = ue.serving;
+    ue.serving = best;
+    ue.candidate = -1;
+    ++handovers_;
+    FLOG_INFO << "handover: ue " << u << " cell " << from << " -> "
+              << best;
+    if (on_handover_) on_handover_(static_cast<int>(u), from, best);
+  }
+}
+
+}  // namespace flare

@@ -1,0 +1,73 @@
+// Measurement-based handover manager for multi-cell deployments.
+//
+// Extends the paper's multi-BS OneAPI story to moving UEs: each managed
+// UE has one FadedMobilityChannel per candidate cell (same trajectory,
+// different eNodeB sites). Every measurement period the manager compares
+// SINRs and fires the classic A3 rule — handover when a neighbour beats
+// the serving cell by `hysteresis_db` continuously for `time_to_trigger`.
+// The manager only *decides*; the owner's callback performs the actual
+// migration (tear down the flow in the old cell, recreate it in the new
+// one, rebind the streaming session, re-register with the OneAPI server)
+// — see tests/handover_test.cpp and examples/multicell_handover.cpp for
+// the full choreography.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "lte/channel.h"
+#include "sim/simulator.h"
+
+namespace flare {
+
+struct HandoverConfig {
+  double hysteresis_db = 3.0;               // A3 offset
+  SimTime time_to_trigger = 500 * kMillisecond;
+  SimTime measurement_period = 100 * kMillisecond;
+};
+
+class HandoverManager {
+ public:
+  using HandoverFn =
+      std::function<void(int ue, int from_cell, int to_cell)>;
+
+  HandoverManager(Simulator& sim, const HandoverConfig& config)
+      : sim_(sim), config_(config) {}
+
+  HandoverManager(const HandoverManager&) = delete;
+  HandoverManager& operator=(const HandoverManager&) = delete;
+
+  /// Register a UE measured against one channel per candidate cell
+  /// (index into `channels` = cell index). Channels are non-owning and
+  /// must outlive the manager. Returns the UE handle.
+  int AddUe(std::vector<FadedMobilityChannel*> channels,
+            int initial_serving);
+
+  void SetOnHandover(HandoverFn fn) { on_handover_ = std::move(fn); }
+
+  int ServingCell(int ue) const;
+  int handovers_executed() const { return handovers_; }
+
+  /// Begin periodic measurements.
+  void Start();
+
+  /// One measurement round (exposed for tests).
+  void Measure();
+
+ private:
+  struct UeEntry {
+    std::vector<FadedMobilityChannel*> channels;
+    int serving = 0;
+    int candidate = -1;        // neighbour currently beating A3
+    SimTime candidate_since = 0;
+  };
+
+  Simulator& sim_;
+  HandoverConfig config_;
+  std::vector<UeEntry> ues_;
+  HandoverFn on_handover_;
+  int handovers_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace flare

@@ -1,0 +1,185 @@
+#include "net/messages.h"
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/csv.h"
+
+namespace flare {
+namespace {
+
+// key=value fields separated by ';'. Values never contain ';' or '='
+// (numbers and comma-joined number lists only).
+using Fields = std::map<std::string, std::string>;
+
+std::string Join(const Fields& fields) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [key, value] : fields) {
+    if (!first) out << ';';
+    out << key << '=' << value;
+    first = false;
+  }
+  return out.str();
+}
+
+std::optional<Fields> Split(const std::string& wire) {
+  Fields fields;
+  std::istringstream in(wire);
+  std::string token;
+  while (std::getline(in, token, ';')) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) return std::nullopt;
+    fields[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  if (fields.empty()) return std::nullopt;
+  return fields;
+}
+
+std::optional<double> Number(const Fields& fields, const std::string& key) {
+  const auto it = fields.find(key);
+  if (it == fields.end()) return std::nullopt;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') return std::nullopt;
+  return value;
+}
+
+std::optional<std::vector<double>> NumberList(const Fields& fields,
+                                              const std::string& key) {
+  const auto it = fields.find(key);
+  if (it == fields.end()) return std::nullopt;
+  std::vector<double> values;
+  std::istringstream in(it->second);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') return std::nullopt;
+    values.push_back(value);
+  }
+  if (values.empty()) return std::nullopt;
+  return values;
+}
+
+}  // namespace
+
+std::string EncodeClientInfo(const ClientInfo& info) {
+  Fields fields;
+  fields["type"] = "client_info";
+  fields["flow"] = FormatNumber(info.flow);
+  std::ostringstream ladder;
+  for (std::size_t i = 0; i < info.ladder_bps.size(); ++i) {
+    if (i > 0) ladder << ',';
+    ladder << FormatNumber(info.ladder_bps[i]);
+  }
+  fields["ladder"] = ladder.str();
+  if (info.max_level) fields["max_level"] = FormatNumber(*info.max_level);
+  if (info.utility) {
+    fields["beta"] = FormatNumber(info.utility->beta);
+    fields["theta"] = FormatNumber(info.utility->theta_bps);
+  }
+  if (info.skimming) fields["skimming"] = "1";
+  return Join(fields);
+}
+
+std::optional<ClientInfo> DecodeClientInfo(const std::string& wire) {
+  const auto fields = Split(wire);
+  if (!fields || fields->count("type") == 0 ||
+      fields->at("type") != "client_info") {
+    return std::nullopt;
+  }
+  const auto flow = Number(*fields, "flow");
+  const auto ladder = NumberList(*fields, "ladder");
+  if (!flow || !ladder) return std::nullopt;
+
+  ClientInfo info;
+  info.flow = static_cast<FlowId>(*flow);
+  info.ladder_bps = *ladder;
+  if (const auto max_level = Number(*fields, "max_level")) {
+    info.max_level = static_cast<int>(*max_level);
+  }
+  const auto beta = Number(*fields, "beta");
+  const auto theta = Number(*fields, "theta");
+  if (beta && theta) {
+    VideoUtilityParams utility;
+    utility.beta = *beta;
+    utility.theta_bps = *theta;
+    info.utility = utility;
+  }
+  info.skimming = fields->count("skimming") > 0 &&
+                  fields->at("skimming") == "1";
+  return info;
+}
+
+std::string EncodeRateAssignment(const RateAssignmentMsg& msg) {
+  Fields fields;
+  fields["type"] = "rate_assignment";
+  fields["flow"] = FormatNumber(msg.flow);
+  fields["level"] = FormatNumber(msg.level);
+  fields["rate"] = FormatNumber(msg.rate_bps);
+  fields["gbr"] = FormatNumber(msg.gbr_bps);
+  return Join(fields);
+}
+
+std::optional<RateAssignmentMsg> DecodeRateAssignment(
+    const std::string& wire) {
+  const auto fields = Split(wire);
+  if (!fields || fields->count("type") == 0 ||
+      fields->at("type") != "rate_assignment") {
+    return std::nullopt;
+  }
+  const auto flow = Number(*fields, "flow");
+  const auto level = Number(*fields, "level");
+  const auto rate = Number(*fields, "rate");
+  const auto gbr = Number(*fields, "gbr");
+  if (!flow || !level || !rate || !gbr) return std::nullopt;
+  RateAssignmentMsg msg;
+  msg.flow = static_cast<FlowId>(*flow);
+  msg.level = static_cast<int>(*level);
+  msg.rate_bps = *rate;
+  msg.gbr_bps = *gbr;
+  return msg;
+}
+
+std::string EncodeStatsReport(const FlowStatsReport& report) {
+  Fields fields;
+  fields["type"] = "stats_report";
+  fields["flow"] = FormatNumber(report.flow);
+  fields["class"] = report.type == FlowType::kVideo ? "video" : "data";
+  fields["tx_bytes"] = FormatNumber(static_cast<double>(report.tx_bytes));
+  fields["rbs"] = FormatNumber(static_cast<double>(report.rbs));
+  fields["tput"] = FormatNumber(report.throughput_bps);
+  fields["rb_util"] = FormatNumber(report.rb_utilization);
+  return Join(fields);
+}
+
+std::optional<FlowStatsReport> DecodeStatsReport(const std::string& wire) {
+  const auto fields = Split(wire);
+  if (!fields || fields->count("type") == 0 ||
+      fields->at("type") != "stats_report" ||
+      fields->count("class") == 0) {
+    return std::nullopt;
+  }
+  const auto flow = Number(*fields, "flow");
+  const auto tx_bytes = Number(*fields, "tx_bytes");
+  const auto rbs = Number(*fields, "rbs");
+  const auto tput = Number(*fields, "tput");
+  const auto rb_util = Number(*fields, "rb_util");
+  if (!flow || !tx_bytes || !rbs || !tput || !rb_util) return std::nullopt;
+  const std::string& cls = fields->at("class");
+  if (cls != "video" && cls != "data") return std::nullopt;
+
+  FlowStatsReport report;
+  report.flow = static_cast<FlowId>(*flow);
+  report.type = cls == "video" ? FlowType::kVideo : FlowType::kData;
+  report.tx_bytes = static_cast<std::uint64_t>(*tx_bytes);
+  report.rbs = static_cast<std::uint64_t>(*rbs);
+  report.throughput_bps = *tput;
+  report.rb_utilization = *rb_util;
+  return report;
+}
+
+}  // namespace flare

@@ -1,0 +1,40 @@
+// OneAPI wire messages.
+//
+// The prototype exchanges three message kinds over the operator's
+// telecommunication-API surface (OMA OneAPI profile, Section III-A):
+//   * ClientInfo        — UE plugin -> server, at session start/updates
+//   * RateAssignment    — server -> UE plugin & PCEF, each BAI
+//   * FlowStatsReport   — eNodeB Communication Module -> server
+// This module provides a compact key=value line codec for them (the
+// paper leaves the concrete protocol to future standardization; any
+// self-describing encoding exercises the same path). Encoding is strict:
+// Decode* returns nullopt on malformed input rather than guessing.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "lte/stats_reporter.h"
+#include "net/flare_plugin.h"
+
+namespace flare {
+
+/// Server -> plugin/PCEF bitrate decision for one flow.
+struct RateAssignmentMsg {
+  FlowId flow = kInvalidFlow;
+  int level = 0;
+  double rate_bps = 0.0;
+  double gbr_bps = 0.0;
+};
+
+std::string EncodeClientInfo(const ClientInfo& info);
+std::optional<ClientInfo> DecodeClientInfo(const std::string& wire);
+
+std::string EncodeRateAssignment(const RateAssignmentMsg& msg);
+std::optional<RateAssignmentMsg> DecodeRateAssignment(
+    const std::string& wire);
+
+std::string EncodeStatsReport(const FlowStatsReport& report);
+std::optional<FlowStatsReport> DecodeStatsReport(const std::string& wire);
+
+}  // namespace flare

@@ -1,0 +1,46 @@
+#include "net/oneapi_multi.h"
+
+#include <stdexcept>
+
+namespace flare {
+
+CellId OneApiMultiServer::AddCell(Cell& cell) {
+  const CellId id = next_id_++;
+  Entry entry;
+  entry.pcef =
+      std::make_unique<Pcef>(sim_, cell, config_.downlink_latency);
+  OneApiConfig cell_config = config_;
+  cell_config.cell_tag = id;  // scope PCRF registrations per cell
+  entry.server = std::make_unique<OneApiServer>(sim_, cell, pcrf_,
+                                                *entry.pcef, cell_config);
+  if (started_) entry.server->Start();
+  cells_.emplace(id, std::move(entry));
+  return id;
+}
+
+OneApiServer& OneApiMultiServer::cell_server(CellId cell_id) {
+  const auto it = cells_.find(cell_id);
+  if (it == cells_.end()) {
+    throw std::out_of_range("OneApiMultiServer: unknown cell");
+  }
+  return *it->second.server;
+}
+
+void OneApiMultiServer::ConnectVideoClient(CellId cell_id,
+                                           FlarePlugin* plugin,
+                                           const Mpd& mpd) {
+  cell_server(cell_id).ConnectVideoClient(plugin, mpd);
+}
+
+void OneApiMultiServer::DisconnectVideoClient(CellId cell_id,
+                                              FlowId flow) {
+  cell_server(cell_id).DisconnectVideoClient(flow);
+}
+
+void OneApiMultiServer::Start() {
+  if (started_) return;
+  started_ = true;
+  for (auto& [id, entry] : cells_) entry.server->Start();
+}
+
+}  // namespace flare

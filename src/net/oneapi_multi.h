@@ -1,0 +1,60 @@
+// Multi-cell OneAPI server.
+//
+// Section II-A: "A single OneAPI server can manage multiple BSs, though
+// the bitrates are calculated independently for each network cell." This
+// manager owns one per-cell controller (an OneApiServer) per eNodeB and
+// routes client registrations to the right cell; each cell keeps its own
+// PCEF enforcement point, while the PCRF — a core-network function — is
+// shared across cells.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "net/oneapi_server.h"
+
+namespace flare {
+
+using CellId = std::uint32_t;
+
+class OneApiMultiServer {
+ public:
+  /// `pcrf` is the shared core registry; per-cell enforcement latency
+  /// comes from `config.downlink_latency`.
+  OneApiMultiServer(Simulator& sim, Pcrf& pcrf, const OneApiConfig& config)
+      : sim_(sim), pcrf_(pcrf), config_(config) {}
+
+  OneApiMultiServer(const OneApiMultiServer&) = delete;
+  OneApiMultiServer& operator=(const OneApiMultiServer&) = delete;
+
+  /// Attach an eNodeB; returns its id for client routing. The cell must
+  /// outlive this server.
+  CellId AddCell(Cell& cell);
+
+  /// Register a FLARE plugin streaming through cell `cell_id`.
+  void ConnectVideoClient(CellId cell_id, FlarePlugin* plugin,
+                          const Mpd& mpd);
+  void DisconnectVideoClient(CellId cell_id, FlowId flow);
+
+  /// Start the BAI loop in every attached cell (including cells attached
+  /// later).
+  void Start();
+
+  std::size_t NumCells() const { return cells_.size(); }
+  OneApiServer& cell_server(CellId cell_id);
+
+ private:
+  struct Entry {
+    std::unique_ptr<Pcef> pcef;
+    std::unique_ptr<OneApiServer> server;
+  };
+
+  Simulator& sim_;
+  Pcrf& pcrf_;
+  OneApiConfig config_;
+  std::map<CellId, Entry> cells_;
+  CellId next_id_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace flare

@@ -1,0 +1,133 @@
+#include "net/oneapi_server.h"
+
+#include <algorithm>
+#include <string>
+
+#include "lte/tbs_table.h"
+#include "net/messages.h"
+#include "util/logging.h"
+
+namespace flare {
+
+OneApiServer::OneApiServer(Simulator& sim, Cell& cell, Pcrf& pcrf,
+                           Pcef& pcef, const OneApiConfig& config)
+    : sim_(sim),
+      cell_(cell),
+      pcrf_(pcrf),
+      pcef_(pcef),
+      config_(config),
+      controller_(config.params) {}
+
+void OneApiServer::ConnectVideoClient(FlarePlugin* plugin, const Mpd& mpd) {
+  // The client info crosses the operator API as a wire message; the
+  // server trusts only what survives decoding.
+  const std::string wire =
+      EncodeClientInfo(plugin->BuildClientInfo(mpd));
+  sim_.After(config_.uplink_latency, [this, plugin, wire] {
+    const std::optional<ClientInfo> info = DecodeClientInfo(wire);
+    if (!info) {
+      FLOG_WARN << "OneApiServer: dropping malformed client info";
+      return;
+    }
+    controller_.AddFlow(info->flow, info->ladder_bps);
+    pcrf_.RegisterFlow(info->flow, FlowType::kVideo, config_.cell_tag);
+    clients_[info->flow] = ClientEntry{plugin, *info};
+    // Reset the trace window so the first BAI measures a clean interval.
+    if (cell_.HasFlow(info->flow)) cell_.TakeWindow(info->flow);
+  });
+}
+
+void OneApiServer::UpdateClientInfo(FlowId id, const ClientInfo& info) {
+  const std::string wire = EncodeClientInfo(info);
+  sim_.After(config_.uplink_latency, [this, id, wire] {
+    const std::optional<ClientInfo> update = DecodeClientInfo(wire);
+    if (!update) {
+      FLOG_WARN << "OneApiServer: dropping malformed client-info update";
+      return;
+    }
+    const auto it = clients_.find(id);
+    if (it == clients_.end()) return;
+    it->second.info.max_level = update->max_level;
+    it->second.info.utility = update->utility;
+    it->second.info.skimming = update->skimming;
+  });
+}
+
+void OneApiServer::DisconnectVideoClient(FlowId id) {
+  controller_.RemoveFlow(id);
+  pcrf_.DeregisterFlow(id, config_.cell_tag);
+  clients_.erase(id);
+}
+
+void OneApiServer::Start() {
+  if (started_) return;
+  started_ = true;
+  sim_.Every(config_.bai, config_.bai, [this] { RunBai(); });
+}
+
+void OneApiServer::RunBai() {
+  // --- Gather client information + RB/rate trace windows.
+  std::vector<FlowObservation> observations;
+  observations.reserve(clients_.size());
+  for (auto& [id, entry] : clients_) {
+    if (!cell_.HasFlow(id)) continue;
+    const RbRateWindow window = cell_.TakeWindow(id);
+    double sample;
+    if (window.rbs > 0) {
+      sample = static_cast<double>(window.tx_bytes) * 8.0 /
+               static_cast<double>(window.rbs);
+    } else {
+      // Flow idle all BAI (e.g. buffer full): fall back to the channel's
+      // nominal per-RB capacity at the current MCS.
+      sample = static_cast<double>(
+          TbsBitsPerPrb(cell_.UeItbs(cell_.flow(id).ue)));
+    }
+    const double w = std::clamp(config_.efficiency_smoothing, 0.0, 1.0);
+    entry.smoothed_bits_per_rb =
+        entry.smoothed_bits_per_rb <= 0.0
+            ? sample
+            : (1.0 - w) * entry.smoothed_bits_per_rb + w * sample;
+
+    FlowObservation obs;
+    obs.id = id;
+    obs.bits_per_rb = entry.smoothed_bits_per_rb;
+    obs.client_max_level = entry.info.max_level;
+    // A skimming viewer gets the minimum bitrate while it lasts.
+    if (entry.info.skimming) obs.client_max_level = 0;
+    obs.utility = entry.info.utility;
+    observations.push_back(obs);
+  }
+  if (observations.empty()) return;
+
+  const int n_data =
+      pcrf_.CountFlows(FlowType::kData, config_.cell_tag);
+  const double rb_rate = static_cast<double>(cell_.num_rbs()) * 1000.0;
+  const BaiDecision decision =
+      controller_.DecideBai(observations, n_data, rb_rate);
+
+  solve_times_ms_.push_back(
+      static_cast<double>(decision.solve_time.count()) / 1e6);
+  video_fractions_.push_back(decision.video_fraction);
+
+  // --- Enforce: GBR via PCEF at the eNodeB, rung via the UE plugin. The
+  // assignment travels as a wire message and the plugin side decodes it.
+  for (const RateAssignment& a : decision.assignments) {
+    RateAssignmentMsg msg;
+    msg.flow = a.id;
+    msg.level = a.level;
+    msg.rate_bps = a.rate_bps;
+    msg.gbr_bps = a.rate_bps * config_.gbr_headroom;
+    pcef_.EnforceGbr(msg.flow, msg.gbr_bps);
+    const auto it = clients_.find(a.id);
+    if (it == clients_.end()) continue;
+    FlarePlugin* plugin = it->second.plugin;
+    const std::string wire = EncodeRateAssignment(msg);
+    sim_.After(config_.downlink_latency, [plugin, wire] {
+      const std::optional<RateAssignmentMsg> decoded =
+          DecodeRateAssignment(wire);
+      if (decoded) plugin->SetAssignedLevel(decoded->level);
+    });
+  }
+}
+
+}  // namespace flare

@@ -1,0 +1,104 @@
+// OneAPI server — the network-side half of FLARE (Figure 1).
+//
+// Once per BAI it: (1) reads each video flow's RB & Rate Trace window from
+// the eNodeB (the Communication Module path), computing the achieved
+// bits-per-RB e_u = 8*b_u/n_u; (2) asks the PCRF how many data flows share
+// the cell; (3) runs Algorithm 1 via the FlareRateController; and (4)
+// enforces the result twice — pushing the GBR through the PCEF to the
+// eNodeB scheduler, and pushing the chosen rung to each FLARE UE plugin so
+// the client requests exactly the assigned bitrate. Both pushes cross the
+// control plane with configurable latency.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/rate_controller.h"
+#include "lte/cell.h"
+#include "net/flare_plugin.h"
+#include "net/pcef.h"
+#include "net/pcrf.h"
+#include "sim/simulator.h"
+
+namespace flare {
+
+struct OneApiConfig {
+  /// Bitrate assignment interval.
+  SimTime bai = kSecond;
+  /// Control-plane latencies: UE plugin -> server, server -> UE/PCEF.
+  SimTime uplink_latency = 20 * kMillisecond;
+  SimTime downlink_latency = 20 * kMillisecond;
+  /// GBR = headroom * assigned bitrate; slack covers HTTP/TCP overhead so
+  /// a segment finishes within its own duration.
+  double gbr_headroom = 1.1;
+  /// EWMA weight of the newest bits-per-RB observation. Fast fading makes
+  /// a single BAI's e_u noisy; feeding raw samples into problem (3)-(4)
+  /// causes spurious capacity-exhaustion drops (Algorithm 1 applies drops
+  /// immediately). Smoothing across BAIs keeps the capacity estimate honest
+  /// without lagging genuine channel shifts. 1.0 disables smoothing
+  /// (paper-literal previous-BAI-only behaviour).
+  double efficiency_smoothing = 0.1;
+  /// PCRF scope for this server's cell (multi-cell deployments register
+  /// flows under their cell's tag; single-cell setups leave it at 0).
+  Pcrf::CellTag cell_tag = 0;
+  FlareParams params;
+};
+
+class OneApiServer {
+ public:
+  OneApiServer(Simulator& sim, Cell& cell, Pcrf& pcrf, Pcef& pcef,
+               const OneApiConfig& config);
+
+  OneApiServer(const OneApiServer&) = delete;
+  OneApiServer& operator=(const OneApiServer&) = delete;
+
+  /// A FLARE plugin announces its session: after the uplink latency the
+  /// server registers the flow (ladder + optional client constraints) and
+  /// records it with the PCRF. `plugin` must outlive the server or be
+  /// disconnected first.
+  void ConnectVideoClient(FlarePlugin* plugin, const Mpd& mpd);
+  void DisconnectVideoClient(FlowId id);
+
+  /// Client pushes refreshed info mid-session (new cost cap, clickstream
+  /// state, ...). Applied after the uplink latency; unknown flows are
+  /// ignored (teardown race).
+  void UpdateClientInfo(FlowId id, const ClientInfo& info);
+
+  /// Begin the BAI loop.
+  void Start();
+
+  /// Run one BAI synchronously (exposed for tests).
+  void RunBai();
+
+  FlareRateController& controller() { return controller_; }
+  const FlareRateController& controller() const { return controller_; }
+
+  /// Solver wall-clock times, one per BAI, in milliseconds (Figure 9).
+  const std::vector<double>& solve_times_ms() const {
+    return solve_times_ms_;
+  }
+  /// Video RB fraction r chosen each BAI.
+  const std::vector<double>& video_fractions() const {
+    return video_fractions_;
+  }
+
+ private:
+  struct ClientEntry {
+    FlarePlugin* plugin = nullptr;
+    ClientInfo info;
+    double smoothed_bits_per_rb = 0.0;  // 0 = no observation yet
+  };
+
+  Simulator& sim_;
+  Cell& cell_;
+  Pcrf& pcrf_;
+  Pcef& pcef_;
+  OneApiConfig config_;
+  FlareRateController controller_;
+  std::map<FlowId, ClientEntry> clients_;
+  std::vector<double> solve_times_ms_;
+  std::vector<double> video_fractions_;
+  bool started_ = false;
+};
+
+}  // namespace flare

@@ -1,0 +1,78 @@
+#include "scenario/experiment.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/config.h"
+#include "util/csv.h"
+
+namespace flare {
+
+double PooledMetrics::MeanJain() const {
+  if (jain_per_run.empty()) return 1.0;
+  double sum = 0.0;
+  for (double j : jain_per_run) sum += j;
+  return sum / static_cast<double>(jain_per_run.size());
+}
+
+PooledMetrics Pool(const std::vector<ScenarioResult>& runs) {
+  PooledMetrics pooled;
+  for (const ScenarioResult& run : runs) {
+    for (const ClientMetrics& m : run.video) {
+      pooled.avg_bitrate_kbps.Add(m.avg_bitrate_bps / 1000.0);
+      pooled.bitrate_changes.Add(static_cast<double>(m.bitrate_changes));
+      pooled.rebuffer_s.Add(m.rebuffer_time_s);
+      pooled.qoe.Add(m.qoe);
+    }
+    for (double bps : run.data_throughput_bps) {
+      pooled.data_throughput_kbps.Add(bps / 1000.0);
+    }
+    pooled.jain_per_run.push_back(run.jain_avg_bitrate);
+  }
+  return pooled;
+}
+
+void PrintRow(const std::string& label, const std::vector<double>& values,
+              const std::vector<std::string>& headers) {
+  if (!headers.empty()) {
+    std::printf("%-34s", "");
+    for (const std::string& h : headers) std::printf(" %12s", h.c_str());
+    std::printf("\n");
+  }
+  std::printf("%-34s", label.c_str());
+  for (double v : values) std::printf(" %12s", FormatNumber(v).c_str());
+  std::printf("\n");
+}
+
+void PrintCdf(const std::string& label, const Cdf& cdf, int points) {
+  std::printf("%s (n=%zu):\n", label.c_str(), cdf.count());
+  for (const auto& [value, prob] : cdf.Curve(
+           static_cast<std::size_t>(points))) {
+    std::printf("  p%-4.0f %12s\n", prob * 100.0,
+                FormatNumber(value).c_str());
+  }
+}
+
+std::string BenchCsvPath(const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  return "bench_results/" + name + ".csv";
+}
+
+void PrintPaperComparison(const std::string& metric, double paper,
+                          double measured) {
+  std::printf("  %-44s paper %10s   measured %10s\n", metric.c_str(),
+              FormatNumber(paper).c_str(), FormatNumber(measured).c_str());
+}
+
+BenchScale ScaleFromEnv(int default_runs, double default_duration_s,
+                        int argc, char** argv) {
+  Config config =
+      argv != nullptr ? Config::FromArgs(argc, argv) : Config{};
+  BenchScale scale;
+  scale.runs = config.GetInt("runs", default_runs);
+  scale.duration_s = config.GetDouble("duration_s", default_duration_s);
+  return scale;
+}
+
+}  // namespace flare

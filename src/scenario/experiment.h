@@ -1,0 +1,60 @@
+// Aggregation and printing helpers shared by the benchmark binaries: pool
+// per-client metrics across runs into CDFs (the paper plots CDFs "over 160
+// clients" = 8 clients x 20 runs), summarize them, and print aligned table
+// rows / CDF curves to stdout next to the paper's reference numbers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+#include "util/stats.h"
+
+namespace flare {
+
+/// Per-scheme pooled view over a set of runs.
+struct PooledMetrics {
+  Cdf avg_bitrate_kbps;    // one sample per client
+  Cdf bitrate_changes;     // one sample per client
+  Cdf rebuffer_s;          // one sample per client
+  Cdf qoe;                 // one sample per client (composite QoE)
+  Cdf data_throughput_kbps;  // one sample per data client
+  std::vector<double> jain_per_run;
+
+  double MeanBitrateKbps() const { return avg_bitrate_kbps.Mean(); }
+  double MeanChanges() const { return bitrate_changes.Mean(); }
+  double MeanRebufferS() const { return rebuffer_s.Mean(); }
+  double MeanQoe() const { return qoe.Mean(); }
+  double MeanDataThroughputKbps() const {
+    return data_throughput_kbps.Mean();
+  }
+  double MeanJain() const;
+};
+
+PooledMetrics Pool(const std::vector<ScenarioResult>& runs);
+
+/// Print "name: v1 v2 ..." with aligned columns.
+void PrintRow(const std::string& label, const std::vector<double>& values,
+              const std::vector<std::string>& headers);
+
+/// Print a CDF as `points` (value, probability) lines, prefixed by label.
+void PrintCdf(const std::string& label, const Cdf& cdf, int points = 11);
+
+/// Environment-tunable run scaling so benches stay fast by default but can
+/// reproduce the paper's full 20-run sweeps (FLARE_RUNS / FLARE_DURATION_S
+/// env vars or key=value args; see util/config.h).
+struct BenchScale {
+  int runs;
+  double duration_s;
+};
+BenchScale ScaleFromEnv(int default_runs, double default_duration_s,
+                        int argc = 0, char** argv = nullptr);
+
+/// Ensure ./bench_results exists and return "bench_results/<name>.csv".
+std::string BenchCsvPath(const std::string& name);
+
+/// Print a "paper reported / we measured" comparison line.
+void PrintPaperComparison(const std::string& metric, double paper,
+                          double measured);
+
+}  // namespace flare

@@ -1,0 +1,24 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace flare {
+
+void EventQueue::Push(SimTime at, EventFn fn) {
+  heap_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::RunNext() {
+  // Move the callback out before popping: running it may push new events,
+  // and we must not hold a reference into the heap across that.
+  EventFn fn = std::move(const_cast<Event&>(heap_.top()).fn);
+  heap_.pop();
+  fn();
+}
+
+void EventQueue::Clear() {
+  while (!heap_.empty()) heap_.pop();
+  next_seq_ = 0;
+}
+
+}  // namespace flare

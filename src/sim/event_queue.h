@@ -1,0 +1,51 @@
+// Discrete-event queue.
+//
+// Events at the same timestamp fire in scheduling order (a monotonically
+// increasing sequence number breaks ties), which keeps runs deterministic
+// regardless of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.h"
+
+namespace flare {
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  void Push(SimTime at, EventFn fn);
+
+  bool Empty() const { return heap_.empty(); }
+  std::size_t Size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event; undefined when empty.
+  SimTime NextTime() const { return heap_.top().at; }
+
+  /// Pops and runs the earliest event. Caller must check Empty() first.
+  void RunNext();
+
+  void Clear();
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace flare

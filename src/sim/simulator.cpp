@@ -1,0 +1,42 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace flare {
+
+void Simulator::At(SimTime at, EventFn fn) {
+  queue_.Push(std::max(at, now_), std::move(fn));
+}
+
+void Simulator::After(SimTime delay, EventFn fn) {
+  At(now_ + std::max<SimTime>(delay, 0), std::move(fn));
+}
+
+void Simulator::Every(SimTime start, SimTime period, EventFn fn) {
+  // Self-rescheduling wrapper. The shared_ptr keeps the callable alive
+  // across reschedules; the chain ends when RunUntil stops draining.
+  auto task = std::make_shared<EventFn>(std::move(fn));
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, task, tick, period]() {
+    (*task)();
+    queue_.Push(now_ + period, *tick);
+  };
+  At(start, *tick);
+}
+
+void Simulator::RunUntil(SimTime until) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.Empty() && queue_.NextTime() <= until) {
+    now_ = queue_.NextTime();
+    queue_.RunNext();
+    ++events_processed_;
+  }
+  // Even if no event lands exactly at `until`, the run semantically covers
+  // [0, until]; advance the clock so metrics see the full horizon. A Stop()
+  // keeps the clock at the stopping event instead.
+  if (!stopped_) now_ = std::max(now_, until);
+}
+
+}  // namespace flare

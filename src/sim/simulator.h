@@ -1,0 +1,50 @@
+// Discrete-event simulator.
+//
+// All model components (eNodeB TTI loop, HAS players, OneAPI server BAI
+// timer) schedule callbacks here. Time never moves backwards; scheduling in
+// the past is clamped to "now" so stale timers fire immediately rather than
+// corrupting the clock.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+#include "util/time.h"
+
+namespace flare {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  /// Schedule `fn` at absolute simulated time `at` (clamped to >= Now()).
+  void At(SimTime at, EventFn fn);
+
+  /// Schedule `fn` after a relative delay (clamped to >= 0).
+  void After(SimTime delay, EventFn fn);
+
+  /// Schedule `fn` every `period` starting at `start`, until the run ends.
+  /// The callback receives no arguments; use a lambda capture for state.
+  void Every(SimTime start, SimTime period, EventFn fn);
+
+  /// Run until the event queue drains or the clock passes `until`
+  /// (events exactly at `until` still run).
+  void RunUntil(SimTime until);
+
+  /// Stop the current RunUntil after the in-flight event completes.
+  void Stop() { stopped_ = true; }
+
+  std::uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  bool stopped_ = false;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace flare

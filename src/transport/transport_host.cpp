@@ -1,0 +1,67 @@
+#include "transport/transport_host.h"
+
+#include <stdexcept>
+
+namespace flare {
+namespace {
+// Greedy sources keep this much application backlog queued at the sender.
+constexpr std::uint64_t kGreedyChunkBytes = 1 << 20;
+// Check/refill period for greedy sources.
+constexpr SimTime kGreedyTopUpPeriod = 100 * kMillisecond;
+}  // namespace
+
+TransportHost::TransportHost(Simulator& sim, Cell& cell)
+    : sim_(sim), cell_(cell) {
+  cell_.SetDeliveryCallback(
+      [this](FlowId id, std::uint64_t bytes, SimTime now) {
+        const auto it = flows_.find(id);
+        if (it != flows_.end()) it->second->HandleDelivery(bytes, now);
+      });
+  cell_.SetDropCallback([this](FlowId id, std::uint64_t bytes) {
+    const auto it = flows_.find(id);
+    if (it != flows_.end()) it->second->HandleDrop(bytes);
+  });
+}
+
+TcpFlow& TransportHost::CreateFlow(UeId ue, FlowType type,
+                                   const TcpConfig& config) {
+  const FlowId id = cell_.AddFlow(ue, type);
+  auto flow = std::make_unique<TcpFlow>(sim_, cell_, id, config);
+  TcpFlow& ref = *flow;
+  flows_.emplace(id, std::move(flow));
+  return ref;
+}
+
+void TransportHost::DestroyFlow(FlowId id) {
+  flows_.erase(id);
+  greedy_.erase(id);
+  cell_.RemoveFlow(id);
+}
+
+TcpFlow& TransportHost::flow(FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) {
+    throw std::out_of_range("TransportHost: unknown flow");
+  }
+  return *it->second;
+}
+
+void TransportHost::MakeGreedy(FlowId id) {
+  if (greedy_[id]) return;
+  greedy_[id] = true;
+  TopUpGreedy(id);
+  sim_.Every(kGreedyTopUpPeriod, kGreedyTopUpPeriod,
+             [this, id] { TopUpGreedy(id); });
+}
+
+void TransportHost::TopUpGreedy(FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end() || !greedy_[id]) return;
+  // Keep the sender saturated: refill before the application backlog runs
+  // dry so the flow never starves between top-up ticks.
+  if (it->second->pending_bytes() < kGreedyChunkBytes / 4) {
+    it->second->Send(kGreedyChunkBytes);
+  }
+}
+
+}  // namespace flare

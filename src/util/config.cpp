@@ -1,0 +1,84 @@
+#include "util/config.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace flare {
+namespace {
+
+std::string EnvKey(const std::string& key) {
+  std::string out = "FLARE_";
+  for (char c : key) {
+    out.push_back(static_cast<char>(
+        std::toupper(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+}  // namespace
+
+Config Config::FromArgs(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    const auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      FLOG_WARN << "Config: ignoring argument '" << token << "'";
+      continue;
+    }
+    config.Set(token.substr(0, eq), token.substr(eq + 1));
+  }
+  return config;
+}
+
+void Config::Set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+bool Config::Has(const std::string& key) const {
+  return Lookup(key).has_value();
+}
+
+std::optional<std::string> Config::Lookup(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it != values_.end()) return it->second;
+  if (const char* env = std::getenv(EnvKey(key).c_str())) {
+    return std::string(env);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> Config::GetString(const std::string& key) const {
+  return Lookup(key);
+}
+
+double Config::GetDouble(const std::string& key, double fallback) const {
+  const auto value = Lookup(key);
+  if (!value) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value->c_str(), &end);
+  if (end == value->c_str()) {
+    FLOG_WARN << "Config: key '" << key << "' has non-numeric value '"
+              << *value << "'";
+    return fallback;
+  }
+  return parsed;
+}
+
+int Config::GetInt(const std::string& key, int fallback) const {
+  return static_cast<int>(GetDouble(key, fallback));
+}
+
+bool Config::GetBool(const std::string& key, bool fallback) const {
+  const auto value = Lookup(key);
+  if (!value) return fallback;
+  if (*value == "1" || *value == "true" || *value == "yes") return true;
+  if (*value == "0" || *value == "false" || *value == "no") return false;
+  FLOG_WARN << "Config: key '" << key << "' has non-boolean value '" << *value
+            << "'";
+  return fallback;
+}
+
+}  // namespace flare

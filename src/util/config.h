@@ -1,0 +1,38 @@
+// Small key=value configuration store.
+//
+// Benches and examples accept overrides from the environment (FLARE_RUNS,
+// FLARE_DURATION_S, ...) and from `key=value` command-line arguments so the
+// paper experiments can be scaled up or down without recompiling.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace flare {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse `key=value` tokens from argv; unknown tokens are ignored with a
+  /// warning so benches tolerate harness-injected flags.
+  static Config FromArgs(int argc, char** argv);
+
+  void Set(const std::string& key, const std::string& value);
+
+  std::optional<std::string> GetString(const std::string& key) const;
+  /// Typed getters fall back to the environment variable FLARE_<KEY-upper>
+  /// before using the provided default.
+  double GetDouble(const std::string& key, double fallback) const;
+  int GetInt(const std::string& key, int fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  bool Has(const std::string& key) const;
+
+ private:
+  std::optional<std::string> Lookup(const std::string& key) const;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace flare

@@ -1,0 +1,52 @@
+#include "util/csv.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace flare {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header) {
+  out_.open(path);
+  columns_ = header.size();
+  if (!out_.is_open()) {
+    FLOG_WARN << "CsvWriter: could not open " << path
+              << "; CSV output disabled";
+    return;
+  }
+  RawRow(header);
+}
+
+void CsvWriter::Row(const std::vector<double>& values) {
+  if (!out_.is_open()) return;
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(FormatNumber(v));
+  RawRow(cells);
+}
+
+void CsvWriter::Row(std::initializer_list<double> values) {
+  Row(std::vector<double>(values));
+}
+
+void CsvWriter::RawRow(const std::vector<std::string>& cells) {
+  if (!out_.is_open()) return;
+  if (columns_ != 0 && cells.size() != columns_) {
+    FLOG_WARN << "CsvWriter: row width " << cells.size()
+              << " does not match header width " << columns_;
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+}
+
+std::string FormatNumber(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+}  // namespace flare

@@ -1,0 +1,36 @@
+// CSV writer used by benches to dump the series behind each paper figure so
+// they can be re-plotted, alongside the human-readable rows printed to
+// stdout.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace flare {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. The writer is
+  /// "disarmed" (all writes are no-ops) if the file cannot be opened, so
+  /// benches still run in read-only environments.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  bool ok() const { return out_.is_open(); }
+
+  void Row(const std::vector<double>& values);
+  void Row(std::initializer_list<double> values);
+  /// Mixed row: string cells are written verbatim.
+  void RawRow(const std::vector<std::string>& cells);
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+};
+
+/// Formats a double compactly (up to 6 significant digits, no trailing
+/// zeros) for both CSV cells and table printing.
+std::string FormatNumber(double value);
+
+}  // namespace flare

@@ -1,0 +1,45 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace flare {
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, const std::string& message) {
+    std::fprintf(stderr, "[%s] %s\n", LogLevelName(level), message.c_str());
+  };
+}
+
+LogSink Logger::SetSink(LogSink sink) {
+  LogSink previous = std::move(sink_);
+  sink_ = std::move(sink);
+  return previous;
+}
+
+void Logger::Write(LogLevel level, const std::string& message) {
+  if (Enabled(level) && sink_) sink_(level, message);
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace flare

@@ -1,0 +1,66 @@
+// Minimal leveled logging.
+//
+// The simulator is CPU-bound in the TTI loop, so the macros compile to a
+// level check before any formatting happens. Output goes to stderr by
+// default; tests can install a capturing sink.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace flare {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+class Logger {
+ public:
+  static Logger& Instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool Enabled(LogLevel level) const { return level >= level_; }
+
+  /// Replace the output sink (returns the previous one, for restoration).
+  LogSink SetSink(LogSink sink);
+
+  void Write(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  LogSink sink_;
+};
+
+const char* LogLevelName(LogLevel level);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::Instance().Write(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace flare
+
+#define FLARE_LOG(level)                                  \
+  if (!::flare::Logger::Instance().Enabled(level)) {      \
+  } else                                                  \
+    ::flare::detail::LogLine(level)
+
+#define FLOG_DEBUG FLARE_LOG(::flare::LogLevel::kDebug)
+#define FLOG_INFO FLARE_LOG(::flare::LogLevel::kInfo)
+#define FLOG_WARN FLARE_LOG(::flare::LogLevel::kWarn)
+#define FLOG_ERROR FLARE_LOG(::flare::LogLevel::kError)

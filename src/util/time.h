@@ -1,0 +1,38 @@
+// Simulation time types.
+//
+// All simulation time is kept as integral microseconds to avoid floating-
+// point drift over multi-hour simulated runs; helpers convert to and from
+// the units the rest of the code speaks (TTIs are 1 ms in LTE FDD).
+#pragma once
+
+#include <cstdint>
+
+namespace flare {
+
+/// Simulated time in microseconds since the start of the run.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+/// Duration of one LTE transmission time interval (TTI).
+inline constexpr SimTime kTti = kMillisecond;
+
+constexpr SimTime FromSeconds(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond));
+}
+
+constexpr double ToSeconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+constexpr SimTime FromMilliseconds(double ms) {
+  return static_cast<SimTime>(ms * static_cast<double>(kMillisecond));
+}
+
+constexpr double ToMilliseconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+}  // namespace flare

@@ -1,0 +1,292 @@
+// Tests for the eNodeB cell: queueing, token buckets, delivery accounting,
+// the RB & Rate Trace windows, and QoS updates at runtime.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "lte/cell.h"
+#include "lte/pf_scheduler.h"
+#include "lte/gbr_scheduler.h"
+#include "lte/stats_reporter.h"
+#include "lte/tbs_table.h"
+#include "sim/simulator.h"
+
+namespace flare {
+namespace {
+
+struct CellFixture {
+  Simulator sim;
+  Cell cell;
+  explicit CellFixture(std::unique_ptr<Scheduler> sched,
+                       CellConfig config = CellConfig{})
+      : cell(sim, std::move(sched), config, Rng(1)) {}
+};
+
+TEST(Cell, EnqueueRespectsQueueLimit) {
+  CellConfig config;
+  config.queue_limit_bytes = 1000;
+  CellFixture f(std::make_unique<PfScheduler>(), config);
+  const UeId ue = f.cell.AddUe(std::make_unique<StaticItbsChannel>(7));
+  const FlowId flow = f.cell.AddFlow(ue, FlowType::kData);
+
+  std::uint64_t dropped = 0;
+  f.cell.SetDropCallback(
+      [&](FlowId, std::uint64_t bytes) { dropped += bytes; });
+
+  EXPECT_EQ(f.cell.Enqueue(flow, 600), 600u);
+  EXPECT_EQ(f.cell.Enqueue(flow, 600), 400u);  // only 400 fit
+  EXPECT_EQ(dropped, 200u);
+  EXPECT_EQ(f.cell.flow(flow).queued_bytes, 1000u);
+}
+
+TEST(Cell, SingleFlowDrainsAtChannelRate) {
+  CellFixture f(std::make_unique<PfScheduler>());
+  const UeId ue = f.cell.AddUe(std::make_unique<StaticItbsChannel>(7));
+  const FlowId flow = f.cell.AddFlow(ue, FlowType::kData);
+
+  std::uint64_t delivered = 0;
+  f.cell.SetDeliveryCallback(
+      [&](FlowId, std::uint64_t bytes, SimTime) { delivered += bytes; });
+
+  // iTbs 7: 104 bits * 50 RBs = 5200 bits = 650 bytes per TTI.
+  f.cell.Enqueue(flow, 6500);
+  f.cell.Start();
+  f.sim.RunUntil(10 * kTti);
+  EXPECT_EQ(delivered, 6500u);
+  EXPECT_EQ(f.cell.flow(flow).queued_bytes, 0u);
+}
+
+TEST(Cell, ThroughputMatchesTbs) {
+  CellFixture f(std::make_unique<PfScheduler>());
+  const UeId ue = f.cell.AddUe(std::make_unique<StaticItbsChannel>(7));
+  const FlowId flow = f.cell.AddFlow(ue, FlowType::kData);
+  f.cell.Enqueue(flow, 10'000'000);
+  f.cell.Start();
+  f.sim.RunUntil(FromSeconds(1.0));
+  // 5.2 Mbit/s -> 650 000 bytes/s.
+  EXPECT_NEAR(static_cast<double>(f.cell.total_tx_bytes(flow)), 650'000.0,
+              1000.0);
+}
+
+TEST(Cell, TraceWindowCountsBytesAndRbs) {
+  CellFixture f(std::make_unique<PfScheduler>());
+  const UeId ue = f.cell.AddUe(std::make_unique<StaticItbsChannel>(7));
+  const FlowId flow = f.cell.AddFlow(ue, FlowType::kData);
+  f.cell.Enqueue(flow, 65'000);  // 100 TTIs worth
+  f.cell.Start();
+  f.sim.RunUntil(FromSeconds(0.2));
+
+  const RbRateWindow window = f.cell.TakeWindow(flow);
+  EXPECT_EQ(window.tx_bytes, 65'000u);
+  EXPECT_EQ(window.rbs, 5000u);  // 100 TTIs * 50 RBs
+  EXPECT_EQ(window.duration, FromSeconds(0.2));
+  // Window resets.
+  const RbRateWindow empty = f.cell.PeekWindow(flow);
+  EXPECT_EQ(empty.tx_bytes, 0u);
+  EXPECT_EQ(empty.rbs, 0u);
+}
+
+TEST(Cell, BitsPerRbMatchesChannel) {
+  CellFixture f(std::make_unique<PfScheduler>());
+  const UeId ue = f.cell.AddUe(std::make_unique<StaticItbsChannel>(9));
+  const FlowId flow = f.cell.AddFlow(ue, FlowType::kData);
+  f.cell.Enqueue(flow, 200'000);
+  f.cell.Start();
+  f.sim.RunUntil(FromSeconds(0.1));
+  const RbRateWindow w = f.cell.TakeWindow(flow);
+  const double bits_per_rb = static_cast<double>(w.tx_bytes) * 8.0 /
+                             static_cast<double>(w.rbs);
+  // iTbs 9 = 136 bits/RB; final partially-filled RB rounds down a little.
+  EXPECT_NEAR(bits_per_rb, 136.0, 8.0 + 1.0);
+}
+
+TEST(Cell, TwoFlowsShareCapacityFairly) {
+  CellFixture f(std::make_unique<PfScheduler>());
+  const UeId ue1 = f.cell.AddUe(std::make_unique<StaticItbsChannel>(7));
+  const UeId ue2 = f.cell.AddUe(std::make_unique<StaticItbsChannel>(7));
+  const FlowId f1 = f.cell.AddFlow(ue1, FlowType::kData);
+  const FlowId f2 = f.cell.AddFlow(ue2, FlowType::kData);
+  f.cell.Enqueue(f1, 10'000'000);
+  f.cell.Enqueue(f2, 10'000'000);
+  f.cell.Start();
+  f.sim.RunUntil(FromSeconds(2.0));
+  const double a = static_cast<double>(f.cell.total_tx_bytes(f1));
+  const double b = static_cast<double>(f.cell.total_tx_bytes(f2));
+  EXPECT_NEAR(a / b, 1.0, 0.05);
+  EXPECT_NEAR(a + b, 1'300'000.0, 15'000.0);  // full cell utilized
+}
+
+TEST(Cell, GbrFlowProtectedUnderLoad) {
+  CellFixture f(std::make_unique<TwoPhaseGbrScheduler>());
+  const UeId ue1 = f.cell.AddUe(std::make_unique<StaticItbsChannel>(7));
+  const UeId ue2 = f.cell.AddUe(std::make_unique<StaticItbsChannel>(7));
+  const FlowId video = f.cell.AddFlow(ue1, FlowType::kVideo);
+  const FlowId data = f.cell.AddFlow(ue2, FlowType::kData);
+  f.cell.SetGbr(video, 2e6);  // 2 Mbit/s guaranteed
+  f.cell.Enqueue(video, 10'000'000);
+  f.cell.Enqueue(data, 10'000'000);
+  f.cell.Start();
+  f.sim.RunUntil(FromSeconds(2.0));
+  const double video_bps =
+      static_cast<double>(f.cell.total_tx_bytes(video)) * 8.0 / 2.0;
+  // GBR met (within token-bucket slack) despite the competing data flow.
+  EXPECT_GT(video_bps, 1.9e6);
+}
+
+TEST(Cell, MbrCapsThroughput) {
+  CellFixture f(std::make_unique<PfScheduler>());
+  const UeId ue = f.cell.AddUe(std::make_unique<StaticItbsChannel>(7));
+  const FlowId flow = f.cell.AddFlow(ue, FlowType::kData);
+  f.cell.SetMbr(flow, 1e6);  // cap well below the 5.2 Mbit/s channel
+  f.cell.Enqueue(flow, 10'000'000);
+  f.cell.Start();
+  f.sim.RunUntil(FromSeconds(2.0));
+  const double bps =
+      static_cast<double>(f.cell.total_tx_bytes(flow)) * 8.0 / 2.0;
+  EXPECT_NEAR(bps, 1e6, 0.15e6);
+}
+
+TEST(Cell, ContinuousGbrUpdateTakesEffect) {
+  CellConfig config;
+  config.queue_limit_bytes = 100'000'000;  // keep both flows backlogged
+  CellFixture f(std::make_unique<TwoPhaseGbrScheduler>(), config);
+  const UeId ue1 = f.cell.AddUe(std::make_unique<StaticItbsChannel>(7));
+  const UeId ue2 = f.cell.AddUe(std::make_unique<StaticItbsChannel>(7));
+  const FlowId video = f.cell.AddFlow(ue1, FlowType::kVideo);
+  const FlowId data = f.cell.AddFlow(ue2, FlowType::kData);
+  f.cell.SetGbr(video, 0.2e6);
+  f.cell.Enqueue(video, 20'000'000);
+  f.cell.Enqueue(data, 20'000'000);
+  // Raise the GBR mid-run (the Continuous GBR Updater path).
+  f.sim.At(FromSeconds(1.0), [&] { f.cell.SetGbr(video, 4.5e6); });
+  f.cell.Start();
+
+  f.sim.RunUntil(FromSeconds(1.0));
+  const std::uint64_t at_1s = f.cell.total_tx_bytes(video);
+  f.sim.RunUntil(FromSeconds(2.0));
+  const std::uint64_t at_2s = f.cell.total_tx_bytes(video);
+
+  // Phase 1 GBR + PF split of the remainder: ~0.2 + 2.5 Mbit/s before the
+  // update, ~4.5 + 0.35 Mbit/s after.
+  const double rate_first = static_cast<double>(at_1s) * 8.0;
+  const double rate_second = static_cast<double>(at_2s - at_1s) * 8.0;
+  EXPECT_GT(rate_second, 4.4e6);
+  EXPECT_GT(rate_second, rate_first * 1.4);
+}
+
+TEST(Cell, UeItbsTracksChannel) {
+  CellFixture f(std::make_unique<PfScheduler>());
+  const auto schedule = TriangleItbsSchedule(1, 12, FromSeconds(240), 0);
+  const UeId ue =
+      f.cell.AddUe(std::make_unique<ItbsOverrideChannel>(schedule));
+  f.cell.Start();
+  f.sim.RunUntil(FromSeconds(120.0));  // peak of the triangle
+  EXPECT_EQ(f.cell.UeItbs(ue), 12);
+  EXPECT_DOUBLE_EQ(f.cell.UeFullCellRateBps(ue),
+                   ItbsToCellRateBps(12, 50));
+}
+
+TEST(Cell, RemoveFlowStopsService) {
+  CellFixture f(std::make_unique<PfScheduler>());
+  const UeId ue = f.cell.AddUe(std::make_unique<StaticItbsChannel>(7));
+  const FlowId flow = f.cell.AddFlow(ue, FlowType::kData);
+  f.cell.Enqueue(flow, 1'000'000);
+  f.cell.Start();
+  f.sim.RunUntil(FromSeconds(0.1));
+  f.cell.RemoveFlow(flow);
+  EXPECT_FALSE(f.cell.HasFlow(flow));
+  EXPECT_NO_THROW(f.sim.RunUntil(FromSeconds(0.2)));
+}
+
+TEST(Cell, UnknownFlowThrows) {
+  CellFixture f(std::make_unique<PfScheduler>());
+  EXPECT_THROW(f.cell.flow(999), std::out_of_range);
+  EXPECT_THROW(f.cell.Enqueue(999, 10), std::out_of_range);
+  EXPECT_THROW(f.cell.SetGbr(999, 1.0), std::out_of_range);
+}
+
+TEST(Cell, FlowsOfTypeFilters) {
+  CellFixture f(std::make_unique<PfScheduler>());
+  const UeId ue = f.cell.AddUe(std::make_unique<StaticItbsChannel>(7));
+  f.cell.AddFlow(ue, FlowType::kVideo);
+  f.cell.AddFlow(ue, FlowType::kData);
+  f.cell.AddFlow(ue, FlowType::kVideo);
+  EXPECT_EQ(f.cell.FlowsOfType(FlowType::kVideo).size(), 2u);
+  EXPECT_EQ(f.cell.FlowsOfType(FlowType::kData).size(), 1u);
+  EXPECT_EQ(f.cell.Flows().size(), 3u);
+}
+
+TEST(StatsReporter, PeriodicReportsCarryThroughput) {
+  CellConfig config;
+  config.queue_limit_bytes = 10'000'000;  // enough backlog for the run
+  CellFixture f(std::make_unique<PfScheduler>(), config);
+  const UeId ue = f.cell.AddUe(std::make_unique<StaticItbsChannel>(7));
+  const FlowId flow = f.cell.AddFlow(ue, FlowType::kVideo);
+  f.cell.Enqueue(flow, 10'000'000);
+
+  std::vector<std::vector<FlowStatsReport>> reports;
+  StatsReporter reporter(f.cell, FromSeconds(0.5),
+                         [&](SimTime, const std::vector<FlowStatsReport>& r) {
+                           reports.push_back(r);
+                         });
+  f.cell.Start();
+  f.sim.RunUntil(FromSeconds(2.0));
+
+  ASSERT_EQ(reports.size(), 4u);
+  for (const auto& batch : reports) {
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0].flow, flow);
+    EXPECT_EQ(batch[0].type, FlowType::kVideo);
+    EXPECT_NEAR(batch[0].throughput_bps, 5.2e6, 0.1e6);
+    EXPECT_NEAR(batch[0].rb_utilization, 1.0, 0.05);
+  }
+}
+
+TEST(Cell, BlerScalesThroughputAndTriggersHarq) {
+  CellConfig config;
+  config.queue_limit_bytes = 10'000'000;
+  config.target_bler = 0.1;
+  CellFixture f(std::make_unique<PfScheduler>(), config);
+  const UeId ue = f.cell.AddUe(std::make_unique<StaticItbsChannel>(7));
+  const FlowId flow = f.cell.AddFlow(ue, FlowType::kData);
+  f.cell.Enqueue(flow, 10'000'000);
+  f.cell.Start();
+  f.sim.RunUntil(FromSeconds(4.0));
+  // Ideal link carries 650 KB/s; 10% BLER leaves ~90%.
+  const double delivered =
+      static_cast<double>(f.cell.total_tx_bytes(flow)) / 4.0;
+  EXPECT_NEAR(delivered, 0.9 * 650'000.0, 0.03 * 650'000.0);
+  // Roughly one in ten TTIs retransmits.
+  EXPECT_NEAR(static_cast<double>(f.cell.harq_retransmissions()) /
+                  static_cast<double>(f.cell.ttis_elapsed()),
+              0.1, 0.03);
+}
+
+TEST(Cell, ZeroBlerIsLossless) {
+  CellFixture f(std::make_unique<PfScheduler>());
+  const UeId ue = f.cell.AddUe(std::make_unique<StaticItbsChannel>(7));
+  const FlowId flow = f.cell.AddFlow(ue, FlowType::kData);
+  f.cell.Enqueue(flow, 65'000);
+  f.cell.Start();
+  f.sim.RunUntil(FromSeconds(1.0));
+  EXPECT_EQ(f.cell.harq_retransmissions(), 0u);
+  EXPECT_EQ(f.cell.total_tx_bytes(flow), 65'000u);
+}
+
+TEST(Cell, RbConservationAcrossBusyRun) {
+  CellFixture f(std::make_unique<TwoPhaseGbrScheduler>());
+  for (int i = 0; i < 4; ++i) {
+    const UeId ue = f.cell.AddUe(std::make_unique<StaticItbsChannel>(5));
+    const FlowId flow = f.cell.AddFlow(
+        ue, i % 2 == 0 ? FlowType::kVideo : FlowType::kData);
+    if (i % 2 == 0) f.cell.SetGbr(flow, 1e6);
+    f.cell.Enqueue(flow, 50'000'000);
+  }
+  f.cell.Start();
+  f.sim.RunUntil(FromSeconds(1.0));
+  EXPECT_LE(f.cell.total_rbs_used(), f.cell.ttis_elapsed() * 50u);
+  EXPECT_GT(f.cell.total_rbs_used(), f.cell.ttis_elapsed() * 45u);
+}
+
+}  // namespace
+}  // namespace flare

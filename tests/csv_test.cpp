@@ -1,0 +1,87 @@
+// Tests for the CSV writer used by every bench binary.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace flare {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = TempPath("flare_csv_basic.csv");
+  {
+    CsvWriter csv(path, {"a", "b", "c"});
+    ASSERT_TRUE(csv.ok());
+    csv.Row({1.0, 2.5, 3.0});
+    csv.Row({4.0, 5.0, 6.0});
+  }
+  EXPECT_EQ(ReadAll(path), "a,b,c\n1,2.5,3\n4,5,6\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, RawRowsMixWithNumericRows) {
+  const std::string path = TempPath("flare_csv_raw.csv");
+  {
+    CsvWriter csv(path, {"scheme", "value"});
+    csv.RawRow({"FLARE", "1.5"});
+    csv.Row({2.0, 3.0});
+  }
+  EXPECT_EQ(ReadAll(path), "scheme,value\nFLARE,1.5\n2,3\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, UnopenablePathDisarmsQuietly) {
+  // Capture the warning instead of spamming stderr.
+  Logger& logger = Logger::Instance();
+  LogSink old_sink = logger.SetSink([](LogLevel, const std::string&) {});
+  CsvWriter csv("/nonexistent_dir_xyz/out.csv", {"a"});
+  EXPECT_FALSE(csv.ok());
+  EXPECT_NO_THROW(csv.Row({1.0}));
+  EXPECT_NO_THROW(csv.RawRow({"x"}));
+  logger.SetSink(std::move(old_sink));
+}
+
+TEST(CsvWriter, WidthMismatchWarnsButWrites) {
+  Logger& logger = Logger::Instance();
+  const LogLevel previous = logger.level();
+  logger.set_level(LogLevel::kWarn);
+  int warnings = 0;
+  LogSink old_sink = logger.SetSink(
+      [&warnings](LogLevel, const std::string&) { ++warnings; });
+  const std::string path = TempPath("flare_csv_width.csv");
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.Row({1.0});  // too narrow
+  }
+  EXPECT_EQ(warnings, 1);
+  EXPECT_EQ(ReadAll(path), "a,b\n1\n");
+  logger.SetSink(std::move(old_sink));
+  logger.set_level(previous);
+  std::remove(path.c_str());
+}
+
+TEST(FormatNumber, SignificantDigits) {
+  EXPECT_EQ(FormatNumber(1234567.0), "1.23457e+06");
+  EXPECT_EQ(FormatNumber(0.000125), "0.000125");
+  EXPECT_EQ(FormatNumber(-3.5), "-3.5");
+  EXPECT_EQ(FormatNumber(0.0), "0");
+}
+
+}  // namespace
+}  // namespace flare

@@ -1,0 +1,88 @@
+// Tests for the bench-harness helpers in scenario/experiment.h.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "scenario/experiment.h"
+
+namespace flare {
+namespace {
+
+ScenarioResult FakeRun(double bitrate_kbps, int changes, double rebuf_s,
+                       double data_kbps, double jain) {
+  ScenarioResult r;
+  ClientMetrics m;
+  m.avg_bitrate_bps = bitrate_kbps * 1000.0;
+  m.bitrate_changes = changes;
+  m.rebuffer_time_s = rebuf_s;
+  m.qoe = bitrate_kbps / 1000.0;
+  r.video = {m, m};
+  r.data_throughput_bps = {data_kbps * 1000.0};
+  r.jain_avg_bitrate = jain;
+  return r;
+}
+
+TEST(Pooling, AggregatesAcrossRunsAndClients) {
+  const std::vector<ScenarioResult> runs = {
+      FakeRun(500, 3, 1.0, 2000, 0.99),
+      FakeRun(1000, 5, 0.0, 1000, 0.97),
+  };
+  const PooledMetrics pooled = Pool(runs);
+  EXPECT_EQ(pooled.avg_bitrate_kbps.count(), 4u);  // 2 runs x 2 clients
+  EXPECT_DOUBLE_EQ(pooled.MeanBitrateKbps(), 750.0);
+  EXPECT_DOUBLE_EQ(pooled.MeanChanges(), 4.0);
+  EXPECT_DOUBLE_EQ(pooled.MeanRebufferS(), 0.5);
+  EXPECT_DOUBLE_EQ(pooled.MeanDataThroughputKbps(), 1500.0);
+  EXPECT_DOUBLE_EQ(pooled.MeanJain(), 0.98);
+  EXPECT_DOUBLE_EQ(pooled.MeanQoe(), 0.75);
+}
+
+TEST(Pooling, EmptyIsSafe) {
+  const PooledMetrics pooled = Pool({});
+  EXPECT_DOUBLE_EQ(pooled.MeanBitrateKbps(), 0.0);
+  EXPECT_DOUBLE_EQ(pooled.MeanJain(), 1.0);
+}
+
+TEST(BenchCsv, PathIsUnderBenchResults) {
+  const std::string path = BenchCsvPath("unit_test_probe");
+  EXPECT_EQ(path, "bench_results/unit_test_probe.csv");
+  EXPECT_TRUE(std::filesystem::is_directory("bench_results"));
+}
+
+TEST(Scale, ArgsOverrideDefaults) {
+  const char* argv_c[] = {"bench", "runs=7", "duration_s=111"};
+  const BenchScale scale =
+      ScaleFromEnv(20, 1200.0, 3, const_cast<char**>(argv_c));
+  EXPECT_EQ(scale.runs, 7);
+  EXPECT_DOUBLE_EQ(scale.duration_s, 111.0);
+}
+
+TEST(Scale, DefaultsWithoutArgs) {
+  ::unsetenv("FLARE_RUNS");
+  ::unsetenv("FLARE_DURATION_S");
+  const BenchScale scale = ScaleFromEnv(20, 1200.0);
+  EXPECT_EQ(scale.runs, 20);
+  EXPECT_DOUBLE_EQ(scale.duration_s, 1200.0);
+}
+
+TEST(Scale, EnvironmentOverridesDefaults) {
+  ::setenv("FLARE_RUNS", "3", 1);
+  const char* argv_c[] = {"bench"};
+  const BenchScale scale =
+      ScaleFromEnv(20, 1200.0, 1, const_cast<char**>(argv_c));
+  EXPECT_EQ(scale.runs, 3);
+  ::unsetenv("FLARE_RUNS");
+}
+
+TEST(Printing, HelpersDoNotCrash) {
+  // Smoke: the printing helpers are used by every bench binary.
+  Cdf cdf;
+  for (int i = 0; i < 20; ++i) cdf.Add(i);
+  EXPECT_NO_THROW(PrintCdf("test cdf", cdf, 5));
+  EXPECT_NO_THROW(PrintRow("row", {1.0, 2.0, 3.0}, {"a", "b", "c"}));
+  EXPECT_NO_THROW(PrintPaperComparison("metric", 1.0, 2.0));
+}
+
+}  // namespace
+}  // namespace flare

@@ -1,0 +1,216 @@
+// Failure-injection tests: components vanish, channels collapse, queues
+// overflow, control messages race teardown — the system must degrade
+// gracefully, never crash, and recover when conditions return.
+#include <gtest/gtest.h>
+
+#include "abr/avis.h"
+#include "has/video_session.h"
+#include "lte/cell.h"
+#include "lte/gbr_scheduler.h"
+#include "lte/pss_scheduler.h"
+#include "net/oneapi_server.h"
+#include "scenario/scenario.h"
+#include "sim/simulator.h"
+#include "transport/transport_host.h"
+
+namespace flare {
+namespace {
+
+TEST(FailureInjection, VideoFlowTornDownMidSegment) {
+  Simulator sim;
+  Cell cell(sim, std::make_unique<PssScheduler>(), CellConfig{}, Rng(1));
+  TransportHost host(sim, cell);
+  const UeId ue = cell.AddUe(std::make_unique<StaticItbsChannel>(7));
+  TcpFlow& tcp = host.CreateFlow(ue, FlowType::kVideo);
+  const FlowId id = tcp.id();
+  HttpClient http(sim, tcp);
+  bool completed = false;
+  http.Get(500'000, [&](const HttpResult&) { completed = true; });
+  cell.Start();
+  sim.RunUntil(FromSeconds(0.2));  // mid-download
+  host.DestroyFlow(id);
+  EXPECT_NO_THROW(sim.RunUntil(FromSeconds(5.0)));
+  EXPECT_FALSE(completed);
+}
+
+TEST(FailureInjection, ChannelCollapseToFloorAndRecovery) {
+  // iTbs drops to the minimum mid-run, then recovers: the FLARE pipeline
+  // must drop rates without crashing and climb back afterwards.
+  Simulator sim;
+  Cell cell(sim, std::make_unique<TwoPhaseGbrScheduler>(), CellConfig{},
+            Rng(1));
+  Pcrf pcrf;
+  Pcef pcef(sim, cell, 10 * kMillisecond);
+  OneApiConfig config;
+  config.bai = FromSeconds(1.0);
+  config.params.delta = 1;
+  OneApiServer server(sim, cell, pcrf, pcef, config);
+
+  // Channel: good for 40 s, floor for 20 s, good again.
+  const auto schedule = [](SimTime now) {
+    const double t = ToSeconds(now);
+    return (t >= 40.0 && t < 60.0) ? 0 : 10;
+  };
+  const UeId ue =
+      cell.AddUe(std::make_unique<ItbsOverrideChannel>(schedule));
+  const FlowId flow = cell.AddFlow(ue, FlowType::kVideo);
+  FlarePlugin plugin(flow);
+  server.ConnectVideoClient(&plugin, MakeMpd(SimulationLadderKbps(), 10.0));
+  server.Start();
+  cell.Start();
+  sim.Every(FromSeconds(0.1), FromSeconds(0.1),
+            [&] { cell.Enqueue(flow, 15'000); });
+
+  sim.RunUntil(FromSeconds(40.0));
+  const int before = server.controller().CurrentLevel(flow);
+  EXPECT_GE(before, 3);
+  sim.RunUntil(FromSeconds(60.0));
+  const int during = server.controller().CurrentLevel(flow);
+  EXPECT_LT(during, before);  // large drop applied
+  sim.RunUntil(FromSeconds(120.0));
+  EXPECT_GT(server.controller().CurrentLevel(flow), during);  // recovery
+}
+
+TEST(FailureInjection, AllClientsDisconnectMidRun) {
+  Simulator sim;
+  Cell cell(sim, std::make_unique<TwoPhaseGbrScheduler>(), CellConfig{},
+            Rng(1));
+  Pcrf pcrf;
+  Pcef pcef(sim, cell, 10 * kMillisecond);
+  OneApiConfig config;
+  config.bai = FromSeconds(1.0);
+  OneApiServer server(sim, cell, pcrf, pcef, config);
+  const Mpd mpd = MakeMpd(SimulationLadderKbps(), 10.0);
+
+  std::vector<std::unique_ptr<FlarePlugin>> plugins;
+  std::vector<FlowId> flows;
+  for (int i = 0; i < 4; ++i) {
+    const UeId ue = cell.AddUe(std::make_unique<StaticItbsChannel>(7));
+    const FlowId flow = cell.AddFlow(ue, FlowType::kVideo);
+    plugins.push_back(std::make_unique<FlarePlugin>(flow));
+    flows.push_back(flow);
+    server.ConnectVideoClient(plugins.back().get(), mpd);
+  }
+  server.Start();
+  cell.Start();
+  sim.At(FromSeconds(5.0), [&] {
+    for (FlowId f : flows) {
+      server.DisconnectVideoClient(f);
+      cell.RemoveFlow(f);
+    }
+  });
+  EXPECT_NO_THROW(sim.RunUntil(FromSeconds(20.0)));
+  EXPECT_EQ(server.controller().NumFlows(), 0u);
+  EXPECT_EQ(pcrf.CountFlows(FlowType::kVideo), 0);
+}
+
+TEST(FailureInjection, QueueOverflowStormDoesNotWedgeTcp) {
+  // A tiny RLC queue under a greedy flow: continuous tail drops must
+  // leave the flow live and making progress.
+  Simulator sim;
+  CellConfig cell_config;
+  cell_config.queue_limit_bytes = 5'000;
+  Cell cell(sim, std::make_unique<PssScheduler>(), cell_config, Rng(1));
+  TransportHost host(sim, cell);
+  const UeId ue = cell.AddUe(std::make_unique<StaticItbsChannel>(7));
+  TcpFlow& tcp = host.CreateFlow(ue, FlowType::kData);
+  host.MakeGreedy(tcp.id());
+  cell.Start();
+  sim.RunUntil(FromSeconds(10.0));
+  const std::uint64_t at_10s = tcp.bytes_delivered();
+  EXPECT_GT(at_10s, 500'000u);  // still moving despite the storm
+  sim.RunUntil(FromSeconds(20.0));
+  EXPECT_GT(tcp.bytes_delivered(), at_10s + 500'000u);
+}
+
+TEST(FailureInjection, ZeroCapacityChannelStallsButDoesNotCrash) {
+  // A UE whose iTbs maps to 16 bits/RB on a 1-RB cell: 16 Kbit/s. The
+  // session must keep running (stalled) without tripping any invariant.
+  Simulator sim;
+  CellConfig cell_config;
+  cell_config.num_rbs = 1;
+  Cell cell(sim, std::make_unique<PssScheduler>(), cell_config, Rng(1));
+  TransportHost host(sim, cell);
+  const UeId ue = cell.AddUe(std::make_unique<StaticItbsChannel>(0));
+  TcpFlow& tcp = host.CreateFlow(ue, FlowType::kVideo);
+  HttpClient http(sim, tcp);
+  VideoSessionConfig vs_config;
+  VideoSession session(sim, http, MakeMpd({200, 400}, 2.0),
+                       std::make_unique<GoogleAbr>(), vs_config);
+  session.Start(0);
+  cell.Start();
+  EXPECT_NO_THROW(sim.RunUntil(FromSeconds(60.0)));
+  session.player().AdvanceTo(sim.Now());
+  // 200 Kbit/s segments on a 16 Kbit/s link: hopeless, but alive.
+  EXPECT_LE(session.segments_completed(), 3);
+}
+
+TEST(FailureInjection, AvisGatewayOutlivesItsFlows) {
+  Simulator sim;
+  Cell cell(sim, std::make_unique<PssScheduler>(), CellConfig{}, Rng(1));
+  AvisGateway gateway(sim, cell, AvisConfig{});
+  const Mpd mpd = MakeMpd(SimulationLadderKbps(), 10.0);
+  const UeId ue = cell.AddUe(std::make_unique<StaticItbsChannel>(7));
+  const FlowId flow = cell.AddFlow(ue, FlowType::kVideo);
+  gateway.RegisterVideoFlow(flow, &mpd);
+  gateway.Start();
+  cell.Start();
+  sim.At(FromSeconds(2.0), [&] { cell.RemoveFlow(flow); });
+  EXPECT_NO_THROW(sim.RunUntil(FromSeconds(10.0)));
+}
+
+TEST(FailureInjection, FlareDegradesGracefullyUnderBler) {
+  // A lossy PHY (10% TB errors + HARQ) must cost throughput, not
+  // correctness: FLARE still streams with no crash and bounded damage.
+  ScenarioConfig clean = TestbedPreset(Scheme::kFlare);
+  clean.duration_s = 120.0;
+  ScenarioConfig lossy = clean;
+  lossy.target_bler = 0.1;
+  const ScenarioResult a = RunScenario(clean);
+  const ScenarioResult b = RunScenario(lossy);
+  ASSERT_EQ(b.video.size(), 3u);
+  for (const ClientMetrics& m : b.video) {
+    EXPECT_GT(m.segments, 10);
+    EXPECT_LT(m.rebuffer_time_s, 10.0);
+  }
+  // The lossy run cannot deliver more video than the clean one.
+  EXPECT_LE(b.avg_video_bitrate_bps, a.avg_video_bitrate_bps * 1.02);
+}
+
+TEST(FailureInjection, ScenarioWithZeroVideoClients) {
+  ScenarioConfig config = SimStaticPreset(Scheme::kFlare);
+  config.duration_s = 30.0;
+  config.n_video = 0;
+  config.n_data = 2;
+  const ScenarioResult result = RunScenario(config);
+  EXPECT_TRUE(result.video.empty());
+  EXPECT_EQ(result.data_throughput_bps.size(), 2u);
+  EXPECT_GT(result.avg_data_throughput_bps, 0.0);
+}
+
+TEST(FailureInjection, ScenarioWithZeroDataClients) {
+  ScenarioConfig config = TestbedPreset(Scheme::kFlare);
+  config.duration_s = 30.0;
+  config.n_data = 0;
+  EXPECT_NO_THROW({
+    const ScenarioResult result = RunScenario(config);
+    EXPECT_EQ(result.video.size(), 3u);
+  });
+}
+
+TEST(FailureInjection, PluginAssignmentAfterSessionStops) {
+  // The OneAPI server pushes an assignment after the session stopped
+  // requesting: the plugin accepts it harmlessly.
+  FlarePlugin plugin(1);
+  plugin.SetAssignedLevel(3);
+  plugin.SetAssignedLevel(-5);  // garbage from a confused server
+  const Mpd mpd = MakeMpd(SimulationLadderKbps(), 10.0);
+  AbrContext context;
+  context.mpd = &mpd;
+  EXPECT_GE(plugin.NextRepresentation(context), 0);
+  EXPECT_LT(plugin.NextRepresentation(context),
+            mpd.NumRepresentations());
+}
+
+}  // namespace
+}  // namespace flare

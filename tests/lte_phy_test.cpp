@@ -1,0 +1,203 @@
+// Tests for the LTE PHY-abstraction pieces: TBS table, AMC mappings,
+// channel models and mobility.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lte/amc.h"
+#include "lte/channel.h"
+#include "lte/mobility.h"
+#include "lte/tbs_table.h"
+#include "util/rng.h"
+
+namespace flare {
+namespace {
+
+TEST(TbsTable, KnownCornerValues) {
+  // 36.213 Table 7.1.7.2.1-1, n_PRB = 1 column.
+  EXPECT_EQ(TbsBitsPerPrb(0), 16);
+  EXPECT_EQ(TbsBitsPerPrb(10), 144);
+  EXPECT_EQ(TbsBitsPerPrb(26), 712);
+}
+
+TEST(TbsTable, MonotoneInItbs) {
+  for (int i = kMinItbs; i < kMaxItbs; ++i) {
+    EXPECT_LT(TbsBitsPerPrb(i), TbsBitsPerPrb(i + 1)) << "itbs " << i;
+  }
+}
+
+TEST(TbsTable, LinearInPrbs) {
+  EXPECT_EQ(TbsBits(5, 10), 10 * TbsBitsPerPrb(5));
+  EXPECT_EQ(TbsBits(5, 0), 0);
+  EXPECT_EQ(TbsBits(5, -3), 0);
+}
+
+TEST(TbsTable, ClampsOutOfRangeItbs) {
+  EXPECT_EQ(TbsBitsPerPrb(-5), TbsBitsPerPrb(kMinItbs));
+  EXPECT_EQ(TbsBitsPerPrb(100), TbsBitsPerPrb(kMaxItbs));
+}
+
+TEST(TbsTable, CellRate) {
+  // 50 PRBs every 1 ms at iTbs 7 (104 bits/PRB) = 5.2 Mbit/s.
+  EXPECT_DOUBLE_EQ(ItbsToCellRateBps(7, 50), 5.2e6);
+}
+
+TEST(Amc, CqiRangeCovered) {
+  EXPECT_EQ(SinrDbToCqi(-100.0), kMinCqi);  // stays attached at CQI 1
+  EXPECT_EQ(SinrDbToCqi(100.0), kMaxCqi);
+}
+
+TEST(Amc, MonotoneSinrToCqi) {
+  int prev = 0;
+  for (double sinr = -10.0; sinr <= 25.0; sinr += 0.5) {
+    const int cqi = SinrDbToCqi(sinr);
+    EXPECT_GE(cqi, prev);
+    prev = cqi;
+  }
+}
+
+TEST(Amc, MonotoneCqiToItbs) {
+  int prev = -1;
+  for (int cqi = kMinCqi; cqi <= kMaxCqi; ++cqi) {
+    const int itbs = CqiToItbs(cqi);
+    EXPECT_GE(itbs, prev);
+    EXPECT_GE(itbs, kMinItbs);
+    EXPECT_LE(itbs, kMaxItbs);
+    prev = itbs;
+  }
+}
+
+TEST(Amc, TopCqiReachesTopItbs) { EXPECT_EQ(CqiToItbs(15), kMaxItbs); }
+
+TEST(Channel, StaticItbsIsConstant) {
+  StaticItbsChannel channel(9);
+  EXPECT_EQ(channel.ItbsAt(0), 9);
+  EXPECT_EQ(channel.ItbsAt(FromSeconds(1000)), 9);
+}
+
+TEST(Channel, TriangleSweepsFullRange) {
+  const auto schedule =
+      TriangleItbsSchedule(1, 12, FromSeconds(240), 0);
+  std::set<int> seen;
+  for (double t = 0.0; t < 240.0; t += 1.0) {
+    const int itbs = schedule(FromSeconds(t));
+    EXPECT_GE(itbs, 1);
+    EXPECT_LE(itbs, 12);
+    seen.insert(itbs);
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), 12);
+}
+
+TEST(Channel, TriangleRisesThenFalls) {
+  const auto schedule =
+      TriangleItbsSchedule(1, 12, FromSeconds(240), 0);
+  EXPECT_EQ(schedule(0), 1);
+  EXPECT_EQ(schedule(FromSeconds(120)), 12);  // peak at half period
+  EXPECT_EQ(schedule(FromSeconds(240)), 1);   // back to start
+  EXPECT_LT(schedule(FromSeconds(30)), schedule(FromSeconds(60)));
+  EXPECT_GT(schedule(FromSeconds(150)), schedule(FromSeconds(200)));
+}
+
+TEST(Channel, TriangleOffsetShiftsPhase) {
+  const SimTime period = FromSeconds(240);
+  const auto base = TriangleItbsSchedule(1, 12, period, 0);
+  const auto shifted = TriangleItbsSchedule(1, 12, period, period / 2);
+  EXPECT_EQ(shifted(0), base(period / 2));
+}
+
+TEST(Channel, PathlossGrowsWithDistance) {
+  EXPECT_LT(PathlossDb(100.0), PathlossDb(500.0));
+  EXPECT_LT(PathlossDb(500.0), PathlossDb(1400.0));
+  // 3GPP macro at 1 km: 128.1 dB.
+  EXPECT_NEAR(PathlossDb(1000.0), 128.1, 1e-9);
+}
+
+TEST(Channel, FadedMobilityNearVsFar) {
+  RadioConfig radio;
+  Rng rng(5);
+  FadedMobilityChannel near_channel(
+      std::make_shared<StaticMobility>(Position{50.0, 0.0}), radio,
+      rng.Fork(1));
+  FadedMobilityChannel far_channel(
+      std::make_shared<StaticMobility>(Position{1300.0, 0.0}), radio,
+      rng.Fork(2));
+  // Average over fading: near should beat far decisively.
+  double near_sum = 0.0;
+  double far_sum = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    near_sum += near_channel.ItbsAt(FromSeconds(i * 0.1));
+    far_sum += far_channel.ItbsAt(FromSeconds(i * 0.1));
+  }
+  EXPECT_GT(near_sum, far_sum);
+  EXPECT_GE(far_sum / 100.0, kMinItbs);
+}
+
+TEST(Channel, FadingVariesOverTime) {
+  RadioConfig radio;
+  Rng rng(6);
+  FadedMobilityChannel channel(
+      std::make_shared<StaticMobility>(Position{400.0, 0.0}), radio,
+      rng.Fork(3));
+  std::set<double> sinrs;
+  for (int i = 0; i < 200; ++i) {
+    sinrs.insert(channel.SinrDbAt(FromSeconds(i * 0.05)));
+  }
+  EXPECT_GT(sinrs.size(), 10u);  // trace-based fading moves the SINR
+}
+
+TEST(Mobility, StaticStaysPut) {
+  StaticMobility m(Position{3.0, 4.0});
+  const Position p = m.At(FromSeconds(100));
+  EXPECT_EQ(p.x, 3.0);
+  EXPECT_EQ(p.y, 4.0);
+}
+
+TEST(Mobility, RandomWaypointStaysInArea) {
+  RandomWaypointConfig config;
+  config.area_m = 1000.0;
+  RandomWaypointMobility m(config, Rng(11));
+  for (double t = 0.0; t < 600.0; t += 1.0) {
+    const Position p = m.At(FromSeconds(t));
+    EXPECT_GE(p.x, -500.0);
+    EXPECT_LE(p.x, 500.0);
+    EXPECT_GE(p.y, -500.0);
+    EXPECT_LE(p.y, 500.0);
+  }
+}
+
+TEST(Mobility, RandomWaypointActuallyMoves) {
+  RandomWaypointConfig config;
+  RandomWaypointMobility m(config, Rng(12));
+  const Position a = m.At(0);
+  const Position b = m.At(FromSeconds(30));
+  const double dist = std::hypot(a.x - b.x, a.y - b.y);
+  EXPECT_GT(dist, 10.0);  // vehicular speeds cover >10 m in 30 s
+}
+
+TEST(Mobility, SpeedIsBounded) {
+  RandomWaypointConfig config;
+  config.min_speed_mps = 10.0;
+  config.max_speed_mps = 30.0;
+  RandomWaypointMobility m(config, Rng(13));
+  Position prev = m.At(0);
+  for (double t = 1.0; t < 300.0; t += 1.0) {
+    const Position p = m.At(FromSeconds(t));
+    const double speed = std::hypot(p.x - prev.x, p.y - prev.y);
+    EXPECT_LE(speed, 30.0 * 1.42 + 1e-6);  // diagonal waypoint switches
+    prev = p;
+  }
+}
+
+TEST(Mobility, RandomPlacementInSquare) {
+  Rng rng(14);
+  for (int i = 0; i < 100; ++i) {
+    const Position p = RandomPositionInSquare(2000.0, rng);
+    EXPECT_GE(p.x, -1000.0);
+    EXPECT_LE(p.x, 1000.0);
+    EXPECT_GE(p.y, -1000.0);
+    EXPECT_LE(p.y, 1000.0);
+  }
+}
+
+}  // namespace
+}  // namespace flare

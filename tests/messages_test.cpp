@@ -1,0 +1,151 @@
+// Tests for the OneAPI wire-message codec: round trips, field coverage,
+// and strict rejection of malformed input (including fuzz-ish mutations).
+#include <gtest/gtest.h>
+
+#include "net/messages.h"
+#include "util/rng.h"
+
+namespace flare {
+namespace {
+
+ClientInfo SampleInfo() {
+  ClientInfo info;
+  info.flow = 42;
+  info.ladder_bps = {100e3, 250e3, 500e3, 1000e3};
+  info.max_level = 2;
+  VideoUtilityParams utility;
+  utility.beta = 12.0;
+  utility.theta_bps = 0.3e6;
+  info.utility = utility;
+  info.skimming = true;
+  return info;
+}
+
+TEST(Messages, ClientInfoRoundTrip) {
+  const ClientInfo original = SampleInfo();
+  const auto decoded = DecodeClientInfo(EncodeClientInfo(original));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->flow, original.flow);
+  EXPECT_EQ(decoded->ladder_bps, original.ladder_bps);
+  EXPECT_EQ(decoded->max_level, original.max_level);
+  ASSERT_TRUE(decoded->utility.has_value());
+  EXPECT_DOUBLE_EQ(decoded->utility->beta, 12.0);
+  EXPECT_DOUBLE_EQ(decoded->utility->theta_bps, 0.3e6);
+  EXPECT_TRUE(decoded->skimming);
+}
+
+TEST(Messages, ClientInfoOptionalFieldsAbsent) {
+  ClientInfo info;
+  info.flow = 7;
+  info.ladder_bps = {200e3};
+  const auto decoded = DecodeClientInfo(EncodeClientInfo(info));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(decoded->max_level.has_value());
+  EXPECT_FALSE(decoded->utility.has_value());
+  EXPECT_FALSE(decoded->skimming);
+}
+
+TEST(Messages, ClientInfoRejectsMalformed) {
+  EXPECT_FALSE(DecodeClientInfo("").has_value());
+  EXPECT_FALSE(DecodeClientInfo("garbage").has_value());
+  EXPECT_FALSE(DecodeClientInfo("type=rate_assignment;flow=1").has_value());
+  EXPECT_FALSE(DecodeClientInfo("type=client_info;flow=1").has_value());
+  EXPECT_FALSE(
+      DecodeClientInfo("type=client_info;flow=x;ladder=100").has_value());
+  EXPECT_FALSE(
+      DecodeClientInfo("type=client_info;flow=1;ladder=10,abc")
+          .has_value());
+  EXPECT_FALSE(DecodeClientInfo("=1;type=client_info").has_value());
+}
+
+TEST(Messages, RateAssignmentRoundTrip) {
+  RateAssignmentMsg msg;
+  msg.flow = 9;
+  msg.level = 3;
+  msg.rate_bps = 790e3;
+  msg.gbr_bps = 869e3;
+  const auto decoded = DecodeRateAssignment(EncodeRateAssignment(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->flow, msg.flow);
+  EXPECT_EQ(decoded->level, msg.level);
+  EXPECT_DOUBLE_EQ(decoded->rate_bps, msg.rate_bps);
+  EXPECT_DOUBLE_EQ(decoded->gbr_bps, msg.gbr_bps);
+}
+
+TEST(Messages, RateAssignmentRejectsMissingFields) {
+  EXPECT_FALSE(DecodeRateAssignment("type=rate_assignment;flow=1;level=2")
+                   .has_value());
+  EXPECT_FALSE(DecodeRateAssignment("type=client_info;flow=1").has_value());
+}
+
+TEST(Messages, StatsReportRoundTrip) {
+  FlowStatsReport report;
+  report.flow = 11;
+  report.type = FlowType::kVideo;
+  report.tx_bytes = 123456;
+  report.rbs = 999;
+  report.throughput_bps = 1.23e6;
+  report.rb_utilization = 0.42;
+  const auto decoded = DecodeStatsReport(EncodeStatsReport(report));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->flow, report.flow);
+  EXPECT_EQ(decoded->type, FlowType::kVideo);
+  EXPECT_EQ(decoded->tx_bytes, report.tx_bytes);
+  EXPECT_EQ(decoded->rbs, report.rbs);
+  EXPECT_DOUBLE_EQ(decoded->throughput_bps, report.throughput_bps);
+  EXPECT_DOUBLE_EQ(decoded->rb_utilization, report.rb_utilization);
+}
+
+TEST(Messages, StatsReportDataClass) {
+  FlowStatsReport report;
+  report.flow = 1;
+  report.type = FlowType::kData;
+  const auto decoded = DecodeStatsReport(EncodeStatsReport(report));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, FlowType::kData);
+}
+
+TEST(Messages, StatsReportRejectsBadClass) {
+  EXPECT_FALSE(
+      DecodeStatsReport("type=stats_report;flow=1;class=voice;"
+                        "tx_bytes=1;rbs=1;tput=1;rb_util=0.1")
+          .has_value());
+}
+
+TEST(Messages, MutatedWiresNeverCrashAndRarelyParse) {
+  // Fuzz-ish: random mutations of a valid message must either decode to
+  // something or be rejected — never crash or throw.
+  const std::string valid = EncodeClientInfo(SampleInfo());
+  Rng rng(123);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = valid;
+    const int mutations = static_cast<int>(rng.UniformInt(1, 5));
+    for (int m = 0; m < mutations; ++m) {
+      const auto pos = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(mutated.size()) - 1));
+      switch (rng.UniformInt(0, 2)) {
+        case 0:
+          mutated[pos] = static_cast<char>(rng.UniformInt(32, 126));
+          break;
+        case 1:
+          mutated.erase(pos, 1);
+          break;
+        default:
+          mutated.insert(pos, 1,
+                         static_cast<char>(rng.UniformInt(32, 126)));
+          break;
+      }
+      if (mutated.empty()) mutated = "x";
+    }
+    EXPECT_NO_THROW({
+      const auto decoded = DecodeClientInfo(mutated);
+      if (decoded) {
+        // Whatever parsed must still be structurally sane.
+        EXPECT_FALSE(decoded->ladder_bps.empty());
+      }
+    });
+  }
+}
+
+}  // namespace
+}  // namespace flare

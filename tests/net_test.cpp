@@ -1,0 +1,305 @@
+// Tests for the coordination layer: PCRF, PCEF, FLARE plugin, and the
+// OneAPI server's BAI loop over a live cell.
+#include <gtest/gtest.h>
+
+#include "lte/cell.h"
+#include "lte/gbr_scheduler.h"
+#include "net/flare_plugin.h"
+#include "net/oneapi_server.h"
+#include "net/pcef.h"
+#include "net/pcrf.h"
+#include "sim/simulator.h"
+
+namespace flare {
+namespace {
+
+TEST(Pcrf, RegistryCountsByType) {
+  Pcrf pcrf;
+  pcrf.RegisterFlow(1, FlowType::kVideo);
+  pcrf.RegisterFlow(2, FlowType::kData);
+  pcrf.RegisterFlow(3, FlowType::kData);
+  EXPECT_EQ(pcrf.CountFlows(FlowType::kVideo), 1);
+  EXPECT_EQ(pcrf.CountFlows(FlowType::kData), 2);
+  EXPECT_TRUE(pcrf.Knows(2));
+  pcrf.DeregisterFlow(2);
+  EXPECT_EQ(pcrf.CountFlows(FlowType::kData), 1);
+  EXPECT_FALSE(pcrf.Knows(2));
+}
+
+TEST(Pcrf, ReRegisteringChangesType) {
+  Pcrf pcrf;
+  pcrf.RegisterFlow(1, FlowType::kVideo);
+  pcrf.RegisterFlow(1, FlowType::kData);
+  EXPECT_EQ(pcrf.CountFlows(FlowType::kVideo), 0);
+  EXPECT_EQ(pcrf.CountFlows(FlowType::kData), 1);
+}
+
+TEST(Pcrf, CellScopedCounts) {
+  Pcrf pcrf;
+  pcrf.RegisterFlow(1, FlowType::kData, /*cell=*/0);
+  pcrf.RegisterFlow(1, FlowType::kVideo, /*cell=*/1);  // same id, new cell
+  pcrf.RegisterFlow(2, FlowType::kData, /*cell=*/1);
+  EXPECT_EQ(pcrf.CountFlows(FlowType::kData, 0), 1);
+  EXPECT_EQ(pcrf.CountFlows(FlowType::kData, 1), 1);
+  EXPECT_EQ(pcrf.CountFlows(FlowType::kVideo, 1), 1);
+  EXPECT_EQ(pcrf.CountFlowsAllCells(FlowType::kData), 2);
+  EXPECT_TRUE(pcrf.Knows(1, 1));
+  EXPECT_FALSE(pcrf.Knows(2, 0));
+  pcrf.DeregisterFlow(1, 1);
+  EXPECT_EQ(pcrf.CountFlows(FlowType::kVideo, 1), 0);
+  EXPECT_EQ(pcrf.CountFlows(FlowType::kData, 0), 1);  // untouched
+}
+
+struct ControlNet {
+  Simulator sim;
+  Cell cell;
+  ControlNet()
+      : cell(sim, std::make_unique<TwoPhaseGbrScheduler>(), CellConfig{},
+             Rng(1)) {}
+};
+
+TEST(Pcef, EnforcesGbrAfterLatency) {
+  ControlNet net;
+  const UeId ue = net.cell.AddUe(std::make_unique<StaticItbsChannel>(7));
+  const FlowId flow = net.cell.AddFlow(ue, FlowType::kVideo);
+  Pcef pcef(net.sim, net.cell, 20 * kMillisecond);
+  pcef.EnforceGbr(flow, 1.5e6);
+  EXPECT_DOUBLE_EQ(net.cell.flow(flow).gbr_bps, 0.0);  // not yet
+  net.sim.RunUntil(30 * kMillisecond);
+  EXPECT_DOUBLE_EQ(net.cell.flow(flow).gbr_bps, 1.5e6);
+}
+
+TEST(Pcef, SkipsRemovedFlows) {
+  ControlNet net;
+  const UeId ue = net.cell.AddUe(std::make_unique<StaticItbsChannel>(7));
+  const FlowId flow = net.cell.AddFlow(ue, FlowType::kVideo);
+  Pcef pcef(net.sim, net.cell, 20 * kMillisecond);
+  pcef.EnforceGbr(flow, 1.5e6);
+  net.cell.RemoveFlow(flow);
+  EXPECT_NO_THROW(net.sim.RunUntil(50 * kMillisecond));
+}
+
+TEST(FlarePlugin, RequestsAssignedLevel) {
+  const Mpd mpd = MakeMpd(SimulationLadderKbps(), 10.0);
+  FlarePlugin plugin(7);
+  AbrContext c;
+  c.mpd = &mpd;
+  EXPECT_EQ(plugin.NextRepresentation(c), 0);  // pre-assignment default
+  plugin.SetAssignedLevel(4);
+  EXPECT_EQ(plugin.NextRepresentation(c), 4);
+  plugin.SetAssignedLevel(99);
+  EXPECT_EQ(plugin.NextRepresentation(c), 5);  // clamped to ladder top
+}
+
+TEST(FlarePlugin, ClientCapBindsLocally) {
+  const Mpd mpd = MakeMpd(SimulationLadderKbps(), 10.0);
+  FlarePlugin plugin(7);
+  plugin.SetMaxLevel(2);
+  plugin.SetAssignedLevel(5);
+  AbrContext c;
+  c.mpd = &mpd;
+  EXPECT_EQ(plugin.NextRepresentation(c), 2);
+}
+
+TEST(FlarePlugin, ClientInfoStripsIdentity) {
+  const Mpd mpd = MakeMpd({100, 200}, 4.0, 600.0, "top-secret-title");
+  FlarePlugin plugin(3);
+  plugin.SetMaxLevel(1);
+  const ClientInfo info = plugin.BuildClientInfo(mpd);
+  EXPECT_EQ(info.flow, 3u);
+  EXPECT_EQ(info.ladder_bps.size(), 2u);
+  EXPECT_EQ(info.max_level, 1);
+  // ClientInfo deliberately has no title/duration fields; the assertion
+  // here is structural: only bitrates and opt-in constraints cross.
+  EXPECT_FALSE(info.utility.has_value());
+}
+
+struct ServerFixture {
+  Simulator sim;
+  Cell cell;
+  Pcrf pcrf;
+  Pcef pcef;
+  OneApiConfig config;
+  ServerFixture()
+      : cell(sim, std::make_unique<TwoPhaseGbrScheduler>(), CellConfig{},
+             Rng(1)),
+        pcef(sim, cell, 10 * kMillisecond) {}
+  OneApiServer MakeServer() {
+    return OneApiServer(sim, cell, pcrf, pcef, config);
+  }
+};
+
+TEST(OneApiServer, RegistersClientAfterUplinkLatency) {
+  ServerFixture f;
+  OneApiServer server = f.MakeServer();
+  const UeId ue = f.cell.AddUe(std::make_unique<StaticItbsChannel>(7));
+  const FlowId flow = f.cell.AddFlow(ue, FlowType::kVideo);
+  FlarePlugin plugin(flow);
+  const Mpd mpd = MakeMpd(SimulationLadderKbps(), 10.0);
+  server.ConnectVideoClient(&plugin, mpd);
+  EXPECT_FALSE(server.controller().HasFlow(flow));
+  f.sim.RunUntil(50 * kMillisecond);
+  EXPECT_TRUE(server.controller().HasFlow(flow));
+  EXPECT_EQ(f.pcrf.CountFlows(FlowType::kVideo), 1);
+}
+
+TEST(OneApiServer, BaiAssignsRatesAndEnforcesBothSides) {
+  ServerFixture f;
+  f.config.bai = FromSeconds(1.0);
+  OneApiServer server = f.MakeServer();
+  const UeId ue = f.cell.AddUe(std::make_unique<StaticItbsChannel>(7));
+  const FlowId flow = f.cell.AddFlow(ue, FlowType::kVideo);
+  FlarePlugin plugin(flow);
+  const Mpd mpd = MakeMpd(SimulationLadderKbps(), 10.0);
+  server.ConnectVideoClient(&plugin, mpd);
+  server.Start();
+  f.cell.Start();
+  f.sim.RunUntil(FromSeconds(1.2));
+
+  // First BAI at t=1 s: lowest rung assigned, GBR set with headroom.
+  ASSERT_TRUE(plugin.assigned_level().has_value());
+  EXPECT_EQ(*plugin.assigned_level(), 0);
+  EXPECT_NEAR(f.cell.flow(flow).gbr_bps, 100e3 * f.config.gbr_headroom,
+              1.0);
+  EXPECT_EQ(server.solve_times_ms().size(), 1u);
+}
+
+TEST(OneApiServer, LevelsClimbOverBais) {
+  ServerFixture f;
+  f.config.bai = FromSeconds(1.0);
+  f.config.params.delta = 1;
+  OneApiServer server = f.MakeServer();
+  const UeId ue = f.cell.AddUe(std::make_unique<StaticItbsChannel>(7));
+  const FlowId flow = f.cell.AddFlow(ue, FlowType::kVideo);
+  FlarePlugin plugin(flow);
+  const Mpd mpd = MakeMpd(SimulationLadderKbps(), 10.0);
+  server.ConnectVideoClient(&plugin, mpd);
+  server.Start();
+  f.cell.Start();
+  // Keep the flow busy so the trace window has realistic e_u samples.
+  f.sim.Every(FromSeconds(0.1), FromSeconds(0.1),
+              [&] { f.cell.Enqueue(flow, 20'000); });
+  f.sim.RunUntil(FromSeconds(30.0));
+  EXPECT_GE(server.controller().CurrentLevel(flow), 3);
+  EXPECT_EQ(server.solve_times_ms().size(), 30u);
+  EXPECT_EQ(server.video_fractions().size(), 30u);
+}
+
+TEST(OneApiServer, DisconnectRemovesFlow) {
+  ServerFixture f;
+  OneApiServer server = f.MakeServer();
+  const UeId ue = f.cell.AddUe(std::make_unique<StaticItbsChannel>(7));
+  const FlowId flow = f.cell.AddFlow(ue, FlowType::kVideo);
+  FlarePlugin plugin(flow);
+  server.ConnectVideoClient(&plugin,
+                            MakeMpd(SimulationLadderKbps(), 10.0));
+  f.sim.RunUntil(FromSeconds(0.1));
+  server.DisconnectVideoClient(flow);
+  EXPECT_FALSE(server.controller().HasFlow(flow));
+  EXPECT_EQ(f.pcrf.CountFlows(FlowType::kVideo), 0);
+  EXPECT_NO_THROW(server.RunBai());
+}
+
+TEST(OneApiServer, DataFlowCountReachesOptimizer) {
+  // With many data flows the first assignments should stay low even after
+  // several BAIs (log term holds video back on a small cell).
+  ServerFixture f;
+  f.config.bai = FromSeconds(1.0);
+  f.config.params.delta = 1;
+  f.config.params.alpha = 4.0;
+  OneApiServer server = f.MakeServer();
+  const UeId ue = f.cell.AddUe(std::make_unique<StaticItbsChannel>(2));
+  const FlowId flow = f.cell.AddFlow(ue, FlowType::kVideo);
+  FlarePlugin plugin(flow);
+  server.ConnectVideoClient(&plugin,
+                            MakeMpd(SimulationLadderKbps(), 10.0));
+  for (FlowId d = 100; d < 108; ++d) {
+    f.pcrf.RegisterFlow(d, FlowType::kData);
+  }
+  server.Start();
+  f.cell.Start();
+  f.sim.RunUntil(FromSeconds(20.0));
+  // 1.6 Mbit/s cell, 8 data flows, alpha 4: video must sit near the floor.
+  EXPECT_LE(server.controller().CurrentLevel(flow), 1);
+}
+
+TEST(OneApiServer, SkimmingClientPinnedToMinimumBitrate) {
+  ServerFixture f;
+  f.config.bai = FromSeconds(1.0);
+  f.config.params.delta = 1;
+  OneApiServer server = f.MakeServer();
+  const UeId ue = f.cell.AddUe(std::make_unique<StaticItbsChannel>(7));
+  const FlowId flow = f.cell.AddFlow(ue, FlowType::kVideo);
+  FlarePlugin plugin(flow);
+  const Mpd mpd = MakeMpd(SimulationLadderKbps(), 10.0);
+  server.ConnectVideoClient(&plugin, mpd);
+  server.Start();
+  f.cell.Start();
+  f.sim.Every(FromSeconds(0.1), FromSeconds(0.1),
+              [&] { f.cell.Enqueue(flow, 20'000); });
+  f.sim.RunUntil(FromSeconds(15.0));
+  const int before = server.controller().CurrentLevel(flow);
+  EXPECT_GE(before, 2);  // climbed while watching normally
+
+  // The viewer starts skimming (frequent seeks); the client shares its
+  // clickstream state and the server pins the flow to the lowest rung.
+  plugin.SetSkimming(true);
+  server.UpdateClientInfo(flow, plugin.BuildClientInfo(mpd));
+  f.sim.RunUntil(FromSeconds(18.0));
+  EXPECT_EQ(server.controller().CurrentLevel(flow), 0);
+
+  // Normal viewing resumes: the flow climbs again.
+  plugin.SetSkimming(false);
+  server.UpdateClientInfo(flow, plugin.BuildClientInfo(mpd));
+  f.sim.RunUntil(FromSeconds(40.0));
+  EXPECT_GE(server.controller().CurrentLevel(flow), 2);
+}
+
+TEST(OneApiServer, MidSessionCostCapApplies) {
+  ServerFixture f;
+  f.config.bai = FromSeconds(1.0);
+  f.config.params.delta = 1;
+  OneApiServer server = f.MakeServer();
+  const UeId ue = f.cell.AddUe(std::make_unique<StaticItbsChannel>(7));
+  const FlowId flow = f.cell.AddFlow(ue, FlowType::kVideo);
+  FlarePlugin plugin(flow);
+  const Mpd mpd = MakeMpd(SimulationLadderKbps(), 10.0);
+  server.ConnectVideoClient(&plugin, mpd);
+  server.Start();
+  f.cell.Start();
+  f.sim.Every(FromSeconds(0.1), FromSeconds(0.1),
+              [&] { f.cell.Enqueue(flow, 20'000); });
+  f.sim.RunUntil(FromSeconds(20.0));
+  EXPECT_GT(server.controller().CurrentLevel(flow), 1);
+
+  // Mobile-data cost cap kicks in: client limits itself to rung 1.
+  plugin.SetMaxLevel(1);
+  server.UpdateClientInfo(flow, plugin.BuildClientInfo(mpd));
+  f.sim.RunUntil(FromSeconds(25.0));
+  EXPECT_LE(server.controller().CurrentLevel(flow), 1);
+}
+
+TEST(OneApiServer, UpdateForUnknownFlowIsIgnored) {
+  ServerFixture f;
+  OneApiServer server = f.MakeServer();
+  ClientInfo info;
+  info.flow = 42;
+  EXPECT_NO_THROW(server.UpdateClientInfo(42, info));
+  EXPECT_NO_THROW(f.sim.RunUntil(FromSeconds(1.0)));
+}
+
+TEST(OneApiServer, HandlesVanishedCellFlow) {
+  ServerFixture f;
+  OneApiServer server = f.MakeServer();
+  const UeId ue = f.cell.AddUe(std::make_unique<StaticItbsChannel>(7));
+  const FlowId flow = f.cell.AddFlow(ue, FlowType::kVideo);
+  FlarePlugin plugin(flow);
+  server.ConnectVideoClient(&plugin,
+                            MakeMpd(SimulationLadderKbps(), 10.0));
+  f.sim.RunUntil(FromSeconds(0.1));
+  f.cell.RemoveFlow(flow);  // bearer torn down, server not yet told
+  EXPECT_NO_THROW(server.RunBai());
+}
+
+}  // namespace
+}  // namespace flare

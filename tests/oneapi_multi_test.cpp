@@ -1,0 +1,124 @@
+// Tests for the multi-cell OneAPI server: independent per-cell bitrate
+// calculation over a shared PCRF, as Section II-A describes.
+#include <gtest/gtest.h>
+
+#include "lte/gbr_scheduler.h"
+#include "net/oneapi_multi.h"
+#include "sim/simulator.h"
+
+namespace flare {
+namespace {
+
+struct MultiFixture {
+  Simulator sim;
+  Pcrf pcrf;
+  OneApiConfig config;
+  std::unique_ptr<Cell> MakeCell(int itbs) {
+    auto cell = std::make_unique<Cell>(
+        sim, std::make_unique<TwoPhaseGbrScheduler>(), CellConfig{},
+        Rng(1));
+    cell->AddUe(std::make_unique<StaticItbsChannel>(itbs));
+    return cell;
+  }
+};
+
+TEST(OneApiMulti, ManagesIndependentCells) {
+  MultiFixture f;
+  f.config.bai = FromSeconds(1.0);
+  f.config.params.delta = 1;
+  OneApiMultiServer server(f.sim, f.pcrf, f.config);
+
+  auto rich_cell = f.MakeCell(20);  // 440 bits/RB: plenty of capacity
+  auto poor_cell = f.MakeCell(0);   // 16 bits/RB: 0.8 Mbit/s cell
+  const CellId rich = server.AddCell(*rich_cell);
+  const CellId poor = server.AddCell(*poor_cell);
+  ASSERT_EQ(server.NumCells(), 2u);
+
+  const Mpd mpd = MakeMpd(SimulationLadderKbps(), 10.0);
+  const FlowId rich_flow = rich_cell->AddFlow(0, FlowType::kVideo);
+  const FlowId poor_flow = poor_cell->AddFlow(0, FlowType::kVideo);
+  FlarePlugin rich_plugin(rich_flow);
+  FlarePlugin poor_plugin(poor_flow);
+  server.ConnectVideoClient(rich, &rich_plugin, mpd);
+  server.ConnectVideoClient(poor, &poor_plugin, mpd);
+
+  server.Start();
+  rich_cell->Start();
+  poor_cell->Start();
+  // Keep both flows lightly loaded so trace windows have data.
+  f.sim.Every(FromSeconds(0.1), FromSeconds(0.1), [&] {
+    rich_cell->Enqueue(rich_flow, 30'000);
+    poor_cell->Enqueue(poor_flow, 2'000);
+  });
+  f.sim.RunUntil(FromSeconds(60.0));
+
+  // Bitrates are computed independently per cell: the rich cell's client
+  // climbs to the top rungs; the poor cell's is capacity-capped at rung 2
+  // (1000 Kbps would cost 62.5k RB/s of the 50k available at 16 bits/RB).
+  EXPECT_GE(server.cell_server(rich).controller().CurrentLevel(rich_flow),
+            4);
+  EXPECT_LE(server.cell_server(poor).controller().CurrentLevel(poor_flow),
+            2);
+  // Both cells enforced their GBRs.
+  EXPECT_GT(rich_cell->flow(rich_flow).gbr_bps,
+            poor_cell->flow(poor_flow).gbr_bps);
+}
+
+TEST(OneApiMulti, SharedPcrfKeepsCellsSeparate) {
+  MultiFixture f;
+  OneApiMultiServer server(f.sim, f.pcrf, f.config);
+  auto cell_a = f.MakeCell(10);
+  auto cell_b = f.MakeCell(10);
+  const CellId a = server.AddCell(*cell_a);
+  const CellId b = server.AddCell(*cell_b);
+
+  const Mpd mpd = MakeMpd(SimulationLadderKbps(), 10.0);
+  const FlowId flow_a = cell_a->AddFlow(0, FlowType::kVideo);
+  const FlowId flow_b = cell_b->AddFlow(0, FlowType::kVideo);
+  FlarePlugin plugin_a(flow_a);
+  FlarePlugin plugin_b(flow_b);
+  server.ConnectVideoClient(a, &plugin_a, mpd);
+  server.ConnectVideoClient(b, &plugin_b, mpd);
+  f.sim.RunUntil(FromSeconds(0.1));
+
+  // Flow ids collide across cells (both cells number from 1); the PCRF
+  // cell tags keep them distinct.
+  EXPECT_EQ(flow_a, flow_b);
+  EXPECT_EQ(f.pcrf.CountFlows(FlowType::kVideo, a), 1);
+  EXPECT_EQ(f.pcrf.CountFlows(FlowType::kVideo, b), 1);
+  EXPECT_EQ(f.pcrf.CountFlowsAllCells(FlowType::kVideo), 2);
+
+  server.DisconnectVideoClient(a, flow_a);
+  EXPECT_EQ(f.pcrf.CountFlows(FlowType::kVideo, a), 0);
+  EXPECT_EQ(f.pcrf.CountFlows(FlowType::kVideo, b), 1);
+}
+
+TEST(OneApiMulti, CellAddedAfterStartIsServed) {
+  MultiFixture f;
+  f.config.bai = FromSeconds(1.0);
+  OneApiMultiServer server(f.sim, f.pcrf, f.config);
+  server.Start();
+
+  auto cell = f.MakeCell(10);
+  const CellId id = server.AddCell(*cell);
+  const Mpd mpd = MakeMpd(SimulationLadderKbps(), 10.0);
+  const FlowId flow = cell->AddFlow(0, FlowType::kVideo);
+  FlarePlugin plugin(flow);
+  server.ConnectVideoClient(id, &plugin, mpd);
+  cell->Start();
+  f.sim.RunUntil(FromSeconds(3.0));
+  EXPECT_TRUE(plugin.assigned_level().has_value());
+}
+
+TEST(OneApiMulti, UnknownCellThrows) {
+  MultiFixture f;
+  OneApiMultiServer server(f.sim, f.pcrf, f.config);
+  EXPECT_THROW(server.cell_server(99), std::out_of_range);
+  FlarePlugin plugin(1);
+  EXPECT_THROW(server.ConnectVideoClient(99, &plugin,
+                                         MakeMpd({100}, 10.0)),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace flare

@@ -1,0 +1,355 @@
+// Tests for FLARE's bitrate optimization (problem (3)-(4)): the utility
+// model, the closed-form continuous solver (Proposition 1), the greedy
+// discrete solver, and cross-validation against exhaustive search.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/optimizer.h"
+#include "util/rng.h"
+
+namespace flare {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+OptFlow MakeFlow(std::vector<double> ladder_kbps, double bits_per_rb = 104,
+                 int min_level = 0, int max_level = -1) {
+  OptFlow f;
+  for (double kbps : ladder_kbps) f.ladder_bps.push_back(kbps * 1000.0);
+  f.bits_per_rb = bits_per_rb;
+  f.min_level = min_level;
+  f.max_level =
+      max_level < 0 ? static_cast<int>(f.ladder_bps.size()) - 1 : max_level;
+  return f;
+}
+
+OptProblem TestbedProblem(int n_flows, int n_data, double alpha = 1.0) {
+  OptProblem p;
+  p.n_data_flows = n_data;
+  p.alpha = alpha;
+  p.rb_rate = 50'000.0;
+  for (int i = 0; i < n_flows; ++i) {
+    p.flows.push_back(MakeFlow({200, 310, 450, 790, 1100, 1320, 2280,
+                                2750}));
+  }
+  return p;
+}
+
+TEST(Utility, VideoUtilitySaturatesAtOne) {
+  VideoUtilityParams params;  // beta = 10, theta = 0.2 Mbps
+  EXPECT_NEAR(VideoUtility(0.2e6, params), 0.0, 1e-12);  // R = theta -> 0
+  EXPECT_LT(VideoUtility(1e12, params), params.beta);    // asymptote
+  EXPECT_GT(VideoUtility(1e12, params), params.beta * 0.999);
+}
+
+TEST(Utility, VideoUtilityMonotoneConcave) {
+  VideoUtilityParams params;
+  double prev = -kInf;
+  double prev_gain = kInf;
+  for (double r = 0.1e6; r <= 3.0e6; r += 0.1e6) {
+    const double u = VideoUtility(r, params);
+    EXPECT_GT(u, prev);
+    const double gain = u - (prev == -kInf ? u : prev);
+    if (prev != -kInf) {
+      EXPECT_LE(gain, prev_gain + 1e-12);  // decreasing marginal utility
+      prev_gain = gain;
+    }
+    prev = u;
+  }
+}
+
+TEST(Utility, DerivativeMatchesFiniteDifference) {
+  VideoUtilityParams params;
+  const double r = 0.8e6;
+  const double h = 1.0;
+  const double fd =
+      (VideoUtility(r + h, params) - VideoUtility(r - h, params)) / (2 * h);
+  EXPECT_NEAR(VideoUtilityDerivative(r, params), fd, 1e-12);
+}
+
+TEST(Utility, DataUtilityShapes) {
+  EXPECT_DOUBLE_EQ(DataUtility(0, 1.0, 0.5), 0.0);  // no data flows
+  EXPECT_DOUBLE_EQ(DataUtility(3, 1.0, 0.0), 0.0);  // r = 0 -> log 1
+  EXPECT_LT(DataUtility(3, 1.0, 0.5), 0.0);
+  EXPECT_EQ(DataUtility(3, 1.0, 1.0), -kInf);
+  // Scales linearly in n and alpha.
+  EXPECT_DOUBLE_EQ(DataUtility(4, 2.0, 0.5), 8.0 * std::log(0.5));
+}
+
+TEST(Validate, RejectsBadProblems) {
+  OptProblem p = TestbedProblem(1, 0);
+  p.rb_rate = 0.0;
+  EXPECT_THROW(ValidateProblem(p), std::invalid_argument);
+
+  p = TestbedProblem(1, 0);
+  p.flows[0].ladder_bps = {2e5, 1e5};  // descending
+  EXPECT_THROW(ValidateProblem(p), std::invalid_argument);
+
+  p = TestbedProblem(1, 0);
+  p.flows[0].max_level = 99;
+  EXPECT_THROW(ValidateProblem(p), std::invalid_argument);
+
+  p = TestbedProblem(1, 0);
+  p.flows[0].bits_per_rb = 0.0;
+  EXPECT_THROW(ValidateProblem(p), std::invalid_argument);
+
+  p = TestbedProblem(1, 0);
+  p.flows[0].ladder_bps.clear();
+  EXPECT_THROW(ValidateProblem(p), std::invalid_argument);
+}
+
+TEST(Continuous, SingleFlowNoDataTakesCeiling) {
+  // Plenty of capacity, no data flows: the flow should get its top rate.
+  OptProblem p = TestbedProblem(1, 0);
+  const OptResult r = SolveContinuous(p);
+  ASSERT_EQ(r.rates_bps.size(), 1u);
+  EXPECT_NEAR(r.rates_bps[0], 2.75e6, 1.0);
+  EXPECT_TRUE(r.feasible);
+}
+
+TEST(Continuous, CapacityBindsWithoutData) {
+  // 3 flows, tiny cell: sum R/e <= rb_rate must bind.
+  OptProblem p = TestbedProblem(3, 0);
+  p.rb_rate = 10'000.0;  // capacity 10k RB/s * 104 bits = 1.04 Mbit/s
+  const OptResult r = SolveContinuous(p);
+  const double cost = RbRateCost(p, r.rates_bps);
+  EXPECT_LE(cost, p.rb_rate * p.max_video_fraction * 1.001);
+  EXPECT_GT(cost, p.rb_rate * 0.95);  // fully used
+  // Symmetric flows get symmetric rates.
+  EXPECT_NEAR(r.rates_bps[0], r.rates_bps[1], 1.0);
+  EXPECT_NEAR(r.rates_bps[1], r.rates_bps[2], 1.0);
+}
+
+TEST(Continuous, DataFlowsHoldVideoBack) {
+  OptProblem with_data = TestbedProblem(2, 4);
+  OptProblem without = TestbedProblem(2, 0);
+  with_data.rb_rate = without.rb_rate = 30'000.0;
+  const OptResult a = SolveContinuous(with_data);
+  const OptResult b = SolveContinuous(without);
+  EXPECT_LT(a.rates_bps[0], b.rates_bps[0]);
+  EXPECT_LT(a.video_fraction, b.video_fraction);
+}
+
+TEST(Continuous, AlphaShiftsBalanceTowardData) {
+  OptProblem low = TestbedProblem(2, 2, /*alpha=*/0.25);
+  OptProblem high = TestbedProblem(2, 2, /*alpha=*/4.0);
+  low.rb_rate = high.rb_rate = 30'000.0;
+  const OptResult a = SolveContinuous(low);
+  const OptResult b = SolveContinuous(high);
+  EXPECT_GT(a.video_fraction, b.video_fraction);
+  EXPECT_GT(a.rates_bps[0], b.rates_bps[0]);
+}
+
+TEST(Continuous, BetterChannelGetsHigherRate) {
+  OptProblem p = TestbedProblem(2, 2);
+  p.rb_rate = 20'000.0;
+  p.flows[0].bits_per_rb = 208.0;  // 2x spectral efficiency
+  p.flows[1].bits_per_rb = 104.0;
+  const OptResult r = SolveContinuous(p);
+  EXPECT_GT(r.rates_bps[0], r.rates_bps[1]);
+}
+
+TEST(Continuous, KktStationarityHolds) {
+  // For interior rates with data flows: beta*theta/R^2 == n*alpha*c/(N-S).
+  OptProblem p = TestbedProblem(3, 5);
+  p.rb_rate = 40'000.0;
+  const OptResult r = SolveContinuous(p);
+  const double s = RbRateCost(p, r.rates_bps);
+  const double lambda =
+      static_cast<double>(p.n_data_flows) * p.alpha / (p.rb_rate - s);
+  for (std::size_t u = 0; u < p.flows.size(); ++u) {
+    const double rate = r.rates_bps[u];
+    const double lo = p.flows[u].ladder_bps.front();
+    const double hi = p.flows[u].ladder_bps.back();
+    if (rate > lo * 1.001 && rate < hi * 0.999) {  // interior
+      const double marginal =
+          VideoUtilityDerivative(rate, p.flows[u].utility) *
+          p.flows[u].bits_per_rb;
+      EXPECT_NEAR(marginal / lambda, 1.0, 1e-3);
+    }
+  }
+}
+
+TEST(Continuous, RespectsBoxConstraints) {
+  OptProblem p = TestbedProblem(4, 1);
+  p.flows[1].max_level = 2;  // cap at 450 Kbps
+  p.flows[2].min_level = 3;  // floor at 790 Kbps
+  const OptResult r = SolveContinuous(p);
+  for (std::size_t u = 0; u < p.flows.size(); ++u) {
+    const OptFlow& f = p.flows[u];
+    EXPECT_GE(r.rates_bps[u],
+              f.ladder_bps[static_cast<std::size_t>(f.min_level)] - 1.0);
+    EXPECT_LE(r.rates_bps[u],
+              f.ladder_bps[static_cast<std::size_t>(f.max_level)] + 1.0);
+  }
+}
+
+TEST(Continuous, InfeasibleFloorIsFlagged) {
+  OptProblem p = TestbedProblem(4, 0);
+  p.rb_rate = 1'000.0;  // 104 Kbit/s cell cannot carry 4 x 200 Kbit/s
+  const OptResult r = SolveContinuous(p);
+  EXPECT_FALSE(r.feasible);
+  for (std::size_t u = 0; u < p.flows.size(); ++u) {
+    EXPECT_NEAR(r.rates_bps[u], 200'000.0, 1.0);  // pinned to the floor
+  }
+}
+
+TEST(Continuous, EmptyVideoSetIsFine) {
+  OptProblem p;
+  p.n_data_flows = 3;
+  p.rb_rate = 50'000.0;
+  const OptResult r = SolveContinuous(p);
+  EXPECT_TRUE(r.rates_bps.empty());
+  EXPECT_DOUBLE_EQ(r.video_fraction, 0.0);
+}
+
+TEST(Continuous, BeatsEveryDiscretePoint) {
+  // The relaxation's optimum upper-bounds the discrete optimum.
+  Rng rng(21);
+  for (int trial = 0; trial < 20; ++trial) {
+    OptProblem p = TestbedProblem(3, static_cast<int>(
+                                         rng.UniformInt(0, 4)));
+    p.rb_rate = rng.Uniform(5'000.0, 60'000.0);
+    for (OptFlow& f : p.flows) {
+      f.bits_per_rb = rng.Uniform(30.0, 500.0);
+    }
+    const OptResult relaxed = SolveContinuous(p);
+    const OptResult discrete = SolveExhaustive(p);
+    if (relaxed.feasible && discrete.feasible &&
+        discrete.objective > -kInf) {
+      EXPECT_GE(relaxed.objective, discrete.objective - 1e-6)
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(Greedy, MatchesExhaustiveOnSmallInstances) {
+  Rng rng(7);
+  int exact_matches = 0;
+  constexpr int kTrials = 40;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    OptProblem p;
+    p.n_data_flows = static_cast<int>(rng.UniformInt(0, 3));
+    p.alpha = rng.Uniform(0.25, 4.0);
+    p.rb_rate = rng.Uniform(3'000.0, 40'000.0);
+    const int n_flows = static_cast<int>(rng.UniformInt(1, 3));
+    for (int i = 0; i < n_flows; ++i) {
+      OptFlow f = MakeFlow({100, 250, 500, 1000, 2000, 3000},
+                           rng.Uniform(30.0, 400.0));
+      p.flows.push_back(f);
+    }
+    const OptResult greedy = SolveGreedy(p);
+    const OptResult best = SolveExhaustive(p);
+    ASSERT_EQ(greedy.feasible, best.feasible) << "trial " << trial;
+    if (!best.feasible) continue;
+    // Greedy must be within a whisker of the optimum (and usually equal).
+    EXPECT_GE(greedy.objective, best.objective - 0.05 *
+                                   std::abs(best.objective) - 1e-9)
+        << "trial " << trial;
+    if (std::abs(greedy.objective - best.objective) < 1e-9) {
+      ++exact_matches;
+    }
+  }
+  EXPECT_GE(exact_matches, kTrials * 3 / 4);
+}
+
+TEST(Greedy, RespectsCapacity) {
+  OptProblem p = TestbedProblem(5, 2);
+  p.rb_rate = 25'000.0;
+  const OptResult r = SolveGreedy(p);
+  EXPECT_LE(RbRateCost(p, r.rates_bps),
+            p.rb_rate * p.max_video_fraction + 1e-6);
+  for (std::size_t u = 0; u < p.flows.size(); ++u) {
+    EXPECT_GE(r.levels[u], p.flows[u].min_level);
+    EXPECT_LE(r.levels[u], p.flows[u].max_level);
+  }
+}
+
+TEST(Greedy, InfeasibleFloorReportsMinLevels) {
+  OptProblem p = TestbedProblem(4, 1);
+  p.rb_rate = 1'000.0;
+  const OptResult r = SolveGreedy(p);
+  EXPECT_FALSE(r.feasible);
+  for (int level : r.levels) EXPECT_EQ(level, 0);
+}
+
+TEST(Greedy, SaturatesWhenCapacityAmple) {
+  OptProblem p = TestbedProblem(2, 0);
+  p.rb_rate = 1e9;
+  const OptResult r = SolveGreedy(p);
+  for (int level : r.levels) EXPECT_EQ(level, 7);  // top rung
+}
+
+TEST(Greedy, MoreDataFlowsLowerVideoRates) {
+  OptProblem few = TestbedProblem(3, 1);
+  OptProblem many = TestbedProblem(3, 8);
+  few.rb_rate = many.rb_rate = 50'000.0;
+  const OptResult a = SolveGreedy(few);
+  const OptResult b = SolveGreedy(many);
+  double sum_a = 0.0;
+  double sum_b = 0.0;
+  for (double x : a.rates_bps) sum_a += x;
+  for (double x : b.rates_bps) sum_b += x;
+  EXPECT_GE(sum_a, sum_b);
+}
+
+TEST(DiscretizeDown, RoundsToLadder) {
+  OptProblem p = TestbedProblem(2, 0);
+  const std::vector<int> levels =
+      DiscretizeDown(p, {800'000.0, 150'000.0});
+  EXPECT_EQ(levels[0], 3);  // 790 <= 800 < 1100
+  EXPECT_EQ(levels[1], 0);  // below 200 floors at min_level
+}
+
+TEST(DiscretizeDown, HonoursLevelBounds) {
+  OptProblem p = TestbedProblem(1, 0);
+  p.flows[0].max_level = 2;
+  const std::vector<int> levels = DiscretizeDown(p, {2.75e6});
+  EXPECT_EQ(levels[0], 2);
+}
+
+// Property sweep over problem shapes: both solvers stay feasible and the
+// continuous objective dominates the rounded-down one.
+class OptimizerProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(OptimizerProperty, SolversAreConsistent) {
+  const auto [n_flows, n_data, alpha] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n_flows * 100 + n_data * 10) +
+          static_cast<std::uint64_t>(alpha * 7));
+  OptProblem p;
+  p.n_data_flows = n_data;
+  p.alpha = alpha;
+  p.rb_rate = 50'000.0;
+  for (int i = 0; i < n_flows; ++i) {
+    p.flows.push_back(MakeFlow({100, 250, 500, 1000, 2000, 3000},
+                               rng.Uniform(30.0, 700.0)));
+  }
+  const OptResult cont = SolveContinuous(p);
+  const OptResult greedy = SolveGreedy(p);
+  ASSERT_EQ(cont.feasible, greedy.feasible);
+  if (!cont.feasible) return;
+
+  // Rounded-down relaxation is a valid discrete point no better than the
+  // greedy discrete solution's neighbourhood, and never above the bound.
+  const std::vector<int> rounded = DiscretizeDown(p, cont.rates_bps);
+  std::vector<double> rounded_rates;
+  for (std::size_t u = 0; u < rounded.size(); ++u) {
+    rounded_rates.push_back(
+        p.flows[u].ladder_bps[static_cast<std::size_t>(rounded[u])]);
+  }
+  EXPECT_LE(RbRateCost(p, rounded_rates),
+            p.rb_rate * p.max_video_fraction + 1e-6);
+  EXPECT_GE(cont.objective, greedy.objective - 1e-6);
+  EXPECT_GE(cont.objective, Objective(p, rounded_rates) - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OptimizerProperty,
+    ::testing::Combine(::testing::Values(1, 4, 8, 32),
+                       ::testing::Values(0, 1, 8),
+                       ::testing::Values(0.25, 1.0, 4.0)));
+
+}  // namespace
+}  // namespace flare

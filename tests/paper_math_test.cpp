@@ -1,0 +1,204 @@
+// Tests for the paper's mathematical claims themselves:
+//  * Lemma 1 — optimizing the reduced objective (2) is equivalent to
+//    optimizing the full objective (1) when data throughputs scale with
+//    (1 - r);
+//  * Proposition 1 — the continuous relaxation is a concave program
+//    (checked numerically along random segments);
+//  * the KKT/bisection solver solves that program to (near) optimality
+//    against a projected-gradient reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "util/rng.h"
+
+namespace flare {
+namespace {
+
+// Full objective (1): video terms + sum_u log(T_u / theta_u) with
+// T_u = X_u * (1 - r) for data flows.
+double FullObjective(const std::vector<double>& rates_bps,
+                     const std::vector<VideoUtilityParams>& params,
+                     const std::vector<double>& data_x,
+                     const std::vector<double>& data_theta, double alpha,
+                     double r) {
+  double total = 0.0;
+  for (std::size_t u = 0; u < rates_bps.size(); ++u) {
+    total += VideoUtility(rates_bps[u], params[u]);
+  }
+  for (std::size_t u = 0; u < data_x.size(); ++u) {
+    total += alpha * std::log(data_x[u] * (1.0 - r) / data_theta[u]);
+  }
+  return total;
+}
+
+TEST(Lemma1, ReducedObjectiveDiffersByConstant) {
+  // (1) - (2) must be independent of (r, R): the per-flow constants
+  // sum_u log(X_u / theta_u).
+  Rng rng(3);
+  const int n_data = 4;
+  std::vector<double> data_x;
+  std::vector<double> data_theta;
+  for (int i = 0; i < n_data; ++i) {
+    data_x.push_back(rng.Uniform(0.5e6, 5e6));
+    data_theta.push_back(rng.Uniform(0.1e6, 0.4e6));
+  }
+  const double alpha = 1.7;
+  std::vector<VideoUtilityParams> params(3);
+  std::optional<double> constant;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> rates;
+    for (int u = 0; u < 3; ++u) rates.push_back(rng.Uniform(1e5, 3e6));
+    const double r = rng.Uniform(0.0, 0.95);
+    const double full = FullObjective(rates, params, data_x, data_theta,
+                                      alpha, r);
+    const double reduced =
+        TotalUtility(rates, params, n_data, alpha, r);
+    const double diff = full - reduced;
+    if (!constant) {
+      constant = diff;
+    } else {
+      EXPECT_NEAR(diff, *constant, 1e-8) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Lemma1, ArgmaxAgrees) {
+  // The maximizer over a finite grid must be identical for (1) and (2).
+  Rng rng(4);
+  const int n_data = 3;
+  std::vector<double> data_x{1e6, 2e6, 3e6};
+  std::vector<double> data_theta{0.2e6, 0.2e6, 0.2e6};
+  const double alpha = 1.0;
+  std::vector<VideoUtilityParams> params(2);
+
+  double best_full = -1e300;
+  double best_reduced = -1e300;
+  std::pair<int, int> argmax_full{-1, -1};
+  std::pair<int, int> argmax_reduced{-1, -1};
+  const std::vector<double> ladder{1e5, 5e5, 1e6, 2e6};
+  for (int i = 0; i < static_cast<int>(ladder.size()); ++i) {
+    for (int j = 0; j < static_cast<int>(ladder.size()); ++j) {
+      const std::vector<double> rates{ladder[static_cast<std::size_t>(i)],
+                                      ladder[static_cast<std::size_t>(j)]};
+      // r proportional to the video rates (fixed efficiency).
+      const double r =
+          std::min((rates[0] + rates[1]) / 5e6, 0.95);
+      const double full =
+          FullObjective(rates, params, data_x, data_theta, alpha, r);
+      const double reduced =
+          TotalUtility(rates, params, n_data, alpha, r);
+      if (full > best_full) {
+        best_full = full;
+        argmax_full = {i, j};
+      }
+      if (reduced > best_reduced) {
+        best_reduced = reduced;
+        argmax_reduced = {i, j};
+      }
+    }
+  }
+  EXPECT_EQ(argmax_full, argmax_reduced);
+}
+
+OptProblem RandomProblem(Rng& rng, int n_flows) {
+  OptProblem p;
+  p.n_data_flows = static_cast<int>(rng.UniformInt(1, 6));
+  p.alpha = rng.Uniform(0.25, 4.0);
+  p.rb_rate = rng.Uniform(10'000.0, 60'000.0);
+  for (int i = 0; i < n_flows; ++i) {
+    OptFlow f;
+    f.ladder_bps = {1e5, 2.5e5, 5e5, 1e6, 2e6, 3e6};
+    f.max_level = 5;
+    f.bits_per_rb = rng.Uniform(50.0, 600.0);
+    p.flows.push_back(f);
+  }
+  return p;
+}
+
+/// Objective (2) as a function of the continuous rate vector.
+double G(const OptProblem& p, const std::vector<double>& rates) {
+  const double s = RbRateCost(p, rates);
+  const double r = s / p.rb_rate;
+  if (r >= 1.0) return -1e300;
+  std::vector<VideoUtilityParams> params;
+  for (const OptFlow& f : p.flows) params.push_back(f.utility);
+  return TotalUtility(rates, params, p.n_data_flows, p.alpha, r);
+}
+
+TEST(Proposition1, ObjectiveConcaveAlongRandomSegments) {
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    OptProblem p = RandomProblem(rng, 4);
+    // Two random feasible points; midpoint value must dominate the chord.
+    std::vector<double> a(4);
+    std::vector<double> b(4);
+    for (int u = 0; u < 4; ++u) {
+      a[static_cast<std::size_t>(u)] = rng.Uniform(1e5, 3e6);
+      b[static_cast<std::size_t>(u)] = rng.Uniform(1e5, 3e6);
+    }
+    const double ga = G(p, a);
+    const double gb = G(p, b);
+    if (ga <= -1e299 || gb <= -1e299) continue;  // infeasible draw
+    std::vector<double> mid(4);
+    for (int u = 0; u < 4; ++u) {
+      mid[static_cast<std::size_t>(u)] =
+          0.5 * (a[static_cast<std::size_t>(u)] +
+                 b[static_cast<std::size_t>(u)]);
+    }
+    EXPECT_GE(G(p, mid), 0.5 * (ga + gb) - 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Proposition1, BisectionSolverMatchesProjectedGradient) {
+  // Reference: slow projected gradient ascent on the same program.
+  Rng rng(6);
+  for (int trial = 0; trial < 10; ++trial) {
+    OptProblem p = RandomProblem(rng, 3);
+    const OptResult fast = SolveContinuous(p);
+    if (!fast.feasible) continue;
+
+    std::vector<double> x(3);
+    std::vector<double> lo(3);
+    std::vector<double> hi(3);
+    for (int u = 0; u < 3; ++u) {
+      lo[static_cast<std::size_t>(u)] = p.flows[static_cast<std::size_t>(u)]
+                                            .ladder_bps.front();
+      hi[static_cast<std::size_t>(u)] = p.flows[static_cast<std::size_t>(u)]
+                                            .ladder_bps.back();
+      x[static_cast<std::size_t>(u)] = lo[static_cast<std::size_t>(u)];
+    }
+    const double budget = p.rb_rate * p.max_video_fraction;
+    for (int iter = 0; iter < 20'000; ++iter) {
+      const double step = 1e3;
+      for (int u = 0; u < 3; ++u) {
+        const auto su = static_cast<std::size_t>(u);
+        // Numerical gradient.
+        std::vector<double> plus = x;
+        std::vector<double> minus = x;
+        plus[su] = std::min(plus[su] + 100.0, hi[su]);
+        minus[su] = std::max(minus[su] - 100.0, lo[su]);
+        const double grad =
+            (G(p, plus) - G(p, minus)) / (plus[su] - minus[su] + 1e-12);
+        x[su] = std::clamp(x[su] + step * grad * 1e6, lo[su], hi[su]);
+      }
+      // Project back into the capacity region if needed.
+      double s = RbRateCost(p, x);
+      if (s > budget) {
+        const double scale = budget / s;
+        for (int u = 0; u < 3; ++u) {
+          const auto su = static_cast<std::size_t>(u);
+          x[su] = std::max(x[su] * scale, lo[su]);
+        }
+      }
+    }
+    const double reference = G(p, x);
+    EXPECT_GE(fast.objective, reference - 0.05 * std::abs(reference) - 0.2)
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace flare

@@ -1,0 +1,131 @@
+// Property-based sweeps: system-wide invariants that must hold for every
+// scheme, channel model and seed — conservation laws, metric sanity, and
+// capacity bounds, checked on full end-to-end runs.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "lte/tbs_table.h"
+#include "scenario/scenario.h"
+
+namespace flare {
+namespace {
+
+using Param = std::tuple<Scheme, ChannelKind, std::uint64_t>;
+
+class ScenarioInvariants : public ::testing::TestWithParam<Param> {};
+
+TEST_P(ScenarioInvariants, HoldOnFullRuns) {
+  const auto [scheme, channel, seed] = GetParam();
+  ScenarioConfig config;
+  config.scheme = scheme;
+  config.channel = channel;
+  config.seed = seed;
+  config.duration_s = 120.0;
+  config.n_video = 3;
+  config.n_data = 1;
+  if (channel == ChannelKind::kPlacedStatic ||
+      channel == ChannelKind::kMobile) {
+    config.testbed = false;
+    config.num_rbs = 25;
+    config.ladder_kbps = SimulationLadderKbps();
+    config.segment_duration_s = 10.0;
+  } else {
+    config.testbed = true;
+    config.ladder_kbps = TestbedLadderKbps();
+    config.segment_duration_s = 2.0;
+  }
+
+  const ScenarioResult r = RunScenario(config);
+
+  // --- Per-client metric sanity.
+  ASSERT_EQ(r.video.size(), 3u);
+  const double top_bps = config.ladder_kbps.back() * 1000.0;
+  for (const ClientMetrics& m : r.video) {
+    EXPECT_GE(m.segments, 0);
+    EXPECT_GE(m.avg_bitrate_bps, 0.0);
+    EXPECT_LE(m.avg_bitrate_bps, top_bps + 1.0);
+    EXPECT_GE(m.bitrate_changes, 0);
+    if (m.segments > 0) {
+      EXPECT_LT(m.bitrate_changes, m.segments);
+      EXPECT_GE(m.avg_bitrate_bps, config.ladder_kbps.front() * 1000.0);
+    }
+    EXPECT_GE(m.rebuffer_time_s, 0.0);
+    EXPECT_LE(m.rebuffer_time_s, config.duration_s);
+    EXPECT_GE(m.rebuffer_events, 0);
+  }
+
+  // --- Fairness index well-formed.
+  EXPECT_GE(r.jain_avg_bitrate, 1.0 / 3.0 - 1e-9);
+  EXPECT_LE(r.jain_avg_bitrate, 1.0 + 1e-9);
+
+  // --- Throughput bounded by the best possible cell rate.
+  const double max_cell_bps = ItbsToCellRateBps(kMaxItbs, config.num_rbs);
+  double total_bps = r.avg_data_throughput_bps *
+                     static_cast<double>(r.data_throughput_bps.size());
+  for (const ClientMetrics& m : r.video) total_bps += m.avg_bitrate_bps;
+  EXPECT_LE(total_bps, max_cell_bps * 1.05);
+
+  // --- FLARE-only: solver outputs well-formed.
+  for (double ms : r.solve_times_ms) {
+    EXPECT_GE(ms, 0.0);
+    EXPECT_LT(ms, 1000.0);
+  }
+  for (double frac : r.video_fractions) {
+    EXPECT_GE(frac, 0.0);
+    EXPECT_LE(frac, 1.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemesAndChannels, ScenarioInvariants,
+    ::testing::Combine(
+        ::testing::Values(Scheme::kFlare, Scheme::kFlareRelaxed,
+                          Scheme::kFestive, Scheme::kGoogle, Scheme::kAvis,
+                          Scheme::kFlareNetworkOnly, Scheme::kPanda,
+                          Scheme::kMpc, Scheme::kBba),
+        ::testing::Values(ChannelKind::kStaticItbs,
+                          ChannelKind::kItbsTriangle,
+                          ChannelKind::kPlacedStatic, ChannelKind::kMobile),
+        ::testing::Values(1u, 17u)));
+
+// Determinism across the whole matrix: same config, same result.
+class ScenarioDeterminism
+    : public ::testing::TestWithParam<std::tuple<Scheme, ChannelKind>> {};
+
+TEST_P(ScenarioDeterminism, RunsAreReproducible) {
+  const auto [scheme, channel] = GetParam();
+  ScenarioConfig config;
+  config.scheme = scheme;
+  config.channel = channel;
+  config.duration_s = 60.0;
+  config.seed = 5;
+  config.testbed = channel == ChannelKind::kStaticItbs ||
+                   channel == ChannelKind::kItbsTriangle;
+  if (!config.testbed) {
+    config.num_rbs = 25;
+    config.ladder_kbps = SimulationLadderKbps();
+    config.segment_duration_s = 10.0;
+  }
+  const ScenarioResult a = RunScenario(config);
+  const ScenarioResult b = RunScenario(config);
+  ASSERT_EQ(a.video.size(), b.video.size());
+  for (std::size_t i = 0; i < a.video.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.video[i].avg_bitrate_bps,
+                     b.video[i].avg_bitrate_bps);
+    EXPECT_EQ(a.video[i].bitrate_changes, b.video[i].bitrate_changes);
+    EXPECT_DOUBLE_EQ(a.video[i].rebuffer_time_s,
+                     b.video[i].rebuffer_time_s);
+  }
+  EXPECT_EQ(a.data_throughput_bps, b.data_throughput_bps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ScenarioDeterminism,
+    ::testing::Combine(::testing::Values(Scheme::kFlare, Scheme::kFestive,
+                                         Scheme::kAvis, Scheme::kMpc),
+                       ::testing::Values(ChannelKind::kStaticItbs,
+                                         ChannelKind::kMobile)));
+
+}  // namespace
+}  // namespace flare

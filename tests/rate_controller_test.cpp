@@ -1,0 +1,272 @@
+// Tests for Algorithm 1: the stateful BAI controller with delta-hysteresis
+// and the stability constraint.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/rate_controller.h"
+#include "has/mpd.h"
+
+namespace flare {
+namespace {
+
+std::vector<double> LadderBps() {
+  std::vector<double> bps;
+  for (double kbps : SimulationLadderKbps()) bps.push_back(kbps * 1000.0);
+  return bps;
+}
+
+FlowObservation Obs(FlowId id, double bits_per_rb = 104.0) {
+  FlowObservation o;
+  o.id = id;
+  o.bits_per_rb = bits_per_rb;
+  return o;
+}
+
+TEST(RateController, NewFlowStartsAtLowestRung) {
+  FlareRateController ctl(FlareParams{});
+  ctl.AddFlow(1, LadderBps());
+  const BaiDecision d = ctl.DecideBai({Obs(1)}, 0, 50'000.0);
+  ASSERT_EQ(d.assignments.size(), 1u);
+  EXPECT_EQ(d.assignments[0].level, 0);
+  EXPECT_DOUBLE_EQ(d.assignments[0].rate_bps, 100'000.0);
+}
+
+TEST(RateController, OneRungPerPromotionAndDeltaGate) {
+  FlareParams params;
+  params.delta = 2;
+  FlareRateController ctl(params);
+  ctl.AddFlow(1, LadderBps());
+
+  std::vector<int> levels;
+  // Reaching the top rung takes 1 + sum_{k=1..5} delta*(k+1) = 41 BAIs.
+  for (int bai = 0; bai < 45; ++bai) {
+    const BaiDecision d = ctl.DecideBai({Obs(1)}, 0, 50'000.0);
+    levels.push_back(d.assignments[0].level);
+  }
+  // Monotone non-decreasing under ample capacity, one rung at a time.
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    EXPECT_GE(levels[i], levels[i - 1]);
+    EXPECT_LE(levels[i] - levels[i - 1], 1);
+  }
+  // Rung 1 requires delta*(1+1) = 4 consecutive recommendations after the
+  // initial assignment: levels[0..3] = 0, levels[4] = 1.
+  EXPECT_EQ(levels[0], 0);
+  EXPECT_EQ(levels[3], 0);
+  EXPECT_EQ(levels[4], 1);
+  // Higher rungs take progressively longer (delta * (L+1) BAIs each).
+  EXPECT_EQ(levels.back(), 5);  // eventually reaches the top
+}
+
+TEST(RateController, HigherDeltaClimbsSlower) {
+  for (int delta : {1, 4, 8}) {
+    FlareParams params;
+    params.delta = delta;
+    FlareRateController ctl(params);
+    ctl.AddFlow(1, LadderBps());
+    int bais_to_top = 0;
+    for (int bai = 0; bai < 500; ++bai) {
+      const BaiDecision d = ctl.DecideBai({Obs(1)}, 0, 50'000.0);
+      ++bais_to_top;
+      if (d.assignments[0].level == 5) break;
+    }
+    // Sum over rungs k=1..5 of delta*(k+1) = 20*delta, plus the first BAI.
+    EXPECT_EQ(bais_to_top, 20 * delta + 1) << "delta " << delta;
+  }
+}
+
+TEST(RateController, DropsApplyImmediately) {
+  FlareParams params;
+  params.delta = 1;
+  FlareRateController ctl(params);
+  ctl.AddFlow(1, LadderBps());
+  // Climb with a good channel.
+  for (int bai = 0; bai < 60; ++bai) {
+    ctl.DecideBai({Obs(1, 104.0)}, 0, 50'000.0);
+  }
+  EXPECT_EQ(ctl.CurrentLevel(1), 5);
+  // Channel collapses: bits_per_rb 16 -> 3 Mbit/s costs 187k RB/s >> 50k.
+  const BaiDecision d = ctl.DecideBai({Obs(1, 16.0)}, 0, 50'000.0);
+  EXPECT_LT(d.assignments[0].level, 5);  // large drop in a single BAI
+}
+
+TEST(RateController, StabilityHoldsUnderOscillatingRecommendation) {
+  // Channel alternates good/bad each BAI; with delta=4 the controller must
+  // never promote (consecutive-up counter keeps resetting).
+  FlareParams params;
+  params.delta = 4;
+  FlareRateController ctl(params);
+  ctl.AddFlow(1, LadderBps());
+  ctl.DecideBai({Obs(1, 104.0)}, 0, 50'000.0);  // initial -> level 0
+  int max_level = 0;
+  for (int bai = 0; bai < 50; ++bai) {
+    const double e = bai % 2 == 0 ? 104.0 : 1.0;
+    const BaiDecision d = ctl.DecideBai({Obs(1, e)}, 4, 5'000.0);
+    max_level = std::max(max_level, d.assignments[0].level);
+  }
+  EXPECT_EQ(max_level, 0);
+}
+
+TEST(RateController, ClientMaxLevelCapsAssignment) {
+  FlareParams params;
+  params.delta = 1;
+  FlareRateController ctl(params);
+  ctl.AddFlow(1, LadderBps());
+  FlowObservation o = Obs(1);
+  o.client_max_level = 2;
+  for (int bai = 0; bai < 100; ++bai) {
+    const BaiDecision d = ctl.DecideBai({o}, 0, 50'000.0);
+    EXPECT_LE(d.assignments[0].level, 2);
+  }
+  EXPECT_EQ(ctl.CurrentLevel(1), 2);
+}
+
+TEST(RateController, PerClientUtilityOverride) {
+  // Two identical flows, but one discloses a tiny screen (small theta):
+  // under tight capacity the big-screen flow should get the higher rate.
+  FlareParams params;
+  params.delta = 1;
+  FlareRateController ctl(params);
+  ctl.AddFlow(1, LadderBps());
+  ctl.AddFlow(2, LadderBps());
+  FlowObservation small = Obs(1);
+  VideoUtilityParams small_screen;
+  small_screen.theta_bps = 0.05e6;
+  small.utility = small_screen;
+  FlowObservation big = Obs(2);
+  VideoUtilityParams big_screen;
+  big_screen.theta_bps = 0.8e6;
+  big.utility = big_screen;
+  BaiDecision d;
+  for (int bai = 0; bai < 60; ++bai) {
+    d = ctl.DecideBai({small, big}, 2, 12'000.0);
+  }
+  ASSERT_EQ(d.assignments.size(), 2u);
+  EXPECT_LT(d.assignments[0].level, d.assignments[1].level);
+}
+
+TEST(RateController, SharedCellSplitsEvenly) {
+  FlareParams params;
+  params.delta = 1;
+  FlareRateController ctl(params);
+  for (FlowId id = 1; id <= 4; ++id) ctl.AddFlow(id, LadderBps());
+  BaiDecision d;
+  for (int bai = 0; bai < 100; ++bai) {
+    d = ctl.DecideBai({Obs(1), Obs(2), Obs(3), Obs(4)}, 2, 30'000.0);
+  }
+  ASSERT_EQ(d.assignments.size(), 4u);
+  // Capacity may not admit a perfectly equal split at ladder granularity;
+  // symmetric flows must still end within one rung of each other.
+  int lo = d.assignments[0].level;
+  int hi = lo;
+  for (const RateAssignment& a : d.assignments) {
+    lo = std::min(lo, a.level);
+    hi = std::max(hi, a.level);
+  }
+  EXPECT_LE(hi - lo, 1);
+}
+
+TEST(RateController, RelaxationModeProducesValidLadderRates) {
+  FlareParams params;
+  params.solver = SolverMode::kContinuousRelaxation;
+  params.delta = 1;
+  FlareRateController ctl(params);
+  ctl.AddFlow(1, LadderBps());
+  ctl.AddFlow(2, LadderBps());
+  const std::vector<double> ladder = LadderBps();
+  for (int bai = 0; bai < 50; ++bai) {
+    const BaiDecision d =
+        ctl.DecideBai({Obs(1), Obs(2)}, 2, 25'000.0);
+    for (const RateAssignment& a : d.assignments) {
+      EXPECT_NE(std::find(ladder.begin(), ladder.end(), a.rate_bps),
+                ladder.end())
+          << "rate " << a.rate_bps << " not on the ladder";
+    }
+  }
+}
+
+TEST(RateController, VideoFractionReported) {
+  FlareParams params;
+  params.delta = 1;
+  FlareRateController ctl(params);
+  ctl.AddFlow(1, LadderBps());
+  BaiDecision d;
+  for (int bai = 0; bai < 60; ++bai) {
+    d = ctl.DecideBai({Obs(1)}, 1, 50'000.0);
+  }
+  // With one data flow the marginal log penalty of going 2 -> 3 Mbit/s
+  // (0.374) outweighs the video gain (0.333), so the optimum is 2 Mbit/s:
+  // r = 2e6 / 104 / 50'000 ~ 0.385.
+  EXPECT_NEAR(d.video_fraction, 2.0e6 / 104.0 / 50'000.0, 0.01);
+}
+
+TEST(RateController, SolveTimeIsMeasured) {
+  FlareRateController ctl(FlareParams{});
+  ctl.AddFlow(1, LadderBps());
+  const BaiDecision d = ctl.DecideBai({Obs(1)}, 0, 50'000.0);
+  EXPECT_GT(d.solve_time.count(), 0);
+}
+
+TEST(RateController, UnknownObservationIsSkipped) {
+  FlareRateController ctl(FlareParams{});
+  ctl.AddFlow(1, LadderBps());
+  const BaiDecision d =
+      ctl.DecideBai({Obs(1), Obs(99)}, 0, 50'000.0);
+  EXPECT_EQ(d.assignments.size(), 1u);
+}
+
+TEST(RateController, RemoveFlowForgetsState) {
+  FlareRateController ctl(FlareParams{});
+  ctl.AddFlow(1, LadderBps());
+  ctl.DecideBai({Obs(1)}, 0, 50'000.0);
+  EXPECT_EQ(ctl.CurrentLevel(1), 0);
+  ctl.RemoveFlow(1);
+  EXPECT_EQ(ctl.CurrentLevel(1), -1);
+  EXPECT_FALSE(ctl.HasFlow(1));
+}
+
+TEST(RateController, EmptyInputsAreSafe) {
+  FlareRateController ctl(FlareParams{});
+  const BaiDecision d = ctl.DecideBai({}, 3, 50'000.0);
+  EXPECT_TRUE(d.assignments.empty());
+  EXPECT_THROW(ctl.AddFlow(1, {}), std::invalid_argument);
+}
+
+// Parameterized: the delta sweep shape of Figure 12 at controller level —
+// higher delta must not increase the number of level changes.
+class DeltaSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeltaSweep, ChangesMonotoneInDelta) {
+  const int delta = GetParam();
+  FlareParams params;
+  params.delta = delta;
+  FlareRateController ctl(params);
+  ctl.AddFlow(1, LadderBps());
+  // Alternating capacity regimes force periodic re-convergence.
+  int changes = 0;
+  int prev = -1;
+  for (int bai = 0; bai < 300; ++bai) {
+    const double e = (bai / 50) % 2 == 0 ? 104.0 : 40.0;
+    const BaiDecision d = ctl.DecideBai({Obs(1, e)}, 2, 20'000.0);
+    const int level = d.assignments[0].level;
+    if (prev >= 0 && level != prev) ++changes;
+    prev = level;
+  }
+  // Record for cross-parameter comparison via static state.
+  static std::map<int, int> changes_by_delta;
+  changes_by_delta[delta] = changes;
+  for (const auto& [d_lo, c_lo] : changes_by_delta) {
+    for (const auto& [d_hi, c_hi] : changes_by_delta) {
+      if (d_lo < d_hi) {
+        EXPECT_GE(c_lo, c_hi);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig12Shape, DeltaSweep,
+                         ::testing::Values(1, 2, 4, 8, 12));
+
+}  // namespace
+}  // namespace flare

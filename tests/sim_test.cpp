@@ -1,0 +1,127 @@
+// Tests for the discrete-event simulation core.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace flare {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(30, [&] { order.push_back(3); });
+  q.Push(10, [&] { order.push_back(1); });
+  q.Push(20, [&] { order.push_back(2); });
+  while (!q.Empty()) q.RunNext();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakInSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Push(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.Empty()) q.RunNext();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, EventsMayScheduleEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.Push(1, [&] {
+    ++fired;
+    q.Push(2, [&] { ++fired; });
+  });
+  while (!q.Empty()) q.RunNext();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ClearEmptiesQueue) {
+  EventQueue q;
+  q.Push(1, [] {});
+  q.Push(2, [] {});
+  q.Clear();
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(Simulator, ClockAdvancesToEventTimes) {
+  Simulator sim;
+  std::vector<SimTime> seen;
+  sim.At(100, [&] { seen.push_back(sim.Now()); });
+  sim.At(250, [&] { seen.push_back(sim.Now()); });
+  sim.RunUntil(1000);
+  EXPECT_EQ(seen, (std::vector<SimTime>{100, 250}));
+  EXPECT_EQ(sim.Now(), 1000);  // horizon reached even with queue drained
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.At(100, [&] { ++fired; });
+  sim.At(200, [&] { ++fired; });
+  sim.RunUntil(150);
+  EXPECT_EQ(fired, 1);
+  sim.RunUntil(250);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventExactlyAtHorizonRuns) {
+  Simulator sim;
+  bool fired = false;
+  sim.At(100, [&] { fired = true; });
+  sim.RunUntil(100);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, SchedulingInThePastClampsToNow) {
+  Simulator sim;
+  SimTime fired_at = -1;
+  sim.At(100, [&] {
+    sim.At(50, [&] { fired_at = sim.Now(); });  // "past" event
+  });
+  sim.RunUntil(200);
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(Simulator, AfterIsRelative) {
+  Simulator sim;
+  SimTime fired_at = -1;
+  sim.At(100, [&] {
+    sim.After(25, [&] { fired_at = sim.Now(); });
+  });
+  sim.RunUntil(200);
+  EXPECT_EQ(fired_at, 125);
+}
+
+TEST(Simulator, EveryRepeats) {
+  Simulator sim;
+  int count = 0;
+  sim.Every(10, 10, [&] { ++count; });
+  sim.RunUntil(100);
+  EXPECT_EQ(count, 10);  // t = 10, 20, ..., 100
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int count = 0;
+  sim.Every(10, 10, [&] {
+    if (++count == 3) sim.Stop();
+  });
+  sim.RunUntil(1000);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.Now(), 30);
+}
+
+TEST(Simulator, CountsProcessedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.At(i, [] {});
+  sim.RunUntil(10);
+  EXPECT_EQ(sim.events_processed(), 5u);
+}
+
+}  // namespace
+}  // namespace flare

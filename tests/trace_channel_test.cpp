@@ -1,0 +1,125 @@
+// Tests for trace recording and playback channels.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "lte/trace_channel.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace flare {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(TraceChannel, StepFunctionSemantics) {
+  TraceFileChannel channel({{0.0, 3}, {10.0, 7}, {20.0, 5}});
+  EXPECT_EQ(channel.ItbsAt(FromSeconds(0.0)), 3);
+  EXPECT_EQ(channel.ItbsAt(FromSeconds(9.99)), 3);
+  EXPECT_EQ(channel.ItbsAt(FromSeconds(10.0)), 7);
+  EXPECT_EQ(channel.ItbsAt(FromSeconds(19.0)), 7);
+  EXPECT_EQ(channel.ItbsAt(FromSeconds(25.0)), 5);
+  EXPECT_EQ(channel.ItbsAt(FromSeconds(9999.0)), 5);  // holds forever
+}
+
+TEST(TraceChannel, LoopRepeatsWithTracePeriod) {
+  TraceFileChannel channel({{0.0, 3}, {10.0, 7}, {20.0, 5}},
+                           /*loop=*/true);
+  // Period = 20 s: t = 25 wraps to t = 5.
+  EXPECT_EQ(channel.ItbsAt(FromSeconds(25.0)), 3);
+  EXPECT_EQ(channel.ItbsAt(FromSeconds(35.0)), 7);
+  EXPECT_EQ(channel.ItbsAt(FromSeconds(45.0)), 3);
+}
+
+TEST(TraceChannel, FirstValueAppliesBeforeTraceStart) {
+  TraceFileChannel channel({{5.0, 9}, {10.0, 2}});
+  EXPECT_EQ(channel.ItbsAt(FromSeconds(1.0)), 9);
+}
+
+TEST(TraceChannel, EmptyTraceRejected) {
+  EXPECT_THROW(TraceFileChannel({}), std::invalid_argument);
+}
+
+TEST(TraceChannel, SaveLoadRoundTrip) {
+  const std::string path = TempPath("flare_trace_roundtrip.csv");
+  const ItbsTrace original{{0.0, 1}, {2.5, 12}, {7.75, 4}};
+  ASSERT_TRUE(SaveItbsTrace(path, original));
+  const auto loaded = LoadItbsTrace(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ((*loaded)[i].first, original[i].first);
+    EXPECT_EQ((*loaded)[i].second, original[i].second);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceChannel, LoadRejectsMalformedFiles) {
+  const std::string path = TempPath("flare_trace_bad.csv");
+  const auto write = [&](const char* content) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs(content, f);
+    std::fclose(f);
+  };
+  write("");  // empty
+  EXPECT_FALSE(LoadItbsTrace(path).has_value());
+  write("t_s,itbs\n");  // header only
+  EXPECT_FALSE(LoadItbsTrace(path).has_value());
+  write("abc,3\n");
+  EXPECT_FALSE(LoadItbsTrace(path).has_value());
+  write("1.0,xyz\n");
+  EXPECT_FALSE(LoadItbsTrace(path).has_value());
+  write("1.0\n");  // missing column
+  EXPECT_FALSE(LoadItbsTrace(path).has_value());
+  write("5.0,3\n1.0,4\n");  // non-increasing time
+  EXPECT_FALSE(LoadItbsTrace(path).has_value());
+  EXPECT_FALSE(LoadItbsTrace("/nonexistent/dir/nope.csv").has_value());
+  std::remove(path.c_str());
+}
+
+TEST(TraceChannel, RecorderCapturesSourceFaithfully) {
+  Simulator sim;
+  const auto schedule = TriangleItbsSchedule(1, 12, FromSeconds(40.0), 0);
+  ItbsOverrideChannel source(schedule);
+  ChannelRecorder recorder(sim, source, FromSeconds(1.0));
+  recorder.Start();
+  sim.RunUntil(FromSeconds(40.0));
+  ASSERT_EQ(recorder.trace().size(), 41u);
+
+  // Playback reproduces the source at the sample instants.
+  TraceFileChannel playback(recorder.trace());
+  ItbsOverrideChannel reference(schedule);
+  for (double t = 0.0; t <= 40.0; t += 1.0) {
+    EXPECT_EQ(playback.ItbsAt(FromSeconds(t)),
+              reference.ItbsAt(FromSeconds(t)))
+        << "t=" << t;
+  }
+}
+
+TEST(TraceChannel, RecordSaveLoadPlayback) {
+  // Full workflow: record a fading channel, persist, reload, replay.
+  Simulator sim;
+  RadioConfig radio;
+  FadedMobilityChannel source(
+      std::make_shared<StaticMobility>(Position{700.0, 0.0}), radio,
+      Rng(9));
+  ChannelRecorder recorder(sim, source, FromSeconds(0.5));
+  recorder.Start();
+  sim.RunUntil(FromSeconds(30.0));
+
+  const std::string path = TempPath("flare_trace_workflow.csv");
+  ASSERT_TRUE(recorder.Save(path));
+  const auto loaded = LoadItbsTrace(path);
+  ASSERT_TRUE(loaded.has_value());
+  TraceFileChannel playback(*loaded);
+  for (const auto& [t, itbs] : recorder.trace()) {
+    EXPECT_EQ(playback.ItbsAt(FromSeconds(t)), itbs);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace flare

@@ -1,0 +1,124 @@
+// Tests for uplink live broadcast (the paper's Section V extension):
+// encode-paced uploads, backlog back-pressure, FLARE steering uplink
+// rates through the same plugin/OneAPI machinery.
+#include <gtest/gtest.h>
+
+#include "abr/google.h"
+#include "has/uplink_session.h"
+#include "lte/cell.h"
+#include "lte/gbr_scheduler.h"
+#include "net/oneapi_server.h"
+#include "sim/simulator.h"
+#include "transport/transport_host.h"
+
+namespace flare {
+namespace {
+
+class FixedAbr final : public AbrAlgorithm {
+ public:
+  explicit FixedAbr(int index) : index_(index) {}
+  int NextRepresentation(const AbrContext&) override { return index_; }
+  std::string Name() const override { return "fixed"; }
+
+ private:
+  int index_;
+};
+
+struct UplinkNet {
+  Simulator sim;
+  Cell cell;  // models the uplink shared channel
+  TransportHost host;
+  explicit UplinkNet(int itbs = 7)
+      : cell(sim, std::make_unique<TwoPhaseGbrScheduler>(), CellConfig{},
+             Rng(1)),
+        host(sim, cell) {
+    ue = cell.AddUe(std::make_unique<StaticItbsChannel>(itbs));
+  }
+  UeId ue = 0;
+};
+
+TEST(Uplink, EncodesOneSegmentPerDuration) {
+  UplinkNet net;
+  TcpFlow& flow = net.host.CreateFlow(net.ue, FlowType::kVideo);
+  UplinkBroadcastSession session(net.sim, flow, MakeMpd({500}, 2.0),
+                                 std::make_unique<FixedAbr>(0),
+                                 UplinkSessionConfig{});
+  session.Start(0);
+  net.cell.Start();
+  net.sim.RunUntil(FromSeconds(60.0));
+  EXPECT_EQ(session.segments_encoded(), 30);  // one per 2 s
+  // 500 Kbps segments over a 5.2 Mbit/s channel: uploads keep up.
+  EXPECT_GE(session.segments_uploaded(), 28);
+  EXPECT_LE(session.backlog(), 1);
+  EXPECT_LT(session.max_upload_lag_s(), 2.0);
+}
+
+TEST(Uplink, BacklogForcesLowestRungUnderPressure) {
+  UplinkNet net(2);  // 1.6 Mbit/s uplink
+  TcpFlow& flow = net.host.CreateFlow(net.ue, FlowType::kVideo);
+  // ABR stubbornly demands 2750 Kbps — unsustainable on this link.
+  UplinkSessionConfig config;
+  config.max_backlog_segments = 2;
+  UplinkBroadcastSession session(
+      net.sim, flow, MakeMpd(TestbedLadderKbps(), 2.0),
+      std::make_unique<FixedAbr>(7), config);
+  session.Start(0);
+  net.cell.Start();
+  net.sim.RunUntil(FromSeconds(120.0));
+
+  // Back-pressure kicked in: the lowest rung appears in the history.
+  bool forced_floor = false;
+  for (int index : session.selection_history()) {
+    if (index == 0) forced_floor = true;
+  }
+  EXPECT_TRUE(forced_floor);
+  // The backlog stays bounded instead of growing without limit.
+  EXPECT_LE(session.backlog(), 4);
+}
+
+TEST(Uplink, FlarePluginSteersUplinkRates) {
+  // The Section V claim end-to-end: the OneAPI server assigns uplink
+  // rates through the same plugin machinery used for downlink.
+  UplinkNet net(9);  // 6.8 Mbit/s
+  Pcrf pcrf;
+  Pcef pcef(net.sim, net.cell, 10 * kMillisecond);
+  OneApiConfig oneapi_config;
+  oneapi_config.bai = FromSeconds(1.0);
+  oneapi_config.params.delta = 1;
+  OneApiServer server(net.sim, net.cell, pcrf, pcef, oneapi_config);
+
+  TcpFlow& flow = net.host.CreateFlow(net.ue, FlowType::kVideo);
+  const Mpd mpd = MakeMpd(SimulationLadderKbps(), 2.0);
+  auto plugin = std::make_unique<FlarePlugin>(flow.id());
+  FlarePlugin* plugin_ptr = plugin.get();
+  UplinkBroadcastSession session(net.sim, flow, mpd, std::move(plugin),
+                                 UplinkSessionConfig{});
+  server.ConnectVideoClient(plugin_ptr, mpd);
+  server.Start();
+  session.Start(0);
+  net.cell.Start();
+  net.sim.RunUntil(FromSeconds(60.0));
+
+  // The controller climbed the ladder and the broadcast followed.
+  EXPECT_GE(server.controller().CurrentLevel(flow.id()), 3);
+  EXPECT_GT(session.avg_bitrate_bps(), 300e3);
+  EXPECT_LE(session.backlog(), 2);
+  // The bearer carries a GBR like any downlink video flow.
+  EXPECT_GT(net.cell.flow(flow.id()).gbr_bps, 0.0);
+}
+
+TEST(Uplink, RejectsInvalidConstruction) {
+  UplinkNet net;
+  TcpFlow& flow = net.host.CreateFlow(net.ue, FlowType::kVideo);
+  Mpd bad;
+  EXPECT_THROW(UplinkBroadcastSession(net.sim, flow, bad,
+                                      std::make_unique<FixedAbr>(0),
+                                      UplinkSessionConfig{}),
+               std::invalid_argument);
+  EXPECT_THROW(UplinkBroadcastSession(net.sim, flow, MakeMpd({100}, 2.0),
+                                      nullptr, UplinkSessionConfig{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flare

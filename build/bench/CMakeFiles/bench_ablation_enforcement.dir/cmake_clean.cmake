@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_enforcement.dir/bench_ablation_enforcement.cpp.o"
+  "CMakeFiles/bench_ablation_enforcement.dir/bench_ablation_enforcement.cpp.o.d"
+  "bench_ablation_enforcement"
+  "bench_ablation_enforcement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_enforcement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coexistence_conventional.dir/bench_coexistence_conventional.cpp.o"
+  "CMakeFiles/bench_coexistence_conventional.dir/bench_coexistence_conventional.cpp.o.d"
+  "bench_coexistence_conventional"
+  "bench_coexistence_conventional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coexistence_conventional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

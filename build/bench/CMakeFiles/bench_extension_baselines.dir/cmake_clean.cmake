@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_baselines.dir/bench_extension_baselines.cpp.o"
+  "CMakeFiles/bench_extension_baselines.dir/bench_extension_baselines.cpp.o.d"
+  "bench_extension_baselines"
+  "bench_extension_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig11_alpha_sweep.cpp" "bench/CMakeFiles/bench_fig11_alpha_sweep.dir/bench_fig11_alpha_sweep.cpp.o" "gcc" "bench/CMakeFiles/bench_fig11_alpha_sweep.dir/bench_fig11_alpha_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/flare_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/flare_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/flare_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/abr/CMakeFiles/flare_abr.dir/DependInfo.cmake"
+  "/root/repo/build/src/has/CMakeFiles/flare_has.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/flare_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/lte/CMakeFiles/flare_lte.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flare_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/flare_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_relaxation.dir/bench_fig8_relaxation.cpp.o"
+  "CMakeFiles/bench_fig8_relaxation.dir/bench_fig8_relaxation.cpp.o.d"
+  "bench_fig8_relaxation"
+  "bench_fig8_relaxation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_relaxation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_robustness_bler.dir/bench_robustness_bler.cpp.o"
+  "CMakeFiles/bench_robustness_bler.dir/bench_robustness_bler.cpp.o.d"
+  "bench_robustness_bler"
+  "bench_robustness_bler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_robustness_bler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

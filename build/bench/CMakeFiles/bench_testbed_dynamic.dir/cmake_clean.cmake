@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_testbed_dynamic.dir/bench_testbed_dynamic.cpp.o"
+  "CMakeFiles/bench_testbed_dynamic.dir/bench_testbed_dynamic.cpp.o.d"
+  "bench_testbed_dynamic"
+  "bench_testbed_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_testbed_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_testbed_static.dir/bench_testbed_static.cpp.o"
+  "CMakeFiles/bench_testbed_static.dir/bench_testbed_static.cpp.o.d"
+  "bench_testbed_static"
+  "bench_testbed_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_testbed_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_abr.dir/custom_abr.cpp.o"
+  "CMakeFiles/custom_abr.dir/custom_abr.cpp.o.d"
+  "custom_abr"
+  "custom_abr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_abr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicell_handover.dir/multicell_handover.cpp.o"
+  "CMakeFiles/multicell_handover.dir/multicell_handover.cpp.o.d"
+  "multicell_handover"
+  "multicell_handover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicell_handover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uplink_broadcast.dir/uplink_broadcast.cpp.o"
+  "CMakeFiles/uplink_broadcast.dir/uplink_broadcast.cpp.o.d"
+  "uplink_broadcast"
+  "uplink_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uplink_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

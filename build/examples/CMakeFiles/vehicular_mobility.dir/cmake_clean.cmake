@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vehicular_mobility.dir/vehicular_mobility.cpp.o"
+  "CMakeFiles/vehicular_mobility.dir/vehicular_mobility.cpp.o.d"
+  "vehicular_mobility"
+  "vehicular_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vehicular_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

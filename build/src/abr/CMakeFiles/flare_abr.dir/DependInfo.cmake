@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abr/avis.cpp" "src/abr/CMakeFiles/flare_abr.dir/avis.cpp.o" "gcc" "src/abr/CMakeFiles/flare_abr.dir/avis.cpp.o.d"
+  "/root/repo/src/abr/bba.cpp" "src/abr/CMakeFiles/flare_abr.dir/bba.cpp.o" "gcc" "src/abr/CMakeFiles/flare_abr.dir/bba.cpp.o.d"
+  "/root/repo/src/abr/festive.cpp" "src/abr/CMakeFiles/flare_abr.dir/festive.cpp.o" "gcc" "src/abr/CMakeFiles/flare_abr.dir/festive.cpp.o.d"
+  "/root/repo/src/abr/google.cpp" "src/abr/CMakeFiles/flare_abr.dir/google.cpp.o" "gcc" "src/abr/CMakeFiles/flare_abr.dir/google.cpp.o.d"
+  "/root/repo/src/abr/mpc.cpp" "src/abr/CMakeFiles/flare_abr.dir/mpc.cpp.o" "gcc" "src/abr/CMakeFiles/flare_abr.dir/mpc.cpp.o.d"
+  "/root/repo/src/abr/panda.cpp" "src/abr/CMakeFiles/flare_abr.dir/panda.cpp.o" "gcc" "src/abr/CMakeFiles/flare_abr.dir/panda.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/has/CMakeFiles/flare_has.dir/DependInfo.cmake"
+  "/root/repo/build/src/lte/CMakeFiles/flare_lte.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/flare_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/flare_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flare_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flare_abr.dir/avis.cpp.o"
+  "CMakeFiles/flare_abr.dir/avis.cpp.o.d"
+  "CMakeFiles/flare_abr.dir/bba.cpp.o"
+  "CMakeFiles/flare_abr.dir/bba.cpp.o.d"
+  "CMakeFiles/flare_abr.dir/festive.cpp.o"
+  "CMakeFiles/flare_abr.dir/festive.cpp.o.d"
+  "CMakeFiles/flare_abr.dir/google.cpp.o"
+  "CMakeFiles/flare_abr.dir/google.cpp.o.d"
+  "CMakeFiles/flare_abr.dir/mpc.cpp.o"
+  "CMakeFiles/flare_abr.dir/mpc.cpp.o.d"
+  "CMakeFiles/flare_abr.dir/panda.cpp.o"
+  "CMakeFiles/flare_abr.dir/panda.cpp.o.d"
+  "libflare_abr.a"
+  "libflare_abr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flare_abr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/flare_core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/flare_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/core/rate_controller.cpp" "src/core/CMakeFiles/flare_core.dir/rate_controller.cpp.o" "gcc" "src/core/CMakeFiles/flare_core.dir/rate_controller.cpp.o.d"
+  "/root/repo/src/core/utility.cpp" "src/core/CMakeFiles/flare_core.dir/utility.cpp.o" "gcc" "src/core/CMakeFiles/flare_core.dir/utility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lte/CMakeFiles/flare_lte.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/flare_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flare_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flare_core.dir/optimizer.cpp.o"
+  "CMakeFiles/flare_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/flare_core.dir/rate_controller.cpp.o"
+  "CMakeFiles/flare_core.dir/rate_controller.cpp.o.d"
+  "CMakeFiles/flare_core.dir/utility.cpp.o"
+  "CMakeFiles/flare_core.dir/utility.cpp.o.d"
+  "libflare_core.a"
+  "libflare_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flare_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

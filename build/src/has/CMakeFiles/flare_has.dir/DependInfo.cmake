@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/has/metrics.cpp" "src/has/CMakeFiles/flare_has.dir/metrics.cpp.o" "gcc" "src/has/CMakeFiles/flare_has.dir/metrics.cpp.o.d"
+  "/root/repo/src/has/mpd.cpp" "src/has/CMakeFiles/flare_has.dir/mpd.cpp.o" "gcc" "src/has/CMakeFiles/flare_has.dir/mpd.cpp.o.d"
+  "/root/repo/src/has/player.cpp" "src/has/CMakeFiles/flare_has.dir/player.cpp.o" "gcc" "src/has/CMakeFiles/flare_has.dir/player.cpp.o.d"
+  "/root/repo/src/has/uplink_session.cpp" "src/has/CMakeFiles/flare_has.dir/uplink_session.cpp.o" "gcc" "src/has/CMakeFiles/flare_has.dir/uplink_session.cpp.o.d"
+  "/root/repo/src/has/video_session.cpp" "src/has/CMakeFiles/flare_has.dir/video_session.cpp.o" "gcc" "src/has/CMakeFiles/flare_has.dir/video_session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transport/CMakeFiles/flare_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flare_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/flare_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lte/CMakeFiles/flare_lte.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flare_has.dir/metrics.cpp.o"
+  "CMakeFiles/flare_has.dir/metrics.cpp.o.d"
+  "CMakeFiles/flare_has.dir/mpd.cpp.o"
+  "CMakeFiles/flare_has.dir/mpd.cpp.o.d"
+  "CMakeFiles/flare_has.dir/player.cpp.o"
+  "CMakeFiles/flare_has.dir/player.cpp.o.d"
+  "CMakeFiles/flare_has.dir/uplink_session.cpp.o"
+  "CMakeFiles/flare_has.dir/uplink_session.cpp.o.d"
+  "CMakeFiles/flare_has.dir/video_session.cpp.o"
+  "CMakeFiles/flare_has.dir/video_session.cpp.o.d"
+  "libflare_has.a"
+  "libflare_has.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flare_has.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

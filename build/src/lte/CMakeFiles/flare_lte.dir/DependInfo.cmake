@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lte/amc.cpp" "src/lte/CMakeFiles/flare_lte.dir/amc.cpp.o" "gcc" "src/lte/CMakeFiles/flare_lte.dir/amc.cpp.o.d"
+  "/root/repo/src/lte/cell.cpp" "src/lte/CMakeFiles/flare_lte.dir/cell.cpp.o" "gcc" "src/lte/CMakeFiles/flare_lte.dir/cell.cpp.o.d"
+  "/root/repo/src/lte/channel.cpp" "src/lte/CMakeFiles/flare_lte.dir/channel.cpp.o" "gcc" "src/lte/CMakeFiles/flare_lte.dir/channel.cpp.o.d"
+  "/root/repo/src/lte/gbr_scheduler.cpp" "src/lte/CMakeFiles/flare_lte.dir/gbr_scheduler.cpp.o" "gcc" "src/lte/CMakeFiles/flare_lte.dir/gbr_scheduler.cpp.o.d"
+  "/root/repo/src/lte/mobility.cpp" "src/lte/CMakeFiles/flare_lte.dir/mobility.cpp.o" "gcc" "src/lte/CMakeFiles/flare_lte.dir/mobility.cpp.o.d"
+  "/root/repo/src/lte/pf_scheduler.cpp" "src/lte/CMakeFiles/flare_lte.dir/pf_scheduler.cpp.o" "gcc" "src/lte/CMakeFiles/flare_lte.dir/pf_scheduler.cpp.o.d"
+  "/root/repo/src/lte/pss_scheduler.cpp" "src/lte/CMakeFiles/flare_lte.dir/pss_scheduler.cpp.o" "gcc" "src/lte/CMakeFiles/flare_lte.dir/pss_scheduler.cpp.o.d"
+  "/root/repo/src/lte/stats_reporter.cpp" "src/lte/CMakeFiles/flare_lte.dir/stats_reporter.cpp.o" "gcc" "src/lte/CMakeFiles/flare_lte.dir/stats_reporter.cpp.o.d"
+  "/root/repo/src/lte/tbs_table.cpp" "src/lte/CMakeFiles/flare_lte.dir/tbs_table.cpp.o" "gcc" "src/lte/CMakeFiles/flare_lte.dir/tbs_table.cpp.o.d"
+  "/root/repo/src/lte/trace_channel.cpp" "src/lte/CMakeFiles/flare_lte.dir/trace_channel.cpp.o" "gcc" "src/lte/CMakeFiles/flare_lte.dir/trace_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/flare_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/flare_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flare_lte.dir/amc.cpp.o"
+  "CMakeFiles/flare_lte.dir/amc.cpp.o.d"
+  "CMakeFiles/flare_lte.dir/cell.cpp.o"
+  "CMakeFiles/flare_lte.dir/cell.cpp.o.d"
+  "CMakeFiles/flare_lte.dir/channel.cpp.o"
+  "CMakeFiles/flare_lte.dir/channel.cpp.o.d"
+  "CMakeFiles/flare_lte.dir/gbr_scheduler.cpp.o"
+  "CMakeFiles/flare_lte.dir/gbr_scheduler.cpp.o.d"
+  "CMakeFiles/flare_lte.dir/mobility.cpp.o"
+  "CMakeFiles/flare_lte.dir/mobility.cpp.o.d"
+  "CMakeFiles/flare_lte.dir/pf_scheduler.cpp.o"
+  "CMakeFiles/flare_lte.dir/pf_scheduler.cpp.o.d"
+  "CMakeFiles/flare_lte.dir/pss_scheduler.cpp.o"
+  "CMakeFiles/flare_lte.dir/pss_scheduler.cpp.o.d"
+  "CMakeFiles/flare_lte.dir/stats_reporter.cpp.o"
+  "CMakeFiles/flare_lte.dir/stats_reporter.cpp.o.d"
+  "CMakeFiles/flare_lte.dir/tbs_table.cpp.o"
+  "CMakeFiles/flare_lte.dir/tbs_table.cpp.o.d"
+  "CMakeFiles/flare_lte.dir/trace_channel.cpp.o"
+  "CMakeFiles/flare_lte.dir/trace_channel.cpp.o.d"
+  "libflare_lte.a"
+  "libflare_lte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flare_lte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

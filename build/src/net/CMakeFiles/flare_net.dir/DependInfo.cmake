@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/flare_plugin.cpp" "src/net/CMakeFiles/flare_net.dir/flare_plugin.cpp.o" "gcc" "src/net/CMakeFiles/flare_net.dir/flare_plugin.cpp.o.d"
+  "/root/repo/src/net/handover.cpp" "src/net/CMakeFiles/flare_net.dir/handover.cpp.o" "gcc" "src/net/CMakeFiles/flare_net.dir/handover.cpp.o.d"
+  "/root/repo/src/net/messages.cpp" "src/net/CMakeFiles/flare_net.dir/messages.cpp.o" "gcc" "src/net/CMakeFiles/flare_net.dir/messages.cpp.o.d"
+  "/root/repo/src/net/oneapi_multi.cpp" "src/net/CMakeFiles/flare_net.dir/oneapi_multi.cpp.o" "gcc" "src/net/CMakeFiles/flare_net.dir/oneapi_multi.cpp.o.d"
+  "/root/repo/src/net/oneapi_server.cpp" "src/net/CMakeFiles/flare_net.dir/oneapi_server.cpp.o" "gcc" "src/net/CMakeFiles/flare_net.dir/oneapi_server.cpp.o.d"
+  "/root/repo/src/net/pcrf.cpp" "src/net/CMakeFiles/flare_net.dir/pcrf.cpp.o" "gcc" "src/net/CMakeFiles/flare_net.dir/pcrf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/flare_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/has/CMakeFiles/flare_has.dir/DependInfo.cmake"
+  "/root/repo/build/src/lte/CMakeFiles/flare_lte.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flare_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/flare_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/flare_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

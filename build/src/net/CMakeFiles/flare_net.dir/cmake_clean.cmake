@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flare_net.dir/flare_plugin.cpp.o"
+  "CMakeFiles/flare_net.dir/flare_plugin.cpp.o.d"
+  "CMakeFiles/flare_net.dir/handover.cpp.o"
+  "CMakeFiles/flare_net.dir/handover.cpp.o.d"
+  "CMakeFiles/flare_net.dir/messages.cpp.o"
+  "CMakeFiles/flare_net.dir/messages.cpp.o.d"
+  "CMakeFiles/flare_net.dir/oneapi_multi.cpp.o"
+  "CMakeFiles/flare_net.dir/oneapi_multi.cpp.o.d"
+  "CMakeFiles/flare_net.dir/oneapi_server.cpp.o"
+  "CMakeFiles/flare_net.dir/oneapi_server.cpp.o.d"
+  "CMakeFiles/flare_net.dir/pcrf.cpp.o"
+  "CMakeFiles/flare_net.dir/pcrf.cpp.o.d"
+  "libflare_net.a"
+  "libflare_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flare_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflare_net.a"
+)

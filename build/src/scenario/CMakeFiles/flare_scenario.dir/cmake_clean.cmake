@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flare_scenario.dir/experiment.cpp.o"
+  "CMakeFiles/flare_scenario.dir/experiment.cpp.o.d"
+  "CMakeFiles/flare_scenario.dir/scenario.cpp.o"
+  "CMakeFiles/flare_scenario.dir/scenario.cpp.o.d"
+  "libflare_scenario.a"
+  "libflare_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flare_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

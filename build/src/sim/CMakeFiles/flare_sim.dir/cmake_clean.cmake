@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flare_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/flare_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/flare_sim.dir/simulator.cpp.o"
+  "CMakeFiles/flare_sim.dir/simulator.cpp.o.d"
+  "libflare_sim.a"
+  "libflare_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flare_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

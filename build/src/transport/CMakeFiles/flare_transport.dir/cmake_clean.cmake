@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flare_transport.dir/http.cpp.o"
+  "CMakeFiles/flare_transport.dir/http.cpp.o.d"
+  "CMakeFiles/flare_transport.dir/tcp_flow.cpp.o"
+  "CMakeFiles/flare_transport.dir/tcp_flow.cpp.o.d"
+  "CMakeFiles/flare_transport.dir/transport_host.cpp.o"
+  "CMakeFiles/flare_transport.dir/transport_host.cpp.o.d"
+  "libflare_transport.a"
+  "libflare_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flare_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flare_util.dir/config.cpp.o"
+  "CMakeFiles/flare_util.dir/config.cpp.o.d"
+  "CMakeFiles/flare_util.dir/csv.cpp.o"
+  "CMakeFiles/flare_util.dir/csv.cpp.o.d"
+  "CMakeFiles/flare_util.dir/logging.cpp.o"
+  "CMakeFiles/flare_util.dir/logging.cpp.o.d"
+  "CMakeFiles/flare_util.dir/stats.cpp.o"
+  "CMakeFiles/flare_util.dir/stats.cpp.o.d"
+  "libflare_util.a"
+  "libflare_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flare_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

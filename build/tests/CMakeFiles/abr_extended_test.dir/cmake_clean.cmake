@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abr_extended_test.dir/abr_extended_test.cpp.o"
+  "CMakeFiles/abr_extended_test.dir/abr_extended_test.cpp.o.d"
+  "abr_extended_test"
+  "abr_extended_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abr_extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiment_util_test.dir/experiment_util_test.cpp.o"
+  "CMakeFiles/experiment_util_test.dir/experiment_util_test.cpp.o.d"
+  "experiment_util_test"
+  "experiment_util_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiment_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

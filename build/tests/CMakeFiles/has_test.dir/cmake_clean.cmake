@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/has_test.dir/has_test.cpp.o"
+  "CMakeFiles/has_test.dir/has_test.cpp.o.d"
+  "has_test"
+  "has_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/has_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

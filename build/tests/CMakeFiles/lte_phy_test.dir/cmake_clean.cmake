@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lte_phy_test.dir/lte_phy_test.cpp.o"
+  "CMakeFiles/lte_phy_test.dir/lte_phy_test.cpp.o.d"
+  "lte_phy_test"
+  "lte_phy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lte_phy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oneapi_multi_test.dir/oneapi_multi_test.cpp.o"
+  "CMakeFiles/oneapi_multi_test.dir/oneapi_multi_test.cpp.o.d"
+  "oneapi_multi_test"
+  "oneapi_multi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oneapi_multi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

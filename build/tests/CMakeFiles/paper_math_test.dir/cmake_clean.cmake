@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_math_test.dir/paper_math_test.cpp.o"
+  "CMakeFiles/paper_math_test.dir/paper_math_test.cpp.o.d"
+  "paper_math_test"
+  "paper_math_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_math_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rate_controller_test.dir/rate_controller_test.cpp.o"
+  "CMakeFiles/rate_controller_test.dir/rate_controller_test.cpp.o.d"
+  "rate_controller_test"
+  "rate_controller_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rate_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

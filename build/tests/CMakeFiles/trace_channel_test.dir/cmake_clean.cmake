@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_channel_test.dir/trace_channel_test.cpp.o"
+  "CMakeFiles/trace_channel_test.dir/trace_channel_test.cpp.o.d"
+  "trace_channel_test"
+  "trace_channel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

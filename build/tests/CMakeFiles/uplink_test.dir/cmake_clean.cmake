@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uplink_test.dir/uplink_test.cpp.o"
+  "CMakeFiles/uplink_test.dir/uplink_test.cpp.o.d"
+  "uplink_test"
+  "uplink_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uplink_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -8,6 +8,8 @@
 #include <cstdio>
 #include <map>
 
+#include "obs/bai_trace.h"
+#include "obs/metrics.h"
 #include "scenario/experiment.h"
 #include "scenario/scenario.h"
 #include "util/csv.h"
@@ -69,7 +71,24 @@ int Main(int argc, char** argv) {
   PrintPaperComparison("Jain index FLARE", 0.989, flare.MeanJain());
   PrintPaperComparison("Jain index AVIS", 0.989, avis.MeanJain());
   PrintPaperComparison("Jain index FESTIVE", 0.986, festive.MeanJain());
-  std::printf("\nCDF curves written to %s\n",
+
+  // Structured export: one fully instrumented FLARE run (registry + BAI
+  // trace + player summaries) alongside the pooled CDFs.
+  {
+    MetricsRegistry registry;
+    BaiTraceSink trace;
+    ScenarioConfig config = SimStaticPreset(Scheme::kFlare);
+    config.duration_s = scale.duration_s;
+    config.seed = 100;
+    config.metrics = &registry;
+    config.bai_trace = &trace;
+    RunScenario(config);
+    trace.ExportJson(BenchJsonPath("fig6"), &registry);
+    std::printf("\nstructured metrics written to %s\n",
+                BenchJsonPath("fig6").c_str());
+  }
+
+  std::printf("CDF curves written to %s\n",
               BenchCsvPath("fig6_cdfs").c_str());
   return 0;
 }

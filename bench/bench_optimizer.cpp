@@ -9,6 +9,7 @@
 #include "core/optimizer.h"
 #include "core/rate_controller.h"
 #include "has/mpd.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace flare {
@@ -82,6 +83,73 @@ void BM_SolveExhaustiveSmall(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SolveExhaustiveSmall);
+
+// --- Observability overhead: a disabled (default-constructed) handle must
+// cost nothing beyond a null check on the instrumented hot paths; compare
+// against the enabled path hitting a live registry.
+void BM_ObsHandlesDisabled(benchmark::State& state) {
+  CounterHandle counter;
+  GaugeHandle gauge;
+  HistogramHandle histogram;
+  for (auto _ : state) {
+    counter.Add();
+    gauge.Set(42.0);
+    histogram.Observe(3.5);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsHandlesDisabled);
+
+void BM_ObsHandlesEnabled(benchmark::State& state) {
+  MetricsRegistry registry;
+  CounterHandle counter = MakeCounterHandle(&registry, "bench.counter");
+  GaugeHandle gauge = MakeGaugeHandle(&registry, "bench.gauge");
+  HistogramHandle histogram = MakeHistogramHandle(
+      &registry, "bench.histogram", {1.0, 2.0, 5.0, 10.0});
+  for (auto _ : state) {
+    counter.Add();
+    gauge.Set(42.0);
+    histogram.Observe(3.5);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsHandlesEnabled);
+
+// DecideBai through the OneAPI-style wrapper with metrics attached vs not:
+// the "no measurable slowdown when disabled" acceptance check.
+void BM_DecideBaiWithObs(benchmark::State& state) {
+  const bool enabled = state.range(0) != 0;
+  const int n = 32;
+  FlareParams params;
+  params.solver = SolverMode::kContinuousRelaxation;
+  FlareRateController controller(params);
+  std::vector<double> ladder;
+  for (double kbps : DenseLadderKbps()) ladder.push_back(kbps * 1000.0);
+  Rng rng(5);
+  std::vector<FlowObservation> observations;
+  for (int i = 0; i < n; ++i) {
+    controller.AddFlow(static_cast<FlowId>(i + 1), ladder);
+    FlowObservation obs;
+    obs.id = static_cast<FlowId>(i + 1);
+    obs.bits_per_rb = rng.Uniform(100.0, 600.0);
+    observations.push_back(obs);
+  }
+  MetricsRegistry registry;
+  CounterHandle bais =
+      MakeCounterHandle(enabled ? &registry : nullptr, "bench.bais");
+  HistogramHandle solve_ms = MakeHistogramHandle(
+      enabled ? &registry : nullptr, "bench.solve_ms",
+      {0.01, 0.1, 1.0, 10.0});
+  for (auto _ : state) {
+    const BaiDecision decision =
+        controller.DecideBai(observations, 2, 3'125.0 * n);
+    bais.Add();
+    solve_ms.Observe(
+        static_cast<double>(decision.solve_time.count()) / 1e6);
+    benchmark::DoNotOptimize(decision);
+  }
+}
+BENCHMARK(BM_DecideBaiWithObs)->Arg(0)->Arg(1);
 
 }  // namespace
 }  // namespace flare

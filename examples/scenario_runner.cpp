@@ -15,12 +15,16 @@
 // ladder (comma Kbps), alpha, delta, bai_s, bler, vbr_sigma,
 // client_theta_mbps (comma list, screen sizes disclosed to the server),
 // client_caps (comma rung caps, -1 = none), testbed (0/1), runs,
-// series_csv (path).
+// series_csv (path), metrics_json (path: counters/gauges/histograms +
+// per-BAI trace + per-player summaries, first run), bai_trace_csv (path:
+// per-flow per-BAI rows as CSV, first run).
 #include <cstdio>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/bai_trace.h"
+#include "obs/metrics.h"
 #include "scenario/scenario.h"
 #include "util/config.h"
 #include "util/csv.h"
@@ -121,6 +125,17 @@ int main(int argc, char** argv) {
   config.sample_series = series_csv.has_value();
   const int runs = args.GetInt("runs", 1);
 
+  // Observability: attach a registry/trace sink only when an export path
+  // was requested, so the default run keeps the zero-cost disabled path.
+  const auto metrics_json = args.GetString("metrics_json");
+  const auto bai_trace_csv = args.GetString("bai_trace_csv");
+  MetricsRegistry registry;
+  BaiTraceSink trace;
+  if (metrics_json || bai_trace_csv) {
+    config.metrics = &registry;
+    config.bai_trace = &trace;
+  }
+
   std::printf("scenario_runner: %s on %s, %d video / %d data / %d "
               "conventional, %.0f s x %d run(s)\n\n",
               SchemeName(*scheme), channel_name.c_str(), config.n_video,
@@ -132,7 +147,18 @@ int main(int argc, char** argv) {
   double rebuffer = 0.0;
   double jain = 0.0;
   double data = 0.0;
-  const auto results = RunMany(config, runs);
+  // Trace only the first run: repeated seeds would interleave rows.
+  std::vector<ScenarioResult> results;
+  results.push_back(RunScenario(config));
+  if (runs > 1) {
+    ScenarioConfig rest = config;
+    rest.metrics = nullptr;
+    rest.bai_trace = nullptr;
+    rest.seed = config.seed + 1;
+    for (const ScenarioResult& r : RunMany(rest, runs - 1)) {
+      results.push_back(r);
+    }
+  }
   for (const ScenarioResult& r : results) {
     rate += r.avg_video_bitrate_bps / 1000.0;
     changes += r.avg_bitrate_changes;
@@ -159,6 +185,22 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("\nseries written to %s\n", series_csv->c_str());
+  }
+  if (metrics_json) {
+    if (trace.ExportJson(*metrics_json, &registry)) {
+      std::printf("metrics written to %s\n", metrics_json->c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", metrics_json->c_str());
+      return 1;
+    }
+  }
+  if (bai_trace_csv) {
+    if (trace.ExportCsv(*bai_trace_csv)) {
+      std::printf("BAI trace written to %s\n", bai_trace_csv->c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", bai_trace_csv->c_str());
+      return 1;
+    }
   }
   return 0;
 }

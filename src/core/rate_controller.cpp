@@ -122,6 +122,8 @@ BaiDecision FlareRateController::DecideBai(
     assignment.id = ids[u];
     assignment.level = next;
     assignment.rate_bps = ctl.ladder[static_cast<std::size_t>(next)];
+    assignment.recommended_level = star;
+    assignment.consecutive_up = ctl.consecutive_up;
     video_rb_cost += assignment.rate_bps / problem.flows[u].bits_per_rb;
     decision.assignments.push_back(assignment);
   }

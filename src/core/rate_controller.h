@@ -49,8 +49,15 @@ struct FlowObservation {
 
 struct RateAssignment {
   FlowId id = kInvalidFlow;
+  /// Rung enforced after Algorithm 1's stability rule.
   int level = 0;
   double rate_bps = 0.0;
+  /// The solver's recommendation L* before hysteresis (equals `level`
+  /// except while an increase is pending adoption).
+  int recommended_level = 0;
+  /// Consecutive BAIs the solver has recommended a one-rung increase, as
+  /// of this BAI (resets to 0 when the increase is adopted or abandoned).
+  int consecutive_up = 0;
 };
 
 struct BaiDecision {

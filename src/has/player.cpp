@@ -26,6 +26,7 @@ void VideoPlayer::AdvanceTo(SimTime now) {
         // Ran dry mid-interval: the remainder was a stall.
         state_ = State::kStalled;
         ++rebuffer_events_;
+        stalls_metric_.Add();
         rebuffer_s_ += elapsed - drained;
       }
       break;
@@ -37,13 +38,33 @@ void VideoPlayer::OnSegment(double duration_s, double bitrate_bps,
                             SimTime now) {
   AdvanceTo(now);
   buffer_s_ += duration_s;
+  if (!segment_bitrates_.empty() && segment_bitrates_.back() != bitrate_bps) {
+    switches_metric_.Add();
+  }
   segment_bitrates_.push_back(bitrate_bps);
+  buffer_metric_.Observe(buffer_s_);
   if (state_ == State::kStartup && buffer_s_ >= config_.startup_threshold_s) {
     state_ = State::kPlaying;
   } else if (state_ == State::kStalled &&
              buffer_s_ >= config_.resume_threshold_s) {
     state_ = State::kPlaying;
   }
+}
+
+int VideoPlayer::switch_count() const {
+  int switches = 0;
+  for (std::size_t i = 1; i < segment_bitrates_.size(); ++i) {
+    if (segment_bitrates_[i] != segment_bitrates_[i - 1]) ++switches;
+  }
+  return switches;
+}
+
+void VideoPlayer::SetMetrics(MetricsRegistry* registry) {
+  stalls_metric_ = MakeCounterHandle(registry, "player.stalls");
+  switches_metric_ = MakeCounterHandle(registry, "player.switches");
+  buffer_metric_ = MakeHistogramHandle(
+      registry, "player.buffer_s",
+      {1.0, 2.0, 5.0, 10.0, 20.0, 30.0, 45.0, 60.0});
 }
 
 }  // namespace flare

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/time.h"
 
 namespace flare {
@@ -51,6 +52,14 @@ class VideoPlayer {
     return segment_bitrates_;
   }
 
+  /// Bitrate changes between consecutive downloaded segments.
+  int switch_count() const;
+
+  /// Attach metrics (null = detach): stall events, rung switches, and a
+  /// buffer-occupancy histogram sampled at each segment arrival. Shared
+  /// across players — counters aggregate cell-wide.
+  void SetMetrics(MetricsRegistry* registry);
+
  private:
   enum class State { kStartup, kPlaying, kStalled };
 
@@ -62,6 +71,10 @@ class VideoPlayer {
   int rebuffer_events_ = 0;
   SimTime last_update_ = 0;
   std::vector<double> segment_bitrates_;
+
+  CounterHandle stalls_metric_;
+  CounterHandle switches_metric_;
+  HistogramHandle buffer_metric_;
 };
 
 }  // namespace flare

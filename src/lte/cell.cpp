@@ -63,7 +63,10 @@ std::uint64_t Cell::Enqueue(FlowId id, std::uint64_t bytes) {
           : config_.queue_limit_bytes - f.queued_bytes;
   const std::uint64_t accepted = std::min(bytes, room);
   f.queued_bytes += accepted;
-  if (accepted < bytes && drop_) drop_(id, bytes - accepted);
+  if (accepted < bytes) {
+    drop_bytes_metric_.Add(bytes - accepted);
+    if (drop_) drop_(id, bytes - accepted);
+  }
   return accepted;
 }
 
@@ -134,6 +137,17 @@ std::uint64_t Cell::total_tx_bytes(FlowId id) const {
   return Entry(id).state.total_tx_bytes;
 }
 
+void Cell::SetMetrics(MetricsRegistry* registry) {
+  ttis_metric_ = MakeCounterHandle(registry, "cell.ttis");
+  rbs_used_metric_ = MakeCounterHandle(registry, "cell.rbs_used");
+  rbs_priority_metric_ = MakeCounterHandle(registry, "cell.rbs_priority");
+  rbs_shared_metric_ = MakeCounterHandle(registry, "cell.rbs_shared");
+  harq_metric_ = MakeCounterHandle(registry, "cell.harq_retx");
+  drop_bytes_metric_ = MakeCounterHandle(registry, "cell.queue_drop_bytes");
+  gbr_shortfall_metric_ =
+      MakeGaugeHandle(registry, "cell.gbr_shortfall_bytes");
+}
+
 void Cell::Start() {
   if (started_) return;
   started_ = true;
@@ -202,6 +216,7 @@ void Cell::RunTti() {
       f.total_rbs += static_cast<std::uint64_t>(g.rbs);
       rbs_used += g.rbs;
       ++harq_retx_;
+      harq_metric_.Add();
       continue;
     }
 
@@ -222,6 +237,30 @@ void Cell::RunTti() {
   }
   assert(rbs_used <= config_.num_rbs);
   total_rbs_used_ += static_cast<std::uint64_t>(rbs_used);
+
+  // Observability: TTI counters, phase split, and the GBR credit left
+  // unserved after this TTI (sustained shortfall = the cell cannot honour
+  // the GBRs the control plane installed).
+  ttis_metric_.Add();
+  rbs_used_metric_.Add(static_cast<std::uint64_t>(rbs_used));
+  // (Allocate is skipped on idle TTIs, so its stats would be stale then.)
+  const SchedTtiStats phase =
+      candidates.empty() ? SchedTtiStats{} : scheduler_->tti_stats();
+  rbs_priority_metric_.Add(static_cast<std::uint64_t>(phase.rbs_priority));
+  rbs_shared_metric_.Add(static_cast<std::uint64_t>(phase.rbs_shared));
+  if (trace_sink_ != nullptr || gbr_shortfall_metric_.enabled()) {
+    double shortfall = 0.0;
+    for (const auto& [id, entry] : flows_) {
+      if (entry.state.has_gbr()) {
+        shortfall += std::max(entry.state.gbr_credit_bytes, 0.0);
+      }
+    }
+    gbr_shortfall_metric_.Set(shortfall);
+    if (trace_sink_ != nullptr) {
+      trace_sink_->RecordTti(now, phase.rbs_priority, phase.rbs_shared,
+                             shortfall);
+    }
+  }
 
   // 5. PF averages: every flow decays; served flows add their TTI rate.
   const double tc = std::max(config_.pf_time_constant, 1.0);

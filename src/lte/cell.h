@@ -23,6 +23,8 @@
 #include "lte/flow_state.h"
 #include "lte/scheduler.h"
 #include "lte/types.h"
+#include "obs/bai_trace.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 
@@ -111,6 +113,14 @@ class Cell {
   /// Begin the TTI loop. Call once after construction.
   void Start();
 
+  // --- Observability ------------------------------------------------------
+  /// Attach a metrics registry (null detaches): TTI/RB counters, queue
+  /// drops, HARQ retransmissions and the GBR shortfall gauge.
+  void SetMetrics(MetricsRegistry* registry);
+  /// Attach a BAI trace sink (null detaches): per-TTI scheduler aggregates
+  /// (RBs per phase, GBR credit shortfall), flushed on the sink's period.
+  void SetTraceSink(BaiTraceSink* sink) { trace_sink_ = sink; }
+
  private:
   struct UeEntry {
     std::unique_ptr<ChannelModel> channel;
@@ -141,6 +151,15 @@ class Cell {
   std::uint64_t ttis_elapsed_ = 0;
   std::uint64_t harq_retx_ = 0;
   bool started_ = false;
+
+  BaiTraceSink* trace_sink_ = nullptr;
+  CounterHandle ttis_metric_;
+  CounterHandle rbs_used_metric_;
+  CounterHandle rbs_priority_metric_;
+  CounterHandle rbs_shared_metric_;
+  CounterHandle harq_metric_;
+  CounterHandle drop_bytes_metric_;
+  GaugeHandle gbr_shortfall_metric_;
 };
 
 }  // namespace flare

@@ -7,6 +7,7 @@ namespace flare {
 std::vector<SchedGrant> TwoPhaseGbrScheduler::Allocate(
     std::vector<SchedCandidate>& candidates, int n_rbs, Rng& /*rng*/) {
   std::vector<SchedGrant> grants;
+  tti_stats_ = SchedTtiStats{};
   if (n_rbs <= 0) return grants;
 
   // --- Phase 1: GBR-based scheduling of video flows, most starved first.
@@ -42,16 +43,24 @@ std::vector<SchedGrant> TwoPhaseGbrScheduler::Allocate(
     used += rbs;
   }
 
-  // --- Phase 2: legacy proportional fair over the remaining RBs.
+  tti_stats_.rbs_priority = used;
+
+  // --- Phase 2: legacy proportional fair over the remaining RBs. A video
+  // flow already served in phase 1 may win further RBs here (that is the
+  // opportunistic borrowing §IV-A credits for zero underflow); its two
+  // partial grants are then coalesced so callers see one grant per flow.
   if (video_only_phase2_) {
     std::vector<SchedCandidate> video;
     for (const SchedCandidate& c : candidates) {
       if (c.flow->type == FlowType::kVideo) video.push_back(c);
     }
-    ProportionalFairPass(video, n_rbs - used, grants);
+    tti_stats_.rbs_shared =
+        ProportionalFairPass(video, n_rbs - used, grants);
   } else {
-    ProportionalFairPass(candidates, n_rbs - used, grants);
+    tti_stats_.rbs_shared =
+        ProportionalFairPass(candidates, n_rbs - used, grants);
   }
+  CoalesceGrants(grants);
   return grants;
 }
 

@@ -51,16 +51,34 @@ int ProportionalFairPass(std::vector<SchedCandidate>& candidates, int n_rbs,
   return used;
 }
 
+void CoalesceGrants(std::vector<SchedGrant>& grants) {
+  std::vector<SchedGrant> merged;
+  merged.reserve(grants.size());
+  std::unordered_map<const FlowState*, std::size_t> index;
+  for (const SchedGrant& g : grants) {
+    const auto [it, inserted] = index.emplace(g.flow, merged.size());
+    if (inserted) {
+      merged.push_back(g);
+    } else {
+      merged[it->second].rbs += g.rbs;
+      merged[it->second].bytes += g.bytes;
+    }
+  }
+  grants = std::move(merged);
+}
+
 std::vector<SchedGrant> PfScheduler::Allocate(
     std::vector<SchedCandidate>& candidates, int n_rbs, Rng& /*rng*/) {
   std::vector<SchedGrant> grants;
-  ProportionalFairPass(candidates, n_rbs, grants);
+  tti_stats_ = SchedTtiStats{};
+  tti_stats_.rbs_shared = ProportionalFairPass(candidates, n_rbs, grants);
   return grants;
 }
 
 std::vector<SchedGrant> RoundRobinScheduler::Allocate(
     std::vector<SchedCandidate>& candidates, int n_rbs, Rng& /*rng*/) {
   std::vector<SchedGrant> grants;
+  tti_stats_ = SchedTtiStats{};
   if (candidates.empty() || n_rbs <= 0) return grants;
 
   // Rotate the starting flow each TTI, then hand out RBs one flow at a
@@ -85,6 +103,9 @@ std::vector<SchedGrant> RoundRobinScheduler::Allocate(
     }
   }
   ++next_;
+  // One grant was pushed per RB; collapse to one grant per flow.
+  CoalesceGrants(grants);
+  tti_stats_.rbs_shared = used;
   return grants;
 }
 

@@ -7,6 +7,7 @@ namespace flare {
 std::vector<SchedGrant> PssScheduler::Allocate(
     std::vector<SchedCandidate>& candidates, int n_rbs, Rng& /*rng*/) {
   std::vector<SchedGrant> grants;
+  tti_stats_ = SchedTtiStats{};
   if (n_rbs <= 0) return grants;
 
   // --- Priority set: GBR flows still owed bytes this scheduling window.
@@ -41,8 +42,14 @@ std::vector<SchedGrant> PssScheduler::Allocate(
     used += rbs;
   }
 
+  tti_stats_.rbs_priority = used;
+
   // --- Frequency domain: leftover RBs under proportional fair, all flows.
-  ProportionalFairPass(candidates, n_rbs - used, grants);
+  // As in the two-phase scheduler, a priority-set flow may be served again
+  // here; coalescing keeps the one-grant-per-flow contract.
+  tti_stats_.rbs_shared =
+      ProportionalFairPass(candidates, n_rbs - used, grants);
+  CoalesceGrants(grants);
   return grants;
 }
 

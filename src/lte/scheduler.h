@@ -30,17 +30,32 @@ struct SchedGrant {
   std::uint64_t bytes = 0;
 };
 
+/// How the last Allocate split the TTI's RBs between its scheduling
+/// phases. Single-phase schedulers report everything as `rbs_shared`.
+struct SchedTtiStats {
+  int rbs_priority = 0;  // GBR / priority-set phase
+  int rbs_shared = 0;    // PF / round-robin (shared) phase
+};
+
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
 
   /// Distribute `n_rbs` resource blocks over `candidates`. Grants must not
   /// exceed each candidate's max_bytes (except for the final partially
-  /// filled RB) and the total RB count must not exceed n_rbs.
+  /// filled RB), the total RB count must not exceed n_rbs, and each flow
+  /// appears in at most one grant (two-phase schedulers coalesce a flow's
+  /// phase-1 and phase-2 service into a single aggregate grant).
   virtual std::vector<SchedGrant> Allocate(
       std::vector<SchedCandidate>& candidates, int n_rbs, Rng& rng) = 0;
 
   virtual std::string Name() const = 0;
+
+  /// Phase breakdown of the most recent Allocate call.
+  const SchedTtiStats& tti_stats() const { return tti_stats_; }
+
+ protected:
+  SchedTtiStats tti_stats_;
 };
 
 /// RBs needed to move `bytes` at `bytes_per_rb` per RB (ceiling division).
@@ -51,5 +66,10 @@ int RbsForBytes(std::uint64_t bytes, std::uint32_t bytes_per_rb);
 /// by earlier grants in `grants`. Appends to `grants` and returns RBs used.
 int ProportionalFairPass(std::vector<SchedCandidate>& candidates, int n_rbs,
                          std::vector<SchedGrant>& grants);
+
+/// Merge grants that name the same flow (summing RBs and bytes), keeping
+/// first-appearance order. Two-phase schedulers call this so a flow served
+/// in both phases still yields exactly one grant.
+void CoalesceGrants(std::vector<SchedGrant>& grants);
 
 }  // namespace flare

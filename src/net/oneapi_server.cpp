@@ -23,7 +23,16 @@ void OneApiServer::ConnectVideoClient(FlarePlugin* plugin, const Mpd& mpd) {
   // server trusts only what survives decoding.
   const std::string wire =
       EncodeClientInfo(plugin->BuildClientInfo(mpd));
-  sim_.After(config_.uplink_latency, [this, plugin, wire] {
+  const FlowId id = plugin->flow();
+  const std::uint64_t generation = ++connect_generation_[id];
+  sim_.After(config_.uplink_latency, [this, plugin, wire, id, generation] {
+    // A disconnect (or a newer connect) landed while this registration was
+    // in flight: it is stale, and replaying it would resurrect the flow in
+    // the controller/PCRF with a possibly dangling plugin pointer.
+    const auto gen = connect_generation_.find(id);
+    if (gen == connect_generation_.end() || gen->second != generation) {
+      return;
+    }
     const std::optional<ClientInfo> info = DecodeClientInfo(wire);
     if (!info) {
       FLOG_WARN << "OneApiServer: dropping malformed client info";
@@ -54,9 +63,22 @@ void OneApiServer::UpdateClientInfo(FlowId id, const ClientInfo& info) {
 }
 
 void OneApiServer::DisconnectVideoClient(FlowId id) {
+  ++connect_generation_[id];  // cancel any in-flight ConnectVideoClient
   controller_.RemoveFlow(id);
   pcrf_.DeregisterFlow(id, config_.cell_tag);
   clients_.erase(id);
+}
+
+void OneApiServer::SetObservers(MetricsRegistry* registry,
+                                BaiTraceSink* sink) {
+  trace_sink_ = sink;
+  bais_metric_ = MakeCounterHandle(registry, "oneapi.bais");
+  assignments_metric_ = MakeCounterHandle(registry, "oneapi.assignments");
+  solve_ms_metric_ = MakeHistogramHandle(
+      registry, "oneapi.solve_ms",
+      {0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0});
+  video_fraction_metric_ =
+      MakeGaugeHandle(registry, "oneapi.video_fraction");
 }
 
 void OneApiServer::Start() {
@@ -69,6 +91,7 @@ void OneApiServer::RunBai() {
   // --- Gather client information + RB/rate trace windows.
   std::vector<FlowObservation> observations;
   observations.reserve(clients_.size());
+  std::map<FlowId, double> raw_samples;
   for (auto& [id, entry] : clients_) {
     if (!cell_.HasFlow(id)) continue;
     const RbRateWindow window = cell_.TakeWindow(id);
@@ -87,6 +110,7 @@ void OneApiServer::RunBai() {
         entry.smoothed_bits_per_rb <= 0.0
             ? sample
             : (1.0 - w) * entry.smoothed_bits_per_rb + w * sample;
+    raw_samples[id] = sample;
 
     FlowObservation obs;
     obs.id = id;
@@ -105,9 +129,13 @@ void OneApiServer::RunBai() {
   const BaiDecision decision =
       controller_.DecideBai(observations, n_data, rb_rate);
 
-  solve_times_ms_.push_back(
-      static_cast<double>(decision.solve_time.count()) / 1e6);
+  const double solve_ms =
+      static_cast<double>(decision.solve_time.count()) / 1e6;
+  solve_times_ms_.push_back(solve_ms);
   video_fractions_.push_back(decision.video_fraction);
+  bais_metric_.Add();
+  solve_ms_metric_.Observe(solve_ms);
+  video_fraction_metric_.Set(decision.video_fraction);
 
   // --- Enforce: GBR via PCEF at the eNodeB, rung via the UE plugin. The
   // assignment travels as a wire message and the plugin side decodes it.
@@ -118,14 +146,35 @@ void OneApiServer::RunBai() {
     msg.rate_bps = a.rate_bps;
     msg.gbr_bps = a.rate_bps * config_.gbr_headroom;
     pcef_.EnforceGbr(msg.flow, msg.gbr_bps);
+    assignments_metric_.Add();
     const auto it = clients_.find(a.id);
+    if (trace_sink_ != nullptr && it != clients_.end()) {
+      BaiTraceRow row;
+      row.t_s = ToSeconds(sim_.Now());
+      row.flow = a.id;
+      row.observed_bits_per_rb = raw_samples[a.id];
+      row.smoothed_bits_per_rb = it->second.smoothed_bits_per_rb;
+      row.recommended_level = a.recommended_level;
+      row.hysteresis_up = a.consecutive_up;
+      row.enforced_level = a.level;
+      row.rate_bps = a.rate_bps;
+      row.gbr_bps = msg.gbr_bps;
+      row.video_fraction = decision.video_fraction;
+      row.solve_time_ms = solve_ms;
+      row.feasible = decision.feasible;
+      trace_sink_->RecordBai(row);
+    }
     if (it == clients_.end()) continue;
-    FlarePlugin* plugin = it->second.plugin;
     const std::string wire = EncodeRateAssignment(msg);
-    sim_.After(config_.downlink_latency, [plugin, wire] {
+    // Resolve the plugin at delivery time, not capture time: the client
+    // may disconnect (and its plugin die) while the push is in flight.
+    sim_.After(config_.downlink_latency, [this, wire] {
       const std::optional<RateAssignmentMsg> decoded =
           DecodeRateAssignment(wire);
-      if (decoded) plugin->SetAssignedLevel(decoded->level);
+      if (!decoded) return;
+      const auto client = clients_.find(decoded->flow);
+      if (client == clients_.end()) return;
+      client->second.plugin->SetAssignedLevel(decoded->level);
     });
   }
 }

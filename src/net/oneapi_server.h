@@ -18,6 +18,8 @@
 #include "net/flare_plugin.h"
 #include "net/pcef.h"
 #include "net/pcrf.h"
+#include "obs/bai_trace.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace flare {
@@ -55,7 +57,10 @@ class OneApiServer {
   /// A FLARE plugin announces its session: after the uplink latency the
   /// server registers the flow (ladder + optional client constraints) and
   /// records it with the PCRF. `plugin` must outlive the server or be
-  /// disconnected first.
+  /// disconnected first. A DisconnectVideoClient issued while the
+  /// registration is still in flight wins: the delayed registration is
+  /// dropped (generation-guarded), so a flow torn down within the uplink
+  /// latency window never reappears in the controller or PCRF.
   void ConnectVideoClient(FlarePlugin* plugin, const Mpd& mpd);
   void DisconnectVideoClient(FlowId id);
 
@@ -82,6 +87,11 @@ class OneApiServer {
     return video_fractions_;
   }
 
+  /// Attach observability (either pointer may be null): the registry gets
+  /// BAI counters and the solve-time histogram; the sink gets one
+  /// BaiTraceRow per video flow per BAI.
+  void SetObservers(MetricsRegistry* registry, BaiTraceSink* sink);
+
  private:
   struct ClientEntry {
     FlarePlugin* plugin = nullptr;
@@ -96,9 +106,19 @@ class OneApiServer {
   OneApiConfig config_;
   FlareRateController controller_;
   std::map<FlowId, ClientEntry> clients_;
+  /// Bumped by every connect and disconnect of a flow; a delayed connect
+  /// callback only registers if its generation is still current, so a
+  /// disconnect inside the uplink-latency window cancels it.
+  std::map<FlowId, std::uint64_t> connect_generation_;
   std::vector<double> solve_times_ms_;
   std::vector<double> video_fractions_;
   bool started_ = false;
+
+  BaiTraceSink* trace_sink_ = nullptr;
+  CounterHandle bais_metric_;
+  CounterHandle assignments_metric_;
+  HistogramHandle solve_ms_metric_;
+  GaugeHandle video_fraction_metric_;
 };
 
 }  // namespace flare

@@ -1,0 +1,116 @@
+#include "obs/bai_trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "obs/metrics.h"
+#include "util/csv.h"
+
+namespace flare {
+
+BaiTraceSink::BaiTraceSink(SimTime tti_flush_period)
+    : flush_period_(std::max<SimTime>(tti_flush_period, kTti)) {}
+
+void BaiTraceSink::RecordTti(SimTime now, int rbs_priority, int rbs_shared,
+                             double gbr_shortfall_bytes) {
+  if (now - window_start_ >= flush_period_ && pending_.ttis > 0) {
+    Flush(now);
+  }
+  ++pending_.ttis;
+  pending_.rbs_priority += static_cast<std::uint64_t>(rbs_priority);
+  pending_.rbs_shared += static_cast<std::uint64_t>(rbs_shared);
+  pending_shortfall_sum_ += gbr_shortfall_bytes;
+}
+
+void BaiTraceSink::Flush(SimTime now) {
+  if (pending_.ttis == 0) {
+    window_start_ = now;
+    return;
+  }
+  pending_.t_s = ToSeconds(now);
+  pending_.mean_gbr_shortfall_bytes =
+      pending_shortfall_sum_ / static_cast<double>(pending_.ttis);
+  tti_rows_.push_back(pending_);
+  pending_ = TtiAggregateRow{};
+  pending_shortfall_sum_ = 0.0;
+  window_start_ = now;
+}
+
+bool BaiTraceSink::ExportCsv(const std::string& path) const {
+  CsvWriter csv(path,
+                {"t_s", "flow", "observed_bits_per_rb",
+                 "smoothed_bits_per_rb", "recommended_level",
+                 "hysteresis_up", "enforced_level", "rate_kbps", "gbr_kbps",
+                 "video_fraction", "solve_time_ms", "feasible"});
+  if (!csv.ok()) return false;
+  for (const BaiTraceRow& r : bai_rows_) {
+    csv.Row({r.t_s, static_cast<double>(r.flow), r.observed_bits_per_rb,
+             r.smoothed_bits_per_rb, static_cast<double>(r.recommended_level),
+             static_cast<double>(r.hysteresis_up),
+             static_cast<double>(r.enforced_level), r.rate_bps / 1000.0,
+             r.gbr_bps / 1000.0, r.video_fraction, r.solve_time_ms,
+             r.feasible ? 1.0 : 0.0});
+  }
+  return true;
+}
+
+void BaiTraceSink::WriteJson(std::ostream& out,
+                             const MetricsRegistry* registry) const {
+  out << "{\n\"metrics\": ";
+  if (registry != nullptr) {
+    registry->WriteJson(out);
+  } else {
+    out << "null\n";
+  }
+  out << ",\n\"bai_trace\": [";
+  for (std::size_t i = 0; i < bai_rows_.size(); ++i) {
+    const BaiTraceRow& r = bai_rows_[i];
+    out << (i == 0 ? "\n" : ",\n") << "{\"t_s\": " << FormatNumber(r.t_s)
+        << ", \"flow\": " << r.flow
+        << ", \"observed_bits_per_rb\": "
+        << FormatNumber(r.observed_bits_per_rb)
+        << ", \"smoothed_bits_per_rb\": "
+        << FormatNumber(r.smoothed_bits_per_rb)
+        << ", \"recommended_level\": " << r.recommended_level
+        << ", \"hysteresis_up\": " << r.hysteresis_up
+        << ", \"enforced_level\": " << r.enforced_level
+        << ", \"rate_bps\": " << FormatNumber(r.rate_bps)
+        << ", \"gbr_bps\": " << FormatNumber(r.gbr_bps)
+        << ", \"video_fraction\": " << FormatNumber(r.video_fraction)
+        << ", \"solve_time_ms\": " << FormatNumber(r.solve_time_ms)
+        << ", \"feasible\": " << (r.feasible ? "true" : "false") << '}';
+  }
+  out << "],\n\"tti_aggregates\": [";
+  for (std::size_t i = 0; i < tti_rows_.size(); ++i) {
+    const TtiAggregateRow& r = tti_rows_[i];
+    out << (i == 0 ? "\n" : ",\n") << "{\"t_s\": " << FormatNumber(r.t_s)
+        << ", \"ttis\": " << r.ttis
+        << ", \"rbs_priority\": " << r.rbs_priority
+        << ", \"rbs_shared\": " << r.rbs_shared
+        << ", \"mean_gbr_shortfall_bytes\": "
+        << FormatNumber(r.mean_gbr_shortfall_bytes) << '}';
+  }
+  out << "],\n\"players\": [";
+  for (std::size_t i = 0; i < players_.size(); ++i) {
+    const PlayerSummary& p = players_[i];
+    out << (i == 0 ? "\n" : ",\n") << "{\"client\": " << p.client
+        << ", \"flow\": " << p.flow
+        << ", \"avg_bitrate_bps\": " << FormatNumber(p.avg_bitrate_bps)
+        << ", \"switches\": " << p.switches << ", \"stalls\": " << p.stalls
+        << ", \"stall_s\": " << FormatNumber(p.stall_s)
+        << ", \"qoe\": " << FormatNumber(p.qoe)
+        << ", \"segments\": " << p.segments << '}';
+  }
+  out << "]\n}\n";
+}
+
+bool BaiTraceSink::ExportJson(const std::string& path,
+                              const MetricsRegistry* registry) const {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  WriteJson(out, registry);
+  return true;
+}
+
+}  // namespace flare

@@ -1,0 +1,121 @@
+// Structured per-BAI trace of the FLARE control loop.
+//
+// The sink records three row families:
+//  * one BaiTraceRow per video flow per BAI — the full decision context
+//    (observed and smoothed bits/RB, the solver's recommended rung, the
+//    hysteresis state, the enforced rung, the pushed GBR) plus the
+//    BAI-level video_fraction / solve time, so rate-adaptation behaviour
+//    can be audited flow-by-flow and interval-by-interval;
+//  * per-TTI scheduler aggregates (RBs per phase, GBR credit shortfall),
+//    folded into one TtiAggregateRow per flush period so a 600 s run emits
+//    hundreds of rows, not hundreds of thousands;
+//  * one PlayerSummary per video client at teardown (stalls, switches,
+//    QoE), closing the loop from network decisions to viewer experience.
+//
+// Like the metrics handles, a null sink pointer disables everything; the
+// producers (OneApiServer, Cell, scenario runner) check one pointer per
+// record site.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "lte/types.h"
+#include "util/time.h"
+
+namespace flare {
+
+class MetricsRegistry;
+
+/// One row per video flow per BAI.
+struct BaiTraceRow {
+  double t_s = 0.0;
+  FlowId flow = kInvalidFlow;
+  /// Raw e_u sample from this BAI's RB & Rate Trace window (or the nominal
+  /// fallback when the flow was idle).
+  double observed_bits_per_rb = 0.0;
+  /// EWMA-smoothed estimate actually fed to the optimizer.
+  double smoothed_bits_per_rb = 0.0;
+  /// Solver recommendation L* before Algorithm 1's hysteresis.
+  int recommended_level = 0;
+  /// Consecutive-up counter after this BAI (0 unless an increase is
+  /// pending adoption).
+  int hysteresis_up = 0;
+  /// Rung enforced on client and scheduler after the stability rule.
+  int enforced_level = 0;
+  double rate_bps = 0.0;
+  double gbr_bps = 0.0;
+  /// BAI-level context, repeated on each of the interval's rows.
+  double video_fraction = 0.0;
+  double solve_time_ms = 0.0;
+  bool feasible = true;
+};
+
+/// Scheduler aggregates over one flush period (default 1 s).
+struct TtiAggregateRow {
+  double t_s = 0.0;  // end of the aggregation period
+  std::uint64_t ttis = 0;
+  std::uint64_t rbs_priority = 0;  // GBR / priority-set phase
+  std::uint64_t rbs_shared = 0;    // PF / shared phase
+  /// Mean unserved GBR credit (bytes still owed after the TTI) over the
+  /// period — sustained positive values mean the cell cannot honour the
+  /// GBRs the optimizer asked for.
+  double mean_gbr_shortfall_bytes = 0.0;
+};
+
+/// End-of-run per-client summary.
+struct PlayerSummary {
+  int client = -1;
+  FlowId flow = kInvalidFlow;
+  double avg_bitrate_bps = 0.0;
+  int switches = 0;
+  int stalls = 0;
+  double stall_s = 0.0;
+  double qoe = 0.0;
+  int segments = 0;
+};
+
+class BaiTraceSink {
+ public:
+  /// `tti_flush_period` controls TTI-aggregate granularity.
+  explicit BaiTraceSink(SimTime tti_flush_period = kSecond);
+
+  void RecordBai(const BaiTraceRow& row) { bai_rows_.push_back(row); }
+  /// Accumulate one TTI's scheduler stats; emits an aggregate row each
+  /// time `now` crosses a flush-period boundary.
+  void RecordTti(SimTime now, int rbs_priority, int rbs_shared,
+                 double gbr_shortfall_bytes);
+  void RecordPlayer(const PlayerSummary& summary) {
+    players_.push_back(summary);
+  }
+  /// Fold any partially accumulated TTI window into a final aggregate row
+  /// (call once after the run).
+  void Flush(SimTime now);
+
+  const std::vector<BaiTraceRow>& bai_rows() const { return bai_rows_; }
+  const std::vector<TtiAggregateRow>& tti_rows() const { return tti_rows_; }
+  const std::vector<PlayerSummary>& players() const { return players_; }
+
+  /// BAI rows as CSV (one file; util/csv.h). Returns false if unwritable.
+  bool ExportCsv(const std::string& path) const;
+  /// Full structured export: {"metrics": ..., "bai_trace": [...],
+  /// "tti_aggregates": [...], "players": [...]}. `registry` may be null,
+  /// in which case the metrics section is omitted.
+  void WriteJson(std::ostream& out, const MetricsRegistry* registry) const;
+  bool ExportJson(const std::string& path,
+                  const MetricsRegistry* registry = nullptr) const;
+
+ private:
+  SimTime flush_period_;
+  SimTime window_start_ = 0;
+  TtiAggregateRow pending_;
+  double pending_shortfall_sum_ = 0.0;
+
+  std::vector<BaiTraceRow> bai_rows_;
+  std::vector<TtiAggregateRow> tti_rows_;
+  std::vector<PlayerSummary> players_;
+};
+
+}  // namespace flare

@@ -1,0 +1,162 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <utility>
+
+#include "util/csv.h"
+
+namespace flare {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(double value) {
+  const auto it =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += value;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+std::vector<std::uint64_t> Histogram::CumulativeCounts() const {
+  std::vector<std::uint64_t> cumulative(buckets_.size(), 0);
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    running += buckets_[i];
+    cumulative[i] = running;
+  }
+  return cumulative;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram(std::move(bounds)))
+      .first->second;
+}
+
+namespace {
+
+void WriteJsonString(std::ostream& out, const std::string& text) {
+  out << '"';
+  for (char c : text) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void MetricsRegistry::WriteJson(std::ostream& out) const {
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    WriteJsonString(out, name);
+    out << ": " << counter.value();
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    WriteJsonString(out, name);
+    out << ": " << FormatNumber(gauge.value());
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    WriteJsonString(out, name);
+    out << ": {\"count\": " << histogram.count()
+        << ", \"sum\": " << FormatNumber(histogram.sum())
+        << ", \"mean\": " << FormatNumber(histogram.Mean())
+        << ", \"buckets\": [";
+    const std::vector<double>& bounds = histogram.bounds();
+    const std::vector<std::uint64_t> cumulative =
+        histogram.CumulativeCounts();
+    for (std::size_t i = 0; i < cumulative.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << "{\"le\": ";
+      if (i < bounds.size()) {
+        out << FormatNumber(bounds[i]);
+      } else {
+        out << "\"inf\"";
+      }
+      out << ", \"count\": " << cumulative[i] << '}';
+    }
+    out << "]}";
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+bool MetricsRegistry::ExportJson(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  WriteJson(out);
+  return true;
+}
+
+bool MetricsRegistry::ExportCsv(const std::string& path) const {
+  CsvWriter csv(path, {"metric", "kind", "field", "value"});
+  if (!csv.ok()) return false;
+  for (const auto& [name, counter] : counters_) {
+    csv.RawRow({name, "counter", "value",
+                FormatNumber(static_cast<double>(counter.value()))});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    csv.RawRow({name, "gauge", "value", FormatNumber(gauge.value())});
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    csv.RawRow({name, "histogram", "count",
+                FormatNumber(static_cast<double>(histogram.count()))});
+    csv.RawRow({name, "histogram", "sum", FormatNumber(histogram.sum())});
+    csv.RawRow({name, "histogram", "mean", FormatNumber(histogram.Mean())});
+  }
+  return true;
+}
+
+CounterHandle MakeCounterHandle(MetricsRegistry* registry,
+                                const std::string& name) {
+  return registry == nullptr ? CounterHandle{}
+                             : CounterHandle(&registry->GetCounter(name));
+}
+
+GaugeHandle MakeGaugeHandle(MetricsRegistry* registry,
+                            const std::string& name) {
+  return registry == nullptr ? GaugeHandle{}
+                             : GaugeHandle(&registry->GetGauge(name));
+}
+
+HistogramHandle MakeHistogramHandle(MetricsRegistry* registry,
+                                    const std::string& name,
+                                    std::vector<double> bounds) {
+  return registry == nullptr
+             ? HistogramHandle{}
+             : HistogramHandle(
+                   &registry->GetHistogram(name, std::move(bounds)));
+}
+
+}  // namespace flare

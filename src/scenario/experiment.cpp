@@ -59,6 +59,12 @@ std::string BenchCsvPath(const std::string& name) {
   return "bench_results/" + name + ".csv";
 }
 
+std::string BenchJsonPath(const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  return "bench_results/BENCH_" + name + ".json";
+}
+
 void PrintPaperComparison(const std::string& metric, double paper,
                           double measured) {
   std::printf("  %-44s paper %10s   measured %10s\n", metric.c_str(),

@@ -53,6 +53,12 @@ BenchScale ScaleFromEnv(int default_runs, double default_duration_s,
 /// Ensure ./bench_results exists and return "bench_results/<name>.csv".
 std::string BenchCsvPath(const std::string& name);
 
+/// Ensure ./bench_results exists and return
+/// "bench_results/BENCH_<name>.json" — the benches' structured-metrics
+/// export convention (obs registry + BAI trace), comparable across
+/// harnesses and revisions.
+std::string BenchJsonPath(const std::string& name);
+
 /// Print a "paper reported / we measured" comparison line.
 void PrintPaperComparison(const std::string& metric, double paper,
                           double measured);

@@ -157,11 +157,14 @@ ScenarioConfig SimMobilePreset(Scheme scheme) {
 ScenarioResult RunScenario(const ScenarioConfig& config) {
   Rng rng(config.seed);
   Simulator sim;
+  sim.SetMetrics(config.metrics);
 
   CellConfig cell_config;
   cell_config.num_rbs = config.num_rbs;
   cell_config.target_bler = config.target_bler;
   Cell cell(sim, MakeScheduler(config), cell_config, rng.Fork(0xce11));
+  cell.SetMetrics(config.metrics);
+  cell.SetTraceSink(config.bai_trace);
 
   TransportHost transport(sim, cell);
   Pcrf pcrf;
@@ -172,6 +175,7 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
                                     ? SolverMode::kContinuousRelaxation
                                     : SolverMode::kGreedyDiscrete;
   OneApiServer oneapi(sim, cell, pcrf, pcef, oneapi_config);
+  oneapi.SetObservers(config.metrics, config.bai_trace);
 
   AvisGateway avis_gateway(sim, cell, config.avis);
 
@@ -186,6 +190,7 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   // --- Video clients.
   std::vector<std::unique_ptr<HttpClient>> https;
   std::vector<std::unique_ptr<VideoSession>> sessions;
+  std::vector<FlowId> video_flows;
   // Plugins for the network-only ablation: registered with the OneAPI
   // server (so the optimizer runs and GBRs are enforced) but never
   // consulted by the player.
@@ -194,6 +199,7 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   for (int i = 0; i < config.n_video; ++i) {
     const UeId ue = cell.AddUe(MakeChannel(config, i, n_ues, rng));
     TcpFlow& tcp = transport.CreateFlow(ue, FlowType::kVideo);
+    video_flows.push_back(tcp.id());
     https.push_back(std::make_unique<HttpClient>(sim, tcp));
 
     VideoSessionConfig session_config;
@@ -244,6 +250,7 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
 
     auto session = std::make_unique<VideoSession>(
         sim, *https.back(), mpd, std::move(abr), session_config);
+    session->player().SetMetrics(config.metrics);
 
     if (plugin != nullptr) {
       // Opt-in client disclosures (Section II-B) before registration.
@@ -349,15 +356,29 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
 
   // --- Collect metrics.
   std::vector<double> avg_bitrates;
-  for (const auto& session : sessions) {
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    const auto& session = sessions[i];
     session->player().AdvanceTo(sim.Now());
     ClientMetrics m = ComputeClientMetrics(*session);
     avg_bitrates.push_back(m.avg_bitrate_bps);
     result.avg_video_bitrate_bps += m.avg_bitrate_bps;
     result.avg_bitrate_changes += m.bitrate_changes;
     result.avg_rebuffer_s += m.rebuffer_time_s;
+    if (config.bai_trace != nullptr) {
+      PlayerSummary summary;
+      summary.client = static_cast<int>(i);
+      summary.flow = video_flows[i];
+      summary.avg_bitrate_bps = m.avg_bitrate_bps;
+      summary.switches = m.bitrate_changes;
+      summary.stalls = m.rebuffer_events;
+      summary.stall_s = m.rebuffer_time_s;
+      summary.qoe = m.qoe;
+      summary.segments = m.segments;
+      config.bai_trace->RecordPlayer(summary);
+    }
     result.video.push_back(m);
   }
+  if (config.bai_trace != nullptr) config.bai_trace->Flush(sim.Now());
   if (!result.video.empty()) {
     const auto n = static_cast<double>(result.video.size());
     result.avg_video_bitrate_bps /= n;

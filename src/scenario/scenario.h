@@ -122,6 +122,13 @@ struct ScenarioConfig {
 
   /// Collect 1 Hz time series (Figures 4/5); off for CDF sweeps.
   bool sample_series = false;
+
+  // --- Observability (both may be null; null = zero-cost disabled).
+  /// Counter/gauge/histogram registry shared by the simulator, cell,
+  /// OneAPI server, and players. Not owned; must outlive the run.
+  MetricsRegistry* metrics = nullptr;
+  /// Structured per-BAI / per-TTI / per-player trace sink. Not owned.
+  BaiTraceSink* bai_trace = nullptr;
 };
 
 /// One sampled point of the Figure 4/5 time series.

@@ -15,15 +15,20 @@ void Simulator::After(SimTime delay, EventFn fn) {
 }
 
 void Simulator::Every(SimTime start, SimTime period, EventFn fn) {
-  // Self-rescheduling wrapper. The shared_ptr keeps the callable alive
-  // across reschedules; the chain ends when RunUntil stops draining.
-  auto task = std::make_shared<EventFn>(std::move(fn));
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, task, tick, period]() {
+  ScheduleTick(start, period, std::make_shared<EventFn>(std::move(fn)));
+}
+
+void Simulator::ScheduleTick(SimTime at, SimTime period,
+                             std::shared_ptr<EventFn> task) {
+  // A fresh wrapper is built for every occurrence: the queued callable
+  // owns the task, runs it, and hands ownership to the next occurrence.
+  // (The previous implementation stored the wrapper in a shared_ptr that
+  // its own capture list kept alive — a reference cycle that leaked every
+  // recurring task's callable for the life of the process.)
+  At(at, [this, period, task = std::move(task)]() mutable {
     (*task)();
-    queue_.Push(now_ + period, *tick);
-  };
-  At(start, *tick);
+    ScheduleTick(now_ + period, period, std::move(task));
+  });
 }
 
 void Simulator::RunUntil(SimTime until) {
@@ -32,11 +37,18 @@ void Simulator::RunUntil(SimTime until) {
     now_ = queue_.NextTime();
     queue_.RunNext();
     ++events_processed_;
+    events_metric_.Add();
   }
   // Even if no event lands exactly at `until`, the run semantically covers
   // [0, until]; advance the clock so metrics see the full horizon. A Stop()
   // keeps the clock at the stopping event instead.
   if (!stopped_) now_ = std::max(now_, until);
+  queue_depth_metric_.Set(static_cast<double>(queue_.Size()));
+}
+
+void Simulator::SetMetrics(MetricsRegistry* registry) {
+  events_metric_ = MakeCounterHandle(registry, "sim.events");
+  queue_depth_metric_ = MakeGaugeHandle(registry, "sim.queue_depth");
 }
 
 }  // namespace flare

@@ -7,7 +7,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
+#include "obs/metrics.h"
 #include "sim/event_queue.h"
 #include "util/time.h"
 
@@ -39,12 +41,25 @@ class Simulator {
   void Stop() { stopped_ = true; }
 
   std::uint64_t events_processed() const { return events_processed_; }
+  std::size_t queue_depth() const { return queue_.Size(); }
+
+  /// Attach a metrics registry (null detaches): exports the event rate
+  /// ("sim.events") and pending-queue depth ("sim.queue_depth").
+  void SetMetrics(MetricsRegistry* registry);
 
  private:
+  /// Reschedules the periodic `task` for `at`. Each queued occurrence owns
+  /// the task callable; nothing owns itself, so draining or clearing the
+  /// queue releases every recurring task (see sim_test's leak regression).
+  void ScheduleTick(SimTime at, SimTime period,
+                    std::shared_ptr<EventFn> task);
+
   EventQueue queue_;
   SimTime now_ = 0;
   bool stopped_ = false;
   std::uint64_t events_processed_ = 0;
+  CounterHandle events_metric_;
+  GaugeHandle queue_depth_metric_;
 };
 
 }  // namespace flare

@@ -200,6 +200,46 @@ TEST(OneApiServer, DisconnectRemovesFlow) {
   EXPECT_NO_THROW(server.RunBai());
 }
 
+// Regression: a disconnect issued while the delayed connect callback was
+// still in flight used to be overwritten — the callback re-registered the
+// flow with the controller and PCRF, leaving a ghost entry pointing at a
+// possibly-destroyed plugin.
+TEST(OneApiServer, DisconnectDuringConnectLatencyWins) {
+  ServerFixture f;
+  OneApiServer server = f.MakeServer();
+  const UeId ue = f.cell.AddUe(std::make_unique<StaticItbsChannel>(7));
+  const FlowId flow = f.cell.AddFlow(ue, FlowType::kVideo);
+  FlarePlugin plugin(flow);
+  server.ConnectVideoClient(&plugin,
+                            MakeMpd(SimulationLadderKbps(), 10.0));
+  // Disconnect inside the 20 ms uplink-latency window, before the delayed
+  // registration callback has fired.
+  f.sim.RunUntil(5 * kMillisecond);
+  server.DisconnectVideoClient(flow);
+  f.sim.RunUntil(FromSeconds(1.0));
+  EXPECT_FALSE(server.controller().HasFlow(flow));
+  EXPECT_EQ(f.pcrf.CountFlows(FlowType::kVideo), 0);
+  EXPECT_NO_THROW(server.RunBai());
+}
+
+// A reconnect issued after a same-window disconnect must still land: only
+// the stale in-flight registration is cancelled, not the newer one.
+TEST(OneApiServer, ReconnectAfterRacedDisconnectStillRegisters) {
+  ServerFixture f;
+  OneApiServer server = f.MakeServer();
+  const UeId ue = f.cell.AddUe(std::make_unique<StaticItbsChannel>(7));
+  const FlowId flow = f.cell.AddFlow(ue, FlowType::kVideo);
+  FlarePlugin plugin(flow);
+  const Mpd mpd = MakeMpd(SimulationLadderKbps(), 10.0);
+  server.ConnectVideoClient(&plugin, mpd);
+  f.sim.RunUntil(5 * kMillisecond);
+  server.DisconnectVideoClient(flow);
+  server.ConnectVideoClient(&plugin, mpd);
+  f.sim.RunUntil(FromSeconds(1.0));
+  EXPECT_TRUE(server.controller().HasFlow(flow));
+  EXPECT_EQ(f.pcrf.CountFlows(FlowType::kVideo), 1);
+}
+
 TEST(OneApiServer, DataFlowCountReachesOptimizer) {
   // With many data flows the first assignments should stay low even after
   // several BAIs (log term holds video back on a small cell).

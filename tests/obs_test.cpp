@@ -1,0 +1,216 @@
+// Tests for the observability layer: metrics registry, handles, and the
+// structured BAI trace sink — plus an end-to-end check that a scenario run
+// with observers attached produces per-BAI rows for every video flow.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "obs/bai_trace.h"
+#include "obs/metrics.h"
+#include "scenario/scenario.h"
+#include "util/time.h"
+
+namespace flare {
+namespace {
+
+TEST(MetricsRegistry, CountersGaugesHistogramsRoundTrip) {
+  MetricsRegistry registry;
+  registry.GetCounter("a").Add(3);
+  registry.GetCounter("a").Add();
+  registry.GetGauge("g").Set(2.5);
+  Histogram& h = registry.GetHistogram("h", {1.0, 10.0});
+  h.Observe(0.5);
+  h.Observe(5.0);
+  h.Observe(100.0);
+  EXPECT_EQ(registry.GetCounter("a").value(), 4u);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("g").value(), 2.5);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 105.5);
+  const auto cumulative = h.CumulativeCounts();
+  ASSERT_EQ(cumulative.size(), 3u);  // <=1, <=10, +inf
+  EXPECT_EQ(cumulative[0], 1u);
+  EXPECT_EQ(cumulative[1], 2u);
+  EXPECT_EQ(cumulative[2], 3u);
+}
+
+TEST(MetricsRegistry, SameNameSharesInstrument) {
+  MetricsRegistry registry;
+  registry.GetCounter("shared").Add(1);
+  registry.GetCounter("shared").Add(1);
+  EXPECT_EQ(registry.GetCounter("shared").value(), 2u);
+  // Histogram bounds are fixed on first creation.
+  registry.GetHistogram("h", {1.0});
+  EXPECT_EQ(registry.GetHistogram("h", {5.0, 6.0}).bounds().size(), 1u);
+}
+
+TEST(MetricsHandles, NullHandlesAreInertAndCheap) {
+  CounterHandle counter;
+  GaugeHandle gauge;
+  HistogramHandle histogram;
+  EXPECT_FALSE(counter.enabled());
+  EXPECT_FALSE(gauge.enabled());
+  EXPECT_FALSE(histogram.enabled());
+  // No registry attached: these must be safe no-ops.
+  counter.Add(7);
+  gauge.Set(1.0);
+  histogram.Observe(1.0);
+  // Null-registry factory also yields inert handles.
+  EXPECT_FALSE(MakeCounterHandle(nullptr, "x").enabled());
+  EXPECT_FALSE(MakeGaugeHandle(nullptr, "x").enabled());
+  EXPECT_FALSE(MakeHistogramHandle(nullptr, "x", {1.0}).enabled());
+}
+
+TEST(MetricsHandles, ResolvedHandlesWriteThrough) {
+  MetricsRegistry registry;
+  CounterHandle counter = MakeCounterHandle(&registry, "c");
+  GaugeHandle gauge = MakeGaugeHandle(&registry, "g");
+  HistogramHandle histogram = MakeHistogramHandle(&registry, "h", {1.0});
+  counter.Add(2);
+  gauge.Set(9.0);
+  histogram.Observe(0.5);
+  EXPECT_EQ(registry.GetCounter("c").value(), 2u);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("g").value(), 9.0);
+  EXPECT_EQ(registry.GetHistogram("h", {}).count(), 1u);
+}
+
+TEST(MetricsRegistry, JsonContainsAllSections) {
+  MetricsRegistry registry;
+  registry.GetCounter("cell.ttis").Add(10);
+  registry.GetGauge("oneapi.video_fraction").Set(0.5);
+  registry.GetHistogram("oneapi.solve_ms", {1.0}).Observe(0.2);
+  std::ostringstream out;
+  registry.WriteJson(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"cell.ttis\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"le\""), std::string::npos);
+}
+
+TEST(BaiTraceSink, AggregatesTtisPerFlushPeriod) {
+  BaiTraceSink sink(kSecond);
+  // 2.5 s of TTIs at 1 ms: expect 2 full aggregate rows + 1 on Flush.
+  for (SimTime t = 0; t < FromSeconds(2.5); t += kTti) {
+    sink.RecordTti(t, 3, 47, 100.0);
+  }
+  sink.Flush(FromSeconds(2.5));
+  ASSERT_EQ(sink.tti_rows().size(), 3u);
+  const TtiAggregateRow& first = sink.tti_rows()[0];
+  EXPECT_EQ(first.ttis, 1000u);
+  EXPECT_EQ(first.rbs_priority, 3000u);
+  EXPECT_EQ(first.rbs_shared, 47000u);
+  EXPECT_DOUBLE_EQ(first.mean_gbr_shortfall_bytes, 100.0);
+}
+
+TEST(BaiTraceSink, JsonAndCsvExportsContainRows) {
+  BaiTraceSink sink;
+  BaiTraceRow row;
+  row.t_s = 1.0;
+  row.flow = 7;
+  row.enforced_level = 2;
+  row.rate_bps = 600e3;
+  sink.RecordBai(row);
+  PlayerSummary player;
+  player.client = 0;
+  player.flow = 7;
+  player.stalls = 1;
+  sink.RecordPlayer(player);
+
+  std::ostringstream out;
+  sink.WriteJson(out, nullptr);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"bai_trace\""), std::string::npos);
+  EXPECT_NE(json.find("\"flow\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"players\""), std::string::npos);
+  EXPECT_NE(json.find("\"stalls\": 1"), std::string::npos);
+
+  const std::string path = "obs_test_trace.csv";
+  ASSERT_TRUE(sink.ExportCsv(path));
+  std::ifstream in(path);
+  std::string header;
+  std::string line;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(header.find("enforced_level"), std::string::npos);
+  EXPECT_NE(line.find("7"), std::string::npos);
+  in.close();
+  std::remove(path.c_str());
+}
+
+// End-to-end: a FLARE scenario with observers attached produces per-BAI
+// rows for every video flow, per-player summaries, and populated cell /
+// server metrics — the acceptance criterion for the observability layer.
+TEST(Observability, ScenarioRunEmitsRowsForEveryVideoFlow) {
+  MetricsRegistry registry;
+  BaiTraceSink trace;
+  ScenarioConfig config = TestbedPreset(Scheme::kFlare);
+  config.duration_s = 30.0;
+  config.n_video = 3;
+  config.metrics = &registry;
+  config.bai_trace = &trace;
+  const ScenarioResult result = RunScenario(config);
+
+  // One row per video flow per BAI (registration takes ~1 BAI).
+  std::set<FlowId> flows_seen;
+  for (const BaiTraceRow& row : trace.bai_rows()) {
+    flows_seen.insert(row.flow);
+    EXPECT_GE(row.enforced_level, 0);
+    EXPECT_LE(row.enforced_level, row.recommended_level);
+    EXPECT_GT(row.rate_bps, 0.0);
+    EXPECT_GE(row.gbr_bps, row.rate_bps);  // headroom >= 1
+    EXPECT_GT(row.smoothed_bits_per_rb, 0.0);
+  }
+  EXPECT_EQ(flows_seen.size(), 3u);
+  EXPECT_GE(trace.bai_rows().size(), 3u * 25u);  // ~29 BAIs x 3 flows
+
+  // Player summaries: one per video client, matching the result metrics.
+  ASSERT_EQ(trace.players().size(), 3u);
+  for (std::size_t i = 0; i < trace.players().size(); ++i) {
+    EXPECT_EQ(trace.players()[i].client, static_cast<int>(i));
+    EXPECT_DOUBLE_EQ(trace.players()[i].avg_bitrate_bps,
+                     result.video[i].avg_bitrate_bps);
+    EXPECT_EQ(trace.players()[i].switches, result.video[i].bitrate_changes);
+  }
+
+  // Cell / server / sim metrics populated.
+  EXPECT_GE(registry.GetCounter("cell.ttis").value(), 29'000u);
+  EXPECT_GT(registry.GetCounter("cell.rbs_used").value(), 0u);
+  EXPECT_EQ(registry.GetCounter("oneapi.bais").value(),
+            result.solve_times_ms.size());
+  EXPECT_GT(registry.GetCounter("sim.events").value(), 0u);
+  EXPECT_EQ(registry.GetHistogram("oneapi.solve_ms", {}).count(),
+            result.solve_times_ms.size());
+
+  // TTI aggregates cover the run at ~1 row/s.
+  EXPECT_GE(trace.tti_rows().size(), 25u);
+}
+
+TEST(Observability, DisabledRunMatchesEnabledRunResults) {
+  // Attaching observers must not perturb simulation results.
+  ScenarioConfig config = TestbedPreset(Scheme::kFlare);
+  config.duration_s = 20.0;
+  const ScenarioResult plain = RunScenario(config);
+
+  MetricsRegistry registry;
+  BaiTraceSink trace;
+  config.metrics = &registry;
+  config.bai_trace = &trace;
+  const ScenarioResult observed = RunScenario(config);
+
+  ASSERT_EQ(plain.video.size(), observed.video.size());
+  for (std::size_t i = 0; i < plain.video.size(); ++i) {
+    EXPECT_DOUBLE_EQ(plain.video[i].avg_bitrate_bps,
+                     observed.video[i].avg_bitrate_bps);
+    EXPECT_EQ(plain.video[i].bitrate_changes,
+              observed.video[i].bitrate_changes);
+  }
+  EXPECT_EQ(plain.data_throughput_bps, observed.data_throughput_bps);
+}
+
+}  // namespace
+}  // namespace flare

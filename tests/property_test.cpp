@@ -3,10 +3,15 @@
 // capacity bounds, checked on full end-to-end runs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <tuple>
+#include <vector>
 
+#include "core/rate_controller.h"
 #include "lte/tbs_table.h"
 #include "scenario/scenario.h"
+#include "util/rng.h"
 
 namespace flare {
 namespace {
@@ -126,6 +131,87 @@ INSTANTIATE_TEST_SUITE_P(
                                          Scheme::kAvis, Scheme::kMpc),
                        ::testing::Values(ChannelKind::kStaticItbs,
                                          ChannelKind::kMobile)));
+
+// Property: Algorithm 1's per-BAI decisions, under randomized ladders and
+// channel efficiencies, always (a) respect the capacity constraint — the
+// video RB fraction stays within max_video_fraction whenever the solver
+// reports the problem feasible — and (b) respect the stability cap: no
+// flow's enforced rung ever rises by more than one per BAI, and the first
+// assignment is always the lowest rung.
+class DecideBaiProperty
+    : public ::testing::TestWithParam<std::tuple<SolverMode, std::uint64_t>> {
+};
+
+TEST_P(DecideBaiProperty, CapacityAndStabilityInvariants) {
+  const auto [solver, seed] = GetParam();
+  Rng rng(seed);
+
+  FlareParams params;
+  params.solver = solver;
+  params.delta = static_cast<int>(rng.Uniform(0.0, 4.0));
+  FlareRateController controller(params);
+
+  // Randomized population with per-flow randomized increasing ladders.
+  const int n_flows = 2 + static_cast<int>(rng.Uniform(0.0, 7.0));
+  for (FlowId id = 1; id <= static_cast<FlowId>(n_flows); ++id) {
+    const int rungs = 2 + static_cast<int>(rng.Uniform(0.0, 8.0));
+    std::vector<double> ladder;
+    double rate = rng.Uniform(50e3, 400e3);
+    for (int r = 0; r < rungs; ++r) {
+      ladder.push_back(rate);
+      rate *= rng.Uniform(1.3, 2.2);
+    }
+    controller.AddFlow(id, ladder);
+  }
+
+  std::vector<double> bits_per_rb(static_cast<std::size_t>(n_flows));
+  for (double& e : bits_per_rb) e = rng.Uniform(16.0, 712.0);
+  const double rb_rate = rng.Uniform(500.0, 4000.0) * n_flows;
+
+  std::map<FlowId, int> last_level;
+  for (int bai = 0; bai < 60; ++bai) {
+    std::vector<FlowObservation> observations;
+    for (int i = 0; i < n_flows; ++i) {
+      auto& e = bits_per_rb[static_cast<std::size_t>(i)];
+      e = std::clamp(e * rng.Uniform(0.8, 1.25), 16.0, 712.0);
+      FlowObservation obs;
+      obs.id = static_cast<FlowId>(i + 1);
+      obs.bits_per_rb = e;
+      observations.push_back(obs);
+    }
+    const int n_data = static_cast<int>(rng.Uniform(0.0, 4.0));
+    const BaiDecision decision =
+        controller.DecideBai(observations, n_data, rb_rate);
+    ASSERT_EQ(decision.assignments.size(),
+              static_cast<std::size_t>(n_flows));
+
+    if (decision.feasible) {
+      EXPECT_LE(decision.video_fraction,
+                params.max_video_fraction + 1e-9)
+          << "capacity violated at BAI " << bai;
+    }
+    for (const RateAssignment& a : decision.assignments) {
+      const auto prev = last_level.find(a.id);
+      if (prev == last_level.end()) {
+        EXPECT_EQ(a.level, 0) << "new flow must start at the lowest rung";
+      } else {
+        EXPECT_LE(a.level, prev->second + 1)
+            << "flow " << a.id << " jumped more than one rung at BAI "
+            << bai;
+      }
+      EXPECT_GE(a.level, 0);
+      EXPECT_GE(a.recommended_level, 0);
+      EXPECT_GE(a.consecutive_up, 0);
+      last_level[a.id] = a.level;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomizedLadders, DecideBaiProperty,
+    ::testing::Combine(::testing::Values(SolverMode::kGreedyDiscrete,
+                                         SolverMode::kContinuousRelaxation),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u)));
 
 }  // namespace
 }  // namespace flare

@@ -274,6 +274,75 @@ TEST(TwoPhaseGbr, VideoOnlyPhase2ExcludesData) {
   EXPECT_EQ(bytes.count(2), 0u);
 }
 
+// Regression: a video flow with a small GBR debt and a deep queue used to
+// receive two grants per TTI (one in the GBR phase, one in the PF phase).
+// The documented contract is now: phase-2 opportunistic borrowing is
+// allowed, but callers see exactly one coalesced grant per flow.
+TEST(TwoPhaseGbr, OneGrantPerFlowAcrossPhases) {
+  TwoPhaseGbrScheduler sched;
+  Rng rng(1);
+  auto f = MakeFlows(2, 100);
+  f.states[0].type = FlowType::kVideo;
+  f.states[0].gbr_bps = 1e6;
+  f.states[0].gbr_credit_bytes = 300.0;  // 3 RBs owed, 47 left over
+  f.states[1].type = FlowType::kData;
+  const auto grants = sched.Allocate(f.candidates, 50, rng);
+  std::map<FlowId, int> multiplicity;
+  for (const SchedGrant& g : grants) ++multiplicity[g.flow->id];
+  for (const auto& [id, n] : multiplicity) {
+    EXPECT_EQ(n, 1) << "flow " << id << " got " << n << " grants";
+  }
+  // The video flow was served in both phases (debt + borrowed RBs), so
+  // its single grant must exceed the phase-1 debt.
+  EXPECT_GT(BytesByFlow(grants).at(1), 300u);
+  EXPECT_LE(TotalRbs(grants), 50);
+  EXPECT_EQ(sched.tti_stats().rbs_priority, 3);
+  EXPECT_EQ(sched.tti_stats().rbs_shared, 47);
+}
+
+TEST(TwoPhaseGbr, BorrowingNeverExceedsMaxBytesOrBudget) {
+  TwoPhaseGbrScheduler sched;
+  Rng rng(1);
+  auto f = MakeFlows(3, 100, /*max_bytes=*/800);
+  for (auto& s : f.states) {
+    s.type = FlowType::kVideo;
+    s.gbr_bps = 1e6;
+    s.gbr_credit_bytes = 500.0;
+  }
+  const auto grants = sched.Allocate(f.candidates, 50, rng);
+  std::map<FlowId, int> multiplicity;
+  for (const SchedGrant& g : grants) ++multiplicity[g.flow->id];
+  for (const auto& [id, n] : multiplicity) EXPECT_EQ(n, 1);
+  for (const auto& [id, b] : BytesByFlow(grants)) {
+    EXPECT_LE(b, 800u) << "flow " << id
+                       << " exceeded max_bytes across phases";
+  }
+  EXPECT_LE(TotalRbs(grants), 50);
+}
+
+TEST(AllSchedulers, OneGrantPerFlowEverywhere) {
+  Rng rng(1);
+  for (int which = 0; which < 4; ++which) {
+    std::unique_ptr<Scheduler> sched;
+    switch (which) {
+      case 0: sched = std::make_unique<PfScheduler>(); break;
+      case 1: sched = std::make_unique<PssScheduler>(); break;
+      case 2: sched = std::make_unique<TwoPhaseGbrScheduler>(); break;
+      default: sched = std::make_unique<RoundRobinScheduler>(); break;
+    }
+    auto f = MakeFlows(4, 100);
+    f.states[0].type = FlowType::kVideo;
+    f.states[0].gbr_bps = 1e6;
+    f.states[0].gbr_credit_bytes = 200.0;
+    const auto grants = sched->Allocate(f.candidates, 50, rng);
+    std::map<FlowId, int> multiplicity;
+    for (const SchedGrant& g : grants) ++multiplicity[g.flow->id];
+    for (const auto& [id, n] : multiplicity) {
+      EXPECT_EQ(n, 1) << "scheduler " << which << ", flow " << id;
+    }
+  }
+}
+
 TEST(AllSchedulers, EmptyCandidatesYieldNoGrants) {
   std::vector<SchedCandidate> empty;
   Rng rng(1);

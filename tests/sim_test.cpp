@@ -1,8 +1,10 @@
 // Tests for the discrete-event simulation core.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
 
@@ -121,6 +123,34 @@ TEST(Simulator, CountsProcessedEvents) {
   for (int i = 0; i < 5; ++i) sim.At(i, [] {});
   sim.RunUntil(10);
   EXPECT_EQ(sim.events_processed(), 5u);
+}
+
+// Regression: Every() used to store its repeating callable in a
+// shared_ptr whose lambda captured that same shared_ptr — a reference
+// cycle that leaked the callable (and everything it captured) after the
+// simulator was destroyed.
+TEST(Simulator, EveryCallableIsReleasedWithSimulator) {
+  auto payload = std::make_shared<int>(0);
+  std::weak_ptr<int> watch = payload;
+  {
+    Simulator sim;
+    sim.Every(10, 10, [payload] { ++*payload; });
+    payload.reset();
+    sim.RunUntil(50);
+    EXPECT_FALSE(watch.expired());  // still scheduled, still alive
+  }
+  // Destroying the simulator (draining its queue) must free the callable.
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(Simulator, MetricsCountEventsAndQueueDepth) {
+  MetricsRegistry registry;
+  Simulator sim;
+  sim.SetMetrics(&registry);
+  for (int i = 0; i < 4; ++i) sim.At(i + 1, [] {});
+  sim.RunUntil(10);
+  EXPECT_EQ(registry.GetCounter("sim.events").value(), 4u);
+  EXPECT_EQ(registry.GetGauge("sim.queue_depth").value(), 0.0);
 }
 
 }  // namespace

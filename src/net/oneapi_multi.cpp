@@ -30,11 +30,33 @@ void OneApiMultiServer::ConnectVideoClient(CellId cell_id,
                                            FlarePlugin* plugin,
                                            const Mpd& mpd) {
   cell_server(cell_id).ConnectVideoClient(plugin, mpd);
+  owner_[plugin->flow()] = cell_id;
 }
 
 void OneApiMultiServer::DisconnectVideoClient(CellId cell_id,
                                               FlowId flow) {
-  cell_server(cell_id).DisconnectVideoClient(flow);
+  CellId target = cell_id;
+  const auto owner = owner_.find(flow);
+  // The named cell serves the disconnect when it owns the flow (landed
+  // registration) — that also disambiguates colliding flow ids across
+  // cells. Otherwise the caller's bookkeeping is stale (the flow was
+  // re-connected through another cell mid-handover, or its registration
+  // is still in flight there): route to the owning cell, which both
+  // removes the landed state and cancels any in-flight registration via
+  // the server's connect-generation guard.
+  if (!cell_server(cell_id).HasClient(flow) && owner != owner_.end()) {
+    target = owner->second;
+  }
+  cell_server(target).DisconnectVideoClient(flow);
+  if (owner != owner_.end() && owner->second == target) {
+    owner_.erase(owner);
+  }
+}
+
+std::optional<CellId> OneApiMultiServer::OwnerCell(FlowId flow) const {
+  const auto it = owner_.find(flow);
+  if (it == owner_.end()) return std::nullopt;
+  return it->second;
 }
 
 void OneApiMultiServer::Start() {

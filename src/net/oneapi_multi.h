@@ -10,6 +10,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 
 #include "net/oneapi_server.h"
 
@@ -34,7 +35,15 @@ class OneApiMultiServer {
   /// Register a FLARE plugin streaming through cell `cell_id`.
   void ConnectVideoClient(CellId cell_id, FlarePlugin* plugin,
                           const Mpd& mpd);
+  /// Tear down `flow`'s registration. `cell_id` is the caller's belief of
+  /// the serving cell; when the flow has since been connected through a
+  /// different cell (mid-handover teardown, or a disconnect raced by the
+  /// migration), the disconnect is routed to the cell that currently owns
+  /// the flow so neither the controller nor the PCRF leaks the session.
   void DisconnectVideoClient(CellId cell_id, FlowId flow);
+
+  /// Cell currently owning `flow`'s most recent registration, if any.
+  std::optional<CellId> OwnerCell(FlowId flow) const;
 
   /// Start the BAI loop in every attached cell (including cells attached
   /// later).
@@ -53,6 +62,13 @@ class OneApiMultiServer {
   Pcrf& pcrf_;
   OneApiConfig config_;
   std::map<CellId, Entry> cells_;
+  /// Cell of each flow's most recent ConnectVideoClient — the routing
+  /// table DisconnectVideoClient consults when the named cell no longer
+  /// owns the flow. eNodeBs number bearers independently, so two cells
+  /// may both carry a flow with the same id; the map then holds the most
+  /// recent registration, and disconnects naming a cell that *does* own
+  /// the flow are always served by that cell first.
+  std::map<FlowId, CellId> owner_;
   CellId next_id_ = 0;
   bool started_ = false;
 };

@@ -130,7 +130,9 @@ void OneApiServer::RunBai() {
       controller_.DecideBai(observations, n_data, rb_rate);
 
   const double solve_ms =
-      static_cast<double>(decision.solve_time.count()) / 1e6;
+      config_.deterministic_timing
+          ? 0.0
+          : static_cast<double>(decision.solve_time.count()) / 1e6;
   solve_times_ms_.push_back(solve_ms);
   video_fractions_.push_back(decision.video_fraction);
   bais_metric_.Add();
@@ -151,6 +153,7 @@ void OneApiServer::RunBai() {
     if (trace_sink_ != nullptr && it != clients_.end()) {
       BaiTraceRow row;
       row.t_s = ToSeconds(sim_.Now());
+      row.cell = static_cast<int>(config_.cell_tag);
       row.flow = a.id;
       row.observed_bits_per_rb = raw_samples[a.id];
       row.smoothed_bits_per_rb = it->second.smoothed_bits_per_rb;

@@ -43,6 +43,10 @@ struct OneApiConfig {
   /// PCRF scope for this server's cell (multi-cell deployments register
   /// flows under their cell's tag; single-cell setups leave it at 0).
   Pcrf::CellTag cell_tag = 0;
+  /// Record the solver wall-clock as 0 so traces and metrics are
+  /// byte-stable across runs. The determinism & golden-trace harness
+  /// turns this on; Figure 9 timing benches leave it off.
+  bool deterministic_timing = false;
   FlareParams params;
 };
 
@@ -77,6 +81,10 @@ class OneApiServer {
 
   FlareRateController& controller() { return controller_; }
   const FlareRateController& controller() const { return controller_; }
+
+  /// Whether `id` has a *landed* registration (an in-flight
+  /// ConnectVideoClient still inside the uplink latency does not count).
+  bool HasClient(FlowId id) const { return clients_.count(id) > 0; }
 
   /// Solver wall-clock times, one per BAI, in milliseconds (Figure 9).
   const std::vector<double>& solve_times_ms() const {

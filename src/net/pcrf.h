@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <utility>
 #include <vector>
@@ -19,9 +20,17 @@ namespace flare {
 class Pcrf {
  public:
   using CellTag = std::uint32_t;
+  /// Observes every registry mutation (`registered` = false on
+  /// deregistration). The sharded runtime installs one on each domain's
+  /// PCRF shard to mirror ops into the shared core registry at BAI
+  /// barriers; deployments without a hook pay one branch.
+  using ChangeFn =
+      std::function<void(FlowId, FlowType, CellTag, bool registered)>;
 
   void RegisterFlow(FlowId id, FlowType type, CellTag cell = 0);
   void DeregisterFlow(FlowId id, CellTag cell = 0);
+
+  void SetOnChange(ChangeFn fn) { on_change_ = std::move(fn); }
 
   /// Flows of `type` in cell `cell`.
   int CountFlows(FlowType type, CellTag cell = 0) const;
@@ -35,6 +44,7 @@ class Pcrf {
 
  private:
   std::map<std::pair<CellTag, FlowId>, FlowType> flows_;
+  ChangeFn on_change_;
 };
 
 }  // namespace flare

@@ -37,21 +37,61 @@ void BaiTraceSink::Flush(SimTime now) {
   window_start_ = now;
 }
 
-bool BaiTraceSink::ExportCsv(const std::string& path) const {
-  CsvWriter csv(path,
-                {"t_s", "flow", "observed_bits_per_rb",
-                 "smoothed_bits_per_rb", "recommended_level",
-                 "hysteresis_up", "enforced_level", "rate_kbps", "gbr_kbps",
-                 "video_fraction", "solve_time_ms", "feasible"});
-  if (!csv.ok()) return false;
-  for (const BaiTraceRow& r : bai_rows_) {
-    csv.Row({r.t_s, static_cast<double>(r.flow), r.observed_bits_per_rb,
-             r.smoothed_bits_per_rb, static_cast<double>(r.recommended_level),
-             static_cast<double>(r.hysteresis_up),
-             static_cast<double>(r.enforced_level), r.rate_bps / 1000.0,
-             r.gbr_bps / 1000.0, r.video_fraction, r.solve_time_ms,
-             r.feasible ? 1.0 : 0.0});
+void BaiTraceSink::AbsorbShard(const BaiTraceSink& shard, int cell) {
+  for (BaiTraceRow row : shard.bai_rows_) {
+    row.cell = cell;
+    bai_rows_.push_back(row);
   }
+  for (TtiAggregateRow row : shard.tti_rows_) {
+    row.cell = cell;
+    tti_rows_.push_back(row);
+  }
+  for (PlayerSummary player : shard.players_) {
+    player.cell = cell;
+    players_.push_back(player);
+  }
+}
+
+void BaiTraceSink::SortMergedRows() {
+  std::stable_sort(bai_rows_.begin(), bai_rows_.end(),
+                   [](const BaiTraceRow& a, const BaiTraceRow& b) {
+                     if (a.t_s != b.t_s) return a.t_s < b.t_s;
+                     if (a.cell != b.cell) return a.cell < b.cell;
+                     return a.flow < b.flow;
+                   });
+  std::stable_sort(tti_rows_.begin(), tti_rows_.end(),
+                   [](const TtiAggregateRow& a, const TtiAggregateRow& b) {
+                     if (a.t_s != b.t_s) return a.t_s < b.t_s;
+                     return a.cell < b.cell;
+                   });
+  std::stable_sort(players_.begin(), players_.end(),
+                   [](const PlayerSummary& a, const PlayerSummary& b) {
+                     if (a.cell != b.cell) return a.cell < b.cell;
+                     return a.client < b.client;
+                   });
+}
+
+void BaiTraceSink::WriteCsv(std::ostream& out) const {
+  out << "t_s,cell,flow,observed_bits_per_rb,smoothed_bits_per_rb,"
+         "recommended_level,hysteresis_up,enforced_level,rate_kbps,"
+         "gbr_kbps,video_fraction,solve_time_ms,feasible\n";
+  for (const BaiTraceRow& r : bai_rows_) {
+    out << FormatNumber(r.t_s) << ',' << r.cell << ',' << r.flow << ','
+        << FormatNumber(r.observed_bits_per_rb) << ','
+        << FormatNumber(r.smoothed_bits_per_rb) << ','
+        << r.recommended_level << ',' << r.hysteresis_up << ','
+        << r.enforced_level << ',' << FormatNumber(r.rate_bps / 1000.0)
+        << ',' << FormatNumber(r.gbr_bps / 1000.0) << ','
+        << FormatNumber(r.video_fraction) << ','
+        << FormatNumber(r.solve_time_ms) << ',' << (r.feasible ? 1 : 0)
+        << '\n';
+  }
+}
+
+bool BaiTraceSink::ExportCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  WriteCsv(out);
   return true;
 }
 
@@ -67,7 +107,7 @@ void BaiTraceSink::WriteJson(std::ostream& out,
   for (std::size_t i = 0; i < bai_rows_.size(); ++i) {
     const BaiTraceRow& r = bai_rows_[i];
     out << (i == 0 ? "\n" : ",\n") << "{\"t_s\": " << FormatNumber(r.t_s)
-        << ", \"flow\": " << r.flow
+        << ", \"cell\": " << r.cell << ", \"flow\": " << r.flow
         << ", \"observed_bits_per_rb\": "
         << FormatNumber(r.observed_bits_per_rb)
         << ", \"smoothed_bits_per_rb\": "
@@ -85,7 +125,7 @@ void BaiTraceSink::WriteJson(std::ostream& out,
   for (std::size_t i = 0; i < tti_rows_.size(); ++i) {
     const TtiAggregateRow& r = tti_rows_[i];
     out << (i == 0 ? "\n" : ",\n") << "{\"t_s\": " << FormatNumber(r.t_s)
-        << ", \"ttis\": " << r.ttis
+        << ", \"cell\": " << r.cell << ", \"ttis\": " << r.ttis
         << ", \"rbs_priority\": " << r.rbs_priority
         << ", \"rbs_shared\": " << r.rbs_shared
         << ", \"mean_gbr_shortfall_bytes\": "
@@ -94,8 +134,8 @@ void BaiTraceSink::WriteJson(std::ostream& out,
   out << "],\n\"players\": [";
   for (std::size_t i = 0; i < players_.size(); ++i) {
     const PlayerSummary& p = players_[i];
-    out << (i == 0 ? "\n" : ",\n") << "{\"client\": " << p.client
-        << ", \"flow\": " << p.flow
+    out << (i == 0 ? "\n" : ",\n") << "{\"cell\": " << p.cell
+        << ", \"client\": " << p.client << ", \"flow\": " << p.flow
         << ", \"avg_bitrate_bps\": " << FormatNumber(p.avg_bitrate_bps)
         << ", \"switches\": " << p.switches << ", \"stalls\": " << p.stalls
         << ", \"stall_s\": " << FormatNumber(p.stall_s)

@@ -32,6 +32,8 @@ class MetricsRegistry;
 /// One row per video flow per BAI.
 struct BaiTraceRow {
   double t_s = 0.0;
+  /// Cell (event domain) the row came from; 0 in single-cell runs.
+  int cell = 0;
   FlowId flow = kInvalidFlow;
   /// Raw e_u sample from this BAI's RB & Rate Trace window (or the nominal
   /// fallback when the flow was idle).
@@ -56,6 +58,8 @@ struct BaiTraceRow {
 /// Scheduler aggregates over one flush period (default 1 s).
 struct TtiAggregateRow {
   double t_s = 0.0;  // end of the aggregation period
+  /// Cell (event domain) the row came from; 0 in single-cell runs.
+  int cell = 0;
   std::uint64_t ttis = 0;
   std::uint64_t rbs_priority = 0;  // GBR / priority-set phase
   std::uint64_t rbs_shared = 0;    // PF / shared phase
@@ -67,6 +71,8 @@ struct TtiAggregateRow {
 
 /// End-of-run per-client summary.
 struct PlayerSummary {
+  /// Cell (event domain) the client streamed through; 0 single-cell.
+  int cell = 0;
   int client = -1;
   FlowId flow = kInvalidFlow;
   double avg_bitrate_bps = 0.0;
@@ -94,11 +100,25 @@ class BaiTraceSink {
   /// (call once after the run).
   void Flush(SimTime now);
 
+  /// Append every row of `shard`, stamping it with `cell` — the merge
+  /// half of the sharded runtime: each event domain records into its own
+  /// sink, and the coordinator absorbs the shards after the run. Call
+  /// SortMergedRows() once after the last shard so the merged trace reads
+  /// as one interleaved timeline.
+  void AbsorbShard(const BaiTraceSink& shard, int cell);
+  /// Deterministic global order: BAI rows by (t_s, cell, flow), TTI rows
+  /// by (t_s, cell), players by (cell, client). Stable, so same-key rows
+  /// keep shard order; the result is independent of absorb order and of
+  /// how many worker threads produced the shards.
+  void SortMergedRows();
+
   const std::vector<BaiTraceRow>& bai_rows() const { return bai_rows_; }
   const std::vector<TtiAggregateRow>& tti_rows() const { return tti_rows_; }
   const std::vector<PlayerSummary>& players() const { return players_; }
 
-  /// BAI rows as CSV (one file; util/csv.h). Returns false if unwritable.
+  /// BAI rows as CSV (header + one line per row; util/csv.h formatting).
+  void WriteCsv(std::ostream& out) const;
+  /// File form of WriteCsv. Returns false if unwritable.
   bool ExportCsv(const std::string& path) const;
   /// Full structured export: {"metrics": ..., "bai_trace": [...],
   /// "tti_aggregates": [...], "players": [...]}. `registry` may be null,

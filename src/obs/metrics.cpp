@@ -28,6 +28,15 @@ double Histogram::Mean() const {
   return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }
 
+void Histogram::MergeFrom(const Histogram& other) {
+  if (other.bounds_ != bounds_) return;  // shards share one config
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 std::vector<std::uint64_t> Histogram::CumulativeCounts() const {
   std::vector<std::uint64_t> cumulative(buckets_.size(), 0);
   std::uint64_t running = 0;
@@ -52,6 +61,20 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
   if (it != histograms_.end()) return it->second;
   return histograms_.emplace(name, Histogram(std::move(bounds)))
       .first->second;
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other,
+                                const std::string& prefix) {
+  for (const auto& [name, counter] : other.counters_) {
+    GetCounter(prefix + name).Add(counter.value());
+  }
+  for (const auto& [name, gauge] : other.gauges_) {
+    GetGauge(prefix + name).Set(gauge.value());
+  }
+  for (const auto& [name, histogram] : other.histograms_) {
+    GetHistogram(prefix + name, histogram.bounds())
+        .MergeFrom(histogram);
+  }
 }
 
 namespace {

@@ -55,6 +55,9 @@ class Histogram {
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
   double Mean() const;
+  /// Fold another histogram's observations into this one. Both must share
+  /// the same bucket bounds (merging shards created from one config).
+  void MergeFrom(const Histogram& other);
   const std::vector<double>& bounds() const { return bounds_; }
   /// Cumulative count of observations <= bounds()[i]; the final entry is
   /// the overflow bucket and equals count().
@@ -93,6 +96,13 @@ class MetricsRegistry {
   const std::map<std::string, Histogram>& histograms() const {
     return histograms_;
   }
+
+  /// Copy every instrument of `other` into this registry under
+  /// `prefix` + name (counters add, gauges overwrite, histograms fold).
+  /// The sharded runtime gives each event domain a private registry and
+  /// merges them post-run under "cell<N>." prefixes, so the combined
+  /// export is identical whether the domains ran serially or in parallel.
+  void MergeFrom(const MetricsRegistry& other, const std::string& prefix);
 
   /// JSON object {"counters": {...}, "gauges": {...}, "histograms": {...}}.
   void WriteJson(std::ostream& out) const;

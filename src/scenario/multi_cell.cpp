@@ -1,0 +1,128 @@
+#include "scenario/multi_cell.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "net/pcrf.h"
+#include "scenario/scenario_world.h"
+#include "sim/parallel_runner.h"
+
+namespace flare {
+
+namespace {
+
+/// Wire format for PCRF mirror ops crossing the domain mailbox:
+/// "pcrf <1|0> <flow> <type> <cell_tag>" (1 = register).
+std::string EncodePcrfOp(FlowId id, FlowType type, Pcrf::CellTag cell,
+                         bool registered) {
+  std::ostringstream out;
+  out << "pcrf " << (registered ? 1 : 0) << ' ' << id << ' '
+      << static_cast<int>(type) << ' ' << cell;
+  return out.str();
+}
+
+void ApplyPcrfOp(Pcrf& pcrf, const std::string& payload) {
+  std::istringstream in(payload);
+  std::string tag;
+  int registered = 0;
+  FlowId flow = 0;
+  int type = 0;
+  Pcrf::CellTag cell = 0;
+  in >> tag >> registered >> flow >> type >> cell;
+  if (!in || tag != "pcrf") return;
+  if (registered != 0) {
+    pcrf.RegisterFlow(flow, static_cast<FlowType>(type), cell);
+  } else {
+    pcrf.DeregisterFlow(flow, cell);
+  }
+}
+
+/// Everything one cell's domain owns. Shard observers exist even when the
+/// merged sinks are disabled — a world's pointers must stay valid for its
+/// lifetime and the shards are cheap when unused.
+struct CellShard {
+  Pcrf pcrf;  // domain-local mirror, read synchronously by the controller
+  MetricsRegistry metrics;
+  BaiTraceSink trace;
+  std::unique_ptr<ScenarioWorld> world;
+};
+
+}  // namespace
+
+MultiCellResult RunMultiCellScenario(const MultiCellConfig& config) {
+  const int n_cells = std::max(config.n_cells, 1);
+
+  ParallelRunner::Options options;
+  options.workers = std::max(config.workers, 0);
+  options.epoch = config.epoch > 0 ? config.epoch : config.cell.oneapi.bai;
+  ParallelRunner runner(options);
+
+  // Shared core registry, owned by the coordinator; only barrier handlers
+  // touch it, so no locking is needed.
+  Pcrf global_pcrf;
+  runner.SetCoordinatorHandler([&global_pcrf](const DomainMessage& msg) {
+    ApplyPcrfOp(global_pcrf, msg.payload);
+  });
+
+  // Per-cell worlds. deque: shard addresses must survive emplace_back
+  // (worlds hold pointers into their shard's observers and PCRF).
+  const Rng master(config.cell.seed);
+  std::deque<CellShard> shards;
+  for (int c = 0; c < n_cells; ++c) {
+    EventDomain& domain = runner.AddDomain();
+    CellShard& shard = shards.emplace_back();
+
+    shard.pcrf.SetOnChange([&domain](FlowId id, FlowType type,
+                                     Pcrf::CellTag cell, bool registered) {
+      domain.Post(kCoordinatorDomain,
+                  EncodePcrfOp(id, type, cell, registered));
+    });
+
+    ScenarioConfig cell_config = config.cell;
+    cell_config.oneapi.cell_tag = static_cast<Pcrf::CellTag>(c);
+    cell_config.metrics = config.metrics != nullptr ? &shard.metrics : nullptr;
+    cell_config.bai_trace =
+        config.bai_trace != nullptr ? &shard.trace : nullptr;
+
+    shard.world = std::make_unique<ScenarioWorld>(
+        cell_config, domain.sim(), shard.pcrf,
+        master.SplitStream(static_cast<std::uint64_t>(c)));
+    shard.world->Start();
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  runner.RunUntil(FromSeconds(config.cell.duration_s));
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  MultiCellResult result;
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       wall_end - wall_start)
+                       .count();
+  result.barrier_epochs = runner.epochs();
+  result.mailbox_messages = runner.messages_delivered();
+  result.global_video_flows = global_pcrf.CountFlowsAllCells(FlowType::kVideo);
+  result.global_data_flows = global_pcrf.CountFlowsAllCells(FlowType::kData);
+
+  // Harvest and merge in cell order — deterministic regardless of which
+  // worker ran which domain.
+  for (int c = 0; c < n_cells; ++c) {
+    CellShard& shard = shards[static_cast<std::size_t>(c)];
+    result.cells.push_back(shard.world->Collect());
+    if (config.metrics != nullptr) {
+      config.metrics->MergeFrom(shard.metrics,
+                                "cell" + std::to_string(c) + ".");
+    }
+    if (config.bai_trace != nullptr) {
+      config.bai_trace->AbsorbShard(shard.trace, c);
+    }
+  }
+  if (config.bai_trace != nullptr) config.bai_trace->SortMergedRows();
+
+  return result;
+}
+
+}  // namespace flare

@@ -1,19 +1,10 @@
 #include "scenario/scenario.h"
 
 #include <algorithm>
-#include <memory>
 
-#include "has/mpd.h"
-#include "has/video_session.h"
-#include "lte/gbr_scheduler.h"
-#include "lte/pf_scheduler.h"
-#include "lte/pss_scheduler.h"
-#include "net/flare_plugin.h"
-#include "net/pcef.h"
 #include "net/pcrf.h"
+#include "scenario/scenario_world.h"
 #include "sim/simulator.h"
-#include "transport/transport_host.h"
-#include "util/stats.h"
 
 namespace flare {
 
@@ -40,78 +31,6 @@ const char* SchemeName(Scheme scheme) {
   }
   return "?";
 }
-
-namespace {
-
-bool IsFlare(Scheme s) {
-  return s == Scheme::kFlare || s == Scheme::kFlareRelaxed ||
-         s == Scheme::kFlareNetworkOnly;
-}
-
-std::unique_ptr<Scheduler> MakeScheduler(const ScenarioConfig& config) {
-  switch (config.scheduler) {
-    case SchedulerKind::kPf:
-      return std::make_unique<PfScheduler>();
-    case SchedulerKind::kPss:
-      return std::make_unique<PssScheduler>();
-    case SchedulerKind::kTwoPhaseGbr:
-      return std::make_unique<TwoPhaseGbrScheduler>();
-    case SchedulerKind::kRoundRobin:
-      return std::make_unique<RoundRobinScheduler>();
-    case SchedulerKind::kAuto:
-      break;
-  }
-  if (config.testbed) {
-    // Femtocell wiring: FLARE added the two-phase GBR scheduler to the
-    // eNB MAC; the client-side players ran over the legacy scheduler.
-    if (IsFlare(config.scheme) || config.scheme == Scheme::kAvis) {
-      return std::make_unique<TwoPhaseGbrScheduler>();
-    }
-    return std::make_unique<PfScheduler>();
-  }
-  // ns-3 wiring (Table III): Priority Set Scheduler for every scheme.
-  return std::make_unique<PssScheduler>();
-}
-
-std::unique_ptr<ChannelModel> MakeChannel(const ScenarioConfig& config,
-                                          int ue_index, int n_ues,
-                                          Rng& rng) {
-  switch (config.channel) {
-    case ChannelKind::kStaticItbs:
-      return std::make_unique<StaticItbsChannel>(config.static_itbs);
-    case ChannelKind::kItbsTriangle: {
-      // Per-UE phase offsets spread over the cycle (paper: "each UE starts
-      // the cycle with a different offset").
-      const SimTime period = FromSeconds(config.triangle_period_s);
-      const SimTime offset =
-          n_ues > 0 ? period * ue_index / n_ues : SimTime{0};
-      return std::make_unique<ItbsOverrideChannel>(TriangleItbsSchedule(
-          config.triangle_lo_itbs, config.triangle_hi_itbs, period, offset));
-    }
-    case ChannelKind::kPlacedStatic: {
-      auto mobility = std::make_shared<StaticMobility>(
-          RandomPositionInAnnulus(config.placement_min_radius_m,
-                                  config.placement_max_radius_m, rng));
-      return std::make_unique<FadedMobilityChannel>(
-          std::move(mobility), config.radio,
-          rng.Fork(0x5741 + static_cast<std::uint64_t>(ue_index)));
-    }
-    case ChannelKind::kMobile: {
-      RandomWaypointConfig waypoint;
-      waypoint.area_m = config.area_m;
-      waypoint.min_speed_mps = config.min_speed_mps;
-      waypoint.max_speed_mps = config.max_speed_mps;
-      auto mobility = std::make_shared<RandomWaypointMobility>(
-          waypoint, rng.Fork(0x4d0b + static_cast<std::uint64_t>(ue_index)));
-      return std::make_unique<FadedMobilityChannel>(
-          std::move(mobility), config.radio,
-          rng.Fork(0xfade + static_cast<std::uint64_t>(ue_index)));
-    }
-  }
-  return std::make_unique<StaticItbsChannel>(config.static_itbs);
-}
-
-}  // namespace
 
 ScenarioConfig TestbedPreset(Scheme scheme) {
   ScenarioConfig config;
@@ -155,257 +74,12 @@ ScenarioConfig SimMobilePreset(Scheme scheme) {
 }
 
 ScenarioResult RunScenario(const ScenarioConfig& config) {
-  Rng rng(config.seed);
   Simulator sim;
-  sim.SetMetrics(config.metrics);
-
-  CellConfig cell_config;
-  cell_config.num_rbs = config.num_rbs;
-  cell_config.target_bler = config.target_bler;
-  Cell cell(sim, MakeScheduler(config), cell_config, rng.Fork(0xce11));
-  cell.SetMetrics(config.metrics);
-  cell.SetTraceSink(config.bai_trace);
-
-  TransportHost transport(sim, cell);
   Pcrf pcrf;
-  Pcef pcef(sim, cell, config.oneapi.downlink_latency);
-
-  OneApiConfig oneapi_config = config.oneapi;
-  oneapi_config.params.solver = config.scheme == Scheme::kFlareRelaxed
-                                    ? SolverMode::kContinuousRelaxation
-                                    : SolverMode::kGreedyDiscrete;
-  OneApiServer oneapi(sim, cell, pcrf, pcef, oneapi_config);
-  oneapi.SetObservers(config.metrics, config.bai_trace);
-
-  AvisGateway avis_gateway(sim, cell, config.avis);
-
-  const std::vector<double> ladder =
-      config.ladder_kbps.empty() ? TestbedLadderKbps() : config.ladder_kbps;
-  Mpd mpd = MakeMpd(ladder, config.segment_duration_s);
-  mpd.vbr_sigma = config.vbr_sigma;
-
-  const int n_ues =
-      config.n_video + config.n_data + config.n_conventional;
-
-  // --- Video clients.
-  std::vector<std::unique_ptr<HttpClient>> https;
-  std::vector<std::unique_ptr<VideoSession>> sessions;
-  std::vector<FlowId> video_flows;
-  // Plugins for the network-only ablation: registered with the OneAPI
-  // server (so the optimizer runs and GBRs are enforced) but never
-  // consulted by the player.
-  std::vector<std::unique_ptr<FlarePlugin>> orphan_plugins;
-
-  for (int i = 0; i < config.n_video; ++i) {
-    const UeId ue = cell.AddUe(MakeChannel(config, i, n_ues, rng));
-    TcpFlow& tcp = transport.CreateFlow(ue, FlowType::kVideo);
-    video_flows.push_back(tcp.id());
-    https.push_back(std::make_unique<HttpClient>(sim, tcp));
-
-    VideoSessionConfig session_config;
-    session_config.player.max_buffer_s = config.scheme == Scheme::kGoogle
-                                             ? config.google_max_buffer_s
-                                             : config.max_buffer_s;
-
-    std::unique_ptr<AbrAlgorithm> abr;
-    FlarePlugin* plugin = nullptr;
-    switch (config.scheme) {
-      case Scheme::kFlare:
-      case Scheme::kFlareRelaxed: {
-        auto p = std::make_unique<FlarePlugin>(tcp.id());
-        plugin = p.get();
-        abr = std::move(p);
-        break;
-      }
-      case Scheme::kFestive:
-        abr = std::make_unique<FestiveAbr>(
-            config.festive,
-            rng.Fork(0xfe57 + static_cast<std::uint64_t>(i)));
-        break;
-      case Scheme::kGoogle:
-        abr = std::make_unique<GoogleAbr>(config.google);
-        break;
-      case Scheme::kAvis:
-        abr = std::make_unique<AvisClientAbr>();
-        break;
-      case Scheme::kFlareNetworkOnly: {
-        // Network side runs full FLARE; the client ignores it and adapts
-        // greedily on its own (AVIS-style).
-        abr = std::make_unique<AvisClientAbr>();
-        orphan_plugins.push_back(
-            std::make_unique<FlarePlugin>(tcp.id()));
-        plugin = orphan_plugins.back().get();
-        break;
-      }
-      case Scheme::kPanda:
-        abr = std::make_unique<PandaAbr>(config.panda);
-        break;
-      case Scheme::kMpc:
-        abr = std::make_unique<MpcAbr>(config.mpc);
-        break;
-      case Scheme::kBba:
-        abr = std::make_unique<BbaAbr>(config.bba);
-        break;
-    }
-
-    auto session = std::make_unique<VideoSession>(
-        sim, *https.back(), mpd, std::move(abr), session_config);
-    session->player().SetMetrics(config.metrics);
-
-    if (plugin != nullptr) {
-      // Opt-in client disclosures (Section II-B) before registration.
-      if (i < static_cast<int>(config.client_theta_bps.size()) &&
-          config.client_theta_bps[static_cast<std::size_t>(i)] > 0.0) {
-        VideoUtilityParams utility = config.oneapi.params.utility;
-        utility.theta_bps =
-            config.client_theta_bps[static_cast<std::size_t>(i)];
-        plugin->SetUtility(utility);
-      }
-      if (i < static_cast<int>(config.client_max_level.size()) &&
-          config.client_max_level[static_cast<std::size_t>(i)] >= 0) {
-        plugin->SetMaxLevel(
-            config.client_max_level[static_cast<std::size_t>(i)]);
-      }
-      // The plugin is owned by the session's ABR slot; the server holds a
-      // non-owning pointer, and both are torn down together below.
-      oneapi.ConnectVideoClient(plugin, session->mpd());
-    } else {
-      pcrf.RegisterFlow(tcp.id(), FlowType::kVideo);
-    }
-    if (config.scheme == Scheme::kAvis) {
-      avis_gateway.RegisterVideoFlow(tcp.id(), &session->mpd());
-    }
-
-    // Stagger starts so initial requests do not all collide.
-    session->Start(FromSeconds(0.5 * i) +
-                   FromSeconds(rng.Uniform(0.0, 0.25)));
-    sessions.push_back(std::move(session));
-  }
-
-  // --- Conventional HAS players (Section V coexistence): FESTIVE players
-  // whose flows the network services as plain data — no GBR, no OneAPI
-  // registration as video, no interference with FLARE's video class.
-  std::vector<std::unique_ptr<HttpClient>> conventional_https;
-  std::vector<std::unique_ptr<VideoSession>> conventional_sessions;
-  for (int i = 0; i < config.n_conventional; ++i) {
-    const UeId ue = cell.AddUe(MakeChannel(
-        config, config.n_video + config.n_data + i, n_ues, rng));
-    TcpFlow& tcp = transport.CreateFlow(ue, FlowType::kData);
-    conventional_https.push_back(std::make_unique<HttpClient>(sim, tcp));
-    pcrf.RegisterFlow(tcp.id(), FlowType::kData);
-
-    VideoSessionConfig session_config;
-    session_config.player.max_buffer_s = config.max_buffer_s;
-    auto session = std::make_unique<VideoSession>(
-        sim, *conventional_https.back(), mpd,
-        std::make_unique<FestiveAbr>(
-            config.festive,
-            rng.Fork(0xc0de + static_cast<std::uint64_t>(i))),
-        session_config);
-    session->Start(FromSeconds(0.5 * (config.n_video + i)) +
-                   FromSeconds(rng.Uniform(0.0, 0.25)));
-    conventional_sessions.push_back(std::move(session));
-  }
-
-  // --- Data clients (greedy iperf-style TCP).
-  std::vector<FlowId> data_flows;
-  for (int i = 0; i < config.n_data; ++i) {
-    const UeId ue =
-        cell.AddUe(MakeChannel(config, config.n_video + i, n_ues, rng));
-    TcpFlow& tcp = transport.CreateFlow(ue, FlowType::kData);
-    data_flows.push_back(tcp.id());
-    pcrf.RegisterFlow(tcp.id(), FlowType::kData);
-    if (config.scheme == Scheme::kAvis) {
-      avis_gateway.RegisterDataFlow(tcp.id());
-    }
-    transport.MakeGreedy(tcp.id());
-  }
-
-  // --- Control plane.
-  if (IsFlare(config.scheme)) oneapi.Start();
-  if (config.scheme == Scheme::kAvis) avis_gateway.Start();
-
-  // --- Optional 1 Hz series sampler (Figures 4/5).
-  ScenarioResult result;
-  std::vector<std::uint64_t> last_data_bytes(data_flows.size(), 0);
-  if (config.sample_series) {
-    sim.Every(kSecond, kSecond, [&] {
-      SeriesSample sample;
-      sample.t_s = ToSeconds(sim.Now());
-      for (const auto& session : sessions) {
-        const auto& bitrates = session->player().segment_bitrates();
-        sample.video_bitrate_bps.push_back(
-            bitrates.empty() ? 0.0 : bitrates.back());
-        // Advance the buffer model to "now" for an accurate reading.
-        session->player().AdvanceTo(sim.Now());
-        sample.video_buffer_s.push_back(session->player().buffer_s());
-      }
-      for (std::size_t d = 0; d < data_flows.size(); ++d) {
-        const std::uint64_t total = cell.total_tx_bytes(data_flows[d]);
-        sample.data_throughput_bps.push_back(
-            static_cast<double>(total - last_data_bytes[d]) * 8.0);
-        last_data_bytes[d] = total;
-      }
-      result.series.push_back(std::move(sample));
-    });
-  }
-
-  // --- Run.
-  cell.Start();
+  ScenarioWorld world(config, sim, pcrf, Rng(config.seed));
+  world.Start();
   sim.RunUntil(FromSeconds(config.duration_s));
-
-  // --- Collect metrics.
-  std::vector<double> avg_bitrates;
-  for (std::size_t i = 0; i < sessions.size(); ++i) {
-    const auto& session = sessions[i];
-    session->player().AdvanceTo(sim.Now());
-    ClientMetrics m = ComputeClientMetrics(*session);
-    avg_bitrates.push_back(m.avg_bitrate_bps);
-    result.avg_video_bitrate_bps += m.avg_bitrate_bps;
-    result.avg_bitrate_changes += m.bitrate_changes;
-    result.avg_rebuffer_s += m.rebuffer_time_s;
-    if (config.bai_trace != nullptr) {
-      PlayerSummary summary;
-      summary.client = static_cast<int>(i);
-      summary.flow = video_flows[i];
-      summary.avg_bitrate_bps = m.avg_bitrate_bps;
-      summary.switches = m.bitrate_changes;
-      summary.stalls = m.rebuffer_events;
-      summary.stall_s = m.rebuffer_time_s;
-      summary.qoe = m.qoe;
-      summary.segments = m.segments;
-      config.bai_trace->RecordPlayer(summary);
-    }
-    result.video.push_back(m);
-  }
-  if (config.bai_trace != nullptr) config.bai_trace->Flush(sim.Now());
-  if (!result.video.empty()) {
-    const auto n = static_cast<double>(result.video.size());
-    result.avg_video_bitrate_bps /= n;
-    result.avg_bitrate_changes /= n;
-    result.avg_rebuffer_s /= n;
-  }
-  result.jain_avg_bitrate = JainIndex(avg_bitrates);
-
-  for (const auto& session : conventional_sessions) {
-    session->player().AdvanceTo(sim.Now());
-    result.conventional.push_back(ComputeClientMetrics(*session));
-  }
-
-  for (FlowId id : data_flows) {
-    const double bps = static_cast<double>(cell.total_tx_bytes(id)) * 8.0 /
-                       config.duration_s;
-    result.data_throughput_bps.push_back(bps);
-    result.avg_data_throughput_bps += bps;
-  }
-  if (!data_flows.empty()) {
-    result.avg_data_throughput_bps /=
-        static_cast<double>(data_flows.size());
-  }
-
-  result.solve_times_ms = oneapi.solve_times_ms();
-  result.video_fractions = oneapi.video_fractions();
-  return result;
+  return world.Collect();
 }
 
 std::vector<ScenarioResult> RunMany(const ScenarioConfig& config, int runs) {

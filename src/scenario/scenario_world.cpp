@@ -1,0 +1,345 @@
+#include "scenario/scenario_world.h"
+
+#include <utility>
+
+#include "has/mpd.h"
+#include "has/video_session.h"
+#include "lte/gbr_scheduler.h"
+#include "lte/pf_scheduler.h"
+#include "lte/pss_scheduler.h"
+#include "util/stats.h"
+
+namespace flare {
+
+namespace {
+
+bool IsFlare(Scheme s) {
+  return s == Scheme::kFlare || s == Scheme::kFlareRelaxed ||
+         s == Scheme::kFlareNetworkOnly;
+}
+
+std::unique_ptr<Scheduler> MakeScheduler(const ScenarioConfig& config) {
+  switch (config.scheduler) {
+    case SchedulerKind::kPf:
+      return std::make_unique<PfScheduler>();
+    case SchedulerKind::kPss:
+      return std::make_unique<PssScheduler>();
+    case SchedulerKind::kTwoPhaseGbr:
+      return std::make_unique<TwoPhaseGbrScheduler>();
+    case SchedulerKind::kRoundRobin:
+      return std::make_unique<RoundRobinScheduler>();
+    case SchedulerKind::kAuto:
+      break;
+  }
+  if (config.testbed) {
+    // Femtocell wiring: FLARE added the two-phase GBR scheduler to the
+    // eNB MAC; the client-side players ran over the legacy scheduler.
+    if (IsFlare(config.scheme) || config.scheme == Scheme::kAvis) {
+      return std::make_unique<TwoPhaseGbrScheduler>();
+    }
+    return std::make_unique<PfScheduler>();
+  }
+  // ns-3 wiring (Table III): Priority Set Scheduler for every scheme.
+  return std::make_unique<PssScheduler>();
+}
+
+std::unique_ptr<ChannelModel> MakeChannel(const ScenarioConfig& config,
+                                          int ue_index, int n_ues,
+                                          Rng& rng) {
+  switch (config.channel) {
+    case ChannelKind::kStaticItbs:
+      return std::make_unique<StaticItbsChannel>(config.static_itbs);
+    case ChannelKind::kItbsTriangle: {
+      // Per-UE phase offsets spread over the cycle (paper: "each UE starts
+      // the cycle with a different offset").
+      const SimTime period = FromSeconds(config.triangle_period_s);
+      const SimTime offset =
+          n_ues > 0 ? period * ue_index / n_ues : SimTime{0};
+      return std::make_unique<ItbsOverrideChannel>(TriangleItbsSchedule(
+          config.triangle_lo_itbs, config.triangle_hi_itbs, period, offset));
+    }
+    case ChannelKind::kPlacedStatic: {
+      auto mobility = std::make_shared<StaticMobility>(
+          RandomPositionInAnnulus(config.placement_min_radius_m,
+                                  config.placement_max_radius_m, rng));
+      return std::make_unique<FadedMobilityChannel>(
+          std::move(mobility), config.radio,
+          rng.Fork(0x5741 + static_cast<std::uint64_t>(ue_index)));
+    }
+    case ChannelKind::kMobile: {
+      RandomWaypointConfig waypoint;
+      waypoint.area_m = config.area_m;
+      waypoint.min_speed_mps = config.min_speed_mps;
+      waypoint.max_speed_mps = config.max_speed_mps;
+      auto mobility = std::make_shared<RandomWaypointMobility>(
+          waypoint, rng.Fork(0x4d0b + static_cast<std::uint64_t>(ue_index)));
+      return std::make_unique<FadedMobilityChannel>(
+          std::move(mobility), config.radio,
+          rng.Fork(0xfade + static_cast<std::uint64_t>(ue_index)));
+    }
+  }
+  return std::make_unique<StaticItbsChannel>(config.static_itbs);
+}
+
+CellConfig MakeCellConfig(const ScenarioConfig& config) {
+  CellConfig cell_config;
+  cell_config.num_rbs = config.num_rbs;
+  cell_config.target_bler = config.target_bler;
+  return cell_config;
+}
+
+OneApiConfig MakeOneApiConfig(const ScenarioConfig& config) {
+  OneApiConfig oneapi_config = config.oneapi;
+  oneapi_config.params.solver = config.scheme == Scheme::kFlareRelaxed
+                                    ? SolverMode::kContinuousRelaxation
+                                    : SolverMode::kGreedyDiscrete;
+  return oneapi_config;
+}
+
+Mpd MakeScenarioMpd(const ScenarioConfig& config) {
+  const std::vector<double> ladder =
+      config.ladder_kbps.empty() ? TestbedLadderKbps() : config.ladder_kbps;
+  Mpd mpd = MakeMpd(ladder, config.segment_duration_s);
+  mpd.vbr_sigma = config.vbr_sigma;
+  return mpd;
+}
+
+}  // namespace
+
+ScenarioWorld::ScenarioWorld(const ScenarioConfig& config, Simulator& sim,
+                             Pcrf& pcrf, Rng rng)
+    : config_(config),
+      sim_(sim),
+      pcrf_(pcrf),
+      rng_(rng),
+      cell_(sim_, MakeScheduler(config_), MakeCellConfig(config_),
+            rng_.Fork(0xce11)),
+      transport_(sim_, cell_),
+      pcef_(sim_, cell_, config_.oneapi.downlink_latency),
+      oneapi_(sim_, cell_, pcrf_, pcef_, MakeOneApiConfig(config_)),
+      avis_gateway_(sim_, cell_, config_.avis),
+      mpd_(MakeScenarioMpd(config_)) {
+  sim_.SetMetrics(config_.metrics);
+  cell_.SetMetrics(config_.metrics);
+  cell_.SetTraceSink(config_.bai_trace);
+  oneapi_.SetObservers(config_.metrics, config_.bai_trace);
+
+  const Pcrf::CellTag cell_tag = config_.oneapi.cell_tag;
+  const int n_ues =
+      config_.n_video + config_.n_data + config_.n_conventional;
+
+  // --- Video clients.
+  for (int i = 0; i < config_.n_video; ++i) {
+    const UeId ue = cell_.AddUe(MakeChannel(config_, i, n_ues, rng_));
+    TcpFlow& tcp = transport_.CreateFlow(ue, FlowType::kVideo);
+    video_flows_.push_back(tcp.id());
+    https_.push_back(std::make_unique<HttpClient>(sim_, tcp));
+
+    VideoSessionConfig session_config;
+    session_config.player.max_buffer_s = config_.scheme == Scheme::kGoogle
+                                             ? config_.google_max_buffer_s
+                                             : config_.max_buffer_s;
+
+    std::unique_ptr<AbrAlgorithm> abr;
+    FlarePlugin* plugin = nullptr;
+    switch (config_.scheme) {
+      case Scheme::kFlare:
+      case Scheme::kFlareRelaxed: {
+        auto p = std::make_unique<FlarePlugin>(tcp.id());
+        plugin = p.get();
+        abr = std::move(p);
+        break;
+      }
+      case Scheme::kFestive:
+        abr = std::make_unique<FestiveAbr>(
+            config_.festive,
+            rng_.Fork(0xfe57 + static_cast<std::uint64_t>(i)));
+        break;
+      case Scheme::kGoogle:
+        abr = std::make_unique<GoogleAbr>(config_.google);
+        break;
+      case Scheme::kAvis:
+        abr = std::make_unique<AvisClientAbr>();
+        break;
+      case Scheme::kFlareNetworkOnly: {
+        // Network side runs full FLARE; the client ignores it and adapts
+        // greedily on its own (AVIS-style).
+        abr = std::make_unique<AvisClientAbr>();
+        orphan_plugins_.push_back(
+            std::make_unique<FlarePlugin>(tcp.id()));
+        plugin = orphan_plugins_.back().get();
+        break;
+      }
+      case Scheme::kPanda:
+        abr = std::make_unique<PandaAbr>(config_.panda);
+        break;
+      case Scheme::kMpc:
+        abr = std::make_unique<MpcAbr>(config_.mpc);
+        break;
+      case Scheme::kBba:
+        abr = std::make_unique<BbaAbr>(config_.bba);
+        break;
+    }
+
+    auto session = std::make_unique<VideoSession>(
+        sim_, *https_.back(), mpd_, std::move(abr), session_config);
+    session->player().SetMetrics(config_.metrics);
+
+    if (plugin != nullptr) {
+      // Opt-in client disclosures (Section II-B) before registration.
+      if (i < static_cast<int>(config_.client_theta_bps.size()) &&
+          config_.client_theta_bps[static_cast<std::size_t>(i)] > 0.0) {
+        VideoUtilityParams utility = config_.oneapi.params.utility;
+        utility.theta_bps =
+            config_.client_theta_bps[static_cast<std::size_t>(i)];
+        plugin->SetUtility(utility);
+      }
+      if (i < static_cast<int>(config_.client_max_level.size()) &&
+          config_.client_max_level[static_cast<std::size_t>(i)] >= 0) {
+        plugin->SetMaxLevel(
+            config_.client_max_level[static_cast<std::size_t>(i)]);
+      }
+      // The plugin is owned by the session's ABR slot; the server holds a
+      // non-owning pointer, and both are torn down together.
+      oneapi_.ConnectVideoClient(plugin, session->mpd());
+    } else {
+      pcrf_.RegisterFlow(tcp.id(), FlowType::kVideo, cell_tag);
+    }
+    if (config_.scheme == Scheme::kAvis) {
+      avis_gateway_.RegisterVideoFlow(tcp.id(), &session->mpd());
+    }
+
+    // Stagger starts so initial requests do not all collide.
+    session->Start(FromSeconds(0.5 * i) +
+                   FromSeconds(rng_.Uniform(0.0, 0.25)));
+    sessions_.push_back(std::move(session));
+  }
+
+  // --- Conventional HAS players (Section V coexistence): FESTIVE players
+  // whose flows the network services as plain data — no GBR, no OneAPI
+  // registration as video, no interference with FLARE's video class.
+  for (int i = 0; i < config_.n_conventional; ++i) {
+    const UeId ue = cell_.AddUe(MakeChannel(
+        config_, config_.n_video + config_.n_data + i, n_ues, rng_));
+    TcpFlow& tcp = transport_.CreateFlow(ue, FlowType::kData);
+    conventional_https_.push_back(std::make_unique<HttpClient>(sim_, tcp));
+    pcrf_.RegisterFlow(tcp.id(), FlowType::kData, cell_tag);
+
+    VideoSessionConfig session_config;
+    session_config.player.max_buffer_s = config_.max_buffer_s;
+    auto session = std::make_unique<VideoSession>(
+        sim_, *conventional_https_.back(), mpd_,
+        std::make_unique<FestiveAbr>(
+            config_.festive,
+            rng_.Fork(0xc0de + static_cast<std::uint64_t>(i))),
+        session_config);
+    session->Start(FromSeconds(0.5 * (config_.n_video + i)) +
+                   FromSeconds(rng_.Uniform(0.0, 0.25)));
+    conventional_sessions_.push_back(std::move(session));
+  }
+
+  // --- Data clients (greedy iperf-style TCP).
+  for (int i = 0; i < config_.n_data; ++i) {
+    const UeId ue = cell_.AddUe(
+        MakeChannel(config_, config_.n_video + i, n_ues, rng_));
+    TcpFlow& tcp = transport_.CreateFlow(ue, FlowType::kData);
+    data_flows_.push_back(tcp.id());
+    pcrf_.RegisterFlow(tcp.id(), FlowType::kData, cell_tag);
+    if (config_.scheme == Scheme::kAvis) {
+      avis_gateway_.RegisterDataFlow(tcp.id());
+    }
+    transport_.MakeGreedy(tcp.id());
+  }
+
+  last_data_bytes_.assign(data_flows_.size(), 0);
+}
+
+void ScenarioWorld::Start() {
+  // --- Control plane.
+  if (IsFlare(config_.scheme)) oneapi_.Start();
+  if (config_.scheme == Scheme::kAvis) avis_gateway_.Start();
+
+  // --- Optional 1 Hz series sampler (Figures 4/5).
+  if (config_.sample_series) {
+    sim_.Every(kSecond, kSecond, [this] {
+      SeriesSample sample;
+      sample.t_s = ToSeconds(sim_.Now());
+      for (const auto& session : sessions_) {
+        const auto& bitrates = session->player().segment_bitrates();
+        sample.video_bitrate_bps.push_back(
+            bitrates.empty() ? 0.0 : bitrates.back());
+        // Advance the buffer model to "now" for an accurate reading.
+        session->player().AdvanceTo(sim_.Now());
+        sample.video_buffer_s.push_back(session->player().buffer_s());
+      }
+      for (std::size_t d = 0; d < data_flows_.size(); ++d) {
+        const std::uint64_t total = cell_.total_tx_bytes(data_flows_[d]);
+        sample.data_throughput_bps.push_back(
+            static_cast<double>(total - last_data_bytes_[d]) * 8.0);
+        last_data_bytes_[d] = total;
+      }
+      result_.series.push_back(std::move(sample));
+    });
+  }
+
+  cell_.Start();
+}
+
+ScenarioResult ScenarioWorld::Collect() {
+  ScenarioResult result = std::move(result_);
+
+  std::vector<double> avg_bitrates;
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    const auto& session = sessions_[i];
+    session->player().AdvanceTo(sim_.Now());
+    ClientMetrics m = ComputeClientMetrics(*session);
+    avg_bitrates.push_back(m.avg_bitrate_bps);
+    result.avg_video_bitrate_bps += m.avg_bitrate_bps;
+    result.avg_bitrate_changes += m.bitrate_changes;
+    result.avg_rebuffer_s += m.rebuffer_time_s;
+    if (config_.bai_trace != nullptr) {
+      PlayerSummary summary;
+      summary.cell = static_cast<int>(config_.oneapi.cell_tag);
+      summary.client = static_cast<int>(i);
+      summary.flow = video_flows_[i];
+      summary.avg_bitrate_bps = m.avg_bitrate_bps;
+      summary.switches = m.bitrate_changes;
+      summary.stalls = m.rebuffer_events;
+      summary.stall_s = m.rebuffer_time_s;
+      summary.qoe = m.qoe;
+      summary.segments = m.segments;
+      config_.bai_trace->RecordPlayer(summary);
+    }
+    result.video.push_back(m);
+  }
+  if (config_.bai_trace != nullptr) config_.bai_trace->Flush(sim_.Now());
+  if (!result.video.empty()) {
+    const auto n = static_cast<double>(result.video.size());
+    result.avg_video_bitrate_bps /= n;
+    result.avg_bitrate_changes /= n;
+    result.avg_rebuffer_s /= n;
+  }
+  result.jain_avg_bitrate = JainIndex(avg_bitrates);
+
+  for (const auto& session : conventional_sessions_) {
+    session->player().AdvanceTo(sim_.Now());
+    result.conventional.push_back(ComputeClientMetrics(*session));
+  }
+
+  for (FlowId id : data_flows_) {
+    const double bps = static_cast<double>(cell_.total_tx_bytes(id)) * 8.0 /
+                       config_.duration_s;
+    result.data_throughput_bps.push_back(bps);
+    result.avg_data_throughput_bps += bps;
+  }
+  if (!data_flows_.empty()) {
+    result.avg_data_throughput_bps /=
+        static_cast<double>(data_flows_.size());
+  }
+
+  result.solve_times_ms = oneapi_.solve_times_ms();
+  result.video_fractions = oneapi_.video_fractions();
+  return result;
+}
+
+}  // namespace flare

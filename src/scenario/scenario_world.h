@@ -1,0 +1,79 @@
+// One fully wired single-cell experiment "world": the cell, channels,
+// transport, HAS sessions and control plane that RunScenario used to
+// assemble inline. Factoring the world out of the run loop lets the same
+// construction path serve two runtimes:
+//   * RunScenario — one world on one Simulator, run to completion;
+//   * RunMultiCellScenario — one world per event domain, each on its own
+//     Simulator, advanced in epochs by the sharded ParallelRunner.
+// Because both runtimes build the world identically (same Rng stream,
+// same wiring order, same event-scheduling order), a multi-cell run is
+// reproducible serial-vs-parallel down to the trace bytes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/flare_plugin.h"
+#include "net/oneapi_server.h"
+#include "net/pcef.h"
+#include "net/pcrf.h"
+#include "scenario/scenario.h"
+#include "sim/simulator.h"
+#include "transport/transport_host.h"
+
+namespace flare {
+
+class ScenarioWorld {
+ public:
+  /// Builds the complete world for `config` on the caller's simulator,
+  /// drawing every random decision from `rng` (callers pass Rng(seed) for
+  /// a standalone run, or master.SplitStream(cell) for a sharded one).
+  /// Flows register with `pcrf` under `config.oneapi.cell_tag`; `sim` and
+  /// `pcrf` must outlive the world.
+  ScenarioWorld(const ScenarioConfig& config, Simulator& sim, Pcrf& pcrf,
+                Rng rng);
+
+  ScenarioWorld(const ScenarioWorld&) = delete;
+  ScenarioWorld& operator=(const ScenarioWorld&) = delete;
+
+  /// Start the control plane, the optional 1 Hz series sampler, and the
+  /// cell's TTI loop. Call once, before advancing the simulator.
+  void Start();
+
+  /// Harvest per-client metrics and FLARE outputs after the simulator has
+  /// run to the configured horizon. Call once.
+  ScenarioResult Collect();
+
+  Cell& cell() { return cell_; }
+  OneApiServer& oneapi() { return oneapi_; }
+
+ private:
+  ScenarioConfig config_;
+  Simulator& sim_;
+  Pcrf& pcrf_;
+  Rng rng_;
+
+  Cell cell_;
+  TransportHost transport_;
+  Pcef pcef_;
+  OneApiServer oneapi_;
+  AvisGateway avis_gateway_;
+  Mpd mpd_;
+
+  std::vector<std::unique_ptr<HttpClient>> https_;
+  std::vector<std::unique_ptr<VideoSession>> sessions_;
+  std::vector<FlowId> video_flows_;
+  // Plugins for the network-only ablation: registered with the OneAPI
+  // server (so the optimizer runs and GBRs are enforced) but never
+  // consulted by the player.
+  std::vector<std::unique_ptr<FlarePlugin>> orphan_plugins_;
+
+  std::vector<std::unique_ptr<HttpClient>> conventional_https_;
+  std::vector<std::unique_ptr<VideoSession>> conventional_sessions_;
+  std::vector<FlowId> data_flows_;
+
+  std::vector<std::uint64_t> last_data_bytes_;
+  ScenarioResult result_;  // series accumulate here during the run
+};
+
+}  // namespace flare

@@ -1,0 +1,79 @@
+#include "sim/parallel_runner.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace flare {
+
+void EventDomain::Post(int to, std::string payload) {
+  DomainMessage msg;
+  msg.from = id_;
+  msg.to = to;
+  msg.seq = next_seq_++;
+  msg.payload = std::move(payload);
+  outbox_.push_back(std::move(msg));
+}
+
+ParallelRunner::ParallelRunner(const Options& options) : options_(options) {
+  options_.epoch = std::max<SimTime>(options_.epoch, kTti);
+  if (options_.workers > 0) {
+    pool_ = std::make_unique<ThreadPool>(options_.workers);
+  }
+}
+
+ParallelRunner::~ParallelRunner() = default;
+
+EventDomain& ParallelRunner::AddDomain() {
+  const int id = static_cast<int>(domains_.size());
+  domains_.emplace_back(new EventDomain(id));
+  return *domains_.back();
+}
+
+void ParallelRunner::RunUntil(SimTime horizon) {
+  SimTime now = 0;
+  while (now < horizon) {
+    now = std::min<SimTime>(now + options_.epoch, horizon);
+    if (pool_ != nullptr) {
+      std::vector<std::function<void()>> jobs;
+      jobs.reserve(domains_.size());
+      for (auto& d : domains_) {
+        EventDomain* domain = d.get();
+        jobs.push_back([domain, now] { domain->sim().RunUntil(now); });
+      }
+      pool_->RunAll(std::move(jobs));  // full barrier
+    } else {
+      for (auto& d : domains_) d->sim().RunUntil(now);
+    }
+    ++epochs_;
+    DeliverAtBarrier();
+  }
+}
+
+void ParallelRunner::DeliverAtBarrier() {
+  // Handlers may post follow-ups; keep draining rounds until quiescent.
+  // Each round visits domains in id order and each outbox in seq order,
+  // so delivery order is a pure function of what was posted — never of
+  // thread scheduling.
+  for (;;) {
+    std::vector<DomainMessage> batch;
+    for (auto& d : domains_) {
+      for (DomainMessage& msg : d->outbox_) {
+        batch.push_back(std::move(msg));
+      }
+      d->outbox_.clear();
+    }
+    if (batch.empty()) return;
+    for (const DomainMessage& msg : batch) {
+      if (msg.to == kCoordinatorDomain) {
+        if (coordinator_handler_) coordinator_handler_(msg);
+      } else if (msg.to >= 0 &&
+                 msg.to < static_cast<int>(domains_.size())) {
+        auto& handler = domains_[static_cast<std::size_t>(msg.to)]->handler_;
+        if (handler) handler(msg);
+      }
+      ++delivered_;
+    }
+  }
+}
+
+}  // namespace flare

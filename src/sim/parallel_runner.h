@@ -1,0 +1,135 @@
+// Sharded parallel simulation runtime.
+//
+// A multi-cell deployment decomposes into per-cell *event domains*: one
+// Simulator per cell plus everything that only that cell touches (flows,
+// players, transport hosts, the cell's OneAPI controller). Domains never
+// share mutable state mid-epoch; anything cross-cell (the shared PCRF,
+// handover bookkeeping) is exchanged as serialized messages that are
+// applied only at epoch barriers. That makes the runtime *embarrassingly
+// deterministic*: whether the domains advance sequentially on one thread
+// (workers = 0) or concurrently on a pool, every domain sees exactly the
+// same inputs at exactly the same simulated times, so parallel execution
+// is bit-identical to serial execution — same BAI trace bytes, same
+// metrics JSON, same QoE numbers (tests/determinism_test.cpp holds the
+// runtime to this).
+//
+// Epoch protocol, repeated until the horizon:
+//   1. advance every domain's Simulator to the epoch end (pool or inline);
+//   2. barrier (ThreadPool::RunAll returns only when all domains arrived);
+//   3. drain the domains' outboxes in (domain id, enqueue seq) order and
+//      deliver each message on the coordinator thread — to the target
+//      domain's handler, or to the coordinator handler for shared state.
+// Handlers run between epochs, so they may freely touch their domain's
+// simulator (schedule events, mutate model objects) and the coordinator's
+// shared state without locks. Aligning the epoch with the BAI keeps the
+// synchronization cost at one barrier per control-loop interval.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/thread_pool.h"
+#include "util/time.h"
+
+namespace flare {
+
+/// Message target for coordinator-owned shared state (PCRF, global
+/// bookkeeping) rather than a peer domain.
+inline constexpr int kCoordinatorDomain = -1;
+
+/// One mailbox entry. Payloads are opaque serialized strings (the
+/// net/messages key=value codec style); the runner only orders and routes
+/// them.
+struct DomainMessage {
+  int from = kCoordinatorDomain;
+  int to = kCoordinatorDomain;
+  std::uint64_t seq = 0;  // per-sender enqueue order, for determinism
+  std::string payload;
+};
+
+class ParallelRunner;
+
+/// One isolated event timeline. Created via ParallelRunner::AddDomain();
+/// everything scheduled on sim() runs on whichever thread executes this
+/// domain's epochs — never concurrently with the domain's own handler.
+class EventDomain {
+ public:
+  using HandlerFn = std::function<void(const DomainMessage&)>;
+
+  int id() const { return id_; }
+  Simulator& sim() { return sim_; }
+
+  /// Queue a message for delivery at the next epoch barrier. Safe to call
+  /// from this domain's own events mid-epoch (the outbox is domain-local)
+  /// and from barrier handlers.
+  void Post(int to, std::string payload);
+
+  /// Handler for messages addressed to this domain, run on the
+  /// coordinator thread at barriers.
+  void SetHandler(HandlerFn fn) { handler_ = std::move(fn); }
+
+ private:
+  friend class ParallelRunner;
+  explicit EventDomain(int id) : id_(id) {}
+
+  int id_;
+  Simulator sim_;
+  HandlerFn handler_;
+  std::vector<DomainMessage> outbox_;
+  std::uint64_t next_seq_ = 0;
+};
+
+class ParallelRunner {
+ public:
+  struct Options {
+    /// Worker threads; 0 runs every domain inline on the calling thread
+    /// (the serial reference execution — same code path, same results).
+    int workers = 0;
+    /// Barrier period; align with the BAI so cross-cell state is exactly
+    /// as fresh as the control loop needs.
+    SimTime epoch = kSecond;
+  };
+
+  explicit ParallelRunner(const Options& options);
+  ~ParallelRunner();
+
+  ParallelRunner(const ParallelRunner&) = delete;
+  ParallelRunner& operator=(const ParallelRunner&) = delete;
+
+  /// Create the next domain (ids are dense, starting at 0). Domains live
+  /// as long as the runner.
+  EventDomain& AddDomain();
+
+  /// Handler for messages addressed to kCoordinatorDomain (shared state).
+  void SetCoordinatorHandler(EventDomain::HandlerFn fn) {
+    coordinator_handler_ = std::move(fn);
+  }
+
+  /// Run all domains to `horizon` with an epoch barrier + mailbox
+  /// delivery every `options.epoch`.
+  void RunUntil(SimTime horizon);
+
+  std::size_t NumDomains() const { return domains_.size(); }
+  EventDomain& domain(std::size_t i) { return *domains_[i]; }
+
+  std::uint64_t epochs() const { return epochs_; }
+  std::uint64_t messages_delivered() const { return delivered_; }
+
+ private:
+  /// Drain every outbox in (domain, seq) order; repeat until no handler
+  /// posted a follow-up. Runs on the coordinator thread.
+  void DeliverAtBarrier();
+
+  Options options_;
+  std::vector<std::unique_ptr<EventDomain>> domains_;
+  EventDomain::HandlerFn coordinator_handler_;
+  std::unique_ptr<ThreadPool> pool_;  // null in serial mode
+  std::uint64_t epochs_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace flare

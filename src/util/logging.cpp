@@ -17,13 +17,16 @@ Logger::Logger() {
 }
 
 LogSink Logger::SetSink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(mu_);
   LogSink previous = std::move(sink_);
   sink_ = std::move(sink);
   return previous;
 }
 
 void Logger::Write(LogLevel level, const std::string& message) {
-  if (Enabled(level) && sink_) sink_(level, message);
+  if (!Enabled(level)) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (sink_) sink_(level, message);
 }
 
 const char* LogLevelName(LogLevel level) {

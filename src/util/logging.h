@@ -6,6 +6,7 @@
 #pragma once
 
 #include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -31,6 +32,9 @@ class Logger {
  private:
   Logger();
   LogLevel level_ = LogLevel::kWarn;
+  // Guards sink_: the process-wide Logger is shared by every event domain,
+  // so writes from parallel-runner workers must serialize on it.
+  std::mutex mu_;
   LogSink sink_;
 };
 

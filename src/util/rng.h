@@ -13,7 +13,7 @@ namespace flare {
 
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed) : seed_(seed), engine_(seed) {}
 
   /// Uniform double in [0, 1).
   double Uniform() { return unit_(engine_); }
@@ -46,6 +46,18 @@ class Rng {
     return Rng(Mix(engine_(), salt));
   }
 
+  /// Derive the independent stream for shard/domain `stream`. Unlike
+  /// Fork(), the result is a pure function of the *construction seed* — it
+  /// neither consumes nor depends on draws already taken from this Rng, so
+  /// every event domain of a sharded run gets the same stream no matter in
+  /// which order (or on which thread) the domains are built.
+  Rng SplitStream(std::uint64_t stream) const {
+    return Rng(Mix(seed_ + 0x9d07a1f1a7e5eedULL, stream));
+  }
+
+  /// The seed this Rng was constructed with (stable across draws).
+  std::uint64_t seed() const { return seed_; }
+
   std::mt19937_64& engine() { return engine_; }
 
  private:
@@ -57,6 +69,7 @@ class Rng {
     return z ^ (z >> 31);
   }
 
+  std::uint64_t seed_;
   std::mt19937_64 engine_;
   std::uniform_real_distribution<double> unit_{0.0, 1.0};
 };

@@ -1,0 +1,49 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace flare {
+
+ThreadPool::ThreadPool(int workers) {
+  const int n = std::max(workers, 1);
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::RunAll(std::vector<std::function<void()>> jobs) {
+  if (jobs.empty()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (auto& job : jobs) pending_.push_back(std::move(job));
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return pending_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+    if (stop_) return;
+    std::function<void()> job = std::move(pending_.back());
+    pending_.pop_back();
+    ++in_flight_;
+    lock.unlock();
+    job();
+    lock.lock();
+    --in_flight_;
+    if (pending_.empty() && in_flight_ == 0) done_cv_.notify_all();
+  }
+}
+
+}  // namespace flare

@@ -1,0 +1,47 @@
+// Fixed-size worker pool for the sharded simulation runtime.
+//
+// The pool runs *batches*: RunAll() submits a set of independent jobs and
+// blocks until every one of them has finished, so the caller gets a full
+// barrier — everything the jobs wrote happens-before RunAll() returns
+// (release/acquire through the pool mutex). That barrier is exactly the
+// synchronization contract the parallel runner needs at BAI boundaries;
+// nothing here is FLARE-specific.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace flare {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (clamped to >= 1).
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  /// Run every job on the pool and block until all of them completed.
+  /// Jobs must not call RunAll() recursively. Exceptions thrown by a job
+  /// terminate (the simulation domains report errors by other means).
+  void RunAll(std::vector<std::function<void()>> jobs);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: job or stop
+  std::condition_variable done_cv_;   // signals RunAll: batch drained
+  std::vector<std::function<void()>> pending_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace flare

@@ -110,6 +110,103 @@ TEST(OneApiMulti, CellAddedAfterStartIsServed) {
   EXPECT_TRUE(plugin.assigned_level().has_value());
 }
 
+// Regression: a disconnect naming a stale cell (the flow re-connected
+// through another cell mid-handover) must reach the cell that currently
+// owns the flow — previously it was sent verbatim to the named cell,
+// leaking the registration in both the new cell's controller and the
+// PCRF.
+TEST(OneApiMulti, DisconnectRoutesToOwningCellAfterMigration) {
+  MultiFixture f;
+  OneApiMultiServer server(f.sim, f.pcrf, f.config);
+  auto cell_a = f.MakeCell(10);
+  auto cell_b = f.MakeCell(10);
+  const CellId a = server.AddCell(*cell_a);
+  const CellId b = server.AddCell(*cell_b);
+
+  const Mpd mpd = MakeMpd(SimulationLadderKbps(), 10.0);
+  const FlowId flow = cell_a->AddFlow(0, FlowType::kVideo);
+  FlarePlugin plugin(flow);
+
+  // Connect through A, let the registration land, then migrate to B (the
+  // handover re-registers the same plugin through the target cell).
+  server.ConnectVideoClient(a, &plugin, mpd);
+  f.sim.RunUntil(FromSeconds(0.1));
+  server.DisconnectVideoClient(a, flow);
+  server.ConnectVideoClient(b, &plugin, mpd);
+  f.sim.RunUntil(FromSeconds(0.2));
+  ASSERT_EQ(f.pcrf.CountFlows(FlowType::kVideo, b), 1);
+  ASSERT_TRUE(server.OwnerCell(flow).has_value());
+  EXPECT_EQ(*server.OwnerCell(flow), b);
+
+  // Teardown still names the old cell A. The disconnect must be routed to
+  // B, the owning cell.
+  server.DisconnectVideoClient(a, flow);
+  f.sim.RunUntil(FromSeconds(0.3));
+  EXPECT_EQ(f.pcrf.CountFlows(FlowType::kVideo, a), 0);
+  EXPECT_EQ(f.pcrf.CountFlows(FlowType::kVideo, b), 0);
+  EXPECT_FALSE(server.cell_server(b).HasClient(flow));
+  EXPECT_FALSE(server.OwnerCell(flow).has_value());
+}
+
+// Regression: the stale-cell disconnect must also cancel a registration
+// that is still in flight (inside the uplink latency window) on the
+// owning cell — the generation guard, reached through owner routing.
+TEST(OneApiMulti, DisconnectCancelsInFlightMigration) {
+  MultiFixture f;
+  OneApiMultiServer server(f.sim, f.pcrf, f.config);
+  auto cell_a = f.MakeCell(10);
+  auto cell_b = f.MakeCell(10);
+  const CellId a = server.AddCell(*cell_a);
+  const CellId b = server.AddCell(*cell_b);
+
+  const Mpd mpd = MakeMpd(SimulationLadderKbps(), 10.0);
+  const FlowId flow = cell_a->AddFlow(0, FlowType::kVideo);
+  FlarePlugin plugin(flow);
+
+  server.ConnectVideoClient(a, &plugin, mpd);
+  f.sim.RunUntil(FromSeconds(0.1));
+  server.DisconnectVideoClient(a, flow);
+  // Migration to B begins, but the session tears down before the uplink
+  // latency elapses — the disconnect still names A, and B has no *landed*
+  // client yet.
+  server.ConnectVideoClient(b, &plugin, mpd);
+  server.DisconnectVideoClient(a, flow);
+  f.sim.RunUntil(FromSeconds(0.3));
+
+  // The in-flight registration on B must not land afterwards.
+  EXPECT_EQ(f.pcrf.CountFlows(FlowType::kVideo, a), 0);
+  EXPECT_EQ(f.pcrf.CountFlows(FlowType::kVideo, b), 0);
+  EXPECT_FALSE(server.cell_server(b).HasClient(flow));
+}
+
+// When flow ids collide across cells, a disconnect naming a cell that
+// owns the id is served by that cell even if another cell registered the
+// same id more recently (the owner map alone would mis-route it).
+TEST(OneApiMulti, CollidingFlowIdsDisconnectTheNamedCell) {
+  MultiFixture f;
+  OneApiMultiServer server(f.sim, f.pcrf, f.config);
+  auto cell_a = f.MakeCell(10);
+  auto cell_b = f.MakeCell(10);
+  const CellId a = server.AddCell(*cell_a);
+  const CellId b = server.AddCell(*cell_b);
+
+  const Mpd mpd = MakeMpd(SimulationLadderKbps(), 10.0);
+  const FlowId flow_a = cell_a->AddFlow(0, FlowType::kVideo);
+  const FlowId flow_b = cell_b->AddFlow(0, FlowType::kVideo);
+  ASSERT_EQ(flow_a, flow_b);  // cells number bearers independently
+  FlarePlugin plugin_a(flow_a);
+  FlarePlugin plugin_b(flow_b);
+  server.ConnectVideoClient(a, &plugin_a, mpd);
+  server.ConnectVideoClient(b, &plugin_b, mpd);  // most recent owner: B
+  f.sim.RunUntil(FromSeconds(0.1));
+
+  server.DisconnectVideoClient(a, flow_a);
+  f.sim.RunUntil(FromSeconds(0.2));
+  EXPECT_EQ(f.pcrf.CountFlows(FlowType::kVideo, a), 0);
+  EXPECT_EQ(f.pcrf.CountFlows(FlowType::kVideo, b), 1);
+  EXPECT_TRUE(server.cell_server(b).HasClient(flow_b));
+}
+
 TEST(OneApiMulti, UnknownCellThrows) {
   MultiFixture f;
   OneApiMultiServer server(f.sim, f.pcrf, f.config);

@@ -19,6 +19,7 @@
 #include "core/rate_controller.h"
 #include "has/mpd.h"
 #include "obs/metrics.h"
+#include "obs/span_trace.h"
 #include "scenario/experiment.h"
 #include "scenario/multi_cell.h"
 #include "util/csv.h"
@@ -145,6 +146,14 @@ int Main(int argc, char** argv) {
     multi.cell.seed = 42;
     multi.n_cells = 8;
     multi.workers = workers;
+    // Per-config runner metrics (epoch / barrier-wait / drain histograms),
+    // merged into the bench export under a workersN prefix.
+    MetricsRegistry run_registry;
+    multi.metrics = &run_registry;
+    // The widest configuration also exports a causal span trace, showing
+    // where the 8 domains spend wall-clock inside each epoch.
+    SpanTracer spans;
+    if (workers == 8) multi.span_trace = &spans;
     const MultiCellResult result = RunMultiCellScenario(multi);
     if (workers == 0) serial_ms = result.wall_ms;
     const double speedup =
@@ -154,10 +163,23 @@ int Main(int argc, char** argv) {
                 workers, result.wall_ms, speedup,
                 static_cast<unsigned long long>(result.barrier_epochs),
                 static_cast<unsigned long long>(result.mailbox_messages));
+    const auto wait = run_registry.histograms().find("runner.barrier_wait_ms");
+    if (wait != run_registry.histograms().end() && wait->second.count() > 0) {
+      std::printf("           barrier wait p50=%.3f ms p95=%.3f ms "
+                  "p99=%.3f ms\n",
+                  wait->second.Quantile(0.50), wait->second.Quantile(0.95),
+                  wait->second.Quantile(0.99));
+    }
     const std::string key =
         "fig9.multicell.workers" + std::to_string(workers);
+    registry.MergeFrom(run_registry, key + ".");
     MakeGaugeHandle(&registry, key + ".wall_ms").Set(result.wall_ms);
     MakeGaugeHandle(&registry, key + ".speedup").Set(speedup);
+    if (workers == 8) {
+      spans.ExportJson(BenchJsonPath("fig9_trace"));
+      std::printf("           span trace written to %s\n",
+                  BenchJsonPath("fig9_trace").c_str());
+    }
   }
 
   registry.ExportJson(BenchJsonPath("fig9"));

@@ -10,6 +10,7 @@
 #include "core/rate_controller.h"
 #include "has/mpd.h"
 #include "obs/metrics.h"
+#include "obs/span_trace.h"
 #include "util/rng.h"
 
 namespace flare {
@@ -114,6 +115,40 @@ void BM_ObsHandlesEnabled(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ObsHandlesEnabled);
+
+// A representative instrumented hot path — one SpanScope, one instant, one
+// counter bump and one histogram observation per iteration — with every
+// observer disabled (Arg 0) vs live (Arg 1). The disabled run must be
+// indistinguishable from uninstrumented code: each site is one null check.
+void BM_ObsOverhead(benchmark::State& state) {
+  const bool enabled = state.range(0) != 0;
+  SpanTracer tracer;
+  double fake_now_us = 0.0;
+  tracer.SetClock([&fake_now_us] { return fake_now_us; });
+  SpanTracer* spans = enabled ? &tracer : nullptr;
+  MetricsRegistry registry;
+  CounterHandle ticks =
+      MakeCounterHandle(enabled ? &registry : nullptr, "bench.ticks");
+  HistogramHandle latency = MakeHistogramHandle(
+      enabled ? &registry : nullptr, "bench.latency_ms",
+      {0.01, 0.1, 1.0, 10.0});
+  for (auto _ : state) {
+    fake_now_us += 1000.0;
+    {
+      SpanScope span(spans, kLaneControl, "bench", "work");
+      benchmark::DoNotOptimize(fake_now_us);
+    }
+    if (spans != nullptr) {
+      spans->Instant(kLaneControl, "bench", "tick", fake_now_us);
+    }
+    ticks.Add();
+    latency.Observe(0.5);
+    benchmark::ClobberMemory();
+    // Bound the enabled run's memory; Clear() is outside the disabled path.
+    if (enabled && tracer.size() > 65536) tracer.Clear();
+  }
+}
+BENCHMARK(BM_ObsOverhead)->Arg(0)->Arg(1);
 
 // DecideBai through the OneAPI-style wrapper with metrics attached vs not:
 // the "no measurable slowdown when disabled" acceptance check.

@@ -8,19 +8,9 @@
 //       bler=0.1 vbr_sigma=0.2 series_csv=run.csv
 //   (one line; wrapped here for readability)
 //
-// Keys (defaults in parentheses): scheme (flare | flare-relaxed |
-// festive | google | avis | flare-network-only | panda | mpc | bba),
-// channel (static-itbs | triangle | placed | mobile), n_video, n_data,
-// n_conventional, duration_s, seed, num_rbs, static_itbs, segment_s,
-// ladder (comma Kbps), alpha, delta, bai_s, bler, vbr_sigma,
-// client_theta_mbps (comma list, screen sizes disclosed to the server),
-// client_caps (comma rung caps, -1 = none), testbed (0/1), runs,
-// series_csv (path), metrics_json (path: counters/gauges/histograms +
-// per-BAI trace + per-player summaries, first run), bai_trace_csv (path:
-// per-flow per-BAI rows as CSV, first run), cells (replicate the config
-// across N eNodeBs on the sharded runtime; metrics/trace rows are tagged
-// by cell), parallel (worker threads for cells > 1; 0 = serial — results
-// are bit-identical either way).
+// Run with --help for the full key list. Unknown keys are rejected (exit
+// 1) so a typo cannot silently run the default experiment.
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 #include <string>
@@ -28,6 +18,8 @@
 
 #include "obs/bai_trace.h"
 #include "obs/metrics.h"
+#include "obs/span_trace.h"
+#include "obs/watchdog.h"
 #include "scenario/multi_cell.h"
 #include "scenario/scenario.h"
 #include "util/config.h"
@@ -36,6 +28,96 @@
 namespace {
 
 using namespace flare;
+
+// Every key=value knob the runner understands; Config::Keys() is checked
+// against this so misspelled knobs fail loudly instead of being ignored.
+const char* const kKnownKeys[] = {
+    "alpha",         "bai_s",
+    "bai_trace_csv", "bler",
+    "cells",         "channel",
+    "client_caps",   "client_theta_mbps",
+    "delta",         "duration_s",
+    "fail_on_unhealthy", "ladder",
+    "metrics_json",  "n_conventional",
+    "n_data",        "n_video",
+    "num_rbs",       "parallel",
+    "runs",          "scheme",
+    "seed",          "segment_s",
+    "series_csv",    "static_itbs",
+    "testbed",       "trace_json",
+    "vbr_sigma",
+};
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out, R"(usage: scenario_runner [key=value ...]
+
+Assemble any scenario the library supports from key=value arguments.
+Example:
+  scenario_runner scheme=flare channel=mobile n_video=8 n_data=2
+      duration_s=600 seed=3 alpha=2 delta=6 bler=0.1 series_csv=run.csv
+
+Experiment keys:
+  scheme=NAME        flare | flare-relaxed | festive | google | avis |
+                     flare-network-only | panda | mpc | bba  (flare)
+  channel=NAME       static-itbs | triangle | placed | mobile (static-itbs)
+  duration_s=SECS    run length (preset default)
+  seed=N             RNG seed; runs>1 uses seed, seed+1, ... (1)
+  runs=N             independent seeds, results averaged (1)
+  n_video=N n_data=N n_conventional=N   client mix (preset default)
+  testbed=0|1        testbed vs ns-3 scheduler wiring (per channel)
+Cell / radio keys:
+  num_rbs=N static_itbs=N bler=F        MAC knobs (preset default)
+  cells=N            replicate across N eNodeBs, sharded runtime (1)
+  parallel=N         worker threads for cells>1; 0 = serial, results
+                     are bit-identical either way (0)
+Video keys:
+  segment_s=F ladder=K1,K2,... vbr_sigma=F
+  client_theta_mbps=F,F,...   screen sizes disclosed to the server
+  client_caps=N,N,...         per-client rung caps, -1 = none
+Control-loop keys:
+  alpha=F delta=N bai_s=F     FLARE optimizer / BAI knobs
+Output keys:
+  series_csv=PATH    1 Hz per-client bitrate/buffer series (first run)
+  metrics_json=PATH  counters/histograms (p50/p95/p99) + per-BAI trace +
+                     per-player summaries + run_health (first run)
+  bai_trace_csv=PATH per-flow per-BAI decision rows as CSV (first run)
+  trace_json=PATH    causal span trace, Chrome trace-event JSON; open in
+                     https://ui.perfetto.dev (first run)
+  fail_on_unhealthy=0|1  exit 2 if run-health watchdogs fired (0)
+)");
+}
+
+bool KnownKey(const std::string& key) {
+  return std::find_if(std::begin(kKnownKeys), std::end(kKnownKeys),
+                      [&key](const char* known) { return key == known; }) !=
+         std::end(kKnownKeys);
+}
+
+/// Span-trace export + run-health verdict, shared by the single- and
+/// multi-cell paths. Returns the process exit code.
+int FinishObservability(const std::optional<std::string>& trace_json,
+                        const SpanTracer& spans, bool fail_on_unhealthy,
+                        const RunHealthMonitor& health) {
+  if (trace_json) {
+    if (spans.ExportJson(*trace_json)) {
+      std::printf("span trace written to %s (open in ui.perfetto.dev)\n",
+                  trace_json->c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", trace_json->c_str());
+      return 1;
+    }
+  }
+  if (fail_on_unhealthy && !health.healthy()) {
+    for (const HealthWarning& w : health.warnings()) {
+      std::fprintf(stderr, "health: t=%.1f s cell %d %s: %s\n", w.t_s,
+                   w.cell, w.kind.c_str(), w.detail.c_str());
+    }
+    std::fprintf(stderr, "run unhealthy: %zu warning(s)\n",
+                 health.warnings().size());
+    return 2;
+  }
+  return 0;
+}
 
 std::optional<Scheme> ParseScheme(const std::string& name) {
   if (name == "flare") return Scheme::kFlare;
@@ -71,7 +153,28 @@ std::vector<double> ParseLadder(const std::string& text) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token == "--help" || token == "-h" || token == "help") {
+      PrintUsage(stdout);
+      return 0;
+    }
+    if (token.find('=') == std::string::npos || token.front() == '=') {
+      std::fprintf(stderr, "scenario_runner: not a key=value argument: "
+                   "'%s'\n\n", token.c_str());
+      PrintUsage(stderr);
+      return 1;
+    }
+  }
   const Config args = Config::FromArgs(argc, argv);
+  for (const std::string& key : args.Keys()) {
+    if (!KnownKey(key)) {
+      std::fprintf(stderr, "scenario_runner: unknown key '%s'\n\n",
+                   key.c_str());
+      PrintUsage(stderr);
+      return 1;
+    }
+  }
 
   const std::string scheme_name =
       args.GetString("scheme").value_or("flare");
@@ -135,11 +238,19 @@ int main(int argc, char** argv) {
   // was requested, so the default run keeps the zero-cost disabled path.
   const auto metrics_json = args.GetString("metrics_json");
   const auto bai_trace_csv = args.GetString("bai_trace_csv");
+  const auto trace_json = args.GetString("trace_json");
+  const bool fail_on_unhealthy = args.GetBool("fail_on_unhealthy", false);
   MetricsRegistry registry;
   BaiTraceSink trace;
+  SpanTracer spans;
+  RunHealthMonitor health;
   if (metrics_json || bai_trace_csv) {
     config.metrics = &registry;
     config.bai_trace = &trace;
+  }
+  if (trace_json) config.span_trace = &spans;
+  if (trace_json || metrics_json || fail_on_unhealthy) {
+    config.health = &health;
   }
 
   std::printf("scenario_runner: %s on %s, %d video / %d data / %d "
@@ -158,6 +269,8 @@ int main(int argc, char** argv) {
     multi.workers = workers;
     multi.metrics = config.metrics;
     multi.bai_trace = config.bai_trace;
+    multi.span_trace = config.span_trace;
+    multi.health = config.health;
     const MultiCellResult result = RunMultiCellScenario(multi);
 
     for (int c = 0; c < cells; ++c) {
@@ -176,7 +289,7 @@ int main(int argc, char** argv) {
                 result.wall_ms, workers);
 
     if (metrics_json) {
-      if (trace.ExportJson(*metrics_json, &registry)) {
+      if (trace.ExportJson(*metrics_json, &registry, config.health)) {
         std::printf("metrics written to %s\n", metrics_json->c_str());
       } else {
         std::fprintf(stderr, "cannot write %s\n", metrics_json->c_str());
@@ -191,7 +304,8 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
-    return 0;
+    return FinishObservability(trace_json, spans, fail_on_unhealthy,
+                               health);
   }
 
   double rate = 0.0;
@@ -206,6 +320,8 @@ int main(int argc, char** argv) {
     ScenarioConfig rest = config;
     rest.metrics = nullptr;
     rest.bai_trace = nullptr;
+    rest.span_trace = nullptr;
+    rest.health = nullptr;
     rest.seed = config.seed + 1;
     for (const ScenarioResult& r : RunMany(rest, runs - 1)) {
       results.push_back(r);
@@ -239,7 +355,7 @@ int main(int argc, char** argv) {
     std::printf("\nseries written to %s\n", series_csv->c_str());
   }
   if (metrics_json) {
-    if (trace.ExportJson(*metrics_json, &registry)) {
+    if (trace.ExportJson(*metrics_json, &registry, config.health)) {
       std::printf("metrics written to %s\n", metrics_json->c_str());
     } else {
       std::fprintf(stderr, "cannot write %s\n", metrics_json->c_str());
@@ -254,5 +370,5 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  return 0;
+  return FinishObservability(trace_json, spans, fail_on_unhealthy, health);
 }

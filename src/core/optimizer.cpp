@@ -97,6 +97,8 @@ double Objective(const OptProblem& problem,
 }
 
 OptResult SolveContinuous(const OptProblem& problem) {
+  SpanScope phase(problem.span_trace, kLaneControl, "solver",
+                  "solve.continuous");
   ValidateProblem(problem);
   const std::size_t n_flows = problem.flows.size();
   const double budget = problem.rb_rate * problem.max_video_fraction;
@@ -159,6 +161,8 @@ OptResult SolveContinuous(const OptProblem& problem) {
   if (!with_data && RbRateCost(problem, rates_at(0.0)) <= budget) {
     result.rates_bps = rates_at(0.0);
   } else {
+    SpanScope bisection(problem.span_trace, kLaneControl, "solver",
+                        "solve.bisection");
     double lambda_lo = 1e-12;
     double lambda_hi = 1.0;
     while (residual(lambda_hi) < 0.0 && lambda_hi < 1e30) lambda_hi *= 4.0;
@@ -186,6 +190,8 @@ OptResult SolveContinuous(const OptProblem& problem) {
 }
 
 OptResult SolveGreedy(const OptProblem& problem) {
+  SpanScope phase(problem.span_trace, kLaneControl, "solver",
+                  "solve.greedy");
   ValidateProblem(problem);
   const std::size_t n_flows = problem.flows.size();
 
@@ -282,6 +288,8 @@ OptResult SolveExhaustive(const OptProblem& problem) {
 
 std::vector<int> DiscretizeDown(const OptProblem& problem,
                                 const std::vector<double>& rates_bps) {
+  SpanScope phase(problem.span_trace, kLaneControl, "solver",
+                  "solve.discretize");
   std::vector<int> levels(rates_bps.size());
   for (std::size_t u = 0; u < rates_bps.size(); ++u) {
     const OptFlow& f = problem.flows[u];

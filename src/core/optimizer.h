@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/utility.h"
+#include "obs/span_trace.h"
 
 namespace flare {
 
@@ -48,6 +49,9 @@ struct OptProblem {
   /// Cap on r so the data term stays finite (and data flows never starve
   /// completely) even with n = 0.
   double max_video_fraction = 0.999;
+  /// Optional solver-phase span tracing on the control lane (not owned;
+  /// null = disabled, the default — existing call sites are unaffected).
+  SpanTracer* span_trace = nullptr;
 };
 
 struct OptResult {

@@ -8,6 +8,26 @@
 
 namespace flare {
 
+const char* DecisionCauseName(DecisionCause cause) {
+  switch (cause) {
+    case DecisionCause::kInit:
+      return "init";
+    case DecisionCause::kHold:
+      return "hold";
+    case DecisionCause::kSolverUp:
+      return "solver-up";
+    case DecisionCause::kHysteresisAdopted:
+      return "hysteresis-adopted";
+    case DecisionCause::kStabilityCap:
+      return "stability-cap";
+    case DecisionCause::kCapacityDown:
+      return "capacity-down";
+    case DecisionCause::kInfeasibleFallback:
+      return "infeasible-fallback";
+  }
+  return "unknown";
+}
+
 FlareRateController::FlareRateController(const FlareParams& params)
     : params_(params) {
   if (params_.delta < 0) {
@@ -75,6 +95,8 @@ BaiDecision FlareRateController::DecideBai(
   if (problem.flows.empty()) return decision;
 
   // --- Solve (timed: this is Figure 9's measurement).
+  problem.span_trace = span_trace_;
+  SpanScope solve_span(span_trace_, kLaneControl, "solver", "solve");
   const auto start = std::chrono::steady_clock::now();
   OptResult solved;
   std::vector<int> recommended;
@@ -89,17 +111,27 @@ BaiDecision FlareRateController::DecideBai(
       std::chrono::steady_clock::now() - start);
   decision.feasible = solved.feasible;
   decision.objective = solved.objective;
+  if (solve_span.enabled()) {
+    solve_span.set_args("{\"flows\":" +
+                        std::to_string(problem.flows.size()) +
+                        ",\"feasible\":" +
+                        (solved.feasible ? "true" : "false") + "}");
+    solve_span.Close();
+  }
 
   // --- Algorithm 1's stability rule per flow.
   double video_rb_cost = 0.0;
   for (std::size_t u = 0; u < recommended.size(); ++u) {
     FlowCtl& ctl = *ctls[u];
     const int star = recommended[u];
+    const int previous = ctl.last_level;
     int next;
+    DecisionCause cause;
     if (ctl.last_level < 0) {
       // First assignment: take the solver's (lowest-rung-capped) choice.
       next = star;
       ctl.consecutive_up = 0;
+      cause = DecisionCause::kInit;
     } else if (star == ctl.last_level + 1) {
       ++ctl.consecutive_up;
       // Threshold delta * (L^{i-1} + 1) with 1-based ladder indices; our
@@ -109,12 +141,21 @@ BaiDecision FlareRateController::DecideBai(
       if (ctl.consecutive_up >= threshold) {
         next = ctl.last_level + 1;
         ctl.consecutive_up = 0;
+        cause = threshold <= 1 ? DecisionCause::kSolverUp
+                               : DecisionCause::kHysteresisAdopted;
       } else {
         next = ctl.last_level;  // hold until the recommendation persists
+        cause = DecisionCause::kStabilityCap;
       }
     } else {
       ctl.consecutive_up = 0;
       next = std::min(ctl.last_level, star);  // drops apply immediately
+      if (next < ctl.last_level) {
+        cause = solved.feasible ? DecisionCause::kCapacityDown
+                                : DecisionCause::kInfeasibleFallback;
+      } else {
+        cause = DecisionCause::kHold;
+      }
     }
     ctl.last_level = next;
 
@@ -124,6 +165,8 @@ BaiDecision FlareRateController::DecideBai(
     assignment.rate_bps = ctl.ladder[static_cast<std::size_t>(next)];
     assignment.recommended_level = star;
     assignment.consecutive_up = ctl.consecutive_up;
+    assignment.previous_level = previous;
+    assignment.cause = cause;
     video_rb_cost += assignment.rate_bps / problem.flows[u].bits_per_rb;
     decision.assignments.push_back(assignment);
   }

@@ -17,6 +17,7 @@
 
 #include "core/optimizer.h"
 #include "lte/types.h"
+#include "obs/span_trace.h"
 
 namespace flare {
 
@@ -47,6 +48,21 @@ struct FlowObservation {
   std::optional<VideoUtilityParams> utility;
 };
 
+/// Why Algorithm 1 enforced the rung it did — the machine-readable label
+/// on every BaiTraceRow and rung-change trace instant. Exactly one branch
+/// of the stability rule produces each assignment.
+enum class DecisionCause {
+  kInit,               // flow's first BAI: adopt the (floor-capped) L*
+  kHold,               // L* == L^{i-1}: nothing to do
+  kSolverUp,           // one-rung increase adopted with no hysteresis wait
+  kHysteresisAdopted,  // increase adopted after delta*(L+1) consecutive BAIs
+  kStabilityCap,       // increase recommended but held pending hysteresis
+  kCapacityDown,       // solver moved the flow down; drops apply immediately
+  kInfeasibleFallback, // solver infeasible (over capacity at floor rungs)
+};
+
+const char* DecisionCauseName(DecisionCause cause);
+
 struct RateAssignment {
   FlowId id = kInvalidFlow;
   /// Rung enforced after Algorithm 1's stability rule.
@@ -58,6 +74,10 @@ struct RateAssignment {
   /// Consecutive BAIs the solver has recommended a one-rung increase, as
   /// of this BAI (resets to 0 when the increase is adopted or abandoned).
   int consecutive_up = 0;
+  /// Rung enforced by the previous BAI (-1 on the flow's first BAI).
+  int previous_level = -1;
+  /// Which stability-rule branch produced `level`.
+  DecisionCause cause = DecisionCause::kInit;
 };
 
 struct BaiDecision {
@@ -93,6 +113,11 @@ class FlareRateController {
   void set_delta(int delta) { params_.delta = delta; }
   void set_solver(SolverMode mode) { params_.solver = mode; }
 
+  /// Attach a span tracer (null detaches): each DecideBai records a
+  /// "solve" span plus the solver's internal phase spans on the control
+  /// lane. Timestamps come from the tracer's clock.
+  void SetSpanTracer(SpanTracer* tracer) { span_trace_ = tracer; }
+
  private:
   struct FlowCtl {
     std::vector<double> ladder;
@@ -102,6 +127,7 @@ class FlareRateController {
 
   FlareParams params_;
   std::map<FlowId, FlowCtl> flows_;
+  SpanTracer* span_trace_ = nullptr;
 };
 
 }  // namespace flare

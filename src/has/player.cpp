@@ -1,8 +1,19 @@
 #include "has/player.h"
 
 #include <algorithm>
+#include <string>
+
+#include "util/csv.h"
 
 namespace flare {
+namespace {
+
+std::string ClientArgs(int client, double buffer_s) {
+  return "{\"client\":" + std::to_string(client) +
+         ",\"buffer_s\":" + FormatNumber(buffer_s) + "}";
+}
+
+}  // namespace
 
 VideoPlayer::VideoPlayer(const PlayerConfig& config) : config_(config) {}
 
@@ -28,6 +39,13 @@ void VideoPlayer::AdvanceTo(SimTime now) {
         ++rebuffer_events_;
         stalls_metric_.Add();
         rebuffer_s_ += elapsed - drained;
+        if (span_trace_ != nullptr) {
+          // The buffer actually hit zero (elapsed - drained) seconds ago.
+          span_trace_->Instant(
+              kLanePlayer, "player", "stall",
+              static_cast<double>(now) - (elapsed - drained) * 1e6,
+              ClientArgs(span_client_, 0.0));
+        }
       }
       break;
     }
@@ -38,16 +56,42 @@ void VideoPlayer::OnSegment(double duration_s, double bitrate_bps,
                             SimTime now) {
   AdvanceTo(now);
   buffer_s_ += duration_s;
-  if (!segment_bitrates_.empty() && segment_bitrates_.back() != bitrate_bps) {
-    switches_metric_.Add();
+  const bool switched =
+      !segment_bitrates_.empty() && segment_bitrates_.back() != bitrate_bps;
+  if (switched) switches_metric_.Add();
+  if (span_trace_ != nullptr) {
+    const double ts_us = static_cast<double>(now);
+    span_trace_->Instant(
+        kLanePlayer, "player", "segment", ts_us,
+        "{\"client\":" + std::to_string(span_client_) +
+            ",\"bitrate_kbps\":" + FormatNumber(bitrate_bps / 1000.0) +
+            ",\"buffer_s\":" + FormatNumber(buffer_s_) + "}");
+    if (switched) {
+      span_trace_->Instant(
+          kLanePlayer, "player", "switch", ts_us,
+          "{\"client\":" + std::to_string(span_client_) +
+              ",\"from_kbps\":" +
+              FormatNumber(segment_bitrates_.back() / 1000.0) +
+              ",\"to_kbps\":" + FormatNumber(bitrate_bps / 1000.0) + "}");
+    }
   }
   segment_bitrates_.push_back(bitrate_bps);
   buffer_metric_.Observe(buffer_s_);
   if (state_ == State::kStartup && buffer_s_ >= config_.startup_threshold_s) {
     state_ = State::kPlaying;
+    if (span_trace_ != nullptr) {
+      span_trace_->Instant(kLanePlayer, "player", "playout_start",
+                           static_cast<double>(now),
+                           ClientArgs(span_client_, buffer_s_));
+    }
   } else if (state_ == State::kStalled &&
              buffer_s_ >= config_.resume_threshold_s) {
     state_ = State::kPlaying;
+    if (span_trace_ != nullptr) {
+      span_trace_->Instant(kLanePlayer, "player", "resume",
+                           static_cast<double>(now),
+                           ClientArgs(span_client_, buffer_s_));
+    }
   }
 }
 
@@ -57,6 +101,11 @@ int VideoPlayer::switch_count() const {
     if (segment_bitrates_[i] != segment_bitrates_[i - 1]) ++switches;
   }
   return switches;
+}
+
+void VideoPlayer::SetSpanTracer(SpanTracer* tracer, int client) {
+  span_trace_ = tracer;
+  span_client_ = client;
 }
 
 void VideoPlayer::SetMetrics(MetricsRegistry* registry) {

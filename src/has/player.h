@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/span_trace.h"
 #include "util/time.h"
 
 namespace flare {
@@ -60,6 +61,12 @@ class VideoPlayer {
   /// across players — counters aggregate cell-wide.
   void SetMetrics(MetricsRegistry* registry);
 
+  /// Attach a span tracer (null = detach): stall/resume/playout-start and
+  /// per-segment/switch instants on the player lane, tagged with
+  /// `client`. Stall instants are stamped at the exact underflow time
+  /// even though the lazy model detects them at the next event.
+  void SetSpanTracer(SpanTracer* tracer, int client);
+
  private:
   enum class State { kStartup, kPlaying, kStalled };
 
@@ -75,6 +82,8 @@ class VideoPlayer {
   CounterHandle stalls_metric_;
   CounterHandle switches_metric_;
   HistogramHandle buffer_metric_;
+  SpanTracer* span_trace_ = nullptr;
+  int span_client_ = -1;
 };
 
 }  // namespace flare

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
@@ -148,6 +149,30 @@ void Cell::SetMetrics(MetricsRegistry* registry) {
       MakeGaugeHandle(registry, "cell.gbr_shortfall_bytes");
 }
 
+void Cell::SetSpanTracer(SpanTracer* tracer) {
+  span_trace_ = tracer;
+  span_window_start_ = sim_.Now();
+  span_window_wall_us_ = 0.0;
+  span_window_ttis_ = 0;
+  span_window_rbs_ = 0;
+}
+
+void Cell::FlushSpanWindow() {
+  if (span_trace_ == nullptr || span_window_ttis_ == 0) return;
+  span_trace_->CompleteSpan(
+      kLaneMac, "cell", "tti.window",
+      static_cast<double>(span_window_start_), span_window_wall_us_,
+      "{\"ttis\":" + std::to_string(span_window_ttis_) +
+          ",\"rbs\":" + std::to_string(span_window_rbs_) + "}");
+  span_trace_->Counter(kLaneMac, "cell.rbs_per_window",
+                       static_cast<double>(sim_.Now()),
+                       static_cast<double>(span_window_rbs_));
+  span_window_start_ = sim_.Now();
+  span_window_wall_us_ = 0.0;
+  span_window_ttis_ = 0;
+  span_window_rbs_ = 0;
+}
+
 void Cell::Start() {
   if (started_) return;
   started_ = true;
@@ -158,6 +183,10 @@ void Cell::RunTti() {
   const SimTime now = sim_.Now();
   const double tti_s = ToSeconds(kTti);
   ++ttis_elapsed_;
+  const bool span_timing =
+      span_trace_ != nullptr && !span_trace_->deterministic();
+  const auto span_start = span_timing ? std::chrono::steady_clock::now()
+                                      : std::chrono::steady_clock::time_point{};
 
   // 1. Refresh channels.
   for (UeEntry& ue : ues_) ue.itbs = ue.channel->ItbsAt(now);
@@ -277,6 +306,20 @@ void Cell::RunTti() {
   // 6. Deliver.
   if (deliver_) {
     for (const auto& [id, bytes] : served) deliver_(id, bytes, now);
+  }
+
+  // Span sampling: accumulate this TTI's wall-clock cost (including the
+  // synchronous delivery above) into the current window.
+  if (span_trace_ != nullptr) {
+    if (span_timing) {
+      span_window_wall_us_ +=
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - span_start)
+              .count();
+    }
+    ++span_window_ttis_;
+    span_window_rbs_ += static_cast<std::uint64_t>(rbs_used);
+    if (now - span_window_start_ >= kSecond) FlushSpanWindow();
   }
 }
 

@@ -25,6 +25,7 @@
 #include "lte/types.h"
 #include "obs/bai_trace.h"
 #include "obs/metrics.h"
+#include "obs/span_trace.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 
@@ -120,6 +121,13 @@ class Cell {
   /// Attach a BAI trace sink (null detaches): per-TTI scheduler aggregates
   /// (RBs per phase, GBR credit shortfall), flushed on the sink's period.
   void SetTraceSink(BaiTraceSink* sink) { trace_sink_ = sink; }
+  /// Attach a span tracer (null detaches): the TTI loop's wall-clock cost
+  /// is aggregated over 1 s windows into "tti.window" spans on the MAC
+  /// lane plus an RBs-used counter track — per-TTI events would be 1000x
+  /// the volume for no insight.
+  void SetSpanTracer(SpanTracer* tracer);
+  /// Emit the final partial span window (call once after the run).
+  void FlushSpanWindow();
 
  private:
   struct UeEntry {
@@ -153,6 +161,11 @@ class Cell {
   bool started_ = false;
 
   BaiTraceSink* trace_sink_ = nullptr;
+  SpanTracer* span_trace_ = nullptr;
+  SimTime span_window_start_ = 0;
+  double span_window_wall_us_ = 0.0;
+  std::uint64_t span_window_ttis_ = 0;
+  std::uint64_t span_window_rbs_ = 0;
   CounterHandle ttis_metric_;
   CounterHandle rbs_used_metric_;
   CounterHandle rbs_priority_metric_;

@@ -13,6 +13,7 @@ CellId OneApiMultiServer::AddCell(Cell& cell) {
   cell_config.cell_tag = id;  // scope PCRF registrations per cell
   entry.server = std::make_unique<OneApiServer>(sim_, cell, pcrf_,
                                                 *entry.pcef, cell_config);
+  entry.server->SetObservers(registry_, trace_sink_, span_trace_, health_);
   if (started_) entry.server->Start();
   cells_.emplace(id, std::move(entry));
   return id;
@@ -57,6 +58,18 @@ std::optional<CellId> OneApiMultiServer::OwnerCell(FlowId flow) const {
   const auto it = owner_.find(flow);
   if (it == owner_.end()) return std::nullopt;
   return it->second;
+}
+
+void OneApiMultiServer::SetObservers(MetricsRegistry* registry,
+                                     BaiTraceSink* sink, SpanTracer* spans,
+                                     RunHealthMonitor* health) {
+  registry_ = registry;
+  trace_sink_ = sink;
+  span_trace_ = spans;
+  health_ = health;
+  for (auto& [id, entry] : cells_) {
+    entry.server->SetObservers(registry, sink, spans, health);
+  }
 }
 
 void OneApiMultiServer::Start() {

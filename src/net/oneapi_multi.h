@@ -52,6 +52,13 @@ class OneApiMultiServer {
   std::size_t NumCells() const { return cells_.size(); }
   OneApiServer& cell_server(CellId cell_id);
 
+  /// Forward observability attachments (any may be null) to every
+  /// per-cell server; cells added later inherit them. All cells share the
+  /// sinks — their rows/spans are distinguished by the cell tag/pid.
+  void SetObservers(MetricsRegistry* registry, BaiTraceSink* sink,
+                    SpanTracer* spans = nullptr,
+                    RunHealthMonitor* health = nullptr);
+
  private:
   struct Entry {
     std::unique_ptr<Pcef> pcef;
@@ -71,6 +78,11 @@ class OneApiMultiServer {
   std::map<FlowId, CellId> owner_;
   CellId next_id_ = 0;
   bool started_ = false;
+
+  MetricsRegistry* registry_ = nullptr;
+  BaiTraceSink* trace_sink_ = nullptr;
+  SpanTracer* span_trace_ = nullptr;
+  RunHealthMonitor* health_ = nullptr;
 };
 
 }  // namespace flare

@@ -5,6 +5,7 @@
 
 #include "lte/tbs_table.h"
 #include "net/messages.h"
+#include "util/csv.h"
 #include "util/logging.h"
 
 namespace flare {
@@ -70,8 +71,12 @@ void OneApiServer::DisconnectVideoClient(FlowId id) {
 }
 
 void OneApiServer::SetObservers(MetricsRegistry* registry,
-                                BaiTraceSink* sink) {
+                                BaiTraceSink* sink, SpanTracer* spans,
+                                RunHealthMonitor* health) {
   trace_sink_ = sink;
+  span_trace_ = spans;
+  health_ = health;
+  controller_.SetSpanTracer(spans);
   bais_metric_ = MakeCounterHandle(registry, "oneapi.bais");
   assignments_metric_ = MakeCounterHandle(registry, "oneapi.assignments");
   solve_ms_metric_ = MakeHistogramHandle(
@@ -88,6 +93,7 @@ void OneApiServer::Start() {
 }
 
 void OneApiServer::RunBai() {
+  SpanScope bai_span(span_trace_, kLaneControl, "oneapi", "bai");
   // --- Gather client information + RB/rate trace windows.
   std::vector<FlowObservation> observations;
   observations.reserve(clients_.size());
@@ -138,6 +144,15 @@ void OneApiServer::RunBai() {
   bais_metric_.Add();
   solve_ms_metric_.Observe(solve_ms);
   video_fraction_metric_.Set(decision.video_fraction);
+  if (health_ != nullptr) {
+    health_->OnSolverResult(ToSeconds(sim_.Now()), decision.feasible);
+  }
+  if (bai_span.enabled()) {
+    bai_span.set_args(
+        "{\"flows\":" + std::to_string(decision.assignments.size()) +
+        ",\"video_fraction\":" + FormatNumber(decision.video_fraction) +
+        ",\"feasible\":" + (decision.feasible ? "true" : "false") + "}");
+  }
 
   // --- Enforce: GBR via PCEF at the eNodeB, rung via the UE plugin. The
   // assignment travels as a wire message and the plugin side decodes it.
@@ -149,6 +164,23 @@ void OneApiServer::RunBai() {
     msg.gbr_bps = a.rate_bps * config_.gbr_headroom;
     pcef_.EnforceGbr(msg.flow, msg.gbr_bps);
     assignments_metric_.Add();
+    if (span_trace_ != nullptr) {
+      const double ts_us = static_cast<double>(sim_.Now());
+      // Decision timeline: every enforced rung change is an instant with
+      // its Algorithm 1 cause; the GBR push marks the PCEF enforcement.
+      if (a.level != a.previous_level) {
+        span_trace_->Instant(
+            kLaneControl, "decision", "rung_change", ts_us,
+            "{\"flow\":" + std::to_string(a.id) +
+                ",\"from\":" + std::to_string(a.previous_level) +
+                ",\"to\":" + std::to_string(a.level) + ",\"cause\":\"" +
+                DecisionCauseName(a.cause) + "\"}");
+      }
+      span_trace_->Instant(
+          kLaneControl, "oneapi", "gbr_push", ts_us,
+          "{\"flow\":" + std::to_string(a.id) +
+              ",\"gbr_kbps\":" + FormatNumber(msg.gbr_bps / 1000.0) + "}");
+    }
     const auto it = clients_.find(a.id);
     if (trace_sink_ != nullptr && it != clients_.end()) {
       BaiTraceRow row;
@@ -165,6 +197,7 @@ void OneApiServer::RunBai() {
       row.video_fraction = decision.video_fraction;
       row.solve_time_ms = solve_ms;
       row.feasible = decision.feasible;
+      row.cause = DecisionCauseName(a.cause);
       trace_sink_->RecordBai(row);
     }
     if (it == clients_.end()) continue;

@@ -20,6 +20,8 @@
 #include "net/pcrf.h"
 #include "obs/bai_trace.h"
 #include "obs/metrics.h"
+#include "obs/span_trace.h"
+#include "obs/watchdog.h"
 #include "sim/simulator.h"
 
 namespace flare {
@@ -95,10 +97,14 @@ class OneApiServer {
     return video_fractions_;
   }
 
-  /// Attach observability (either pointer may be null): the registry gets
+  /// Attach observability (any pointer may be null): the registry gets
   /// BAI counters and the solve-time histogram; the sink gets one
-  /// BaiTraceRow per video flow per BAI.
-  void SetObservers(MetricsRegistry* registry, BaiTraceSink* sink);
+  /// BaiTraceRow per video flow per BAI; the span tracer gets BAI/solver
+  /// spans, rung-change and GBR-push instants; the health monitor is fed
+  /// each BAI's solver feasibility.
+  void SetObservers(MetricsRegistry* registry, BaiTraceSink* sink,
+                    SpanTracer* spans = nullptr,
+                    RunHealthMonitor* health = nullptr);
 
  private:
   struct ClientEntry {
@@ -123,6 +129,8 @@ class OneApiServer {
   bool started_ = false;
 
   BaiTraceSink* trace_sink_ = nullptr;
+  SpanTracer* span_trace_ = nullptr;
+  RunHealthMonitor* health_ = nullptr;
   CounterHandle bais_metric_;
   CounterHandle assignments_metric_;
   HistogramHandle solve_ms_metric_;

@@ -5,6 +5,8 @@
 #include <ostream>
 
 #include "obs/metrics.h"
+#include "obs/span_trace.h"
+#include "obs/watchdog.h"
 #include "util/csv.h"
 
 namespace flare {
@@ -74,7 +76,7 @@ void BaiTraceSink::SortMergedRows() {
 void BaiTraceSink::WriteCsv(std::ostream& out) const {
   out << "t_s,cell,flow,observed_bits_per_rb,smoothed_bits_per_rb,"
          "recommended_level,hysteresis_up,enforced_level,rate_kbps,"
-         "gbr_kbps,video_fraction,solve_time_ms,feasible\n";
+         "gbr_kbps,video_fraction,solve_time_ms,feasible,cause\n";
   for (const BaiTraceRow& r : bai_rows_) {
     out << FormatNumber(r.t_s) << ',' << r.cell << ',' << r.flow << ','
         << FormatNumber(r.observed_bits_per_rb) << ','
@@ -84,7 +86,7 @@ void BaiTraceSink::WriteCsv(std::ostream& out) const {
         << ',' << FormatNumber(r.gbr_bps / 1000.0) << ','
         << FormatNumber(r.video_fraction) << ','
         << FormatNumber(r.solve_time_ms) << ',' << (r.feasible ? 1 : 0)
-        << '\n';
+        << ',' << CsvField(r.cause) << '\n';
   }
 }
 
@@ -96,12 +98,19 @@ bool BaiTraceSink::ExportCsv(const std::string& path) const {
 }
 
 void BaiTraceSink::WriteJson(std::ostream& out,
-                             const MetricsRegistry* registry) const {
+                             const MetricsRegistry* registry,
+                             const RunHealthMonitor* health) const {
   out << "{\n\"metrics\": ";
   if (registry != nullptr) {
     registry->WriteJson(out);
   } else {
     out << "null\n";
+  }
+  out << ",\n\"run_health\": ";
+  if (health != nullptr) {
+    health->WriteJson(out);
+  } else {
+    out << "null";
   }
   out << ",\n\"bai_trace\": [";
   for (std::size_t i = 0; i < bai_rows_.size(); ++i) {
@@ -119,7 +128,8 @@ void BaiTraceSink::WriteJson(std::ostream& out,
         << ", \"gbr_bps\": " << FormatNumber(r.gbr_bps)
         << ", \"video_fraction\": " << FormatNumber(r.video_fraction)
         << ", \"solve_time_ms\": " << FormatNumber(r.solve_time_ms)
-        << ", \"feasible\": " << (r.feasible ? "true" : "false") << '}';
+        << ", \"feasible\": " << (r.feasible ? "true" : "false")
+        << ", \"cause\": " << JsonQuote(r.cause) << '}';
   }
   out << "],\n\"tti_aggregates\": [";
   for (std::size_t i = 0; i < tti_rows_.size(); ++i) {
@@ -146,10 +156,11 @@ void BaiTraceSink::WriteJson(std::ostream& out,
 }
 
 bool BaiTraceSink::ExportJson(const std::string& path,
-                              const MetricsRegistry* registry) const {
+                              const MetricsRegistry* registry,
+                              const RunHealthMonitor* health) const {
   std::ofstream out(path);
   if (!out.is_open()) return false;
-  WriteJson(out, registry);
+  WriteJson(out, registry, health);
   return true;
 }
 

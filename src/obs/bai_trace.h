@@ -28,6 +28,7 @@
 namespace flare {
 
 class MetricsRegistry;
+class RunHealthMonitor;
 
 /// One row per video flow per BAI.
 struct BaiTraceRow {
@@ -53,6 +54,10 @@ struct BaiTraceRow {
   double video_fraction = 0.0;
   double solve_time_ms = 0.0;
   bool feasible = true;
+  /// Stability-rule branch that produced enforced_level (DecisionCauseName
+  /// string: "init", "hold", "solver-up", "hysteresis-adopted",
+  /// "stability-cap", "capacity-down", "infeasible-fallback").
+  std::string cause;
 };
 
 /// Scheduler aggregates over one flush period (default 1 s).
@@ -120,12 +125,15 @@ class BaiTraceSink {
   void WriteCsv(std::ostream& out) const;
   /// File form of WriteCsv. Returns false if unwritable.
   bool ExportCsv(const std::string& path) const;
-  /// Full structured export: {"metrics": ..., "bai_trace": [...],
-  /// "tti_aggregates": [...], "players": [...]}. `registry` may be null,
-  /// in which case the metrics section is omitted.
-  void WriteJson(std::ostream& out, const MetricsRegistry* registry) const;
+  /// Full structured export: {"metrics": ..., "run_health": ...,
+  /// "bai_trace": [...], "tti_aggregates": [...], "players": [...]}.
+  /// `registry` and `health` may be null, in which case their sections
+  /// are written as null.
+  void WriteJson(std::ostream& out, const MetricsRegistry* registry,
+                 const RunHealthMonitor* health = nullptr) const;
   bool ExportJson(const std::string& path,
-                  const MetricsRegistry* registry = nullptr) const;
+                  const MetricsRegistry* registry = nullptr,
+                  const RunHealthMonitor* health = nullptr) const;
 
  private:
   SimTime flush_period_;

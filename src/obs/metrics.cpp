@@ -28,6 +28,27 @@ double Histogram::Mean() const {
   return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }
 
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (bounds_.empty()) return Mean();
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t below = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const double lo_count = static_cast<double>(below);
+    below += buckets_[i];
+    if (static_cast<double>(below) < target) continue;
+    if (i == bounds_.size()) break;  // overflow bucket: clamp below
+    const double hi = bounds_[i];
+    const double lo = i == 0 ? std::min(0.0, hi) : bounds_[i - 1];
+    const double frac = std::clamp(
+        (target - lo_count) / static_cast<double>(buckets_[i]), 0.0, 1.0);
+    return lo + (hi - lo) * frac;
+  }
+  return bounds_.back();
+}
+
 void Histogram::MergeFrom(const Histogram& other) {
   if (other.bounds_ != bounds_) return;  // shards share one config
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
@@ -116,6 +137,9 @@ void MetricsRegistry::WriteJson(std::ostream& out) const {
     out << ": {\"count\": " << histogram.count()
         << ", \"sum\": " << FormatNumber(histogram.sum())
         << ", \"mean\": " << FormatNumber(histogram.Mean())
+        << ", \"p50\": " << FormatNumber(histogram.Quantile(0.50))
+        << ", \"p95\": " << FormatNumber(histogram.Quantile(0.95))
+        << ", \"p99\": " << FormatNumber(histogram.Quantile(0.99))
         << ", \"buckets\": [";
     const std::vector<double>& bounds = histogram.bounds();
     const std::vector<std::uint64_t> cumulative =

@@ -55,6 +55,13 @@ class Histogram {
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
   double Mean() const;
+  /// Quantile estimate with linear interpolation inside the containing
+  /// bucket (Prometheus `histogram_quantile` semantics). The first finite
+  /// bucket interpolates from 0; a quantile landing in the overflow
+  /// bucket clamps to the largest finite bound. Returns 0 when empty and
+  /// Mean() when the histogram has no finite bounds. `q` is clamped to
+  /// [0, 1].
+  double Quantile(double q) const;
   /// Fold another histogram's observations into this one. Both must share
   /// the same bucket bounds (merging shards created from one config).
   void MergeFrom(const Histogram& other);

@@ -45,9 +45,13 @@ void ApplyPcrfOp(Pcrf& pcrf, const std::string& payload) {
 /// merged sinks are disabled — a world's pointers must stay valid for its
 /// lifetime and the shards are cheap when unused.
 struct CellShard {
+  explicit CellShard(const WatchdogConfig& watchdog) : health(watchdog) {}
+
   Pcrf pcrf;  // domain-local mirror, read synchronously by the controller
   MetricsRegistry metrics;
   BaiTraceSink trace;
+  SpanTracer spans;
+  RunHealthMonitor health;
   std::unique_ptr<ScenarioWorld> world;
 };
 
@@ -70,11 +74,20 @@ MultiCellResult RunMultiCellScenario(const MultiCellConfig& config) {
 
   // Per-cell worlds. deque: shard addresses must survive emplace_back
   // (worlds hold pointers into their shard's observers and PCRF).
+  const bool deterministic = config.cell.oneapi.deterministic_timing;
+  runner.SetObservers(config.metrics, config.span_trace, deterministic);
+  if (config.span_trace != nullptr) {
+    config.span_trace->set_deterministic(deterministic);
+    config.span_trace->set_default_pid(0);  // coordinator/runner process
+  }
+
   const Rng master(config.cell.seed);
   std::deque<CellShard> shards;
   for (int c = 0; c < n_cells; ++c) {
     EventDomain& domain = runner.AddDomain();
-    CellShard& shard = shards.emplace_back();
+    CellShard& shard = shards.emplace_back(
+        config.health != nullptr ? config.health->config() : WatchdogConfig{});
+    if (config.span_trace != nullptr) domain.SetSpanTracer(&shard.spans);
 
     shard.pcrf.SetOnChange([&domain](FlowId id, FlowType type,
                                      Pcrf::CellTag cell, bool registered) {
@@ -87,6 +100,9 @@ MultiCellResult RunMultiCellScenario(const MultiCellConfig& config) {
     cell_config.metrics = config.metrics != nullptr ? &shard.metrics : nullptr;
     cell_config.bai_trace =
         config.bai_trace != nullptr ? &shard.trace : nullptr;
+    cell_config.span_trace =
+        config.span_trace != nullptr ? &shard.spans : nullptr;
+    cell_config.health = config.health != nullptr ? &shard.health : nullptr;
 
     shard.world = std::make_unique<ScenarioWorld>(
         cell_config, domain.sim(), shard.pcrf,
@@ -119,8 +135,16 @@ MultiCellResult RunMultiCellScenario(const MultiCellConfig& config) {
     if (config.bai_trace != nullptr) {
       config.bai_trace->AbsorbShard(shard.trace, c);
     }
+    if (config.span_trace != nullptr) {
+      config.span_trace->AbsorbShard(shard.spans);
+    }
+    if (config.health != nullptr) {
+      config.health->AbsorbShard(shard.health, c);
+    }
   }
   if (config.bai_trace != nullptr) config.bai_trace->SortMergedRows();
+  if (config.span_trace != nullptr) config.span_trace->SortMergedEvents();
+  if (config.health != nullptr) config.health->SortMergedWarnings();
 
   return result;
 }

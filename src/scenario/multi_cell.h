@@ -41,6 +41,12 @@ struct MultiCellConfig {
   /// Per-cell traces are absorbed with rows stamped by cell and sorted
   /// deterministically. Not owned.
   BaiTraceSink* bai_trace = nullptr;
+  /// Per-cell span shards (pid = cell+1) plus the runner's own epoch /
+  /// barrier spans (pid 0) are merged here in cell order. Not owned.
+  SpanTracer* span_trace = nullptr;
+  /// Per-cell health monitors, merged with warnings restamped by cell.
+  /// Its WatchdogConfig seeds every shard monitor. Not owned.
+  RunHealthMonitor* health = nullptr;
 };
 
 struct MultiCellResult {

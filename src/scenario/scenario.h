@@ -129,6 +129,13 @@ struct ScenarioConfig {
   MetricsRegistry* metrics = nullptr;
   /// Structured per-BAI / per-TTI / per-player trace sink. Not owned.
   BaiTraceSink* bai_trace = nullptr;
+  /// Causal span tracer (Chrome trace-event JSON). The world binds its
+  /// clock/pid/determinism on construction; pass one tracer per cell
+  /// shard in multi-cell runs. Not owned.
+  SpanTracer* span_trace = nullptr;
+  /// Run-health watchdogs, scanned once per BAI. One monitor per cell
+  /// shard in multi-cell runs. Not owned.
+  RunHealthMonitor* health = nullptr;
 };
 
 /// One sampled point of the Figure 4/5 time series.

@@ -1,5 +1,6 @@
 #include "scenario/scenario_world.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "has/mpd.h"
@@ -122,7 +123,20 @@ ScenarioWorld::ScenarioWorld(const ScenarioConfig& config, Simulator& sim,
   sim_.SetMetrics(config_.metrics);
   cell_.SetMetrics(config_.metrics);
   cell_.SetTraceSink(config_.bai_trace);
-  oneapi_.SetObservers(config_.metrics, config_.bai_trace);
+  if (config_.span_trace != nullptr) {
+    config_.span_trace->SetClock(
+        [this] { return static_cast<double>(sim_.Now()); });
+    config_.span_trace->set_default_pid(
+        static_cast<int>(config_.oneapi.cell_tag) + 1);
+    config_.span_trace->set_deterministic(config_.oneapi.deterministic_timing);
+    cell_.SetSpanTracer(config_.span_trace);
+  }
+  if (config_.health != nullptr) {
+    config_.health->set_cell(static_cast<int>(config_.oneapi.cell_tag));
+    config_.health->SetObservers(config_.metrics, config_.span_trace);
+  }
+  oneapi_.SetObservers(config_.metrics, config_.bai_trace, config_.span_trace,
+                       config_.health);
 
   const Pcrf::CellTag cell_tag = config_.oneapi.cell_tag;
   const int n_ues =
@@ -184,6 +198,7 @@ ScenarioWorld::ScenarioWorld(const ScenarioConfig& config, Simulator& sim,
     auto session = std::make_unique<VideoSession>(
         sim_, *https_.back(), mpd_, std::move(abr), session_config);
     session->player().SetMetrics(config_.metrics);
+    session->player().SetSpanTracer(config_.span_trace, i);
 
     if (plugin != nullptr) {
       // Opt-in client disclosures (Section II-B) before registration.
@@ -254,6 +269,10 @@ ScenarioWorld::ScenarioWorld(const ScenarioConfig& config, Simulator& sim,
   last_data_bytes_.assign(data_flows_.size(), 0);
 }
 
+ScenarioWorld::~ScenarioWorld() {
+  if (config_.span_trace != nullptr) config_.span_trace->SetClock({});
+}
+
 void ScenarioWorld::Start() {
   // --- Control plane.
   if (IsFlare(config_.scheme)) oneapi_.Start();
@@ -282,7 +301,50 @@ void ScenarioWorld::Start() {
     });
   }
 
+  // --- Run-health watchdogs, scanned once per BAI.
+  if (config_.health != nullptr) {
+    last_health_stall_s_.assign(sessions_.size(), 0.0);
+    last_health_data_bytes_.assign(data_flows_.size(), 0);
+    sim_.Every(config_.oneapi.bai, config_.oneapi.bai,
+               [this] { HealthScan(); });
+  }
+
   cell_.Start();
+}
+
+void ScenarioWorld::HealthScan() {
+  RunHealthMonitor& health = *config_.health;
+  const double t_s = ToSeconds(sim_.Now());
+
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    VideoPlayer& player = sessions_[i]->player();
+    player.AdvanceTo(sim_.Now());
+    const double stall_s = player.rebuffer_time_s();
+    health.OnPlayerScan(t_s, static_cast<int>(i),
+                        stall_s - last_health_stall_s_[i]);
+    last_health_stall_s_[i] = stall_s;
+  }
+
+  double shortfall_bytes = 0.0;
+  double bai_gbr_bytes = 0.0;
+  for (FlowId id : video_flows_) {
+    if (!cell_.HasFlow(id)) continue;
+    const FlowState& flow = cell_.flow(id);
+    if (!flow.has_gbr()) continue;
+    shortfall_bytes += std::max(flow.gbr_credit_bytes, 0.0);
+    bai_gbr_bytes += flow.gbr_bps / 8.0 * ToSeconds(config_.oneapi.bai);
+  }
+  health.OnGbrScan(t_s, shortfall_bytes, bai_gbr_bytes);
+
+  for (std::size_t d = 0; d < data_flows_.size(); ++d) {
+    const FlowId id = data_flows_[d];
+    if (!cell_.HasFlow(id)) continue;
+    const FlowState& flow = cell_.flow(id);
+    const std::uint64_t total = cell_.total_tx_bytes(id);
+    health.OnFlowScan(t_s, id, flow.queued_bytes > 0,
+                      total - last_health_data_bytes_[d]);
+    last_health_data_bytes_[d] = total;
+  }
 }
 
 ScenarioResult ScenarioWorld::Collect() {
@@ -313,6 +375,7 @@ ScenarioResult ScenarioWorld::Collect() {
     result.video.push_back(m);
   }
   if (config_.bai_trace != nullptr) config_.bai_trace->Flush(sim_.Now());
+  cell_.FlushSpanWindow();
   if (!result.video.empty()) {
     const auto n = static_cast<double>(result.video.size());
     result.avg_video_bitrate_bps /= n;

@@ -32,6 +32,8 @@ class ScenarioWorld {
   /// `pcrf` must outlive the world.
   ScenarioWorld(const ScenarioConfig& config, Simulator& sim, Pcrf& pcrf,
                 Rng rng);
+  /// Unbinds the span tracer's clock (it captures `this`).
+  ~ScenarioWorld();
 
   ScenarioWorld(const ScenarioWorld&) = delete;
   ScenarioWorld& operator=(const ScenarioWorld&) = delete;
@@ -48,6 +50,11 @@ class ScenarioWorld {
   OneApiServer& oneapi() { return oneapi_; }
 
  private:
+  /// Per-BAI watchdog feed: player stall deltas, unspent GBR credit,
+  /// data-flow service. Pure reads — attaching health never perturbs the
+  /// experiment (the BAI trace stays byte-identical).
+  void HealthScan();
+
   ScenarioConfig config_;
   Simulator& sim_;
   Pcrf& pcrf_;
@@ -73,6 +80,8 @@ class ScenarioWorld {
   std::vector<FlowId> data_flows_;
 
   std::vector<std::uint64_t> last_data_bytes_;
+  std::vector<double> last_health_stall_s_;
+  std::vector<std::uint64_t> last_health_data_bytes_;
   ScenarioResult result_;  // series accumulate here during the run
 };
 

@@ -1,9 +1,22 @@
 #include "sim/parallel_runner.h"
 
 #include <algorithm>
+#include <chrono>
+#include <string>
 #include <utility>
 
 namespace flare {
+namespace {
+
+double SteadyNowUs() {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+                 .count()) /
+         1000.0;
+}
+
+}  // namespace
 
 void EventDomain::Post(int to, std::string payload) {
   DomainMessage msg;
@@ -12,6 +25,20 @@ void EventDomain::Post(int to, std::string payload) {
   msg.seq = next_seq_++;
   msg.payload = std::move(payload);
   outbox_.push_back(std::move(msg));
+}
+
+void EventDomain::Advance(SimTime until, SimTime epoch_start) {
+  if (tracer_ == nullptr) {
+    sim_.RunUntil(until);
+    return;
+  }
+  const bool timed = !tracer_->deterministic();
+  const double wall_begin = timed ? SteadyNowUs() : 0.0;
+  sim_.RunUntil(until);
+  last_advance_wall_us_ = timed ? SteadyNowUs() - wall_begin : 0.0;
+  tracer_->CompleteSpan(kLaneRunner, "runner", "advance",
+                        static_cast<double>(epoch_start),
+                        last_advance_wall_us_);
 }
 
 ParallelRunner::ParallelRunner(const Options& options) : options_(options) {
@@ -29,23 +56,75 @@ EventDomain& ParallelRunner::AddDomain() {
   return *domains_.back();
 }
 
+void ParallelRunner::SetObservers(MetricsRegistry* registry,
+                                  SpanTracer* tracer, bool deterministic) {
+  tracer_ = tracer;
+  deterministic_ = deterministic;
+  const std::vector<double> ms_bounds = {0.01, 0.05, 0.1, 0.5, 1.0,
+                                         5.0,  10.0, 50.0, 100.0};
+  epoch_ms_metric_ =
+      MakeHistogramHandle(registry, "runner.epoch_ms", ms_bounds);
+  barrier_wait_ms_metric_ =
+      MakeHistogramHandle(registry, "runner.barrier_wait_ms", ms_bounds);
+  drain_ms_metric_ =
+      MakeHistogramHandle(registry, "runner.drain_ms", ms_bounds);
+  epochs_metric_ = MakeCounterHandle(registry, "runner.epochs");
+  messages_metric_ = MakeCounterHandle(registry, "runner.messages");
+}
+
 void ParallelRunner::RunUntil(SimTime horizon) {
   SimTime now = 0;
   while (now < horizon) {
+    const SimTime epoch_start = now;
     now = std::min<SimTime>(now + options_.epoch, horizon);
+    // Wall-clock reads are skipped entirely in deterministic mode so the
+    // recorded bytes cannot depend on thread scheduling.
+    const bool timed =
+        !deterministic_ && (tracer_ != nullptr || epoch_ms_metric_.enabled());
+    const double phase_begin = timed ? SteadyNowUs() : 0.0;
     if (pool_ != nullptr) {
       std::vector<std::function<void()>> jobs;
       jobs.reserve(domains_.size());
       for (auto& d : domains_) {
         EventDomain* domain = d.get();
-        jobs.push_back([domain, now] { domain->sim().RunUntil(now); });
+        jobs.push_back(
+            [domain, now, epoch_start] { domain->Advance(now, epoch_start); });
       }
       pool_->RunAll(std::move(jobs));  // full barrier
     } else {
-      for (auto& d : domains_) d->sim().RunUntil(now);
+      for (auto& d : domains_) d->Advance(now, epoch_start);
+    }
+    const double phase_us = timed ? SteadyNowUs() - phase_begin : 0.0;
+    // Post-barrier the coordinator owns every shard (the pool join is the
+    // happens-before edge), so it may append the per-domain wait spans.
+    for (auto& d : domains_) {
+      if (d->tracer_ == nullptr) continue;
+      const double wait_us =
+          std::max(0.0, phase_us - d->last_advance_wall_us_);
+      d->tracer_->CompleteSpan(kLaneRunner, "runner", "barrier.wait",
+                               static_cast<double>(now), wait_us);
+      barrier_wait_ms_metric_.Observe(wait_us / 1000.0);
     }
     ++epochs_;
+    epochs_metric_.Add();
+    const std::uint64_t delivered_before = delivered_;
+    const double drain_begin = timed ? SteadyNowUs() : 0.0;
     DeliverAtBarrier();
+    const double drain_us = timed ? SteadyNowUs() - drain_begin : 0.0;
+    const std::uint64_t batch = delivered_ - delivered_before;
+    messages_metric_.Add(batch);
+    epoch_ms_metric_.Observe((phase_us + drain_us) / 1000.0);
+    drain_ms_metric_.Observe(drain_us / 1000.0);
+    if (tracer_ != nullptr) {
+      tracer_->CompleteSpan(kLaneRunner, "runner", "epoch",
+                            static_cast<double>(epoch_start), phase_us,
+                            "{\"epoch\":" + std::to_string(epochs_) + "}");
+      tracer_->CompleteSpan(kLaneRunner, "runner", "barrier.drain",
+                            static_cast<double>(now), drain_us);
+      tracer_->Counter(kLaneRunner, "runner.mailbox_messages",
+                       static_cast<double>(now),
+                       static_cast<double>(batch));
+    }
   }
 }
 

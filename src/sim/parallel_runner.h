@@ -31,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/span_trace.h"
 #include "sim/simulator.h"
 #include "util/thread_pool.h"
 #include "util/time.h"
@@ -72,15 +74,28 @@ class EventDomain {
   /// coordinator thread at barriers.
   void SetHandler(HandlerFn fn) { handler_ = std::move(fn); }
 
+  /// Attach this domain's span-tracer shard (null detaches): each epoch
+  /// records an "advance" span (the domain's own wall-clock) and a
+  /// "barrier.wait" span (idle time until the slowest domain arrived).
+  /// The shard is written by whichever worker advances the domain and by
+  /// the coordinator at barriers — never concurrently (the pool barrier
+  /// is the handoff), matching the metrics-shard threading model.
+  void SetSpanTracer(SpanTracer* tracer) { tracer_ = tracer; }
+
  private:
   friend class ParallelRunner;
   explicit EventDomain(int id) : id_(id) {}
+
+  /// Advance sim() to `until`, timing the advance when traced.
+  void Advance(SimTime until, SimTime epoch_start);
 
   int id_;
   Simulator sim_;
   HandlerFn handler_;
   std::vector<DomainMessage> outbox_;
   std::uint64_t next_seq_ = 0;
+  SpanTracer* tracer_ = nullptr;
+  double last_advance_wall_us_ = 0.0;
 };
 
 class ParallelRunner {
@@ -119,6 +134,16 @@ class ParallelRunner {
   std::uint64_t epochs() const { return epochs_; }
   std::uint64_t messages_delivered() const { return delivered_; }
 
+  /// Attach coordinator-side observability (either may be null): the
+  /// registry gets runner.epoch_ms / runner.barrier_wait_ms /
+  /// runner.drain_ms histograms and epoch/message counters; the tracer
+  /// gets per-epoch "epoch" / "barrier.drain" spans and a delivered-
+  /// messages counter track (pid 0 by convention). With `deterministic`
+  /// every wall-clock read is skipped and durations record as 0, keeping
+  /// run bytes independent of thread scheduling.
+  void SetObservers(MetricsRegistry* registry, SpanTracer* tracer,
+                    bool deterministic);
+
  private:
   /// Drain every outbox in (domain, seq) order; repeat until no handler
   /// posted a follow-up. Runs on the coordinator thread.
@@ -130,6 +155,14 @@ class ParallelRunner {
   std::unique_ptr<ThreadPool> pool_;  // null in serial mode
   std::uint64_t epochs_ = 0;
   std::uint64_t delivered_ = 0;
+
+  SpanTracer* tracer_ = nullptr;
+  bool deterministic_ = false;
+  HistogramHandle epoch_ms_metric_;
+  HistogramHandle barrier_wait_ms_metric_;
+  HistogramHandle drain_ms_metric_;
+  CounterHandle epochs_metric_;
+  CounterHandle messages_metric_;
 };
 
 }  // namespace flare

@@ -41,6 +41,13 @@ bool Config::Has(const std::string& key) const {
   return Lookup(key).has_value();
 }
 
+std::vector<std::string> Config::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(values_.size());
+  for (const auto& [key, value] : values_) keys.push_back(key);
+  return keys;
+}
+
 std::optional<std::string> Config::Lookup(const std::string& key) const {
   const auto it = values_.find(key);
   if (it != values_.end()) return it->second;

@@ -8,6 +8,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace flare {
 
@@ -29,6 +30,10 @@ class Config {
   bool GetBool(const std::string& key, bool fallback) const;
 
   bool Has(const std::string& key) const;
+
+  /// Keys explicitly Set / parsed from argv (environment fallbacks are
+  /// not listed), in sorted order — lets callers reject unknown knobs.
+  std::vector<std::string> Keys() const;
 
  private:
   std::optional<std::string> Lookup(const std::string& key) const;

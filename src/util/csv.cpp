@@ -38,7 +38,7 @@ void CsvWriter::RawRow(const std::vector<std::string>& cells) {
   }
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (i > 0) out_ << ',';
-    out_ << cells[i];
+    out_ << CsvField(cells[i]);
   }
   out_ << '\n';
 }
@@ -47,6 +47,19 @@ std::string FormatNumber(double value) {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.6g", value);
   return buffer;
+}
+
+std::string CsvField(const std::string& value) {
+  if (value.find_first_of(",\"\r\n") == std::string::npos) return value;
+  std::string quoted;
+  quoted.reserve(value.size() + 2);
+  quoted.push_back('"');
+  for (char c : value) {
+    if (c == '"') quoted.push_back('"');
+    quoted.push_back(c);
+  }
+  quoted.push_back('"');
+  return quoted;
 }
 
 }  // namespace flare

@@ -33,4 +33,9 @@ class CsvWriter {
 /// zeros) for both CSV cells and table printing.
 std::string FormatNumber(double value);
 
+/// RFC-4180 field escaping: returns `value` unchanged unless it contains
+/// a comma, double quote, CR or LF, in which case the field is wrapped in
+/// double quotes with embedded quotes doubled.
+std::string CsvField(const std::string& value);
+
 }  // namespace flare

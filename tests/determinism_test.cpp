@@ -13,6 +13,8 @@
 
 #include "obs/bai_trace.h"
 #include "obs/metrics.h"
+#include "obs/span_trace.h"
+#include "obs/watchdog.h"
 #include "scenario/multi_cell.h"
 #include "util/rng.h"
 
@@ -35,6 +37,8 @@ MultiCellConfig HarnessConfig(int workers) {
 struct RunOutput {
   std::string csv;
   std::string json;
+  std::string spans;
+  std::string health;
   MultiCellResult result;
 };
 
@@ -42,8 +46,12 @@ RunOutput RunOnce(int workers) {
   MultiCellConfig multi = HarnessConfig(workers);
   MetricsRegistry registry;
   BaiTraceSink trace;
+  SpanTracer spans;
+  RunHealthMonitor health;
   multi.metrics = &registry;
   multi.bai_trace = &trace;
+  multi.span_trace = &spans;
+  multi.health = &health;
 
   RunOutput out;
   out.result = RunMultiCellScenario(multi);
@@ -54,6 +62,15 @@ RunOutput RunOnce(int workers) {
   std::ostringstream json;
   trace.WriteJson(json, &registry);
   out.json = json.str();
+  // The merged span trace and run-health report are part of the
+  // determinism contract too: with deterministic timing their bytes must
+  // not depend on scheduling or worker count.
+  std::ostringstream span_json;
+  spans.WriteJson(span_json);
+  out.spans = span_json.str();
+  std::ostringstream health_json;
+  health.WriteJson(health_json);
+  out.health = health_json.str();
   return out;
 }
 
@@ -62,15 +79,20 @@ TEST(Determinism, SerialRunRepeatsItselfExactly) {
   const RunOutput b = RunOnce(/*workers=*/0);
   EXPECT_EQ(a.csv, b.csv);
   EXPECT_EQ(a.json, b.json);
+  EXPECT_EQ(a.spans, b.spans);
+  EXPECT_EQ(a.health, b.health);
 }
 
 TEST(Determinism, ParallelIsBitIdenticalToSerial) {
   const RunOutput serial = RunOnce(/*workers=*/0);
   ASSERT_FALSE(serial.csv.empty());
+  ASSERT_FALSE(serial.spans.empty());
   for (const int workers : {2, 8}) {
     const RunOutput parallel = RunOnce(workers);
     EXPECT_EQ(serial.csv, parallel.csv) << "workers=" << workers;
     EXPECT_EQ(serial.json, parallel.json) << "workers=" << workers;
+    EXPECT_EQ(serial.spans, parallel.spans) << "workers=" << workers;
+    EXPECT_EQ(serial.health, parallel.health) << "workers=" << workers;
   }
 }
 

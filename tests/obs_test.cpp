@@ -1,8 +1,11 @@
-// Tests for the observability layer: metrics registry, handles, and the
-// structured BAI trace sink — plus an end-to-end check that a scenario run
-// with observers attached produces per-BAI rows for every video flow.
+// Tests for the observability layer: metrics registry, handles, the
+// structured BAI trace sink, the causal span tracer and the run-health
+// watchdogs — plus end-to-end checks that a scenario run with observers
+// attached produces per-BAI rows for every video flow and a well-formed
+// span-trace JSON, without perturbing the experiment.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdio>
 #include <fstream>
 #include <set>
@@ -11,11 +14,107 @@
 
 #include "obs/bai_trace.h"
 #include "obs/metrics.h"
+#include "obs/span_trace.h"
+#include "obs/watchdog.h"
+#include "scenario/multi_cell.h"
 #include "scenario/scenario.h"
+#include "util/csv.h"
 #include "util/time.h"
 
 namespace flare {
 namespace {
+
+// Minimal recursive-descent JSON syntax validator — enough to prove an
+// emitted trace file is loadable, with no parser dependency.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+  bool Parse() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return i_ == s_.size();
+  }
+
+ private:
+  bool Peek(char c) const { return i_ < s_.size() && s_[i_] == c; }
+  bool Expect(char c) {
+    SkipWs();
+    if (!Peek(c)) return false;
+    ++i_;
+    return true;
+  }
+  void SkipWs() {
+    while (i_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[i_]))) {
+      ++i_;
+    }
+  }
+  bool Value() {
+    SkipWs();
+    if (i_ >= s_.size()) return false;
+    switch (s_[i_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+  bool Object() {
+    ++i_;
+    if (Expect('}')) return true;
+    for (;;) {
+      SkipWs();
+      if (!String() || !Expect(':') || !Value()) return false;
+      if (Expect(',')) continue;
+      return Expect('}');
+    }
+  }
+  bool Array() {
+    ++i_;
+    if (Expect(']')) return true;
+    for (;;) {
+      if (!Value()) return false;
+      if (Expect(',')) continue;
+      return Expect(']');
+    }
+  }
+  bool String() {
+    SkipWs();
+    if (!Peek('"')) return false;
+    ++i_;
+    while (i_ < s_.size() && s_[i_] != '"') {
+      if (s_[i_] == '\\') ++i_;
+      ++i_;
+    }
+    if (!Peek('"')) return false;
+    ++i_;
+    return true;
+  }
+  bool Literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++i_) {
+      if (i_ >= s_.size() || s_[i_] != *p) return false;
+    }
+    return true;
+  }
+  bool Number() {
+    const std::size_t start = i_;
+    if (Peek('-')) ++i_;
+    while (i_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[i_])) ||
+            s_[i_] == '.' || s_[i_] == 'e' || s_[i_] == 'E' ||
+            s_[i_] == '+' || s_[i_] == '-')) {
+      ++i_;
+    }
+    return i_ > start;
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
 
 TEST(MetricsRegistry, CountersGaugesHistogramsRoundTrip) {
   MetricsRegistry registry;
@@ -210,6 +309,299 @@ TEST(Observability, DisabledRunMatchesEnabledRunResults) {
               observed.video[i].bitrate_changes);
   }
   EXPECT_EQ(plain.data_throughput_bps, observed.data_throughput_bps);
+}
+
+// --- Histogram quantiles ----------------------------------------------------
+
+TEST(Histogram, QuantileInterpolatesWithinBuckets) {
+  Histogram h({10.0, 20.0, 40.0});
+  for (int i = 0; i < 5; ++i) h.Observe(5.0);    // bucket (0, 10]
+  for (int i = 0; i < 3; ++i) h.Observe(15.0);   // bucket (10, 20]
+  for (int i = 0; i < 2; ++i) h.Observe(30.0);   // bucket (20, 40]
+  // target = q * 10 observations, linear within the containing bucket.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 10.0);   // 5th obs tops bucket 0
+  EXPECT_DOUBLE_EQ(h.Quantile(0.65), 15.0);  // 1.5/3 into (10, 20]
+  EXPECT_DOUBLE_EQ(h.Quantile(0.9), 30.0);   // 1/2 into (20, 40]
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+  // Out-of-range q clamps.
+  EXPECT_DOUBLE_EQ(h.Quantile(2.0), h.Quantile(1.0));
+  EXPECT_DOUBLE_EQ(h.Quantile(-1.0), h.Quantile(0.0));
+}
+
+TEST(Histogram, QuantileEdgeCases) {
+  Histogram empty({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+
+  // Every observation in the overflow bucket: clamp to the largest
+  // finite bound rather than inventing a value for (+inf).
+  Histogram overflow({1.0});
+  overflow.Observe(5.0);
+  overflow.Observe(7.0);
+  overflow.Observe(9.0);
+  EXPECT_DOUBLE_EQ(overflow.Quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(overflow.Quantile(1.0), 1.0);
+
+  // No finite bounds at all: fall back to the mean.
+  Histogram unbounded({});
+  unbounded.Observe(3.0);
+  unbounded.Observe(5.0);
+  EXPECT_DOUBLE_EQ(unbounded.Quantile(0.5), 4.0);
+}
+
+TEST(Histogram, MergeFromMismatchedBoundsIsIgnored) {
+  Histogram a({1.0, 2.0});
+  Histogram b({5.0});
+  b.Observe(0.5);
+  a.MergeFrom(b);  // shards are created from one config; mismatch = bug
+  EXPECT_EQ(a.count(), 0u);
+  Histogram c({1.0, 2.0});
+  c.Observe(1.5);
+  a.MergeFrom(c);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.sum(), 1.5);
+}
+
+TEST(MetricsRegistry, JsonHistogramsIncludeQuantiles) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("h", {1.0, 10.0});
+  for (int i = 0; i < 10; ++i) h.Observe(0.5);
+  std::ostringstream out;
+  registry.WriteJson(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+// --- CSV escaping -----------------------------------------------------------
+
+TEST(BaiTraceSink, CsvExportEscapesEmbeddedDelimiters) {
+  BaiTraceSink sink;
+  BaiTraceRow row;
+  row.t_s = 1.0;
+  row.flow = 7;
+  row.cause = "a,\"b\"\nc";  // no cause string contains these today;
+                             // the exporter must stay correct if one does
+  sink.RecordBai(row);
+  std::ostringstream out;
+  sink.WriteCsv(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("\"a,\"\"b\"\"\nc\""), std::string::npos);
+  // An unremarkable cause stays unquoted.
+  EXPECT_EQ(CsvField("solver-up"), "solver-up");
+}
+
+// --- Span tracer ------------------------------------------------------------
+
+TEST(SpanTrace, NullTracerSitesAreInert) {
+  SpanScope span(nullptr, kLaneControl, "cat", "name");
+  EXPECT_FALSE(span.enabled());
+  span.set_args("{\"k\":1}");
+  span.Close();  // must be a safe no-op
+}
+
+TEST(SpanTrace, JsonQuoteEscapes) {
+  EXPECT_EQ(JsonQuote("plain"), "\"plain\"");
+  EXPECT_EQ(JsonQuote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(JsonQuote("a\nb\tc"), "\"a\\nb\\tc\"");
+  EXPECT_EQ(JsonQuote(std::string("a\x01z", 3)), "\"a\\u0001z\"");
+}
+
+TEST(SpanTrace, DeterministicModeZeroesDurations) {
+  SpanTracer tracer;
+  double now_us = 1000.0;
+  tracer.SetClock([&now_us] { return now_us; });
+  tracer.set_deterministic(true);
+  {
+    SpanScope span(&tracer, kLaneControl, "test", "work");
+    now_us = 2000.0;
+  }
+  ASSERT_EQ(tracer.size(), 1u);
+  EXPECT_DOUBLE_EQ(tracer.events()[0].ts_us, 1000.0);
+  EXPECT_DOUBLE_EQ(tracer.events()[0].dur_us, 0.0);
+}
+
+TEST(SpanTrace, AbsorbAndSortIsDeterministic) {
+  SpanTracer merged;
+  SpanTracer shard_a;
+  shard_a.set_default_pid(1);
+  shard_a.Instant(kLaneControl, "t", "late", 200.0);
+  shard_a.Instant(kLaneControl, "t", "early", 100.0);
+  SpanTracer shard_b;
+  shard_b.set_default_pid(2);
+  shard_b.Instant(kLaneControl, "t", "mid", 150.0);
+  merged.AbsorbShard(shard_a);
+  merged.AbsorbShard(shard_b);
+  merged.SortMergedEvents();
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_STREQ(merged.events()[0].name, "early");
+  EXPECT_STREQ(merged.events()[1].name, "mid");
+  EXPECT_STREQ(merged.events()[2].name, "late");
+
+  std::ostringstream out;
+  merged.WriteJson(out);
+  EXPECT_TRUE(JsonParser(out.str()).Parse()) << out.str();
+}
+
+// --- Run-health watchdogs ---------------------------------------------------
+
+TEST(Watchdog, InfeasibleStreakFiresOnceAndRearms) {
+  WatchdogConfig config;
+  config.infeasible_streak = 3;
+  RunHealthMonitor monitor(config);
+  EXPECT_TRUE(monitor.healthy());
+  monitor.OnSolverResult(1.0, false);
+  monitor.OnSolverResult(2.0, false);
+  EXPECT_TRUE(monitor.healthy());  // below threshold
+  monitor.OnSolverResult(3.0, false);
+  ASSERT_EQ(monitor.warnings().size(), 1u);
+  EXPECT_EQ(monitor.warnings()[0].kind, "infeasible_streak");
+  EXPECT_DOUBLE_EQ(monitor.warnings()[0].t_s, 3.0);
+  // Staying bad must not re-fire...
+  monitor.OnSolverResult(4.0, false);
+  monitor.OnSolverResult(5.0, false);
+  EXPECT_EQ(monitor.warnings().size(), 1u);
+  // ...until the signal recovers and goes bad for a full streak again.
+  monitor.OnSolverResult(6.0, true);
+  monitor.OnSolverResult(7.0, false);
+  monitor.OnSolverResult(8.0, false);
+  monitor.OnSolverResult(9.0, false);
+  EXPECT_EQ(monitor.warnings().size(), 2u);
+}
+
+TEST(Watchdog, StallStreakIsPerClient) {
+  WatchdogConfig config;
+  config.stall_streak = 2;
+  RunHealthMonitor monitor(config);
+  monitor.OnPlayerScan(1.0, 0, 0.5);
+  monitor.OnPlayerScan(1.0, 1, 0.0);  // client 1 is healthy
+  monitor.OnPlayerScan(2.0, 0, 0.5);
+  monitor.OnPlayerScan(2.0, 1, 0.0);
+  ASSERT_EQ(monitor.warnings().size(), 1u);
+  EXPECT_EQ(monitor.warnings()[0].kind, "stall_streak");
+  EXPECT_EQ(monitor.warnings()[0].client, 0);
+}
+
+TEST(Watchdog, GbrShortfallNeedsFractionAndStreak) {
+  WatchdogConfig config;
+  config.gbr_shortfall_streak = 2;
+  config.gbr_shortfall_fraction = 0.5;
+  RunHealthMonitor monitor(config);
+  monitor.OnGbrScan(1.0, /*shortfall=*/400.0, /*bai_gbr=*/1000.0);  // 40%
+  monitor.OnGbrScan(2.0, 400.0, 1000.0);
+  EXPECT_TRUE(monitor.healthy());  // under the fraction
+  monitor.OnGbrScan(3.0, 600.0, 1000.0);
+  monitor.OnGbrScan(4.0, 600.0, 1000.0);
+  ASSERT_EQ(monitor.warnings().size(), 1u);
+  EXPECT_EQ(monitor.warnings()[0].kind, "gbr_shortfall");
+  // A cell with no GBR promised can never be short.
+  RunHealthMonitor no_gbr(config);
+  for (int i = 0; i < 10; ++i) no_gbr.OnGbrScan(i, 100.0, 0.0);
+  EXPECT_TRUE(no_gbr.healthy());
+}
+
+TEST(Watchdog, StarvedFlowRequiresBacklog) {
+  WatchdogConfig config;
+  config.starved_flow_streak = 2;
+  RunHealthMonitor monitor(config);
+  // Backlogged but served: fine. Idle and unserved: fine.
+  monitor.OnFlowScan(1.0, 9, /*backlogged=*/true, /*tx=*/100);
+  monitor.OnFlowScan(2.0, 9, false, 0);
+  EXPECT_TRUE(monitor.healthy());
+  // Backlogged and served nothing, twice: starved.
+  monitor.OnFlowScan(3.0, 9, true, 0);
+  monitor.OnFlowScan(4.0, 9, true, 0);
+  ASSERT_EQ(monitor.warnings().size(), 1u);
+  EXPECT_EQ(monitor.warnings()[0].kind, "starved_flow");
+  EXPECT_EQ(monitor.warnings()[0].flow, 9u);
+}
+
+TEST(Watchdog, AbsorbShardRestampsCellAndWritesJson) {
+  WatchdogConfig config;
+  config.stall_streak = 1;
+  RunHealthMonitor shard(config);
+  shard.OnPlayerScan(1.0, 0, 0.5);
+  RunHealthMonitor merged;
+  merged.AbsorbShard(shard, /*cell=*/3);
+  merged.SortMergedWarnings();
+  ASSERT_EQ(merged.warnings().size(), 1u);
+  EXPECT_EQ(merged.warnings()[0].cell, 3);
+  EXPECT_FALSE(merged.healthy());
+
+  std::ostringstream out;
+  merged.WriteJson(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(JsonParser(json).Parse()) << json;
+  EXPECT_NE(json.find("\"healthy\": false"), std::string::npos);
+  EXPECT_NE(json.find("stall_streak"), std::string::npos);
+}
+
+// --- End-to-end span tracing ------------------------------------------------
+
+TEST(SpanTrace, MultiCellTraceJsonIsWellFormedAndCausal) {
+  MultiCellConfig multi;
+  multi.cell = TestbedPreset(Scheme::kFlare);
+  multi.cell.duration_s = 10.0;
+  multi.cell.seed = 3;
+  multi.cell.oneapi.deterministic_timing = true;
+  multi.n_cells = 2;
+  multi.workers = 2;
+  SpanTracer spans;
+  RunHealthMonitor health;
+  multi.span_trace = &spans;
+  multi.health = &health;
+  RunMultiCellScenario(multi);
+
+  std::ostringstream out;
+  spans.WriteJson(out);
+  const std::string json = out.str();
+  ASSERT_TRUE(JsonParser(json).Parse()) << json.substr(0, 400);
+
+  // Runner, control-loop and MAC spans all present, plus rung-change
+  // instants carrying a machine-readable cause.
+  for (const char* needle :
+       {"\"traceEvents\"", "\"epoch\"", "\"advance\"", "\"bai\"", "\"solve\"",
+        "\"tti.window\"", "\"rung_change\"", "\"cause\":\"init\""}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+
+  // Events from the runner (pid 0) and both cells (pids 1, 2).
+  std::set<int> pids;
+  for (const TraceEvent& e : spans.events()) pids.insert(e.pid);
+  EXPECT_EQ(pids, (std::set<int>{0, 1, 2}));
+
+  // Deterministic timing: every recorded duration is exactly 0.
+  for (const TraceEvent& e : spans.events()) {
+    EXPECT_DOUBLE_EQ(e.dur_us, 0.0);
+  }
+}
+
+TEST(SpanTrace, TracingDoesNotPerturbTheBaiTrace) {
+  ScenarioConfig config = TestbedPreset(Scheme::kFlare);
+  config.duration_s = 15.0;
+  config.oneapi.deterministic_timing = true;
+
+  const auto run = [&config](bool traced) {
+    BaiTraceSink trace;
+    SpanTracer spans;
+    RunHealthMonitor health;
+    ScenarioConfig c = config;
+    c.bai_trace = &trace;
+    if (traced) {
+      c.span_trace = &spans;
+      c.health = &health;
+    }
+    RunScenario(c);
+    std::ostringstream csv;
+    trace.WriteCsv(csv);
+    return csv.str();
+  };
+
+  const std::string off = run(false);
+  const std::string on = run(true);
+  ASSERT_FALSE(off.empty());
+  EXPECT_EQ(off, on);
 }
 
 }  // namespace

@@ -233,6 +233,96 @@ TEST(RateController, EmptyInputsAreSafe) {
   EXPECT_THROW(ctl.AddFlow(1, {}), std::invalid_argument);
 }
 
+TEST(RateController, DecisionCauseNamesAreStable) {
+  // These strings are the machine-readable `cause` column of the BAI
+  // trace CSV and the span-trace rung-change args; renaming one is a
+  // breaking format change.
+  EXPECT_STREQ(DecisionCauseName(DecisionCause::kInit), "init");
+  EXPECT_STREQ(DecisionCauseName(DecisionCause::kHold), "hold");
+  EXPECT_STREQ(DecisionCauseName(DecisionCause::kSolverUp), "solver-up");
+  EXPECT_STREQ(DecisionCauseName(DecisionCause::kHysteresisAdopted),
+               "hysteresis-adopted");
+  EXPECT_STREQ(DecisionCauseName(DecisionCause::kStabilityCap),
+               "stability-cap");
+  EXPECT_STREQ(DecisionCauseName(DecisionCause::kCapacityDown),
+               "capacity-down");
+  EXPECT_STREQ(DecisionCauseName(DecisionCause::kInfeasibleFallback),
+               "infeasible-fallback");
+}
+
+TEST(RateController, CauseSequenceThroughHysteresisClimb) {
+  FlareParams params;
+  params.delta = 2;
+  FlareRateController ctl(params);
+  ctl.AddFlow(1, LadderBps());
+
+  // BAI 1: first assignment.
+  BaiDecision d = ctl.DecideBai({Obs(1)}, 0, 50'000.0);
+  EXPECT_EQ(d.assignments[0].cause, DecisionCause::kInit);
+  EXPECT_EQ(d.assignments[0].previous_level, -1);
+  // BAIs 2-4: the solver recommends rung 1 but the increase is held back
+  // (threshold delta*(1+1) = 4 consecutive recommendations).
+  for (int bai = 0; bai < 3; ++bai) {
+    d = ctl.DecideBai({Obs(1)}, 0, 50'000.0);
+    EXPECT_EQ(d.assignments[0].cause, DecisionCause::kStabilityCap) << bai;
+    EXPECT_EQ(d.assignments[0].level, 0);
+    EXPECT_EQ(d.assignments[0].recommended_level, 1);
+  }
+  // BAI 5: the 4th consecutive recommendation is adopted.
+  d = ctl.DecideBai({Obs(1)}, 0, 50'000.0);
+  EXPECT_EQ(d.assignments[0].cause, DecisionCause::kHysteresisAdopted);
+  EXPECT_EQ(d.assignments[0].level, 1);
+  EXPECT_EQ(d.assignments[0].previous_level, 0);
+}
+
+TEST(RateController, CauseHoldWhenSolverAgrees) {
+  FlareRateController ctl(FlareParams{});
+  ctl.AddFlow(1, LadderBps());
+  FlowObservation o = Obs(1);
+  o.client_max_level = 0;  // the solver can never recommend above rung 0
+  ctl.DecideBai({o}, 0, 50'000.0);
+  const BaiDecision d = ctl.DecideBai({o}, 0, 50'000.0);
+  EXPECT_EQ(d.assignments[0].cause, DecisionCause::kHold);
+  EXPECT_EQ(d.assignments[0].level, 0);
+}
+
+TEST(RateController, CauseSolverUpWithoutHysteresis) {
+  FlareParams params;
+  params.delta = 0;  // threshold 0: adopt every recommended increase
+  FlareRateController ctl(params);
+  ctl.AddFlow(1, LadderBps());
+  ctl.DecideBai({Obs(1)}, 0, 50'000.0);  // init at rung 0
+  const BaiDecision d = ctl.DecideBai({Obs(1)}, 0, 50'000.0);
+  EXPECT_EQ(d.assignments[0].cause, DecisionCause::kSolverUp);
+  EXPECT_EQ(d.assignments[0].level, 1);
+}
+
+TEST(RateController, CauseDistinguishesCapacityDropFromInfeasibility) {
+  FlareParams params;
+  params.delta = 0;
+  FlareRateController ctl(params);
+  ctl.AddFlow(1, LadderBps());
+  for (int bai = 0; bai < 10; ++bai) {
+    ctl.DecideBai({Obs(1)}, 0, 50'000.0);
+  }
+  EXPECT_EQ(ctl.CurrentLevel(1), 5);
+
+  // Budget shrinks but still admits a floor assignment: feasible drop.
+  BaiDecision d = ctl.DecideBai({Obs(1)}, 0, 10'000.0);
+  EXPECT_TRUE(d.feasible);
+  EXPECT_EQ(d.assignments[0].cause, DecisionCause::kCapacityDown);
+  EXPECT_LT(d.assignments[0].level, 5);
+  EXPECT_GT(d.assignments[0].level, 0);
+
+  // Budget below even the floor rung's cost (100 kbit/s at 104 bits/RB
+  // ~ 961 RB/s): the solver reports infeasible and the controller falls
+  // back to the floor.
+  d = ctl.DecideBai({Obs(1)}, 0, 500.0);
+  EXPECT_FALSE(d.feasible);
+  EXPECT_EQ(d.assignments[0].cause, DecisionCause::kInfeasibleFallback);
+  EXPECT_EQ(d.assignments[0].level, 0);
+}
+
 // Parameterized: the delta sweep shape of Figure 12 at controller level —
 // higher delta must not increase the number of level changes.
 class DeltaSweep : public ::testing::TestWithParam<int> {};

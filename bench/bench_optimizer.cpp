@@ -76,6 +76,49 @@ void BM_DecideBai(benchmark::State& state) {
 }
 BENCHMARK(BM_DecideBai)->Arg(8)->Arg(32)->Arg(64)->Arg(128);
 
+// --- Warm-started incremental sweep: the session-churn / admission path.
+// Cold re-solves the whole problem from scratch; warm keeps one resident
+// IncrementalSolver and re-solves after a one-flow delta (one departure +
+// one arrival), re-using every untouched flow's cached envelope. The
+// acceptance bar is >= 3x cold/warm at 500 flows.
+void BM_SweepCold(benchmark::State& state) {
+  const OptProblem problem =
+      MakeProblem(static_cast<int>(state.range(0)), 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveSweep(problem));
+  }
+}
+BENCHMARK(BM_SweepCold)->Arg(100)->Arg(500)->Arg(1000);
+
+void BM_SweepWarmDelta(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const OptProblem problem = MakeProblem(n, 6);
+  IncrementalSolver solver;
+  std::vector<FlowId> order;
+  for (int i = 0; i < n; ++i) {
+    const FlowId id = static_cast<FlowId>(i + 1);
+    solver.Upsert(id, problem.flows[static_cast<std::size_t>(i)]);
+    order.push_back(id);
+  }
+  solver.Solve(order, problem.n_data_flows, problem.rb_rate);  // prime
+  Rng rng(7);
+  FlowId next_id = static_cast<FlowId>(n + 1);
+  std::size_t victim = 0;
+  for (auto _ : state) {
+    // One departure + one fresh arrival per BAI, rotating the victim so
+    // the delta always hits a genuinely new id.
+    solver.Remove(order[victim]);
+    OptFlow arrival = problem.flows[victim];
+    arrival.bits_per_rb = rng.Uniform(100.0, 600.0);
+    solver.Upsert(next_id, arrival);
+    order[victim] = next_id++;
+    victim = (victim + 1) % order.size();
+    benchmark::DoNotOptimize(
+        solver.Solve(order, problem.n_data_flows, problem.rb_rate));
+  }
+}
+BENCHMARK(BM_SweepWarmDelta)->Arg(100)->Arg(500)->Arg(1000);
+
 void BM_SolveExhaustiveSmall(benchmark::State& state) {
   // Exponential solver: tests/cross-validation scale only.
   OptProblem problem = MakeProblem(3, 4);

@@ -1,0 +1,53 @@
+// churn_demo — blocking probability vs offered load under admission
+// control.
+//
+// Video sessions arrive Poisson at rate lambda on top of a small static
+// population and hold for a lognormal ~30 s. At each arrival the OneAPI
+// server consults the admission controller, which estimates the cell's
+// post-admission RB budget from the previous BAI's bits-per-RB; arrivals
+// that would oversubscribe the budget are rejected before any GBR bearer
+// is set up. Sweeping lambda maps out the Erlang-style blocking curve:
+// offered load (lambda x mean hold, in Erlangs) against P(block) and the
+// QoE of the sessions that were admitted.
+//
+//   ./build/examples/churn_demo
+#include <cstdio>
+
+#include "scenario/scenario.h"
+
+using namespace flare;
+
+int main() {
+  std::printf("churn_demo: blocking probability vs offered load\n");
+  std::printf("(capacity-threshold admission, testbed cell, 2 static "
+              "video + 1 data)\n\n");
+  std::printf("%10s %9s %9s %8s %8s %9s %10s\n", "rate(/s)", "load(Erl)",
+              "arrivals", "admitted", "blocked", "P(block)", "QoE");
+
+  for (const double rate : {0.05, 0.1, 0.2, 0.4, 0.8}) {
+    ScenarioConfig config = TestbedPreset(Scheme::kFlare);
+    config.duration_s = 180.0;
+    config.n_video = 2;
+    config.n_data = 1;
+    config.churn.enabled = true;
+    config.churn.arrival_rate_per_s = rate;
+    config.churn.mean_hold_s = 30.0;
+    config.churn.admission.policy = AdmissionPolicy::kCapacityThreshold;
+    config.churn.admission.capacity_threshold = 0.9;
+
+    const ScenarioResult result = RunScenario(config);
+    const std::uint64_t admitted =
+        result.sessions_arrived - result.sessions_blocked;
+    std::printf("%10.2f %9.1f %9llu %8llu %8llu %9.3f %10.2f\n", rate,
+                rate * config.churn.mean_hold_s,
+                static_cast<unsigned long long>(result.sessions_arrived),
+                static_cast<unsigned long long>(admitted),
+                static_cast<unsigned long long>(result.sessions_blocked),
+                result.blocking_probability, result.avg_admitted_qoe);
+  }
+
+  std::printf("\nHigher offered load saturates the cell: the controller "
+              "holds P(block) up\nso that admitted sessions keep their "
+              "QoE instead of everyone degrading.\n");
+  return 0;
+}

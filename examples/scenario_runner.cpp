@@ -32,15 +32,18 @@ using namespace flare;
 // Every key=value knob the runner understands; Config::Keys() is checked
 // against this so misspelled knobs fail loudly instead of being ignored.
 const char* const kKnownKeys[] = {
-    "alpha",         "bai_s",
+    "admission",     "alpha",
+    "arrival_rate",  "bai_s",
     "bai_trace_csv", "bler",
-    "cells",         "channel",
+    "capacity_threshold", "cells",
+    "channel",       "churn",
     "client_caps",   "client_theta_mbps",
     "delta",         "duration_s",
     "fail_on_unhealthy", "ladder",
-    "metrics_json",  "n_conventional",
-    "n_data",        "n_video",
-    "num_rbs",       "parallel",
+    "mean_hold_s",   "metrics_json",
+    "n_conventional", "n_data",
+    "n_video",       "num_rbs",
+    "objective_floor", "parallel",
     "runs",          "scheme",
     "seed",          "segment_s",
     "series_csv",    "static_itbs",
@@ -76,6 +79,17 @@ Video keys:
   client_caps=N,N,...         per-client rung caps, -1 = none
 Control-loop keys:
   alpha=F delta=N bai_s=F     FLARE optimizer / BAI knobs
+Churn keys:
+  churn=0|1          session arrivals/departures on top of the static
+                     population (0)
+  arrival_rate=F     session arrivals per second per cell (0.2)
+  mean_hold_s=F      mean session holding time, lognormal (30)
+  admission=NAME     admit-all | capacity-threshold | utility-drop
+                     (admit-all; FLARE schemes only)
+  capacity_threshold=F highest admitted floor-rung RB fraction for
+                     capacity-threshold (0.9)
+  objective_floor=F  lowest acceptable solved objective for utility-drop
+                     (default: reject only infeasible arrivals)
 Output keys:
   series_csv=PATH    1 Hz per-client bitrate/buffer series (first run)
   metrics_json=PATH  counters/histograms (p50/p95/p99) + per-BAI trace +
@@ -228,6 +242,24 @@ int main(int argc, char** argv) {
       config.client_max_level.push_back(static_cast<int>(cap));
     }
   }
+  config.churn.enabled = args.GetBool("churn", false);
+  config.churn.arrival_rate_per_s =
+      args.GetDouble("arrival_rate", config.churn.arrival_rate_per_s);
+  config.churn.mean_hold_s =
+      args.GetDouble("mean_hold_s", config.churn.mean_hold_s);
+  if (const auto admission_name = args.GetString("admission")) {
+    const auto policy = ParseAdmissionPolicy(*admission_name);
+    if (!policy) {
+      std::fprintf(stderr, "unknown admission policy '%s'\n",
+                   admission_name->c_str());
+      return 1;
+    }
+    config.churn.admission.policy = *policy;
+  }
+  config.churn.admission.capacity_threshold = args.GetDouble(
+      "capacity_threshold", config.churn.admission.capacity_threshold);
+  config.churn.admission.objective_floor = args.GetDouble(
+      "objective_floor", config.churn.admission.objective_floor);
   const auto series_csv = args.GetString("series_csv");
   config.sample_series = series_csv.has_value();
   const int runs = args.GetInt("runs", 1);
@@ -341,6 +373,18 @@ int main(int argc, char** argv) {
   std::printf("Jain fairness     : %8.3f\n", jain / n);
   if (config.n_data > 0) {
     std::printf("avg data throughput:%8.0f Kbps\n", data / n);
+  }
+  if (config.churn.enabled) {
+    // Churn stats of the first run (counts do not average meaningfully).
+    const ScenarioResult& r = results.front();
+    std::printf("sessions          : %llu arrived, %llu departed, "
+                "%llu blocked (P(block) %.3f)\n",
+                static_cast<unsigned long long>(r.sessions_arrived),
+                static_cast<unsigned long long>(r.sessions_departed),
+                static_cast<unsigned long long>(r.sessions_blocked),
+                r.blocking_probability);
+    std::printf("admitted QoE      : %8.2f over %zu session(s)\n",
+                r.avg_admitted_qoe, r.churned.size());
   }
 
   if (series_csv) {

@@ -1,0 +1,187 @@
+#include "churn/session_churn.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace flare {
+
+const char* ChurnProcessName(ChurnProcess process) {
+  switch (process) {
+    case ChurnProcess::kPoisson:
+      return "poisson";
+    case ChurnProcess::kLognormal:
+      return "lognormal";
+  }
+  return "unknown";
+}
+
+std::optional<ChurnProcess> ParseChurnProcess(const std::string& name) {
+  if (name == "poisson") return ChurnProcess::kPoisson;
+  if (name == "lognormal") return ChurnProcess::kLognormal;
+  return std::nullopt;
+}
+
+namespace {
+
+const char* SessionKindName(SessionKind kind) {
+  return kind == SessionKind::kVideoSession ? "video" : "data";
+}
+
+/// Mean-preserving lognormal: exp(N(ln m - s^2/2, s)) has mean m.
+double DrawLognormal(Rng& rng, double mean, double sigma) {
+  return std::exp(rng.Gaussian(std::log(mean) - 0.5 * sigma * sigma, sigma));
+}
+
+}  // namespace
+
+SessionChurnEngine::SessionChurnEngine(Simulator& sim,
+                                       const ChurnConfig& config, Host host,
+                                       Rng rng, int cell_tag)
+    : sim_(sim),
+      config_(config),
+      host_(std::move(host)),
+      rng_(rng),
+      cell_tag_(cell_tag) {
+  if (config_.arrival_rate_per_s <= 0.0) {
+    throw std::invalid_argument("SessionChurnEngine: arrival_rate_per_s <= 0");
+  }
+  if (config_.mean_hold_s <= 0.0) {
+    throw std::invalid_argument("SessionChurnEngine: mean_hold_s <= 0");
+  }
+  if (config_.lognormal_sigma <= 0.0) {
+    throw std::invalid_argument("SessionChurnEngine: lognormal_sigma <= 0");
+  }
+  if (config_.data_fraction < 0.0 || config_.data_fraction > 1.0) {
+    throw std::invalid_argument(
+        "SessionChurnEngine: data_fraction outside [0, 1]");
+  }
+  if (!host_.spawn || !host_.destroy) {
+    throw std::invalid_argument("SessionChurnEngine: missing host callbacks");
+  }
+}
+
+double SessionChurnEngine::RateScale() const {
+  const auto index = static_cast<std::size_t>(cell_tag_);
+  if (cell_tag_ < 0 || index >= config_.cell_rate_scale.size()) return 1.0;
+  return config_.cell_rate_scale[index];
+}
+
+double SessionChurnEngine::DrawInterarrivalS() {
+  const double rate = config_.arrival_rate_per_s * RateScale();
+  if (rate <= 0.0) return -1.0;  // rate scale silenced this cell
+  const double mean = 1.0 / rate;
+  if (config_.arrival_process == ChurnProcess::kPoisson) {
+    return rng_.Exponential(mean);
+  }
+  return DrawLognormal(rng_, mean, config_.lognormal_sigma);
+}
+
+double SessionChurnEngine::DrawHoldS() {
+  if (config_.hold_process == ChurnProcess::kPoisson) {
+    return rng_.Exponential(config_.mean_hold_s);
+  }
+  return DrawLognormal(rng_, config_.mean_hold_s, config_.lognormal_sigma);
+}
+
+void SessionChurnEngine::Start() {
+  if (started_) return;
+  started_ = true;
+  ScheduleNextArrival();
+  if (scan_period_ > 0 &&
+      (active_metric_.enabled() || health_ != nullptr)) {
+    sim_.Every(scan_period_, scan_period_, [this] { Scan(); });
+  }
+}
+
+void SessionChurnEngine::ScheduleNextArrival() {
+  if (config_.max_arrivals > 0 && arrivals_ >= config_.max_arrivals) return;
+  const double gap_s = DrawInterarrivalS();
+  if (gap_s < 0.0) return;
+  sim_.After(FromSeconds(gap_s), [this] { OnArrival(); });
+}
+
+void SessionChurnEngine::OnArrival() {
+  // Fixed draw order per arrival — kind, hold, (spawn), next gap — so the
+  // schedule is one deterministic stream no matter how spawns turn out.
+  const SessionKind kind = rng_.Uniform() < config_.data_fraction
+                               ? SessionKind::kDataSession
+                               : SessionKind::kVideoSession;
+  const double hold_s = DrawHoldS();
+  ++arrivals_;
+  arrived_metric_.Add();
+
+  const int id = host_.spawn(kind);
+  if (id < 0) {
+    // Could not even create the session (e.g. synchronous admission
+    // rejection): blocked on arrival.
+    ++blocked_;
+    blocked_metric_.Add();
+  } else {
+    live_.emplace(id, kind);
+    if (tracer_ != nullptr) {
+      tracer_->Instant(kLaneControl, "churn", "session_start",
+                       static_cast<double>(sim_.Now()),
+                       "{\"session\":" + std::to_string(id) + ",\"kind\":\"" +
+                           SessionKindName(kind) + "\",\"hold_s\":" +
+                           std::to_string(hold_s) + "}");
+    }
+    sim_.After(FromSeconds(hold_s), [this, id] { EndSession(id); });
+  }
+  ScheduleNextArrival();
+}
+
+void SessionChurnEngine::EndSession(int session_id) {
+  const auto it = live_.find(session_id);
+  if (it == live_.end()) return;  // blocked (or otherwise torn down) earlier
+  const SessionKind kind = it->second;
+  live_.erase(it);
+  ++departures_;
+  departed_metric_.Add();
+  if (tracer_ != nullptr) {
+    tracer_->Instant(kLaneControl, "churn", "session_end",
+                     static_cast<double>(sim_.Now()),
+                     "{\"session\":" + std::to_string(session_id) +
+                         ",\"kind\":\"" + SessionKindName(kind) + "\"}");
+  }
+  host_.destroy(session_id);
+}
+
+void SessionChurnEngine::NotifyBlocked(int session_id) {
+  const auto it = live_.find(session_id);
+  if (it == live_.end()) return;
+  live_.erase(it);
+  ++blocked_;
+  blocked_metric_.Add();
+}
+
+void SessionChurnEngine::Scan() {
+  active_metric_.Set(static_cast<double>(live_.size()));
+  if (health_ != nullptr) {
+    health_->OnAdmissionScan(ToSeconds(sim_.Now()),
+                             blocked_ - scanned_blocked_,
+                             arrivals_ - scanned_arrivals_);
+  }
+  scanned_blocked_ = blocked_;
+  scanned_arrivals_ = arrivals_;
+}
+
+void SessionChurnEngine::SetObservers(MetricsRegistry* registry,
+                                      SpanTracer* tracer,
+                                      RunHealthMonitor* health,
+                                      SimTime scan_period) {
+  arrived_metric_ = MakeCounterHandle(registry, "churn.sessions_arrived");
+  departed_metric_ = MakeCounterHandle(registry, "churn.sessions_departed");
+  blocked_metric_ = MakeCounterHandle(registry, "churn.sessions_blocked");
+  active_metric_ = MakeGaugeHandle(registry, "churn.sessions_active");
+  tracer_ = tracer;
+  health_ = health;
+  scan_period_ = scan_period;
+}
+
+double SessionChurnEngine::blocking_probability() const {
+  if (arrivals_ == 0) return 0.0;
+  return static_cast<double>(blocked_) / static_cast<double>(arrivals_);
+}
+
+}  // namespace flare

@@ -45,7 +45,10 @@ void FlareRateController::AddFlow(FlowId id, std::vector<double> ladder_bps) {
   flows_.emplace(id, std::move(ctl));
 }
 
-void FlareRateController::RemoveFlow(FlowId id) { flows_.erase(id); }
+void FlareRateController::RemoveFlow(FlowId id) {
+  flows_.erase(id);
+  sweep_.Remove(id);
+}
 
 int FlareRateController::CurrentLevel(FlowId id) const {
   const auto it = flows_.find(id);
@@ -103,6 +106,17 @@ BaiDecision FlareRateController::DecideBai(
   if (params_.solver == SolverMode::kContinuousRelaxation) {
     solved = SolveContinuous(problem);
     recommended = DiscretizeDown(problem, solved.rates_bps);
+  } else if (params_.solver == SolverMode::kIncrementalSweep) {
+    // Refresh only what changed (Upsert is a no-op for identical
+    // parameters); flows that left were dropped via RemoveFlow, so the
+    // solver re-prices from the persisted warm state.
+    for (std::size_t u = 0; u < problem.flows.size(); ++u) {
+      sweep_.Upsert(ids[u], problem.flows[u]);
+    }
+    solved = sweep_.Solve(ids, problem.n_data_flows, problem.rb_rate,
+                          problem.alpha, problem.max_video_fraction,
+                          span_trace_);
+    recommended = solved.levels;
   } else {
     solved = SolveGreedy(problem);
     recommended = solved.levels;

@@ -24,6 +24,10 @@ namespace flare {
 enum class SolverMode {
   kGreedyDiscrete,  // the paper's "exact (3)-(4)" path
   kContinuousRelaxation,
+  /// Warm-started concave-envelope sweep (IncrementalSolver): the solver
+  /// persists per-flow state across BAIs so flow-set deltas (session
+  /// churn) re-solve incrementally instead of from scratch.
+  kIncrementalSweep,
 };
 
 struct FlareParams {
@@ -127,6 +131,9 @@ class FlareRateController {
 
   FlareParams params_;
   std::map<FlowId, FlowCtl> flows_;
+  /// Persistent warm state for kIncrementalSweep (unused by the other
+  /// modes); RemoveFlow keeps it in sync with flows_.
+  IncrementalSolver sweep_;
   SpanTracer* span_trace_ = nullptr;
 };
 

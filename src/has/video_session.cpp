@@ -24,7 +24,8 @@ VideoSession::VideoSession(Simulator& sim, HttpClient& http, Mpd mpd,
 void VideoSession::Start(SimTime start) {
   if (started_) return;
   started_ = true;
-  sim_.At(start, [this] {
+  sim_.At(start, [this, alive = std::weak_ptr<char>(alive_)] {
+    if (alive.expired()) return;
     live_origin_ = sim_.Now();
     PumpLoop();
   });
@@ -40,7 +41,10 @@ void VideoSession::RebindHttp(HttpClient& http) {
     if (!selections_.empty()) selections_.pop_back();
   }
   if (started_ && !stopped_) {
-    sim_.After(0, [this] { PumpLoop(); });
+    sim_.After(0, [this, alive = std::weak_ptr<char>(alive_)] {
+      if (alive.expired()) return;
+      PumpLoop();
+    });
   }
 }
 
@@ -59,7 +63,10 @@ void VideoSession::PumpLoop() {
   }
 
   if (!player_.WantsMoreSegments()) {
-    sim_.After(config_.idle_poll, [this] { PumpLoop(); });
+    sim_.After(config_.idle_poll, [this, alive = std::weak_ptr<char>(alive_)] {
+      if (alive.expired()) return;
+      PumpLoop();
+    });
     return;
   }
 
@@ -69,7 +76,10 @@ void VideoSession::PumpLoop() {
         live_origin_ + FromSeconds((segments_completed_ + 1) *
                                    mpd_.segment_duration_s);
     if (sim_.Now() < available_at) {
-      sim_.At(available_at, [this] { PumpLoop(); });
+      sim_.At(available_at, [this, alive = std::weak_ptr<char>(alive_)] {
+        if (alive.expired()) return;
+        PumpLoop();
+      });
       return;
     }
   }
@@ -85,7 +95,10 @@ void VideoSession::PumpLoop() {
   const SimTime delay = abr_->RequestDelay(context);
   if (delay > 0 && !delay_applied_) {
     delay_applied_ = true;
-    sim_.After(delay, [this] { PumpLoop(); });
+    sim_.After(delay, [this, alive = std::weak_ptr<char>(alive_)] {
+      if (alive.expired()) return;
+      PumpLoop();
+    });
     return;
   }
   delay_applied_ = false;
@@ -110,10 +123,13 @@ void VideoSession::RequestSegment() {
   const double bitrate = mpd_.BitrateOf(index);
   const double duration = mpd_.segment_duration_s;
   http_->Get(mpd_.SegmentBytesAt(index, segments_completed_),
-             [this, bitrate, duration,
-              epoch = http_epoch_](const HttpResult& result) {
-    // A completion from a client we rebound away from is stale: that
-    // segment was abandoned at handover.
+             [this, bitrate, duration, epoch = http_epoch_,
+              alive = std::weak_ptr<char>(alive_)](const HttpResult& result) {
+    // The session may be gone (churn departure tears it down while the
+    // HTTP client still holds this completion) ...
+    if (alive.expired()) return;
+    // ... or a completion from a client we rebound away from is stale:
+    // that segment was abandoned at handover.
     if (epoch != http_epoch_) return;
     request_in_flight_ = false;
     ++segments_completed_;

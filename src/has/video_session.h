@@ -91,6 +91,10 @@ class VideoSession {
   std::vector<int> selections_;
   std::vector<double> throughputs_;
   std::vector<double> download_rates_;
+  // Liveness token (TcpFlow's pattern): every scheduled pump/completion
+  // callback holds a weak_ptr, so a session destroyed mid-run (churn
+  // departure) leaves only no-op events behind.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
 };
 
 }  // namespace flare

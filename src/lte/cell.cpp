@@ -26,12 +26,20 @@ UeId Cell::AddUe(std::unique_ptr<ChannelModel> channel) {
   UeEntry entry;
   entry.channel = std::move(channel);
   entry.itbs = entry.channel->ItbsAt(sim_.Now());
+  if (!free_ues_.empty()) {
+    const UeId id = free_ues_.back();  // lowest released id
+    free_ues_.pop_back();
+    ues_[id] = std::move(entry);
+    return id;
+  }
   ues_.push_back(std::move(entry));
   return static_cast<UeId>(ues_.size() - 1);
 }
 
 FlowId Cell::AddFlow(UeId ue, FlowType type) {
-  if (ue >= ues_.size()) throw std::out_of_range("Cell::AddFlow: bad UE");
+  if (ue >= ues_.size() || ues_[ue].channel == nullptr) {
+    throw std::out_of_range("Cell::AddFlow: bad or released UE");
+  }
   const FlowId id = next_flow_id_++;
   FlowEntry entry;
   entry.state.id = id;
@@ -43,6 +51,24 @@ FlowId Cell::AddFlow(UeId ue, FlowType type) {
 }
 
 void Cell::RemoveFlow(FlowId id) { flows_.erase(id); }
+
+void Cell::ReleaseUe(UeId ue) {
+  if (ue >= ues_.size() || ues_[ue].channel == nullptr) {
+    throw std::invalid_argument("Cell::ReleaseUe: bad or released UE");
+  }
+  for (const auto& [id, entry] : flows_) {
+    if (entry.state.ue == ue) {
+      throw std::invalid_argument(
+          "Cell::ReleaseUe: UE still has flows attached");
+    }
+  }
+  ues_[ue].channel.reset();
+  ues_[ue].itbs = 0;
+  // Insert keeping descending order: back() is always the lowest free id.
+  const auto pos = std::lower_bound(free_ues_.begin(), free_ues_.end(), ue,
+                                    std::greater<UeId>());
+  free_ues_.insert(pos, ue);
+}
 
 Cell::FlowEntry& Cell::Entry(FlowId id) {
   const auto it = flows_.find(id);
@@ -108,7 +134,9 @@ std::vector<FlowId> Cell::FlowsOfType(FlowType type) const {
 }
 
 int Cell::UeItbs(UeId ue) const {
-  if (ue >= ues_.size()) throw std::out_of_range("Cell::UeItbs: bad UE");
+  if (ue >= ues_.size() || ues_[ue].channel == nullptr) {
+    throw std::out_of_range("Cell::UeItbs: bad or released UE");
+  }
   return ues_[ue].itbs;
 }
 
@@ -188,8 +216,11 @@ void Cell::RunTti() {
   const auto span_start = span_timing ? std::chrono::steady_clock::now()
                                       : std::chrono::steady_clock::time_point{};
 
-  // 1. Refresh channels.
-  for (UeEntry& ue : ues_) ue.itbs = ue.channel->ItbsAt(now);
+  // 1. Refresh channels (released slots have no channel to sample — and
+  // under churn they must cost nothing, not accumulate forever).
+  for (UeEntry& ue : ues_) {
+    if (ue.channel) ue.itbs = ue.channel->ItbsAt(now);
+  }
 
   // 2. Refill token buckets and build candidates.
   std::vector<SchedCandidate> candidates;

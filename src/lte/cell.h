@@ -71,9 +71,18 @@ class Cell {
   Cell& operator=(const Cell&) = delete;
 
   // --- Topology -----------------------------------------------------------
+  /// Attach a UE; released slots are reused (lowest id first), so a cell
+  /// under session churn does not grow its UE table without bound.
   UeId AddUe(std::unique_ptr<ChannelModel> channel);
   FlowId AddFlow(UeId ue, FlowType type);
   void RemoveFlow(FlowId id);
+  /// Detach a UE when its session ends: frees the channel model and stops
+  /// the per-TTI refresh for the slot. Throws std::invalid_argument if any
+  /// flow still references the UE (remove flows first) or if the slot is
+  /// already released.
+  void ReleaseUe(UeId ue);
+  /// UEs currently attached (released slots excluded).
+  std::size_t NumActiveUes() const { return ues_.size() - free_ues_.size(); }
 
   // --- Data path ----------------------------------------------------------
   /// Offer `bytes` to the flow's RLC queue; returns the bytes accepted.
@@ -131,7 +140,7 @@ class Cell {
 
  private:
   struct UeEntry {
-    std::unique_ptr<ChannelModel> channel;
+    std::unique_ptr<ChannelModel> channel;  // null = released slot
     int itbs = 0;  // refreshed each TTI
   };
   struct FlowEntry {
@@ -149,6 +158,9 @@ class Cell {
   Rng rng_;
 
   std::vector<UeEntry> ues_;
+  /// Released UE slots, kept sorted descending so AddUe reuses the lowest
+  /// id first (deterministic slot assignment under churn).
+  std::vector<UeId> free_ues_;
   std::map<FlowId, FlowEntry> flows_;
   FlowId next_flow_id_ = 1;
 

@@ -14,6 +14,7 @@ CellId OneApiMultiServer::AddCell(Cell& cell) {
   entry.server = std::make_unique<OneApiServer>(sim_, cell, pcrf_,
                                                 *entry.pcef, cell_config);
   entry.server->SetObservers(registry_, trace_sink_, span_trace_, health_);
+  entry.server->SetAdmissionCallback(admission_callback_);
   if (started_) entry.server->Start();
   cells_.emplace(id, std::move(entry));
   return id;
@@ -69,6 +70,19 @@ void OneApiMultiServer::SetObservers(MetricsRegistry* registry,
   health_ = health;
   for (auto& [id, entry] : cells_) {
     entry.server->SetObservers(registry, sink, spans, health);
+  }
+}
+
+void OneApiMultiServer::SetAdmissionController(CellId cell_id,
+                                               AdmissionController* admission) {
+  cell_server(cell_id).SetAdmissionController(admission);
+}
+
+void OneApiMultiServer::SetAdmissionCallback(
+    OneApiServer::AdmissionCallback callback) {
+  admission_callback_ = std::move(callback);
+  for (auto& [id, entry] : cells_) {
+    entry.server->SetAdmissionCallback(admission_callback_);
   }
 }
 

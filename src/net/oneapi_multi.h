@@ -59,6 +59,15 @@ class OneApiMultiServer {
                     SpanTracer* spans = nullptr,
                     RunHealthMonitor* health = nullptr);
 
+  /// Attach a per-cell admission controller (not owned; null detaches).
+  /// Admission state is per cell — a flow admitted in one cell says
+  /// nothing about capacity in another — so each cell gets its own.
+  void SetAdmissionController(CellId cell_id, AdmissionController* admission);
+
+  /// Forward one connect-resolution callback to every per-cell server
+  /// (cells added later inherit it). The flow id disambiguates.
+  void SetAdmissionCallback(OneApiServer::AdmissionCallback callback);
+
  private:
   struct Entry {
     std::unique_ptr<Pcef> pcef;
@@ -83,6 +92,7 @@ class OneApiMultiServer {
   BaiTraceSink* trace_sink_ = nullptr;
   SpanTracer* span_trace_ = nullptr;
   RunHealthMonitor* health_ = nullptr;
+  OneApiServer::AdmissionCallback admission_callback_;
 };
 
 }  // namespace flare

@@ -25,7 +25,8 @@ void OneApiServer::ConnectVideoClient(FlarePlugin* plugin, const Mpd& mpd) {
   const std::string wire =
       EncodeClientInfo(plugin->BuildClientInfo(mpd));
   const FlowId id = plugin->flow();
-  const std::uint64_t generation = ++connect_generation_[id];
+  const std::uint64_t generation = ++next_generation_;
+  connect_generation_[id] = generation;
   sim_.After(config_.uplink_latency, [this, plugin, wire, id, generation] {
     // A disconnect (or a newer connect) landed while this registration was
     // in flight: it is stale, and replaying it would resurrect the flow in
@@ -34,9 +35,16 @@ void OneApiServer::ConnectVideoClient(FlarePlugin* plugin, const Mpd& mpd) {
     if (gen == connect_generation_.end() || gen->second != generation) {
       return;
     }
+    // This attempt owns the entry; it is no longer in flight either way.
+    connect_generation_.erase(gen);
     const std::optional<ClientInfo> info = DecodeClientInfo(wire);
     if (!info) {
       FLOG_WARN << "OneApiServer: dropping malformed client info";
+      if (admission_callback_) admission_callback_(id, false);
+      return;
+    }
+    if (admission_ != nullptr && !AdmitClient(*info)) {
+      if (admission_callback_) admission_callback_(info->flow, false);
       return;
     }
     controller_.AddFlow(info->flow, info->ladder_bps);
@@ -44,7 +52,48 @@ void OneApiServer::ConnectVideoClient(FlarePlugin* plugin, const Mpd& mpd) {
     clients_[info->flow] = ClientEntry{plugin, *info};
     // Reset the trace window so the first BAI measures a clean interval.
     if (cell_.HasFlow(info->flow)) cell_.TakeWindow(info->flow);
+    if (admission_callback_) admission_callback_(info->flow, true);
   });
+}
+
+bool OneApiServer::AdmitClient(const ClientInfo& info) {
+  AdmissionRequest request;
+  request.flow = info.flow;
+  OptFlow candidate;
+  candidate.ladder_bps = info.ladder_bps;
+  candidate.utility = info.utility.value_or(config_.params.utility);
+  // Channel-based estimate at connect time: the flow has no trace window
+  // yet, so use the nominal per-RB capacity at its current MCS (mirrors
+  // RunBai's idle-flow fallback).
+  candidate.bits_per_rb =
+      cell_.HasFlow(info.flow)
+          ? static_cast<double>(
+                TbsBitsPerPrb(cell_.UeItbs(cell_.flow(info.flow).ue)))
+          : 1.0;
+  // Arrivals enter at the lowest rung (Algorithm 1 caps new flows there).
+  candidate.min_level = 0;
+  candidate.max_level = 0;
+  request.candidate = candidate;
+  request.n_data_flows = pcrf_.CountFlows(FlowType::kData, config_.cell_tag);
+  request.rb_rate = static_cast<double>(cell_.num_rbs()) * 1000.0;
+
+  const AdmissionDecision decision = admission_->Decide(request);
+  if (decision.admit) {
+    // Track the admitted flow over its full ladder from now on.
+    candidate.max_level = static_cast<int>(candidate.ladder_bps.size()) - 1;
+    admission_->OnAdmitted(info.flow, candidate);
+    return true;
+  }
+  admission_rejects_metric_.Add();
+  if (span_trace_ != nullptr) {
+    span_trace_->Instant(
+        kLaneControl, "churn", "admission_reject",
+        static_cast<double>(sim_.Now()),
+        "{\"flow\":" + std::to_string(info.flow) + ",\"policy\":\"" +
+            AdmissionPolicyName(admission_->config().policy) +
+            "\",\"value\":" + FormatNumber(decision.value) + "}");
+  }
+  return false;
 }
 
 void OneApiServer::UpdateClientInfo(FlowId id, const ClientInfo& info) {
@@ -64,10 +113,11 @@ void OneApiServer::UpdateClientInfo(FlowId id, const ClientInfo& info) {
 }
 
 void OneApiServer::DisconnectVideoClient(FlowId id) {
-  ++connect_generation_[id];  // cancel any in-flight ConnectVideoClient
+  connect_generation_.erase(id);  // cancel any in-flight ConnectVideoClient
   controller_.RemoveFlow(id);
   pcrf_.DeregisterFlow(id, config_.cell_tag);
   clients_.erase(id);
+  if (admission_ != nullptr) admission_->OnDeparted(id);
 }
 
 void OneApiServer::SetObservers(MetricsRegistry* registry,
@@ -79,6 +129,8 @@ void OneApiServer::SetObservers(MetricsRegistry* registry,
   controller_.SetSpanTracer(spans);
   bais_metric_ = MakeCounterHandle(registry, "oneapi.bais");
   assignments_metric_ = MakeCounterHandle(registry, "oneapi.assignments");
+  admission_rejects_metric_ =
+      MakeCounterHandle(registry, "oneapi.admission_rejects");
   solve_ms_metric_ = MakeHistogramHandle(
       registry, "oneapi.solve_ms",
       {0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0});
@@ -117,6 +169,11 @@ void OneApiServer::RunBai() {
             ? sample
             : (1.0 - w) * entry.smoothed_bits_per_rb + w * sample;
     raw_samples[id] = sample;
+    // Keep the admission controller's capacity picture current, so
+    // between-BAI connect decisions price against live efficiencies.
+    if (admission_ != nullptr) {
+      admission_->OnEstimate(id, entry.smoothed_bits_per_rb);
+    }
 
     FlowObservation obs;
     obs.id = id;

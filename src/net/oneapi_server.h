@@ -10,9 +10,12 @@
 // control plane with configurable latency.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <vector>
 
+#include "churn/admission.h"
 #include "core/rate_controller.h"
 #include "lte/cell.h"
 #include "net/flare_plugin.h"
@@ -88,6 +91,32 @@ class OneApiServer {
   /// ConnectVideoClient still inside the uplink latency does not count).
   bool HasClient(FlowId id) const { return clients_.count(id) > 0; }
 
+  /// Connect attempts still inside the uplink-latency window. Bounded by
+  /// the in-flight count — landed and disconnected flows leave no
+  /// per-flow residue (the churn-leak regression checks this).
+  std::size_t pending_connects() const { return connect_generation_.size(); }
+
+  /// Attach an admission controller (not owned; null detaches). When set,
+  /// every landing ConnectVideoClient is first offered to it with the
+  /// candidate pinned at the lowest rung and a channel-based bits-per-RB
+  /// estimate; a rejection drops the registration entirely (no
+  /// controller/PCRF/client state) and emits an `admission_reject`
+  /// instant. Each BAI refreshes the controller's per-flow estimates.
+  void SetAdmissionController(AdmissionController* admission) {
+    admission_ = admission;
+  }
+
+  /// Invoked when a ConnectVideoClient resolves: (flow, admitted). Fires
+  /// with admitted=true after every successful registration — also with
+  /// no admission controller attached — so dynamically spawned sessions
+  /// can defer playback until their registration lands. Fires with
+  /// admitted=false on an admission rejection (or a malformed wire
+  /// message). Does NOT fire for connects cancelled by a disconnect.
+  using AdmissionCallback = std::function<void(FlowId, bool)>;
+  void SetAdmissionCallback(AdmissionCallback callback) {
+    admission_callback_ = std::move(callback);
+  }
+
   /// Solver wall-clock times, one per BAI, in milliseconds (Figure 9).
   const std::vector<double>& solve_times_ms() const {
     return solve_times_ms_;
@@ -107,6 +136,11 @@ class OneApiServer {
                     RunHealthMonitor* health = nullptr);
 
  private:
+  /// Run the attached admission controller on a landed connect; true =
+  /// admit (controller bookkeeping updated), false = reject (instant +
+  /// counter emitted).
+  bool AdmitClient(const ClientInfo& info);
+
   struct ClientEntry {
     FlarePlugin* plugin = nullptr;
     ClientInfo info;
@@ -120,10 +154,17 @@ class OneApiServer {
   OneApiConfig config_;
   FlareRateController controller_;
   std::map<FlowId, ClientEntry> clients_;
-  /// Bumped by every connect and disconnect of a flow; a delayed connect
-  /// callback only registers if its generation is still current, so a
-  /// disconnect inside the uplink-latency window cancels it.
+  /// In-flight connects only: each ConnectVideoClient stores a globally
+  /// unique generation here and its delayed callback registers only if
+  /// the entry still matches; DisconnectVideoClient erases the entry
+  /// (cancelling the connect) and a landed callback erases its own, so
+  /// the map cannot grow with churned flows. The server-wide counter
+  /// (rather than a per-flow one) rules out generation reuse after an
+  /// erase.
   std::map<FlowId, std::uint64_t> connect_generation_;
+  std::uint64_t next_generation_ = 0;
+  AdmissionController* admission_ = nullptr;
+  AdmissionCallback admission_callback_;
   std::vector<double> solve_times_ms_;
   std::vector<double> video_fractions_;
   bool started_ = false;
@@ -133,6 +174,7 @@ class OneApiServer {
   RunHealthMonitor* health_ = nullptr;
   CounterHandle bais_metric_;
   CounterHandle assignments_metric_;
+  CounterHandle admission_rejects_metric_;
   HistogramHandle solve_ms_metric_;
   GaugeHandle video_fraction_metric_;
 };

@@ -108,6 +108,19 @@ void RunHealthMonitor::OnFlowScan(double t_s, FlowId flow, bool backlogged,
   }
 }
 
+void RunHealthMonitor::OnAdmissionScan(double t_s, std::uint64_t blocked_delta,
+                                       std::uint64_t arrivals_delta) {
+  if (arrivals_delta == 0) return;  // no evidence either way
+  if (Step(blocking_streak_, blocking_armed_, blocked_delta > 0,
+           config_.blocking_streak)) {
+    Emit(t_s, "admission_blocking", kInvalidFlow, -1,
+         static_cast<double>(blocking_streak_),
+         "admission control rejected arrivals in " +
+             std::to_string(blocking_streak_) +
+             " consecutive BAIs with arrivals (sustained blocking)");
+  }
+}
+
 void RunHealthMonitor::AbsorbShard(const RunHealthMonitor& shard, int cell) {
   for (HealthWarning w : shard.warnings_) {
     w.cell = cell;

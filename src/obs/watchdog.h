@@ -45,13 +45,16 @@ struct WatchdogConfig {
   /// A backlogged data flow was served zero bytes (starved by the
   /// priority phase).
   int starved_flow_streak = 5;
+  /// Admission control rejected at least one arrival in every scanned
+  /// BAI (the cell is in a sustained blocking regime).
+  int blocking_streak = 3;
 };
 
 struct HealthWarning {
   double t_s = 0.0;
   int cell = 0;
   /// One of "infeasible_streak", "stall_streak", "gbr_shortfall",
-  /// "starved_flow".
+  /// "starved_flow", "admission_blocking".
   std::string kind;
   /// Subject flow (starved_flow) or kInvalidFlow for cell-wide warnings.
   FlowId flow = kInvalidFlow;
@@ -80,6 +83,11 @@ class RunHealthMonitor {
   void OnGbrScan(double t_s, double shortfall_bytes, double bai_gbr_bytes);
   void OnFlowScan(double t_s, FlowId flow, bool backlogged,
                   std::uint64_t tx_bytes_delta);
+  /// Per-BAI churn scan: arrivals and admission rejections since the
+  /// previous scan. Scans with no arrivals are neutral (the streak
+  /// neither grows nor resets — an idle cell is not evidence of health).
+  void OnAdmissionScan(double t_s, std::uint64_t blocked_delta,
+                       std::uint64_t arrivals_delta);
 
   bool healthy() const { return warnings_.empty(); }
   const std::vector<HealthWarning>& warnings() const { return warnings_; }
@@ -103,6 +111,8 @@ class RunHealthMonitor {
   bool infeasible_armed_ = true;
   int gbr_streak_ = 0;
   bool gbr_armed_ = true;
+  int blocking_streak_ = 0;
+  bool blocking_armed_ = true;
   struct Streak {
     int length = 0;
     bool armed = true;

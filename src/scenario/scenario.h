@@ -16,6 +16,7 @@
 #include "abr/bba.h"
 #include "abr/mpc.h"
 #include "abr/panda.h"
+#include "churn/session_churn.h"
 #include "core/rate_controller.h"
 #include "has/metrics.h"
 #include "net/oneapi_server.h"
@@ -120,6 +121,15 @@ struct ScenarioConfig {
   MpcConfig mpc;
   BbaConfig bba;
 
+  /// Session churn (arrivals/departures mid-run) + admission control.
+  /// The n_video/n_data/n_conventional populations above stay as a static
+  /// base load; churned sessions come and go on top of it. For FLARE
+  /// schemes with churn.warm_solver, the greedy solver is swapped for the
+  /// warm-started incremental sweep. AVIS gateway registration is static
+  /// only (the gateway has no removal path), so churned sessions under
+  /// kAvis run without gateway MBR caps.
+  ChurnConfig churn;
+
   /// Collect 1 Hz time series (Figures 4/5); off for CDF sweeps.
   bool sample_series = false;
 
@@ -162,6 +172,19 @@ struct ScenarioResult {
   std::vector<double> video_fractions;  // r per BAI
 
   std::vector<SeriesSample> series;  // when sample_series
+
+  // Churn outputs (zero / empty unless config.churn.enabled).
+  std::uint64_t sessions_arrived = 0;
+  std::uint64_t sessions_departed = 0;
+  std::uint64_t sessions_blocked = 0;
+  /// blocked / arrived — the Erlang-style primary metric of the churn
+  /// experiments.
+  double blocking_probability = 0.0;
+  /// Per-session metrics of admitted dynamic video sessions, departed
+  /// ones first (in departure order) then those still active at the end.
+  std::vector<ClientMetrics> churned;
+  /// Mean QoE over `churned` (0 when none completed a segment).
+  double avg_admitted_qoe = 0.0;
 };
 
 /// Femtocell testbed preset (Section IV-A): 3 video + 1 data UE, 50-RB

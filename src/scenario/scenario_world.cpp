@@ -94,6 +94,13 @@ OneApiConfig MakeOneApiConfig(const ScenarioConfig& config) {
   oneapi_config.params.solver = config.scheme == Scheme::kFlareRelaxed
                                     ? SolverMode::kContinuousRelaxation
                                     : SolverMode::kGreedyDiscrete;
+  // Under churn the flow set changes by one or two entries per BAI, which
+  // is exactly the delta workload the warm-started incremental sweep is
+  // built for; swap it in unless the config opts out.
+  if (config.churn.enabled && config.churn.warm_solver &&
+      oneapi_config.params.solver == SolverMode::kGreedyDiscrete) {
+    oneapi_config.params.solver = SolverMode::kIncrementalSweep;
+  }
   return oneapi_config;
 }
 
@@ -154,46 +161,11 @@ ScenarioWorld::ScenarioWorld(const ScenarioConfig& config, Simulator& sim,
                                              ? config_.google_max_buffer_s
                                              : config_.max_buffer_s;
 
-    std::unique_ptr<AbrAlgorithm> abr;
     FlarePlugin* plugin = nullptr;
-    switch (config_.scheme) {
-      case Scheme::kFlare:
-      case Scheme::kFlareRelaxed: {
-        auto p = std::make_unique<FlarePlugin>(tcp.id());
-        plugin = p.get();
-        abr = std::move(p);
-        break;
-      }
-      case Scheme::kFestive:
-        abr = std::make_unique<FestiveAbr>(
-            config_.festive,
-            rng_.Fork(0xfe57 + static_cast<std::uint64_t>(i)));
-        break;
-      case Scheme::kGoogle:
-        abr = std::make_unique<GoogleAbr>(config_.google);
-        break;
-      case Scheme::kAvis:
-        abr = std::make_unique<AvisClientAbr>();
-        break;
-      case Scheme::kFlareNetworkOnly: {
-        // Network side runs full FLARE; the client ignores it and adapts
-        // greedily on its own (AVIS-style).
-        abr = std::make_unique<AvisClientAbr>();
-        orphan_plugins_.push_back(
-            std::make_unique<FlarePlugin>(tcp.id()));
-        plugin = orphan_plugins_.back().get();
-        break;
-      }
-      case Scheme::kPanda:
-        abr = std::make_unique<PandaAbr>(config_.panda);
-        break;
-      case Scheme::kMpc:
-        abr = std::make_unique<MpcAbr>(config_.mpc);
-        break;
-      case Scheme::kBba:
-        abr = std::make_unique<BbaAbr>(config_.bba);
-        break;
-    }
+    std::unique_ptr<FlarePlugin> orphan;
+    std::unique_ptr<AbrAlgorithm> abr =
+        MakeVideoAbr(tcp.id(), i, &plugin, &orphan);
+    if (orphan != nullptr) orphan_plugins_.push_back(std::move(orphan));
 
     auto session = std::make_unique<VideoSession>(
         sim_, *https_.back(), mpd_, std::move(abr), session_config);
@@ -267,6 +239,38 @@ ScenarioWorld::ScenarioWorld(const ScenarioConfig& config, Simulator& sim,
   }
 
   last_data_bytes_.assign(data_flows_.size(), 0);
+
+  // --- Session churn: dynamic arrivals/departures on top of the static
+  // population above. The engine draws from its own forked stream, so
+  // enabling churn does not perturb any static construction draw.
+  if (config_.churn.enabled) {
+    if (IsFlare(config_.scheme)) {
+      AdmissionConfig admission_config = config_.churn.admission;
+      // The capacity/utility policies re-solve the cell's objective;
+      // mirror the optimizer's parameters so "the cell's objective" means
+      // the same thing in both places.
+      admission_config.alpha = config_.oneapi.params.alpha;
+      admission_config.max_video_fraction =
+          config_.oneapi.params.max_video_fraction;
+      admission_ = std::make_unique<AdmissionController>(admission_config);
+      admission_->SetObservers(config_.metrics);
+      oneapi_.SetAdmissionController(admission_.get());
+      oneapi_.SetAdmissionCallback(
+          [this](FlowId flow, bool admitted) { OnAdmission(flow, admitted); });
+    }
+    SessionChurnEngine::Host host;
+    host.spawn = [this](SessionKind kind) {
+      return SpawnDynamicSession(kind);
+    };
+    host.destroy = [this](int id) {
+      TeardownDynamicSession(id, /*harvest=*/true);
+    };
+    churn_ = std::make_unique<SessionChurnEngine>(
+        sim_, config_.churn, std::move(host), rng_.Fork(0xc4a2),
+        static_cast<int>(cell_tag));
+    churn_->SetObservers(config_.metrics, config_.span_trace, config_.health,
+                         config_.oneapi.bai);
+  }
 }
 
 ScenarioWorld::~ScenarioWorld() {
@@ -309,7 +313,163 @@ void ScenarioWorld::Start() {
                [this] { HealthScan(); });
   }
 
+  if (churn_ != nullptr) churn_->Start();
   cell_.Start();
+}
+
+std::unique_ptr<AbrAlgorithm> ScenarioWorld::MakeVideoAbr(
+    FlowId flow, int salt_index, FlarePlugin** plugin_out,
+    std::unique_ptr<FlarePlugin>* orphan_out) {
+  *plugin_out = nullptr;
+  orphan_out->reset();
+  switch (config_.scheme) {
+    case Scheme::kFlare:
+    case Scheme::kFlareRelaxed: {
+      auto plugin = std::make_unique<FlarePlugin>(flow);
+      *plugin_out = plugin.get();
+      return plugin;
+    }
+    case Scheme::kFestive:
+      return std::make_unique<FestiveAbr>(
+          config_.festive,
+          rng_.Fork(0xfe57 + static_cast<std::uint64_t>(salt_index)));
+    case Scheme::kGoogle:
+      return std::make_unique<GoogleAbr>(config_.google);
+    case Scheme::kAvis:
+      return std::make_unique<AvisClientAbr>();
+    case Scheme::kFlareNetworkOnly: {
+      // Network side runs full FLARE; the client ignores it and adapts
+      // greedily on its own (AVIS-style).
+      *orphan_out = std::make_unique<FlarePlugin>(flow);
+      *plugin_out = orphan_out->get();
+      return std::make_unique<AvisClientAbr>();
+    }
+    case Scheme::kPanda:
+      return std::make_unique<PandaAbr>(config_.panda);
+    case Scheme::kMpc:
+      return std::make_unique<MpcAbr>(config_.mpc);
+    case Scheme::kBba:
+      return std::make_unique<BbaAbr>(config_.bba);
+  }
+  return std::make_unique<AvisClientAbr>();
+}
+
+int ScenarioWorld::SpawnDynamicSession(SessionKind kind) {
+  const int id = next_dynamic_id_++;
+  const int n_static =
+      config_.n_video + config_.n_data + config_.n_conventional;
+  // Channel/ABR salts beyond the static population keep dynamic fading and
+  // FESTIVE streams distinct from every static UE's.
+  const int ue_index = n_static + id;
+  const UeId ue =
+      cell_.AddUe(MakeChannel(config_, ue_index, ue_index + 1, rng_));
+
+  DynamicSession dyn;
+  dyn.kind = kind;
+  dyn.ue = ue;
+
+  if (kind == SessionKind::kDataSession) {
+    TcpFlow& tcp = transport_.CreateFlow(ue, FlowType::kData);
+    dyn.flow = tcp.id();
+    pcrf_.RegisterFlow(dyn.flow, FlowType::kData, config_.oneapi.cell_tag);
+    transport_.MakeGreedy(dyn.flow);
+    dyn.started = true;
+  } else {
+    TcpFlow& tcp = transport_.CreateFlow(ue, FlowType::kVideo);
+    dyn.flow = tcp.id();
+
+    VideoSessionConfig session_config;
+    session_config.player.max_buffer_s = config_.scheme == Scheme::kGoogle
+                                             ? config_.google_max_buffer_s
+                                             : config_.max_buffer_s;
+    FlarePlugin* plugin = nullptr;
+    std::unique_ptr<FlarePlugin> orphan;
+    std::unique_ptr<AbrAlgorithm> abr =
+        MakeVideoAbr(dyn.flow, ue_index, &plugin, &orphan);
+    dyn.orphan_plugin = std::move(orphan);
+    dyn.plugin = plugin;
+    dyn.http = std::make_unique<HttpClient>(sim_, tcp);
+    dyn.session = std::make_unique<VideoSession>(
+        sim_, *dyn.http, mpd_, std::move(abr), session_config);
+    dyn.session->player().SetMetrics(config_.metrics);
+    dyn.session->player().SetSpanTracer(config_.span_trace, ue_index);
+
+    if (plugin != nullptr) {
+      // Registration (and admission control) completes after the OneAPI
+      // uplink delay; the session starts from OnAdmission.
+      oneapi_.ConnectVideoClient(plugin, dyn.session->mpd());
+    } else {
+      pcrf_.RegisterFlow(dyn.flow, FlowType::kVideo,
+                         config_.oneapi.cell_tag);
+      dyn.session->Start(sim_.Now());
+      dyn.started = true;
+    }
+  }
+
+  dynamic_by_flow_[dyn.flow] = id;
+  dynamic_.emplace(id, std::move(dyn));
+  return id;
+}
+
+void ScenarioWorld::OnAdmission(FlowId flow, bool admitted) {
+  const auto it = dynamic_by_flow_.find(flow);
+  if (it == dynamic_by_flow_.end()) return;  // static flow
+  const int id = it->second;
+  DynamicSession& dyn = dynamic_.at(id);
+  if (admitted) {
+    dyn.session->Start(sim_.Now());
+    dyn.started = true;
+    return;
+  }
+  if (churn_ != nullptr) churn_->NotifyBlocked(id);
+  TeardownDynamicSession(id, /*harvest=*/false);
+}
+
+void ScenarioWorld::TeardownDynamicSession(int id, bool harvest) {
+  const auto it = dynamic_.find(id);
+  if (it == dynamic_.end()) return;
+  DynamicSession& dyn = it->second;
+
+  if (dyn.session != nullptr) {
+    dyn.session->Stop();
+    if (harvest && dyn.started) HarvestDynamicSession(id, dyn);
+  }
+  if (dyn.plugin != nullptr) {
+    oneapi_.DisconnectVideoClient(dyn.flow);
+  } else {
+    pcrf_.DeregisterFlow(dyn.flow, config_.oneapi.cell_tag);
+  }
+  // Order matters: the session (and its scheduled events) must go before
+  // the HTTP client, the client before the flow, and the flow before the
+  // UE slot is released back to the cell's free list.
+  dyn.session.reset();
+  dyn.http.reset();
+  dyn.orphan_plugin.reset();
+  if (transport_.Has(dyn.flow)) transport_.DestroyFlow(dyn.flow);
+  cell_.ReleaseUe(dyn.ue);
+  dynamic_by_flow_.erase(dyn.flow);
+  dynamic_.erase(it);
+}
+
+void ScenarioWorld::HarvestDynamicSession(int id, DynamicSession& dyn) {
+  dyn.session->player().AdvanceTo(sim_.Now());
+  ClientMetrics m = ComputeClientMetrics(*dyn.session);
+  if (config_.bai_trace != nullptr) {
+    PlayerSummary summary;
+    summary.cell = static_cast<int>(config_.oneapi.cell_tag);
+    // Churned sessions report after the static client id space.
+    summary.client = config_.n_video + config_.n_data +
+                     config_.n_conventional + id;
+    summary.flow = dyn.flow;
+    summary.avg_bitrate_bps = m.avg_bitrate_bps;
+    summary.switches = m.bitrate_changes;
+    summary.stalls = m.rebuffer_events;
+    summary.stall_s = m.rebuffer_time_s;
+    summary.qoe = m.qoe;
+    summary.segments = m.segments;
+    config_.bai_trace->RecordPlayer(summary);
+  }
+  churned_metrics_.push_back(std::move(m));
 }
 
 void ScenarioWorld::HealthScan() {
@@ -374,6 +534,31 @@ ScenarioResult ScenarioWorld::Collect() {
     }
     result.video.push_back(m);
   }
+
+  if (churn_ != nullptr) {
+    // Dynamic sessions still streaming at the horizon are harvested in
+    // session-id order (departed ones were harvested at teardown).
+    for (auto& [id, dyn] : dynamic_) {
+      if (dyn.session != nullptr && dyn.started) {
+        dyn.session->Stop();
+        HarvestDynamicSession(id, dyn);
+      }
+    }
+    result.sessions_arrived = churn_->arrivals();
+    result.sessions_departed = churn_->departures();
+    result.sessions_blocked = churn_->blocked();
+    result.blocking_probability = churn_->blocking_probability();
+    result.churned = std::move(churned_metrics_);
+    double qoe_sum = 0.0;
+    for (const ClientMetrics& m : result.churned) qoe_sum += m.qoe;
+    if (!result.churned.empty()) {
+      result.avg_admitted_qoe =
+          qoe_sum / static_cast<double>(result.churned.size());
+    }
+    MakeGaugeHandle(config_.metrics, "churn.admitted_qoe_avg")
+        .Set(result.avg_admitted_qoe);
+  }
+
   if (config_.bai_trace != nullptr) config_.bai_trace->Flush(sim_.Now());
   cell_.FlushSpanWindow();
   if (!result.video.empty()) {

@@ -10,9 +10,12 @@
 // reproducible serial-vs-parallel down to the trace bytes.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <vector>
 
+#include "churn/admission.h"
+#include "churn/session_churn.h"
 #include "net/flare_plugin.h"
 #include "net/oneapi_server.h"
 #include "net/pcef.h"
@@ -50,10 +53,48 @@ class ScenarioWorld {
   OneApiServer& oneapi() { return oneapi_; }
 
  private:
+  /// A session created (and torn down) mid-run by the churn engine. Unlike
+  /// the static population, every resource here — UE slot, transport flow,
+  /// HTTP client, player, plugin — is reclaimed on departure.
+  struct DynamicSession {
+    SessionKind kind = SessionKind::kVideoSession;
+    FlowId flow = kInvalidFlow;
+    UeId ue = 0;
+    std::unique_ptr<HttpClient> http;
+    std::unique_ptr<VideoSession> session;
+    /// Network-only ablation: the plugin the server talks to while the
+    /// player runs its own ABR. Null when the plugin is the session's ABR.
+    std::unique_ptr<FlarePlugin> orphan_plugin;
+    /// The server-visible plugin (owned either by `session`'s ABR slot or
+    /// by `orphan_plugin`); null for non-FLARE schemes and data sessions.
+    FlarePlugin* plugin = nullptr;
+    /// FLARE video sessions start only once the (delayed, admission-gated)
+    /// OneAPI registration lands; everyone else starts at spawn.
+    bool started = false;
+  };
+
   /// Per-BAI watchdog feed: player stall deltas, unspent GBR credit,
   /// data-flow service. Pure reads — attaching health never perturbs the
   /// experiment (the BAI trace stays byte-identical).
   void HealthScan();
+
+  /// Builds the per-scheme client ABR for one video session. `salt_index`
+  /// feeds the FESTIVE rng fork (static clients pass their index; dynamic
+  /// sessions pass a value beyond the static population). Exactly one of
+  /// *plugin_out / *orphan_out is set for FLARE schemes.
+  std::unique_ptr<AbrAlgorithm> MakeVideoAbr(
+      FlowId flow, int salt_index, FlarePlugin** plugin_out,
+      std::unique_ptr<FlarePlugin>* orphan_out);
+
+  /// Churn-engine host hooks.
+  int SpawnDynamicSession(SessionKind kind);
+  void TeardownDynamicSession(int id, bool harvest);
+  /// OneAPI admission outcome for `flow` (fires for every registration
+  /// attempt; static flows are ignored — they start on their own clock).
+  void OnAdmission(FlowId flow, bool admitted);
+  /// Advances the player and appends this session's ClientMetrics to the
+  /// churned-session results.
+  void HarvestDynamicSession(int id, DynamicSession& session);
 
   ScenarioConfig config_;
   Simulator& sim_;
@@ -83,6 +124,14 @@ class ScenarioWorld {
   std::vector<double> last_health_stall_s_;
   std::vector<std::uint64_t> last_health_data_bytes_;
   ScenarioResult result_;  // series accumulate here during the run
+
+  // --- Session churn (null / empty unless config.churn.enabled).
+  std::unique_ptr<AdmissionController> admission_;  // FLARE schemes only
+  std::unique_ptr<SessionChurnEngine> churn_;
+  std::map<int, DynamicSession> dynamic_;    // live, by engine session id
+  std::map<FlowId, int> dynamic_by_flow_;
+  int next_dynamic_id_ = 0;
+  std::vector<ClientMetrics> churned_metrics_;  // harvested on departure
 };
 
 }  // namespace flare

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 
 #include "sim/simulator.h"
@@ -36,6 +37,9 @@ class HttpClient {
   using ProgressFn = std::function<void(std::uint64_t bytes, SimTime now)>;
 
   HttpClient(Simulator& sim, TcpFlow& flow);
+  /// Safe to destroy mid-request (session churn), in either order with
+  /// the flow: pending uplink events and the flow's receive callback are
+  /// liveness-guarded, so neither side calls into freed memory.
 
   /// Issue a GET for a `bytes`-sized object. Requests queue FIFO if one is
   /// already in flight (HTTP/1.1 persistent connection semantics).
@@ -64,6 +68,10 @@ class HttpClient {
   };
   std::optional<InFlight> current_;
   ProgressFn on_progress_;
+  // Liveness token (TcpFlow's pattern): scheduled events capture a
+  // weak_ptr so a GET in flight when the client is destroyed mid-run
+  // cannot call back into freed memory.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
 };
 
 }  // namespace flare

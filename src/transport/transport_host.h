@@ -5,6 +5,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 
 #include "lte/cell.h"
 #include "transport/tcp_flow.h"
@@ -34,11 +35,15 @@ class TransportHost {
 
  private:
   void TopUpGreedy(FlowId id);
+  /// Self-rescheduling top-up tick; the chain ends (and the captured
+  /// callable dies) once the flow leaves greedy_, so a destroyed flow's
+  /// timer does not tick for the rest of the run.
+  void ScheduleGreedyTick(FlowId id);
 
   Simulator& sim_;
   Cell& cell_;
   std::map<FlowId, std::unique_ptr<TcpFlow>> flows_;
-  std::map<FlowId, bool> greedy_;
+  std::set<FlowId> greedy_;
 };
 
 }  // namespace flare

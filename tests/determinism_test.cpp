@@ -34,6 +34,23 @@ MultiCellConfig HarnessConfig(int workers) {
   return multi;
 }
 
+/// Churn variant: 8 cells with Poisson arrivals, lognormal holds and
+/// capacity-threshold admission, so dynamic session creation/teardown and
+/// the warm-started sweep solver are all inside the determinism contract.
+MultiCellConfig ChurnHarnessConfig(int workers) {
+  MultiCellConfig multi = HarnessConfig(workers);
+  multi.n_cells = 8;
+  multi.cell.duration_s = 20.0;
+  multi.cell.n_video = 2;
+  multi.cell.churn.enabled = true;
+  multi.cell.churn.arrival_rate_per_s = 0.4;
+  multi.cell.churn.mean_hold_s = 8.0;
+  multi.cell.churn.data_fraction = 0.2;
+  multi.cell.churn.admission.policy = AdmissionPolicy::kCapacityThreshold;
+  multi.cell.churn.admission.capacity_threshold = 0.5;
+  return multi;
+}
+
 struct RunOutput {
   std::string csv;
   std::string json;
@@ -42,8 +59,7 @@ struct RunOutput {
   MultiCellResult result;
 };
 
-RunOutput RunOnce(int workers) {
-  MultiCellConfig multi = HarnessConfig(workers);
+RunOutput RunMulti(MultiCellConfig multi) {
   MetricsRegistry registry;
   BaiTraceSink trace;
   SpanTracer spans;
@@ -74,6 +90,8 @@ RunOutput RunOnce(int workers) {
   return out;
 }
 
+RunOutput RunOnce(int workers) { return RunMulti(HarnessConfig(workers)); }
+
 TEST(Determinism, SerialRunRepeatsItselfExactly) {
   const RunOutput a = RunOnce(/*workers=*/0);
   const RunOutput b = RunOnce(/*workers=*/0);
@@ -93,6 +111,32 @@ TEST(Determinism, ParallelIsBitIdenticalToSerial) {
     EXPECT_EQ(serial.json, parallel.json) << "workers=" << workers;
     EXPECT_EQ(serial.spans, parallel.spans) << "workers=" << workers;
     EXPECT_EQ(serial.health, parallel.health) << "workers=" << workers;
+  }
+}
+
+TEST(Determinism, ChurnSerialVsParallelBitIdentical) {
+  const RunOutput serial = RunMulti(ChurnHarnessConfig(/*workers=*/0));
+  ASSERT_FALSE(serial.csv.empty());
+  // Churn actually ran: every cell's engine saw arrivals.
+  std::uint64_t arrived = 0;
+  for (const ScenarioResult& cell : serial.result.cells) {
+    arrived += cell.sessions_arrived;
+  }
+  ASSERT_GT(arrived, 0u);
+  for (const int workers : {2, 8}) {
+    const RunOutput parallel = RunMulti(ChurnHarnessConfig(workers));
+    EXPECT_EQ(serial.csv, parallel.csv) << "workers=" << workers;
+    EXPECT_EQ(serial.json, parallel.json) << "workers=" << workers;
+    EXPECT_EQ(serial.spans, parallel.spans) << "workers=" << workers;
+    EXPECT_EQ(serial.health, parallel.health) << "workers=" << workers;
+    for (std::size_t c = 0; c < serial.result.cells.size(); ++c) {
+      EXPECT_EQ(serial.result.cells[c].sessions_arrived,
+                parallel.result.cells[c].sessions_arrived)
+          << "workers=" << workers << " cell=" << c;
+      EXPECT_EQ(serial.result.cells[c].sessions_blocked,
+                parallel.result.cells[c].sessions_blocked)
+          << "workers=" << workers << " cell=" << c;
+    }
   }
 }
 

@@ -130,12 +130,12 @@ TEST(PfScheduler, ProportionalFairFavoursGoodChannelProportionally) {
       bytes_total[g.flow->id] += static_cast<double>(g.bytes);
       rbs_total[g.flow->id] += g.rbs;
     }
+    const std::map<FlowId, std::uint64_t> served = BytesByFlow(grants);
     for (FlowState& s : f.states) {
-      const auto it = BytesByFlow(grants).find(s.id);
-      const double rate =
-          it != BytesByFlow(grants).end()
-              ? static_cast<double>(it->second) * 8000.0
-              : 0.0;
+      const auto it = served.find(s.id);
+      const double rate = it != served.end()
+                              ? static_cast<double>(it->second) * 8000.0
+                              : 0.0;
       s.pf_avg_bps = 0.99 * s.pf_avg_bps + 0.01 * rate;
     }
   }

@@ -10,6 +10,7 @@
 
 #include "obs/bai_trace.h"
 #include "obs/metrics.h"
+#include "obs/qoe_analytics.h"
 #include "scenario/experiment.h"
 #include "scenario/scenario.h"
 #include "util/csv.h"
@@ -73,17 +74,27 @@ int Main(int argc, char** argv) {
   PrintPaperComparison("Jain index FESTIVE", 0.986, festive.MeanJain());
 
   // Structured export: one fully instrumented FLARE run (registry + BAI
-  // trace + player summaries) alongside the pooled CDFs.
+  // trace + QoE engine + player summaries) alongside the pooled CDFs, in
+  // the standardized BENCH_*.json envelope.
   {
     MetricsRegistry registry;
     BaiTraceSink trace;
+    QoeAnalytics qoe;
     ScenarioConfig config = SimStaticPreset(Scheme::kFlare);
     config.duration_s = scale.duration_s;
     config.seed = 100;
     config.metrics = &registry;
     config.bai_trace = &trace;
+    config.qoe = &qoe;
     RunScenario(config);
-    trace.ExportJson(BenchJsonPath("fig6"), &registry);
+    BenchJsonWriter writer("fig6");
+    writer.Echo("scheme", SchemeName(Scheme::kFlare));
+    writer.Echo("duration_s", config.duration_s);
+    writer.Echo("seed", static_cast<double>(config.seed));
+    writer.Echo("n_video", static_cast<double>(config.n_video));
+    writer.Echo("runs", static_cast<double>(scale.runs));
+    writer.Export(BenchJsonPath("fig6"), trace, &registry,
+                  /*health=*/nullptr, &qoe);
     std::printf("\nstructured metrics written to %s\n",
                 BenchJsonPath("fig6").c_str());
   }

@@ -9,6 +9,7 @@
 #include "core/optimizer.h"
 #include "core/rate_controller.h"
 #include "has/mpd.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/span_trace.h"
 #include "util/rng.h"
@@ -192,6 +193,28 @@ void BM_ObsOverhead(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ObsOverhead)->Arg(0)->Arg(1);
+
+// Flight-recorder record site, disabled (Arg 0) vs live (Arg 1). The
+// disabled path must be one predicted null check — the recorder rides in
+// Player/OneApiServer hot paths, so "off" has to cost nothing (the
+// acceptance bar is <= ~10 ns/event; a null check is well under 1 ns).
+// The enabled path is bounded by construction: the ring overwrites.
+void BM_FlightRecorderOverhead(benchmark::State& state) {
+  const bool enabled = state.range(0) != 0;
+  FlightRecorder recorder(512);
+  FlightRecorder* flight = enabled ? &recorder : nullptr;
+  double t_s = 0.0;
+  for (auto _ : state) {
+    t_s += 0.1;
+    if (flight != nullptr) {
+      flight->Record(t_s, "rung_change", 7, -1, 3.0,
+                     "{\"from\":2,\"to\":3}");
+    }
+    benchmark::DoNotOptimize(t_s);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_FlightRecorderOverhead)->Arg(0)->Arg(1);
 
 // DecideBai through the OneAPI-style wrapper with metrics attached vs not:
 // the "no measurable slowdown when disabled" acceptance check.

@@ -17,7 +17,9 @@
 #include <vector>
 
 #include "obs/bai_trace.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/qoe_analytics.h"
 #include "obs/span_trace.h"
 #include "obs/watchdog.h"
 #include "scenario/multi_cell.h"
@@ -33,22 +35,35 @@ using namespace flare;
 // against this so misspelled knobs fail loudly instead of being ignored.
 const char* const kKnownKeys[] = {
     "admission",     "alpha",
-    "arrival_rate",  "bai_s",
-    "bai_trace_csv", "bler",
-    "capacity_threshold", "cells",
-    "channel",       "churn",
-    "client_caps",   "client_theta_mbps",
+    "arrival_process", "arrival_rate",
+    "bai_s",         "bai_trace_csv",
+    "bler",          "capacity_threshold",
+    "cells",         "channel",
+    "churn",         "client_caps",
+    "client_theta_mbps", "data_fraction",
     "delta",         "duration_s",
-    "fail_on_unhealthy", "ladder",
+    "fail_on_unhealthy", "flight_recorder",
+    "hold_process",  "ladder",
+    "lognormal_sigma", "max_arrivals",
     "mean_hold_s",   "metrics_json",
     "n_conventional", "n_data",
     "n_video",       "num_rbs",
     "objective_floor", "parallel",
+    "postmortem_json", "qoe_csv",
     "runs",          "scheme",
     "seed",          "segment_s",
     "series_csv",    "static_itbs",
     "testbed",       "trace_json",
-    "vbr_sigma",
+    "vbr_sigma",     "warm_solver",
+};
+
+// Knobs that only make sense when churn=1; passing any of them with churn
+// disabled is rejected so a typo can't silently configure a dead subsystem.
+const char* const kChurnOnlyKeys[] = {
+    "admission",       "arrival_process", "arrival_rate",
+    "capacity_threshold", "data_fraction", "hold_process",
+    "lognormal_sigma", "max_arrivals",    "mean_hold_s",
+    "objective_floor", "warm_solver",
 };
 
 void PrintUsage(std::FILE* out) {
@@ -79,11 +94,17 @@ Video keys:
   client_caps=N,N,...         per-client rung caps, -1 = none
 Control-loop keys:
   alpha=F delta=N bai_s=F     FLARE optimizer / BAI knobs
-Churn keys:
+Churn keys (all except churn= require churn=1):
   churn=0|1          session arrivals/departures on top of the static
                      population (0)
   arrival_rate=F     session arrivals per second per cell (0.2)
-  mean_hold_s=F      mean session holding time, lognormal (30)
+  arrival_process=NAME  poisson | lognormal inter-arrivals (poisson)
+  mean_hold_s=F      mean session holding time (30)
+  hold_process=NAME  poisson | lognormal holding times (lognormal)
+  lognormal_sigma=F  shape of the lognormal draws (1)
+  data_fraction=F    fraction of arrivals that are data sessions (0)
+  max_arrivals=N     hard cap on arrivals per cell; 0 = unbounded (0)
+  warm_solver=0|1    warm-started incremental sweep for FLARE cells (1)
   admission=NAME     admit-all | capacity-threshold | utility-drop
                      (admit-all; FLARE schemes only)
   capacity_threshold=F highest admitted floor-rung RB fraction for
@@ -93,10 +114,18 @@ Churn keys:
 Output keys:
   series_csv=PATH    1 Hz per-client bitrate/buffer series (first run)
   metrics_json=PATH  counters/histograms (p50/p95/p99) + per-BAI trace +
-                     per-player summaries + run_health (first run)
+                     per-player summaries + run_health + qoe (first run)
   bai_trace_csv=PATH per-flow per-BAI decision rows as CSV (first run)
+  qoe_csv=PATH       per-session QoE rows (bitrate, switches, stalls,
+                     startup delay, QoE score) as CSV (first run)
   trace_json=PATH    causal span trace, Chrome trace-event JSON; open in
                      https://ui.perfetto.dev (first run)
+  flight_recorder=N  keep the last N structured events per cell in a
+                     black-box ring buffer (0 = off; default capacity
+                     512 when postmortem_json is set)
+  postmortem_json=PATH dump the flight recorder here on the first
+                     watchdog alarm, on a fail_on_unhealthy exit, or on
+                     a fatal signal
   fail_on_unhealthy=0|1  exit 2 if run-health watchdogs fired (0)
 )");
 }
@@ -107,11 +136,13 @@ bool KnownKey(const std::string& key) {
          std::end(kKnownKeys);
 }
 
-/// Span-trace export + run-health verdict, shared by the single- and
-/// multi-cell paths. Returns the process exit code.
+/// Span-trace export, run-health verdict, and black-box dump, shared by
+/// the single- and multi-cell paths. Returns the process exit code.
 int FinishObservability(const std::optional<std::string>& trace_json,
                         const SpanTracer& spans, bool fail_on_unhealthy,
-                        const RunHealthMonitor& health) {
+                        const RunHealthMonitor& health,
+                        const FlightRecorder* flight,
+                        const std::optional<std::string>& postmortem_json) {
   if (trace_json) {
     if (spans.ExportJson(*trace_json)) {
       std::printf("span trace written to %s (open in ui.perfetto.dev)\n",
@@ -121,7 +152,21 @@ int FinishObservability(const std::optional<std::string>& trace_json,
       return 1;
     }
   }
-  if (fail_on_unhealthy && !health.healthy()) {
+  const bool unhealthy_abort = fail_on_unhealthy && !health.healthy();
+  if (postmortem_json && flight != nullptr &&
+      (flight->triggered() || unhealthy_abort)) {
+    const std::string reason = flight->triggered()
+                                   ? flight->trigger_reason()
+                                   : "fail_on_unhealthy";
+    if (flight->DumpPostmortem(*postmortem_json, reason)) {
+      std::printf("flight-recorder postmortem (%s) written to %s\n",
+                  reason.c_str(), postmortem_json->c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", postmortem_json->c_str());
+      return 1;
+    }
+  }
+  if (unhealthy_abort) {
     for (const HealthWarning& w : health.warnings()) {
       std::fprintf(stderr, "health: t=%.1f s cell %d %s: %s\n", w.t_s,
                    w.cell, w.kind.c_str(), w.detail.c_str());
@@ -243,10 +288,49 @@ int main(int argc, char** argv) {
     }
   }
   config.churn.enabled = args.GetBool("churn", false);
+  if (!config.churn.enabled) {
+    const std::vector<std::string> keys = args.Keys();
+    for (const char* churn_key : kChurnOnlyKeys) {
+      if (std::find(keys.begin(), keys.end(), churn_key) != keys.end()) {
+        std::fprintf(stderr,
+                     "scenario_runner: '%s=' requires churn=1 (churn is "
+                     "disabled, so the knob would be silently ignored)\n",
+                     churn_key);
+        return 1;
+      }
+    }
+  }
   config.churn.arrival_rate_per_s =
       args.GetDouble("arrival_rate", config.churn.arrival_rate_per_s);
   config.churn.mean_hold_s =
       args.GetDouble("mean_hold_s", config.churn.mean_hold_s);
+  if (const auto process_name = args.GetString("arrival_process")) {
+    const auto process = ParseChurnProcess(*process_name);
+    if (!process) {
+      std::fprintf(stderr, "unknown arrival process '%s'\n",
+                   process_name->c_str());
+      return 1;
+    }
+    config.churn.arrival_process = *process;
+  }
+  if (const auto process_name = args.GetString("hold_process")) {
+    const auto process = ParseChurnProcess(*process_name);
+    if (!process) {
+      std::fprintf(stderr, "unknown hold process '%s'\n",
+                   process_name->c_str());
+      return 1;
+    }
+    config.churn.hold_process = *process;
+  }
+  config.churn.lognormal_sigma =
+      args.GetDouble("lognormal_sigma", config.churn.lognormal_sigma);
+  config.churn.data_fraction =
+      args.GetDouble("data_fraction", config.churn.data_fraction);
+  config.churn.max_arrivals = static_cast<std::uint64_t>(
+      args.GetInt("max_arrivals",
+                  static_cast<int>(config.churn.max_arrivals)));
+  config.churn.warm_solver =
+      args.GetBool("warm_solver", config.churn.warm_solver);
   if (const auto admission_name = args.GetString("admission")) {
     const auto policy = ParseAdmissionPolicy(*admission_name);
     if (!policy) {
@@ -271,18 +355,32 @@ int main(int argc, char** argv) {
   const auto metrics_json = args.GetString("metrics_json");
   const auto bai_trace_csv = args.GetString("bai_trace_csv");
   const auto trace_json = args.GetString("trace_json");
+  const auto qoe_csv = args.GetString("qoe_csv");
+  const auto postmortem_json = args.GetString("postmortem_json");
+  const int flight_capacity = args.GetInt("flight_recorder", 0);
   const bool fail_on_unhealthy = args.GetBool("fail_on_unhealthy", false);
   MetricsRegistry registry;
   BaiTraceSink trace;
   SpanTracer spans;
   RunHealthMonitor health;
+  QoeAnalytics qoe;
+  FlightRecorder flight(flight_capacity > 0
+                            ? static_cast<std::size_t>(flight_capacity)
+                            : FlightRecorder::kDefaultCapacity);
   if (metrics_json || bai_trace_csv) {
     config.metrics = &registry;
     config.bai_trace = &trace;
   }
   if (trace_json) config.span_trace = &spans;
-  if (trace_json || metrics_json || fail_on_unhealthy) {
+  if (trace_json || metrics_json || fail_on_unhealthy || postmortem_json) {
     config.health = &health;
+  }
+  if (metrics_json || qoe_csv) config.qoe = &qoe;
+  if (flight_capacity > 0 || postmortem_json) config.flight = &flight;
+  if (postmortem_json) {
+    // Fatal signals (SIGSEGV/SIGABRT/SIGFPE) dump the black box before
+    // re-raising, so even a crash leaves the last events on disk.
+    InstallFatalSignalPostmortem(&flight, *postmortem_json);
   }
 
   std::printf("scenario_runner: %s on %s, %d video / %d data / %d "
@@ -303,6 +401,8 @@ int main(int argc, char** argv) {
     multi.bai_trace = config.bai_trace;
     multi.span_trace = config.span_trace;
     multi.health = config.health;
+    multi.qoe = config.qoe;
+    multi.flight = config.flight;
     const MultiCellResult result = RunMultiCellScenario(multi);
 
     for (int c = 0; c < cells; ++c) {
@@ -321,7 +421,8 @@ int main(int argc, char** argv) {
                 result.wall_ms, workers);
 
     if (metrics_json) {
-      if (trace.ExportJson(*metrics_json, &registry, config.health)) {
+      if (trace.ExportJson(*metrics_json, &registry, config.health,
+                           config.qoe)) {
         std::printf("metrics written to %s\n", metrics_json->c_str());
       } else {
         std::fprintf(stderr, "cannot write %s\n", metrics_json->c_str());
@@ -336,8 +437,16 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
+    if (qoe_csv) {
+      if (qoe.ExportCsv(*qoe_csv)) {
+        std::printf("QoE sessions written to %s\n", qoe_csv->c_str());
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", qoe_csv->c_str());
+        return 1;
+      }
+    }
     return FinishObservability(trace_json, spans, fail_on_unhealthy,
-                               health);
+                               health, config.flight, postmortem_json);
   }
 
   double rate = 0.0;
@@ -399,7 +508,8 @@ int main(int argc, char** argv) {
     std::printf("\nseries written to %s\n", series_csv->c_str());
   }
   if (metrics_json) {
-    if (trace.ExportJson(*metrics_json, &registry, config.health)) {
+    if (trace.ExportJson(*metrics_json, &registry, config.health,
+                         config.qoe)) {
       std::printf("metrics written to %s\n", metrics_json->c_str());
     } else {
       std::fprintf(stderr, "cannot write %s\n", metrics_json->c_str());
@@ -414,5 +524,14 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  return FinishObservability(trace_json, spans, fail_on_unhealthy, health);
+  if (qoe_csv) {
+    if (qoe.ExportCsv(*qoe_csv)) {
+      std::printf("QoE sessions written to %s\n", qoe_csv->c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", qoe_csv->c_str());
+      return 1;
+    }
+  }
+  return FinishObservability(trace_json, spans, fail_on_unhealthy, health,
+                             config.flight, postmortem_json);
 }

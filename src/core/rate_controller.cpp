@@ -28,6 +28,19 @@ const char* DecisionCauseName(DecisionCause cause) {
   return "unknown";
 }
 
+const std::vector<const char*>& AllDecisionCauseNames() {
+  static const std::vector<const char*> names = {
+      DecisionCauseName(DecisionCause::kInit),
+      DecisionCauseName(DecisionCause::kHold),
+      DecisionCauseName(DecisionCause::kSolverUp),
+      DecisionCauseName(DecisionCause::kHysteresisAdopted),
+      DecisionCauseName(DecisionCause::kStabilityCap),
+      DecisionCauseName(DecisionCause::kCapacityDown),
+      DecisionCauseName(DecisionCause::kInfeasibleFallback),
+  };
+  return names;
+}
+
 FlareRateController::FlareRateController(const FlareParams& params)
     : params_(params) {
   if (params_.delta < 0) {

@@ -67,6 +67,10 @@ enum class DecisionCause {
 
 const char* DecisionCauseName(DecisionCause cause);
 
+/// Every DecisionCauseName() in enum order; lets reporting tools emit
+/// stable, zero-filled cause tables even for causes that never fired.
+const std::vector<const char*>& AllDecisionCauseNames();
+
 struct RateAssignment {
   FlowId id = kInvalidFlow;
   /// Rung enforced after Algorithm 1's stability rule.

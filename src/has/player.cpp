@@ -39,12 +39,17 @@ void VideoPlayer::AdvanceTo(SimTime now) {
         ++rebuffer_events_;
         stalls_metric_.Add();
         rebuffer_s_ += elapsed - drained;
+        // The buffer actually hit zero (elapsed - drained) seconds ago.
+        const double underflow_s = ToSeconds(now) - (elapsed - drained);
         if (span_trace_ != nullptr) {
-          // The buffer actually hit zero (elapsed - drained) seconds ago.
-          span_trace_->Instant(
-              kLanePlayer, "player", "stall",
-              static_cast<double>(now) - (elapsed - drained) * 1e6,
-              ClientArgs(span_client_, 0.0));
+          span_trace_->Instant(kLanePlayer, "player", "stall",
+                               underflow_s * 1e6,
+                               ClientArgs(span_client_, 0.0));
+        }
+        if (qoe_ != nullptr) qoe_->OnStallBegin(qoe_session_, underflow_s);
+        if (flight_ != nullptr) {
+          flight_->Record(underflow_s, "stall_begin", kInvalidFlow,
+                          qoe_session_);
         }
       }
       break;
@@ -77,6 +82,7 @@ void VideoPlayer::OnSegment(double duration_s, double bitrate_bps,
   }
   segment_bitrates_.push_back(bitrate_bps);
   buffer_metric_.Observe(buffer_s_);
+  if (qoe_ != nullptr) qoe_->OnSegment(qoe_session_, bitrate_bps, duration_s);
   if (state_ == State::kStartup && buffer_s_ >= config_.startup_threshold_s) {
     state_ = State::kPlaying;
     if (span_trace_ != nullptr) {
@@ -84,6 +90,7 @@ void VideoPlayer::OnSegment(double duration_s, double bitrate_bps,
                            static_cast<double>(now),
                            ClientArgs(span_client_, buffer_s_));
     }
+    if (qoe_ != nullptr) qoe_->OnPlayoutStart(qoe_session_, ToSeconds(now));
   } else if (state_ == State::kStalled &&
              buffer_s_ >= config_.resume_threshold_s) {
     state_ = State::kPlaying;
@@ -91,6 +98,11 @@ void VideoPlayer::OnSegment(double duration_s, double bitrate_bps,
       span_trace_->Instant(kLanePlayer, "player", "resume",
                            static_cast<double>(now),
                            ClientArgs(span_client_, buffer_s_));
+    }
+    if (qoe_ != nullptr) qoe_->OnStallEnd(qoe_session_, ToSeconds(now));
+    if (flight_ != nullptr) {
+      flight_->Record(ToSeconds(now), "stall_end", kInvalidFlow,
+                      qoe_session_, buffer_s_);
     }
   }
 }
@@ -106,6 +118,13 @@ int VideoPlayer::switch_count() const {
 void VideoPlayer::SetSpanTracer(SpanTracer* tracer, int client) {
   span_trace_ = tracer;
   span_client_ = client;
+}
+
+void VideoPlayer::SetQoeAnalytics(QoeAnalytics* qoe, FlightRecorder* flight,
+                                  int session) {
+  qoe_ = qoe;
+  flight_ = flight;
+  qoe_session_ = session;
 }
 
 void VideoPlayer::SetMetrics(MetricsRegistry* registry) {

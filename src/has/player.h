@@ -11,7 +11,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/qoe_analytics.h"
 #include "obs/span_trace.h"
 #include "util/time.h"
 
@@ -67,6 +69,14 @@ class VideoPlayer {
   /// even though the lazy model detects them at the next event.
   void SetSpanTracer(SpanTracer* tracer, int client);
 
+  /// Attach the QoE/flight tier (either may be null): `qoe` receives the
+  /// session's segments, stall edges and playout start under id
+  /// `session`; `flight` records stall_begin/stall_end events. Stall
+  /// begins use the same exact-underflow timestamps as the span tracer,
+  /// so the engine's stall totals match rebuffer_time_s().
+  void SetQoeAnalytics(QoeAnalytics* qoe, FlightRecorder* flight,
+                       int session);
+
  private:
   enum class State { kStartup, kPlaying, kStalled };
 
@@ -84,6 +94,9 @@ class VideoPlayer {
   HistogramHandle buffer_metric_;
   SpanTracer* span_trace_ = nullptr;
   int span_client_ = -1;
+  QoeAnalytics* qoe_ = nullptr;
+  FlightRecorder* flight_ = nullptr;
+  int qoe_session_ = -1;
 };
 
 }  // namespace flare

@@ -52,6 +52,9 @@ void OneApiServer::ConnectVideoClient(FlarePlugin* plugin, const Mpd& mpd) {
     clients_[info->flow] = ClientEntry{plugin, *info};
     // Reset the trace window so the first BAI measures a clean interval.
     if (cell_.HasFlow(info->flow)) cell_.TakeWindow(info->flow);
+    if (admission_ != nullptr && flight_ != nullptr) {
+      flight_->Record(ToSeconds(sim_.Now()), "admission_admit", info->flow);
+    }
     if (admission_callback_) admission_callback_(info->flow, true);
   });
 }
@@ -85,6 +88,14 @@ bool OneApiServer::AdmitClient(const ClientInfo& info) {
     return true;
   }
   admission_rejects_metric_.Add();
+  if (flight_ != nullptr) {
+    flight_->Record(ToSeconds(sim_.Now()), "admission_reject", info.flow, -1,
+                    decision.value,
+                    "{\"policy\":\"" +
+                        std::string(AdmissionPolicyName(
+                            admission_->config().policy)) +
+                        "\"}");
+  }
   if (span_trace_ != nullptr) {
     span_trace_->Instant(
         kLaneControl, "churn", "admission_reject",
@@ -136,6 +147,11 @@ void OneApiServer::SetObservers(MetricsRegistry* registry,
       {0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0});
   video_fraction_metric_ =
       MakeGaugeHandle(registry, "oneapi.video_fraction");
+}
+
+void OneApiServer::SetAnalytics(QoeAnalytics* qoe, FlightRecorder* flight) {
+  qoe_ = qoe;
+  flight_ = flight;
 }
 
 void OneApiServer::Start() {
@@ -221,6 +237,21 @@ void OneApiServer::RunBai() {
     msg.gbr_bps = a.rate_bps * config_.gbr_headroom;
     pcef_.EnforceGbr(msg.flow, msg.gbr_bps);
     assignments_metric_.Add();
+    if (a.level != a.previous_level) {
+      if (qoe_ != nullptr) qoe_->OnRungChange(DecisionCauseName(a.cause));
+      if (flight_ != nullptr) {
+        flight_->Record(ToSeconds(sim_.Now()), "rung_change", a.id, -1,
+                        static_cast<double>(a.level),
+                        "{\"from\":" + std::to_string(a.previous_level) +
+                            ",\"to\":" + std::to_string(a.level) +
+                            ",\"cause\":\"" + DecisionCauseName(a.cause) +
+                            "\"}");
+      }
+    }
+    if (flight_ != nullptr) {
+      flight_->Record(ToSeconds(sim_.Now()), "gbr_push", a.id, -1,
+                      msg.gbr_bps);
+    }
     if (span_trace_ != nullptr) {
       const double ts_us = static_cast<double>(sim_.Now());
       // Decision timeline: every enforced rung change is an instant with

@@ -22,7 +22,9 @@
 #include "net/pcef.h"
 #include "net/pcrf.h"
 #include "obs/bai_trace.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/qoe_analytics.h"
 #include "obs/span_trace.h"
 #include "obs/watchdog.h"
 #include "sim/simulator.h"
@@ -135,6 +137,13 @@ class OneApiServer {
                     SpanTracer* spans = nullptr,
                     RunHealthMonitor* health = nullptr);
 
+  /// Attach the QoE/flight-recorder tier (either may be null): `qoe`
+  /// counts enforced rung changes by DecisionCause and admission
+  /// verdicts; `flight` records rung_change / gbr_push / admission
+  /// events. Separate from SetObservers so existing call sites keep
+  /// their signature.
+  void SetAnalytics(QoeAnalytics* qoe, FlightRecorder* flight);
+
  private:
   /// Run the attached admission controller on a landed connect; true =
   /// admit (controller bookkeeping updated), false = reject (instant +
@@ -172,6 +181,8 @@ class OneApiServer {
   BaiTraceSink* trace_sink_ = nullptr;
   SpanTracer* span_trace_ = nullptr;
   RunHealthMonitor* health_ = nullptr;
+  QoeAnalytics* qoe_ = nullptr;
+  FlightRecorder* flight_ = nullptr;
   CounterHandle bais_metric_;
   CounterHandle assignments_metric_;
   CounterHandle admission_rejects_metric_;

@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "obs/metrics.h"
+#include "obs/qoe_analytics.h"
 #include "obs/span_trace.h"
 #include "obs/watchdog.h"
 #include "util/csv.h"
@@ -99,7 +100,8 @@ bool BaiTraceSink::ExportCsv(const std::string& path) const {
 
 void BaiTraceSink::WriteJson(std::ostream& out,
                              const MetricsRegistry* registry,
-                             const RunHealthMonitor* health) const {
+                             const RunHealthMonitor* health,
+                             const QoeAnalytics* qoe) const {
   out << "{\n\"metrics\": ";
   if (registry != nullptr) {
     registry->WriteJson(out);
@@ -109,6 +111,12 @@ void BaiTraceSink::WriteJson(std::ostream& out,
   out << ",\n\"run_health\": ";
   if (health != nullptr) {
     health->WriteJson(out);
+  } else {
+    out << "null";
+  }
+  out << ",\n\"qoe\": ";
+  if (qoe != nullptr) {
+    qoe->WriteJson(out);
   } else {
     out << "null";
   }
@@ -157,10 +165,11 @@ void BaiTraceSink::WriteJson(std::ostream& out,
 
 bool BaiTraceSink::ExportJson(const std::string& path,
                               const MetricsRegistry* registry,
-                              const RunHealthMonitor* health) const {
+                              const RunHealthMonitor* health,
+                              const QoeAnalytics* qoe) const {
   std::ofstream out(path);
   if (!out.is_open()) return false;
-  WriteJson(out, registry, health);
+  WriteJson(out, registry, health, qoe);
   return true;
 }
 

@@ -28,6 +28,7 @@
 namespace flare {
 
 class MetricsRegistry;
+class QoeAnalytics;
 class RunHealthMonitor;
 
 /// One row per video flow per BAI.
@@ -126,14 +127,16 @@ class BaiTraceSink {
   /// File form of WriteCsv. Returns false if unwritable.
   bool ExportCsv(const std::string& path) const;
   /// Full structured export: {"metrics": ..., "run_health": ...,
-  /// "bai_trace": [...], "tti_aggregates": [...], "players": [...]}.
-  /// `registry` and `health` may be null, in which case their sections
-  /// are written as null.
+  /// "qoe": ..., "bai_trace": [...], "tti_aggregates": [...],
+  /// "players": [...]}. `registry`, `health` and `qoe` may be null, in
+  /// which case their sections are written as null.
   void WriteJson(std::ostream& out, const MetricsRegistry* registry,
-                 const RunHealthMonitor* health = nullptr) const;
+                 const RunHealthMonitor* health = nullptr,
+                 const QoeAnalytics* qoe = nullptr) const;
   bool ExportJson(const std::string& path,
                   const MetricsRegistry* registry = nullptr,
-                  const RunHealthMonitor* health = nullptr) const;
+                  const RunHealthMonitor* health = nullptr,
+                  const QoeAnalytics* qoe = nullptr) const;
 
  private:
   SimTime flush_period_;

@@ -1,0 +1,175 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <csignal>
+#include <fstream>
+#include <ostream>
+
+#include "obs/span_trace.h"
+#include "util/csv.h"
+
+namespace flare {
+namespace {
+
+bool EventOrder(const FlightEvent& a, const FlightEvent& b) {
+  if (a.t_s != b.t_s) return a.t_s < b.t_s;
+  if (a.cell != b.cell) return a.cell < b.cell;
+  return a.seq < b.seq;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? kDefaultCapacity : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void FlightRecorder::Record(double t_s, const char* kind, FlowId flow,
+                            int client, double value, std::string args) {
+  FlightEvent event;
+  event.t_s = t_s;
+  event.cell = cell_;
+  event.seq = recorded_++;
+  event.kind = kind != nullptr ? kind : "";
+  event.flow = flow;
+  event.client = client;
+  event.value = value;
+  event.args = std::move(args);
+  if (merged_ || ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+    return;
+  }
+  ring_[next_] = std::move(event);
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+void FlightRecorder::TriggerSnapshot(const char* reason, double t_s) {
+  if (triggered_) return;
+  triggered_ = true;
+  trigger_reason_ = reason != nullptr ? reason : "";
+  trigger_t_s_ = t_s;
+  trigger_cell_ = cell_;
+  snapshot_ = RecentEvents();
+}
+
+std::vector<FlightEvent> FlightRecorder::RecentEvents() const {
+  std::vector<FlightEvent> events;
+  events.reserve(ring_.size());
+  if (merged_ || ring_.size() < capacity_) {
+    events = ring_;
+    return events;
+  }
+  // Full ring: next_ points at the oldest entry.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    events.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return events;
+}
+
+void FlightRecorder::AbsorbShard(const FlightRecorder& shard, int cell) {
+  merged_ = true;
+  for (FlightEvent event : shard.RecentEvents()) {
+    event.cell = cell;
+    ring_.push_back(std::move(event));
+  }
+  recorded_ += shard.recorded_;
+  dropped_ += shard.dropped_;
+  if (shard.triggered_) {
+    const bool adopt =
+        !triggered_ || shard.trigger_t_s_ < trigger_t_s_ ||
+        (shard.trigger_t_s_ == trigger_t_s_ && cell < trigger_cell_);
+    if (adopt) {
+      triggered_ = true;
+      trigger_reason_ = shard.trigger_reason_;
+      trigger_t_s_ = shard.trigger_t_s_;
+      trigger_cell_ = cell;
+    }
+    for (FlightEvent event : shard.snapshot_) {
+      event.cell = cell;
+      snapshot_.push_back(std::move(event));
+    }
+  }
+}
+
+void FlightRecorder::SortMergedEvents() {
+  std::stable_sort(ring_.begin(), ring_.end(), EventOrder);
+  std::stable_sort(snapshot_.begin(), snapshot_.end(), EventOrder);
+}
+
+void FlightRecorder::WriteEventJson(std::ostream& out,
+                                    const FlightEvent& event) const {
+  out << "{\"t_s\": " << JsonNumber(event.t_s) << ", \"cell\": " << event.cell
+      << ", \"seq\": " << event.seq << ", \"kind\": " << JsonQuote(event.kind);
+  if (event.flow != kInvalidFlow) out << ", \"flow\": " << event.flow;
+  if (event.client >= 0) out << ", \"client\": " << event.client;
+  out << ", \"value\": " << JsonNumber(event.value);
+  if (!event.args.empty()) out << ", \"args\": " << event.args;
+  out << '}';
+}
+
+void FlightRecorder::WriteJson(std::ostream& out,
+                               const std::string& reason) const {
+  out << "{\"reason\": " << JsonQuote(reason) << ",\n\"trigger\": ";
+  if (triggered_) {
+    out << "{\"reason\": " << JsonQuote(trigger_reason_)
+        << ", \"t_s\": " << JsonNumber(trigger_t_s_)
+        << ", \"cell\": " << trigger_cell_ << '}';
+  } else {
+    out << "null";
+  }
+  out << ",\n\"capacity\": " << capacity_ << ", \"recorded\": " << recorded_
+      << ", \"dropped\": " << dropped_ << ",\n\"snapshot\": [";
+  bool first = true;
+  for (const FlightEvent& event : snapshot_) {
+    out << (first ? "\n  " : ",\n  ");
+    first = false;
+    WriteEventJson(out, event);
+  }
+  out << "\n],\n\"recent\": [";
+  first = true;
+  for (const FlightEvent& event : RecentEvents()) {
+    out << (first ? "\n  " : ",\n  ");
+    first = false;
+    WriteEventJson(out, event);
+  }
+  out << "\n]}\n";
+}
+
+bool FlightRecorder::DumpPostmortem(const std::string& path,
+                                    const std::string& reason) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteJson(out, reason);
+  return static_cast<bool>(out);
+}
+
+namespace {
+
+const FlightRecorder* g_signal_recorder = nullptr;
+std::string g_signal_path;
+volatile std::sig_atomic_t g_signal_dumped = 0;
+
+void FatalSignalHandler(int signum) {
+  if (g_signal_dumped == 0 && g_signal_recorder != nullptr) {
+    g_signal_dumped = 1;
+    g_signal_recorder->DumpPostmortem(
+        g_signal_path, "fatal-signal:" + std::to_string(signum));
+  }
+  std::signal(signum, SIG_DFL);
+  std::raise(signum);
+}
+
+}  // namespace
+
+void InstallFatalSignalPostmortem(const FlightRecorder* recorder,
+                                  std::string path) {
+  g_signal_recorder = recorder;
+  g_signal_path = std::move(path);
+  const auto handler = recorder != nullptr ? FatalSignalHandler : SIG_DFL;
+  std::signal(SIGSEGV, handler);
+  std::signal(SIGABRT, handler);
+  std::signal(SIGFPE, handler);
+}
+
+}  // namespace flare

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <limits>
 #include <ostream>
 #include <utility>
 
@@ -29,7 +30,9 @@ double Histogram::Mean() const {
 }
 
 double Histogram::Quantile(double q) const {
-  if (count_ == 0) return 0.0;
+  // NaN rather than a fake 0: downstream JSON export turns it into null
+  // so tools never mistake "no samples" for "all samples were zero".
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
   if (bounds_.empty()) return Mean();
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(count_);
@@ -126,7 +129,7 @@ void MetricsRegistry::WriteJson(std::ostream& out) const {
     out << (first ? "\n    " : ",\n    ");
     first = false;
     WriteJsonString(out, name);
-    out << ": " << FormatNumber(gauge.value());
+    out << ": " << JsonNumber(gauge.value());
   }
   out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
   first = true;
@@ -134,12 +137,15 @@ void MetricsRegistry::WriteJson(std::ostream& out) const {
     out << (first ? "\n    " : ",\n    ");
     first = false;
     WriteJsonString(out, name);
+    // Empty histograms export null aggregates (Quantile is NaN, and a
+    // bare `nan` token would make the whole document unparseable).
+    const bool empty = histogram.count() == 0;
     out << ": {\"count\": " << histogram.count()
-        << ", \"sum\": " << FormatNumber(histogram.sum())
-        << ", \"mean\": " << FormatNumber(histogram.Mean())
-        << ", \"p50\": " << FormatNumber(histogram.Quantile(0.50))
-        << ", \"p95\": " << FormatNumber(histogram.Quantile(0.95))
-        << ", \"p99\": " << FormatNumber(histogram.Quantile(0.99))
+        << ", \"sum\": " << JsonNumber(histogram.sum()) << ", \"mean\": "
+        << (empty ? "null" : JsonNumber(histogram.Mean()))
+        << ", \"p50\": " << JsonNumber(histogram.Quantile(0.50))
+        << ", \"p95\": " << JsonNumber(histogram.Quantile(0.95))
+        << ", \"p99\": " << JsonNumber(histogram.Quantile(0.99))
         << ", \"buckets\": [";
     const std::vector<double>& bounds = histogram.bounds();
     const std::vector<std::uint64_t> cumulative =

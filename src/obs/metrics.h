@@ -58,9 +58,9 @@ class Histogram {
   /// Quantile estimate with linear interpolation inside the containing
   /// bucket (Prometheus `histogram_quantile` semantics). The first finite
   /// bucket interpolates from 0; a quantile landing in the overflow
-  /// bucket clamps to the largest finite bound. Returns 0 when empty and
-  /// Mean() when the histogram has no finite bounds. `q` is clamped to
-  /// [0, 1].
+  /// bucket clamps to the largest finite bound. Returns NaN when empty
+  /// (JSON export renders it as null) and Mean() when the histogram has
+  /// no finite bounds. `q` is clamped to [0, 1].
   double Quantile(double q) const;
   /// Fold another histogram's observations into this one. Both must share
   /// the same bucket bounds (merging shards created from one config).

@@ -33,9 +33,11 @@ RunHealthMonitor::RunHealthMonitor(const WatchdogConfig& config)
     : config_(config) {}
 
 void RunHealthMonitor::SetObservers(MetricsRegistry* registry,
-                                    SpanTracer* tracer) {
+                                    SpanTracer* tracer,
+                                    FlightRecorder* flight) {
   warnings_metric_ = MakeCounterHandle(registry, "health.warnings");
   tracer_ = tracer;
+  flight_ = flight;
 }
 
 void RunHealthMonitor::Emit(double t_s, const char* kind, FlowId flow,
@@ -57,6 +59,14 @@ void RunHealthMonitor::Emit(double t_s, const char* kind, FlowId flow,
     args += ",\"detail\":" + JsonQuote(w.detail) + "}";
     tracer_->Instant(kLaneControl, "health", kind, t_s * 1e6,
                      std::move(args));
+  }
+  if (flight_ != nullptr) {
+    // Record the warning itself, then latch the ring: the snapshot is the
+    // pre-alarm context this recorder exists for.
+    flight_->Record(t_s, "watchdog", w.flow, w.client, w.value,
+                    "{\"kind\":" + JsonQuote(kind) +
+                        ",\"detail\":" + JsonQuote(w.detail) + "}");
+    flight_->TriggerSnapshot(kind, t_s);
   }
   warnings_.push_back(std::move(w));
 }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "lte/types.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/span_trace.h"
 
@@ -71,9 +72,11 @@ class RunHealthMonitor {
   RunHealthMonitor(const RunHealthMonitor&) = delete;
   RunHealthMonitor& operator=(const RunHealthMonitor&) = delete;
 
-  /// Attach sinks (either may be null): `registry` gets a
-  /// `health.warnings` counter, `tracer` gets `health` instants.
-  void SetObservers(MetricsRegistry* registry, SpanTracer* tracer);
+  /// Attach sinks (any may be null): `registry` gets a `health.warnings`
+  /// counter, `tracer` gets `health` instants, and `flight` gets a
+  /// `watchdog` event plus a ring snapshot latched on the first warning.
+  void SetObservers(MetricsRegistry* registry, SpanTracer* tracer,
+                    FlightRecorder* flight = nullptr);
   void set_cell(int cell) { cell_ = cell; }
   const WatchdogConfig& config() const { return config_; }
 
@@ -122,6 +125,7 @@ class RunHealthMonitor {
   std::vector<HealthWarning> warnings_;
   CounterHandle warnings_metric_;
   SpanTracer* tracer_ = nullptr;
+  FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace flare

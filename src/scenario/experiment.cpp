@@ -2,7 +2,12 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <utility>
 
+#include "obs/bai_trace.h"
+#include "obs/metrics.h"
+#include "obs/span_trace.h"
 #include "util/config.h"
 #include "util/csv.h"
 
@@ -63,6 +68,53 @@ std::string BenchJsonPath(const std::string& name) {
   std::error_code ec;
   std::filesystem::create_directories("bench_results", ec);
   return "bench_results/BENCH_" + name + ".json";
+}
+
+BenchJsonWriter::BenchJsonWriter(std::string scenario)
+    : scenario_(std::move(scenario)) {}
+
+void BenchJsonWriter::Echo(const std::string& key, double value) {
+  config_.emplace_back(key, JsonNumber(value));
+}
+
+void BenchJsonWriter::Echo(const std::string& key,
+                           const std::string& value) {
+  config_.emplace_back(key, JsonQuote(value));
+}
+
+void BenchJsonWriter::WriteEnvelopeOpen(std::ostream& out) const {
+  out << "{\"schema_version\": " << kSchemaVersion
+      << ", \"scenario\": " << JsonQuote(scenario_) << ", \"config\": {";
+  bool first = true;
+  for (const auto& [key, value] : config_) {
+    if (!first) out << ", ";
+    first = false;
+    out << JsonQuote(key) << ": " << value;
+  }
+  out << "}, \"run\": ";
+}
+
+bool BenchJsonWriter::Export(const std::string& path,
+                             const BaiTraceSink& trace,
+                             const MetricsRegistry* registry,
+                             const RunHealthMonitor* health,
+                             const QoeAnalytics* qoe) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteEnvelopeOpen(out);
+  trace.WriteJson(out, registry, health, qoe);
+  out << "}\n";
+  return static_cast<bool>(out);
+}
+
+bool BenchJsonWriter::Export(const std::string& path,
+                             const MetricsRegistry& registry) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteEnvelopeOpen(out);
+  registry.WriteJson(out);
+  out << "}\n";
+  return static_cast<bool>(out);
 }
 
 void PrintPaperComparison(const std::string& metric, double paper,

@@ -59,6 +59,45 @@ std::string BenchCsvPath(const std::string& name);
 /// harnesses and revisions.
 std::string BenchJsonPath(const std::string& name);
 
+class BaiTraceSink;
+class MetricsRegistry;
+class QoeAnalytics;
+class RunHealthMonitor;
+
+/// Standardized BENCH_*.json envelope shared by every bench binary:
+///   {"schema_version": 1, "scenario": "<id>", "config": {<echo>},
+///    "run": <payload>}
+/// The config echo is commit-invariant (scenario knobs only, no wall
+/// clocks or machine facts) so tools/flare_report can compare runs across
+/// revisions and flag genuine metric regressions rather than host noise.
+class BenchJsonWriter {
+ public:
+  static constexpr int kSchemaVersion = 1;
+
+  explicit BenchJsonWriter(std::string scenario);
+
+  /// Record a commit-invariant config knob in the echo, in call order.
+  void Echo(const std::string& key, double value);
+  void Echo(const std::string& key, const std::string& value);
+
+  /// run = the trace's full structured export (metrics + run_health + qoe
+  /// + bai_trace + tti_aggregates + players); null observers become null
+  /// sections. Returns false if the file cannot be opened.
+  bool Export(const std::string& path, const BaiTraceSink& trace,
+              const MetricsRegistry* registry,
+              const RunHealthMonitor* health = nullptr,
+              const QoeAnalytics* qoe = nullptr) const;
+  /// run = a bare registry export {"counters":..,"gauges":..,"histograms":..}.
+  bool Export(const std::string& path, const MetricsRegistry& registry) const;
+
+ private:
+  void WriteEnvelopeOpen(std::ostream& out) const;
+
+  std::string scenario_;
+  /// (key, pre-rendered JSON value), in Echo() order.
+  std::vector<std::pair<std::string, std::string>> config_;
+};
+
 /// Print a "paper reported / we measured" comparison line.
 void PrintPaperComparison(const std::string& metric, double paper,
                           double measured);

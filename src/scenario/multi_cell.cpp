@@ -45,13 +45,17 @@ void ApplyPcrfOp(Pcrf& pcrf, const std::string& payload) {
 /// merged sinks are disabled — a world's pointers must stay valid for its
 /// lifetime and the shards are cheap when unused.
 struct CellShard {
-  explicit CellShard(const WatchdogConfig& watchdog) : health(watchdog) {}
+  CellShard(const WatchdogConfig& watchdog, QoeEngineWeights qoe_weights,
+            std::size_t flight_capacity)
+      : health(watchdog), qoe(qoe_weights), flight(flight_capacity) {}
 
   Pcrf pcrf;  // domain-local mirror, read synchronously by the controller
   MetricsRegistry metrics;
   BaiTraceSink trace;
   SpanTracer spans;
   RunHealthMonitor health;
+  QoeAnalytics qoe;
+  FlightRecorder flight;
   std::unique_ptr<ScenarioWorld> world;
 };
 
@@ -86,7 +90,10 @@ MultiCellResult RunMultiCellScenario(const MultiCellConfig& config) {
   for (int c = 0; c < n_cells; ++c) {
     EventDomain& domain = runner.AddDomain();
     CellShard& shard = shards.emplace_back(
-        config.health != nullptr ? config.health->config() : WatchdogConfig{});
+        config.health != nullptr ? config.health->config() : WatchdogConfig{},
+        config.qoe != nullptr ? config.qoe->weights() : QoeEngineWeights{},
+        config.flight != nullptr ? config.flight->capacity()
+                                 : FlightRecorder::kDefaultCapacity);
     if (config.span_trace != nullptr) domain.SetSpanTracer(&shard.spans);
 
     shard.pcrf.SetOnChange([&domain](FlowId id, FlowType type,
@@ -103,6 +110,8 @@ MultiCellResult RunMultiCellScenario(const MultiCellConfig& config) {
     cell_config.span_trace =
         config.span_trace != nullptr ? &shard.spans : nullptr;
     cell_config.health = config.health != nullptr ? &shard.health : nullptr;
+    cell_config.qoe = config.qoe != nullptr ? &shard.qoe : nullptr;
+    cell_config.flight = config.flight != nullptr ? &shard.flight : nullptr;
 
     shard.world = std::make_unique<ScenarioWorld>(
         cell_config, domain.sim(), shard.pcrf,
@@ -141,10 +150,17 @@ MultiCellResult RunMultiCellScenario(const MultiCellConfig& config) {
     if (config.health != nullptr) {
       config.health->AbsorbShard(shard.health, c);
     }
+    if (config.qoe != nullptr) {
+      config.qoe->AbsorbShard(shard.qoe, c);
+    }
+    if (config.flight != nullptr) {
+      config.flight->AbsorbShard(shard.flight, c);
+    }
   }
   if (config.bai_trace != nullptr) config.bai_trace->SortMergedRows();
   if (config.span_trace != nullptr) config.span_trace->SortMergedEvents();
   if (config.health != nullptr) config.health->SortMergedWarnings();
+  if (config.flight != nullptr) config.flight->SortMergedEvents();
 
   return result;
 }

@@ -47,6 +47,12 @@ struct MultiCellConfig {
   /// Per-cell health monitors, merged with warnings restamped by cell.
   /// Its WatchdogConfig seeds every shard monitor. Not owned.
   RunHealthMonitor* health = nullptr;
+  /// Per-cell QoE engines (weights copied from this one), merged with
+  /// sessions restamped by cell. Not owned.
+  QoeAnalytics* qoe = nullptr;
+  /// Per-cell flight recorders (capacity copied from this one), merged in
+  /// cell order; the earliest shard trigger wins. Not owned.
+  FlightRecorder* flight = nullptr;
 };
 
 struct MultiCellResult {

@@ -146,6 +146,14 @@ struct ScenarioConfig {
   /// Run-health watchdogs, scanned once per BAI. One monitor per cell
   /// shard in multi-cell runs. Not owned.
   RunHealthMonitor* health = nullptr;
+  /// Online per-session QoE engine (bitrate, instability, stalls, startup
+  /// delay, fairness, admitted-vs-blocked QoE). One engine per cell shard
+  /// in multi-cell runs. Not owned.
+  QoeAnalytics* qoe = nullptr;
+  /// Black-box flight recorder: bounded ring of recent structured events,
+  /// snapshotted on the first watchdog alarm. One recorder per cell shard
+  /// in multi-cell runs. Not owned.
+  FlightRecorder* flight = nullptr;
 };
 
 /// One sampled point of the Figure 4/5 time series.

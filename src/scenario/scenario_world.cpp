@@ -138,12 +138,20 @@ ScenarioWorld::ScenarioWorld(const ScenarioConfig& config, Simulator& sim,
     config_.span_trace->set_deterministic(config_.oneapi.deterministic_timing);
     cell_.SetSpanTracer(config_.span_trace);
   }
+  if (config_.qoe != nullptr) {
+    config_.qoe->set_cell(static_cast<int>(config_.oneapi.cell_tag));
+  }
+  if (config_.flight != nullptr) {
+    config_.flight->set_cell(static_cast<int>(config_.oneapi.cell_tag));
+  }
   if (config_.health != nullptr) {
     config_.health->set_cell(static_cast<int>(config_.oneapi.cell_tag));
-    config_.health->SetObservers(config_.metrics, config_.span_trace);
+    config_.health->SetObservers(config_.metrics, config_.span_trace,
+                                 config_.flight);
   }
   oneapi_.SetObservers(config_.metrics, config_.bai_trace, config_.span_trace,
                        config_.health);
+  oneapi_.SetAnalytics(config_.qoe, config_.flight);
 
   const Pcrf::CellTag cell_tag = config_.oneapi.cell_tag;
   const int n_ues =
@@ -171,6 +179,7 @@ ScenarioWorld::ScenarioWorld(const ScenarioConfig& config, Simulator& sim,
         sim_, *https_.back(), mpd_, std::move(abr), session_config);
     session->player().SetMetrics(config_.metrics);
     session->player().SetSpanTracer(config_.span_trace, i);
+    session->player().SetQoeAnalytics(config_.qoe, config_.flight, i);
 
     if (plugin != nullptr) {
       // Opt-in client disclosures (Section II-B) before registration.
@@ -197,8 +206,13 @@ ScenarioWorld::ScenarioWorld(const ScenarioConfig& config, Simulator& sim,
     }
 
     // Stagger starts so initial requests do not all collide.
-    session->Start(FromSeconds(0.5 * i) +
-                   FromSeconds(rng_.Uniform(0.0, 0.25)));
+    const SimTime start =
+        FromSeconds(0.5 * i) + FromSeconds(rng_.Uniform(0.0, 0.25));
+    if (config_.qoe != nullptr) {
+      config_.qoe->StartSession(i, tcp.id(), ToSeconds(start),
+                                QoeSessionOrigin::kStaticVideo);
+    }
+    session->Start(start);
     sessions_.push_back(std::move(session));
   }
 
@@ -220,8 +234,18 @@ ScenarioWorld::ScenarioWorld(const ScenarioConfig& config, Simulator& sim,
             config_.festive,
             rng_.Fork(0xc0de + static_cast<std::uint64_t>(i))),
         session_config);
-    session->Start(FromSeconds(0.5 * (config_.n_video + i)) +
-                   FromSeconds(rng_.Uniform(0.0, 0.25)));
+    // Conventional players track QoE under their UE index, after the
+    // video + data id ranges (same layout as their channel salt).
+    const int session_id = config_.n_video + config_.n_data + i;
+    session->player().SetQoeAnalytics(config_.qoe, config_.flight,
+                                      session_id);
+    const SimTime start = FromSeconds(0.5 * (config_.n_video + i)) +
+                          FromSeconds(rng_.Uniform(0.0, 0.25));
+    if (config_.qoe != nullptr) {
+      config_.qoe->StartSession(session_id, tcp.id(), ToSeconds(start),
+                                QoeSessionOrigin::kConventional);
+    }
+    session->Start(start);
     conventional_sessions_.push_back(std::move(session));
   }
 
@@ -393,6 +417,8 @@ int ScenarioWorld::SpawnDynamicSession(SessionKind kind) {
         sim_, *dyn.http, mpd_, std::move(abr), session_config);
     dyn.session->player().SetMetrics(config_.metrics);
     dyn.session->player().SetSpanTracer(config_.span_trace, ue_index);
+    dyn.session->player().SetQoeAnalytics(config_.qoe, config_.flight,
+                                          ue_index);
 
     if (plugin != nullptr) {
       // Registration (and admission control) completes after the OneAPI
@@ -401,6 +427,10 @@ int ScenarioWorld::SpawnDynamicSession(SessionKind kind) {
     } else {
       pcrf_.RegisterFlow(dyn.flow, FlowType::kVideo,
                          config_.oneapi.cell_tag);
+      if (config_.qoe != nullptr) {
+        config_.qoe->StartSession(ue_index, dyn.flow, ToSeconds(sim_.Now()),
+                                  QoeSessionOrigin::kDynamicVideo);
+      }
       dyn.session->Start(sim_.Now());
       dyn.started = true;
     }
@@ -416,7 +446,14 @@ void ScenarioWorld::OnAdmission(FlowId flow, bool admitted) {
   if (it == dynamic_by_flow_.end()) return;  // static flow
   const int id = it->second;
   DynamicSession& dyn = dynamic_.at(id);
+  if (config_.qoe != nullptr) config_.qoe->OnAdmissionVerdict(admitted);
   if (admitted) {
+    if (config_.qoe != nullptr) {
+      const int n_static =
+          config_.n_video + config_.n_data + config_.n_conventional;
+      config_.qoe->StartSession(n_static + id, flow, ToSeconds(sim_.Now()),
+                                QoeSessionOrigin::kDynamicVideo);
+    }
     dyn.session->Start(sim_.Now());
     dyn.started = true;
     return;
@@ -454,6 +491,12 @@ void ScenarioWorld::TeardownDynamicSession(int id, bool harvest) {
 void ScenarioWorld::HarvestDynamicSession(int id, DynamicSession& dyn) {
   dyn.session->player().AdvanceTo(sim_.Now());
   ClientMetrics m = ComputeClientMetrics(*dyn.session);
+  if (config_.qoe != nullptr) {
+    const int n_static =
+        config_.n_video + config_.n_data + config_.n_conventional;
+    config_.qoe->EndSession(n_static + id, ToSeconds(sim_.Now()),
+                            dyn.session->player().played_s());
+  }
   if (config_.bai_trace != nullptr) {
     PlayerSummary summary;
     summary.cell = static_cast<int>(config_.oneapi.cell_tag);
@@ -515,6 +558,10 @@ ScenarioResult ScenarioWorld::Collect() {
     const auto& session = sessions_[i];
     session->player().AdvanceTo(sim_.Now());
     ClientMetrics m = ComputeClientMetrics(*session);
+    if (config_.qoe != nullptr) {
+      config_.qoe->EndSession(static_cast<int>(i), ToSeconds(sim_.Now()),
+                              session->player().played_s());
+    }
     avg_bitrates.push_back(m.avg_bitrate_bps);
     result.avg_video_bitrate_bps += m.avg_bitrate_bps;
     result.avg_bitrate_changes += m.bitrate_changes;
@@ -569,8 +616,14 @@ ScenarioResult ScenarioWorld::Collect() {
   }
   result.jain_avg_bitrate = JainIndex(avg_bitrates);
 
-  for (const auto& session : conventional_sessions_) {
+  for (std::size_t i = 0; i < conventional_sessions_.size(); ++i) {
+    const auto& session = conventional_sessions_[i];
     session->player().AdvanceTo(sim_.Now());
+    if (config_.qoe != nullptr) {
+      config_.qoe->EndSession(
+          config_.n_video + config_.n_data + static_cast<int>(i),
+          ToSeconds(sim_.Now()), session->player().played_s());
+    }
     result.conventional.push_back(ComputeClientMetrics(*session));
   }
 

@@ -1,5 +1,6 @@
 #include "util/csv.h"
 
+#include <cmath>
 #include <cstdio>
 
 #include "util/logging.h"
@@ -47,6 +48,11 @@ std::string FormatNumber(double value) {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.6g", value);
   return buffer;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  return FormatNumber(value);
 }
 
 std::string CsvField(const std::string& value) {

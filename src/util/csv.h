@@ -33,6 +33,11 @@ class CsvWriter {
 /// zeros) for both CSV cells and table printing.
 std::string FormatNumber(double value);
 
+/// FormatNumber for JSON contexts: NaN/Inf have no JSON encoding (snprintf
+/// would emit `nan`, corrupting the document), so non-finite values render
+/// as `null`.
+std::string JsonNumber(double value);
+
 /// RFC-4180 field escaping: returns `value` unchanged unless it contains
 /// a comma, double quote, CR or LF, in which case the field is wrapped in
 /// double quotes with embedded quotes doubled.

@@ -1,0 +1,325 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace flare {
+namespace {
+
+constexpr int kMaxDepth = 100;
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool Fail(const std::string& what) {
+    std::ostringstream msg;
+    msg << what << " at byte " << pos;
+    error = msg.str();
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool Literal(const char* word, std::size_t len) {
+    if (text.compare(pos, len, word) != 0) return Fail("bad literal");
+    pos += len;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos >= text.size() || text[pos] != '"') return Fail("expected '\"'");
+    ++pos;
+    out->clear();
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos;
+        if (pos >= text.size()) return Fail("dangling escape");
+        const char e = text[pos++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos + 4 > text.size()) return Fail("short \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return Fail("bad \\u escape");
+            }
+            // UTF-8 encode the BMP code point; surrogate halves degrade to
+            // the replacement character rather than being paired.
+            if (code >= 0xD800 && code <= 0xDFFF) code = 0xFFFD;
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Fail("unknown escape");
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("control character in string");
+      }
+      out->push_back(c);
+      ++pos;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(double* out) {
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    if (pos < text.size() && text[pos] == '.') {
+      ++pos;
+      while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    }
+    if (pos == start) return Fail("expected number");
+    const std::string token = text.substr(start, pos - start);
+    char* end = nullptr;
+    *out = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      pos = start;
+      return Fail("malformed number");
+    }
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWs();
+    if (pos >= text.size()) return Fail("unexpected end of input");
+    const char c = text[pos];
+    if (c == 'n') {
+      if (!Literal("null", 4)) return false;
+      *out = JsonValue::MakeNull();
+      return true;
+    }
+    if (c == 't') {
+      if (!Literal("true", 4)) return false;
+      *out = JsonValue::MakeBool(true);
+      return true;
+    }
+    if (c == 'f') {
+      if (!Literal("false", 5)) return false;
+      *out = JsonValue::MakeBool(false);
+      return true;
+    }
+    if (c == '"') {
+      std::string s;
+      if (!ParseString(&s)) return false;
+      *out = JsonValue::MakeString(std::move(s));
+      return true;
+    }
+    if (c == '[') {
+      ++pos;
+      std::vector<JsonValue> items;
+      SkipWs();
+      if (pos < text.size() && text[pos] == ']') {
+        ++pos;
+        *out = JsonValue::MakeArray(std::move(items));
+        return true;
+      }
+      while (true) {
+        JsonValue item;
+        if (!ParseValue(&item, depth + 1)) return false;
+        items.push_back(std::move(item));
+        SkipWs();
+        if (pos >= text.size()) return Fail("unterminated array");
+        if (text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        if (text[pos] == ']') {
+          ++pos;
+          break;
+        }
+        return Fail("expected ',' or ']'");
+      }
+      *out = JsonValue::MakeArray(std::move(items));
+      return true;
+    }
+    if (c == '{') {
+      ++pos;
+      std::vector<std::pair<std::string, JsonValue>> members;
+      SkipWs();
+      if (pos < text.size() && text[pos] == '}') {
+        ++pos;
+        *out = JsonValue::MakeObject(std::move(members));
+        return true;
+      }
+      while (true) {
+        SkipWs();
+        std::string key;
+        if (!ParseString(&key)) return false;
+        SkipWs();
+        if (pos >= text.size() || text[pos] != ':') return Fail("expected ':'");
+        ++pos;
+        JsonValue value;
+        if (!ParseValue(&value, depth + 1)) return false;
+        members.emplace_back(std::move(key), std::move(value));
+        SkipWs();
+        if (pos >= text.size()) return Fail("unterminated object");
+        if (text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        if (text[pos] == '}') {
+          ++pos;
+          break;
+        }
+        return Fail("expected ',' or '}'");
+      }
+      *out = JsonValue::MakeObject(std::move(members));
+      return true;
+    }
+    double number = 0.0;
+    if (!ParseNumber(&number)) return false;
+    *out = JsonValue::MakeNumber(number);
+    return true;
+  }
+};
+
+}  // namespace
+
+bool JsonValue::AsBool(bool fallback) const {
+  if (kind_ == Kind::kBool) return bool_;
+  if (kind_ == Kind::kNumber) return number_ != 0.0;
+  return fallback;
+}
+
+double JsonValue::AsNumber(double fallback) const {
+  if (kind_ == Kind::kNumber) return number_;
+  if (kind_ == Kind::kBool) return bool_ ? 1.0 : 0.0;
+  return fallback;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue* JsonValue::FindPath(const std::vector<std::string>& keys) const {
+  const JsonValue* node = this;
+  for (const std::string& key : keys) {
+    if (node == nullptr) return nullptr;
+    node = node->Find(key);
+  }
+  return node;
+}
+
+JsonValue JsonValue::MakeNull() { return JsonValue(); }
+
+JsonValue JsonValue::MakeBool(bool value) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::MakeNumber(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::MakeString(std::string value) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::MakeArray(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::MakeObject(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.members_ = std::move(members);
+  return v;
+}
+
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error) {
+  Parser parser{text, 0, {}};
+  JsonValue value;
+  if (!parser.ParseValue(&value, 0)) {
+    if (error != nullptr) *error = parser.error;
+    return false;
+  }
+  parser.SkipWs();
+  if (parser.pos != text.size()) {
+    if (error != nullptr) {
+      parser.Fail("trailing garbage");
+      *error = parser.error;
+    }
+    return false;
+  }
+  *out = std::move(value);
+  return true;
+}
+
+bool ParseJsonFile(const std::string& path, JsonValue* out,
+                   std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string parse_error;
+  if (!ParseJson(buffer.str(), out, &parse_error)) {
+    if (error != nullptr) *error = path + ": " + parse_error;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace flare

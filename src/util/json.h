@@ -1,0 +1,77 @@
+// Minimal JSON document model + recursive-descent parser.
+//
+// The observability layer *writes* JSON by hand (metrics, traces, QoE);
+// tools/flare_report needs to *read* those files back — plus
+// google-benchmark output — without adding a dependency. This is a small,
+// strict-enough parser for that job: full JSON value grammar, ordered
+// object members (so diffs are stable), doubles for all numbers, and a
+// depth limit instead of recursion-unbounded parsing.
+//
+// Not a general-purpose library: no comments, no trailing commas, no
+// surrogate-pair decoding beyond a replacement byte sequence, numbers
+// outside double range saturate like strtod does.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace flare {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool(bool fallback = false) const;
+  double AsNumber(double fallback = 0.0) const;
+  const std::string& AsString() const { return string_; }
+
+  const std::vector<JsonValue>& items() const { return items_; }
+  /// Object members in source order (insertion order preserved).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  /// First member with this key, or nullptr. Linear scan: documents here
+  /// are small and ordered lookup beats a side map for determinism.
+  const JsonValue* Find(const std::string& key) const;
+  /// Find(a)->Find(b)->... returning nullptr as soon as a hop misses.
+  const JsonValue* FindPath(const std::vector<std::string>& keys) const;
+
+  static JsonValue MakeNull();
+  static JsonValue MakeBool(bool value);
+  static JsonValue MakeNumber(double value);
+  static JsonValue MakeString(std::string value);
+  static JsonValue MakeArray(std::vector<JsonValue> items);
+  static JsonValue MakeObject(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parse a complete JSON document. On failure returns false and describes
+/// the problem (with a byte offset) in `error` when non-null.
+bool ParseJson(const std::string& text, JsonValue* out,
+               std::string* error = nullptr);
+
+/// Read and parse a whole file; `error` distinguishes IO from syntax.
+bool ParseJsonFile(const std::string& path, JsonValue* out,
+                   std::string* error = nullptr);
+
+}  // namespace flare

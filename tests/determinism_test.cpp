@@ -12,7 +12,9 @@
 #include <string>
 
 #include "obs/bai_trace.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/qoe_analytics.h"
 #include "obs/span_trace.h"
 #include "obs/watchdog.h"
 #include "scenario/multi_cell.h"
@@ -56,6 +58,8 @@ struct RunOutput {
   std::string json;
   std::string spans;
   std::string health;
+  std::string qoe;
+  std::string flight;
   MultiCellResult result;
 };
 
@@ -64,10 +68,14 @@ RunOutput RunMulti(MultiCellConfig multi) {
   BaiTraceSink trace;
   SpanTracer spans;
   RunHealthMonitor health;
+  QoeAnalytics qoe;
+  FlightRecorder flight(64);
   multi.metrics = &registry;
   multi.bai_trace = &trace;
   multi.span_trace = &spans;
   multi.health = &health;
+  multi.qoe = &qoe;
+  multi.flight = &flight;
 
   RunOutput out;
   out.result = RunMultiCellScenario(multi);
@@ -76,17 +84,24 @@ RunOutput RunMulti(MultiCellConfig multi) {
   trace.WriteCsv(csv);
   out.csv = csv.str();
   std::ostringstream json;
-  trace.WriteJson(json, &registry);
+  trace.WriteJson(json, &registry, nullptr, &qoe);
   out.json = json.str();
-  // The merged span trace and run-health report are part of the
-  // determinism contract too: with deterministic timing their bytes must
-  // not depend on scheduling or worker count.
+  // The merged span trace, run-health report, QoE section and flight
+  // recorder ring are part of the determinism contract too: with
+  // deterministic timing their bytes must not depend on scheduling or
+  // worker count.
   std::ostringstream span_json;
   spans.WriteJson(span_json);
   out.spans = span_json.str();
   std::ostringstream health_json;
   health.WriteJson(health_json);
   out.health = health_json.str();
+  std::ostringstream qoe_json;
+  qoe.WriteJson(qoe_json);
+  out.qoe = qoe_json.str();
+  std::ostringstream flight_json;
+  flight.WriteJson(flight_json);
+  out.flight = flight_json.str();
   return out;
 }
 
@@ -99,18 +114,25 @@ TEST(Determinism, SerialRunRepeatsItselfExactly) {
   EXPECT_EQ(a.json, b.json);
   EXPECT_EQ(a.spans, b.spans);
   EXPECT_EQ(a.health, b.health);
+  EXPECT_EQ(a.qoe, b.qoe);
+  EXPECT_EQ(a.flight, b.flight);
 }
 
 TEST(Determinism, ParallelIsBitIdenticalToSerial) {
   const RunOutput serial = RunOnce(/*workers=*/0);
   ASSERT_FALSE(serial.csv.empty());
   ASSERT_FALSE(serial.spans.empty());
+  // The QoE engine saw the static sessions (the json already embeds the
+  // qoe section, but the standalone export must agree byte-for-byte too).
+  ASSERT_NE(serial.qoe.find("\"sessions\""), std::string::npos);
   for (const int workers : {2, 8}) {
     const RunOutput parallel = RunOnce(workers);
     EXPECT_EQ(serial.csv, parallel.csv) << "workers=" << workers;
     EXPECT_EQ(serial.json, parallel.json) << "workers=" << workers;
     EXPECT_EQ(serial.spans, parallel.spans) << "workers=" << workers;
     EXPECT_EQ(serial.health, parallel.health) << "workers=" << workers;
+    EXPECT_EQ(serial.qoe, parallel.qoe) << "workers=" << workers;
+    EXPECT_EQ(serial.flight, parallel.flight) << "workers=" << workers;
   }
 }
 
@@ -129,6 +151,10 @@ TEST(Determinism, ChurnSerialVsParallelBitIdentical) {
     EXPECT_EQ(serial.json, parallel.json) << "workers=" << workers;
     EXPECT_EQ(serial.spans, parallel.spans) << "workers=" << workers;
     EXPECT_EQ(serial.health, parallel.health) << "workers=" << workers;
+    // The acceptance bar for the QoE engine: byte-identical serial vs
+    // parallel(8) under churn, admission verdicts included.
+    EXPECT_EQ(serial.qoe, parallel.qoe) << "workers=" << workers;
+    EXPECT_EQ(serial.flight, parallel.flight) << "workers=" << workers;
     for (std::size_t c = 0; c < serial.result.cells.size(); ++c) {
       EXPECT_EQ(serial.result.cells[c].sessions_arrived,
                 parallel.result.cells[c].sessions_arrived)

@@ -1,0 +1,187 @@
+// Black-box flight recorder: ring semantics, watchdog-latched snapshots,
+// post-mortem dumps, and the shard-merge determinism contract.
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "obs/watchdog.h"
+#include "util/json.h"
+
+namespace flare {
+namespace {
+
+TEST(FlightRecorder, RingKeepsLastCapacityEventsOldestFirst) {
+  FlightRecorder recorder(4);
+  for (int i = 0; i < 10; ++i) {
+    recorder.Record(static_cast<double>(i), "rung_change",
+                    static_cast<FlowId>(i), i, static_cast<double>(i * 10));
+  }
+  EXPECT_EQ(recorder.recorded(), 10u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+  const std::vector<FlightEvent> events = recorder.RecentEvents();
+  ASSERT_EQ(events.size(), 4u);
+  // Events 6..9 survive, oldest first, with monotone seq.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(events[i].t_s, static_cast<double>(i + 6));
+    EXPECT_EQ(events[i].seq, i + 6);
+    EXPECT_EQ(events[i].flow, static_cast<FlowId>(i + 6));
+  }
+}
+
+TEST(FlightRecorder, UnderCapacityRingIsStable) {
+  FlightRecorder recorder(8);
+  recorder.Record(1.0, "gbr_push");
+  recorder.Record(2.0, "admission_admit");
+  EXPECT_EQ(recorder.dropped(), 0u);
+  const std::vector<FlightEvent> events = recorder.RecentEvents();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].kind, "gbr_push");
+  EXPECT_STREQ(events[1].kind, "admission_admit");
+}
+
+TEST(FlightRecorder, TriggerSnapshotLatchesFirstReasonOnly) {
+  FlightRecorder recorder(4);
+  recorder.Record(1.0, "stall_begin", kInvalidFlow, 0);
+  recorder.TriggerSnapshot("first", 1.5);
+  recorder.Record(2.0, "stall_end", kInvalidFlow, 0);
+  recorder.TriggerSnapshot("second", 2.5);
+  EXPECT_TRUE(recorder.triggered());
+  EXPECT_EQ(recorder.trigger_reason(), "first");
+  EXPECT_DOUBLE_EQ(recorder.trigger_t_s(), 1.5);
+  // The snapshot is the ring as of the *first* alarm: the later stall_end
+  // is in the live ring but not the latched context.
+  ASSERT_EQ(recorder.snapshot().size(), 1u);
+  EXPECT_STREQ(recorder.snapshot()[0].kind, "stall_begin");
+  EXPECT_EQ(recorder.RecentEvents().size(), 2u);
+}
+
+TEST(FlightRecorder, WatchdogAlarmRecordsEventAndLatchesSnapshot) {
+  FlightRecorder recorder(16);
+  recorder.Record(0.1, "rung_change", 3, 0, 2.0, "{\"from\":1,\"to\":2}");
+
+  RunHealthMonitor monitor;  // infeasible_streak = 3
+  monitor.SetObservers(nullptr, nullptr, &recorder);
+  monitor.OnSolverResult(1.0, false);
+  monitor.OnSolverResult(2.0, false);
+  EXPECT_FALSE(recorder.triggered());  // streak not yet reached
+  monitor.OnSolverResult(3.0, false);
+
+  ASSERT_FALSE(monitor.healthy());
+  EXPECT_TRUE(recorder.triggered());
+  EXPECT_EQ(recorder.trigger_reason(), "infeasible_streak");
+  // The snapshot holds the pre-alarm context plus the watchdog event.
+  const std::vector<FlightEvent>& snap = recorder.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_STREQ(snap[0].kind, "rung_change");
+  EXPECT_STREQ(snap[1].kind, "watchdog");
+  EXPECT_DOUBLE_EQ(snap[1].t_s, 3.0);
+}
+
+TEST(FlightRecorder, DumpPostmortemWritesParseableJson) {
+  FlightRecorder recorder(8);
+  recorder.set_cell(2);
+  recorder.Record(0.5, "admission_reject", 9, -1, 1.0,
+                  "{\"util\":0.93}");
+  recorder.Record(0.75, "stall_begin", kInvalidFlow, 4);
+  recorder.TriggerSnapshot("fail_on_unhealthy", 0.8);
+
+  const std::string path =
+      ::testing::TempDir() + "/flight_recorder_test_pm.json";
+  ASSERT_TRUE(recorder.DumpPostmortem(path, "fail_on_unhealthy"));
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJsonFile(path, &doc, &error)) << error;
+  EXPECT_EQ(doc.FindPath({"reason"})->AsString(), "fail_on_unhealthy");
+  EXPECT_EQ(doc.FindPath({"trigger", "reason"})->AsString(),
+            "fail_on_unhealthy");
+  EXPECT_DOUBLE_EQ(doc.FindPath({"trigger", "t_s"})->AsNumber(), 0.8);
+  const JsonValue* recent = doc.Find("recent");
+  ASSERT_NE(recent, nullptr);
+  ASSERT_EQ(recent->items().size(), 2u);
+  EXPECT_EQ(recent->items()[0].Find("kind")->AsString(), "admission_reject");
+  EXPECT_DOUBLE_EQ(recent->items()[0].Find("t_s")->AsNumber(), 0.5);
+  EXPECT_EQ(recent->items()[0].Find("cell")->AsNumber(), 2.0);
+  // args round-trips as a nested object, not a quoted blob.
+  EXPECT_DOUBLE_EQ(
+      recent->items()[0].FindPath({"args", "util"})->AsNumber(), 0.93);
+  const JsonValue* snapshot = doc.Find("snapshot");
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->items().size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, DumpPostmortemFailsOnUnwritablePath) {
+  FlightRecorder recorder(4);
+  EXPECT_FALSE(recorder.DumpPostmortem("/nonexistent/dir/pm.json", "x"));
+}
+
+TEST(FlightRecorder, AbsorbShardMergesAndSortsDeterministically) {
+  FlightRecorder shard_a(4);
+  shard_a.Record(1.0, "rung_change", 1);
+  shard_a.Record(3.0, "gbr_push", 1);
+  FlightRecorder shard_b(4);
+  shard_b.Record(2.0, "rung_change", 2);
+  shard_b.Record(3.0, "admission_admit", 2);
+
+  // Merge in both cell orders; sorted output must be byte-identical.
+  std::string forward;
+  {
+    FlightRecorder merged(4);
+    merged.AbsorbShard(shard_a, 0);
+    merged.AbsorbShard(shard_b, 1);
+    merged.SortMergedEvents();
+    std::ostringstream out;
+    merged.WriteJson(out);
+    forward = out.str();
+  }
+  std::string reverse;
+  {
+    FlightRecorder merged(4);
+    merged.AbsorbShard(shard_b, 1);
+    merged.AbsorbShard(shard_a, 0);
+    merged.SortMergedEvents();
+    std::ostringstream out;
+    merged.WriteJson(out);
+    reverse = out.str();
+  }
+  EXPECT_EQ(forward, reverse);
+
+  // The merged recorder is a sink: it keeps all four events, restamped.
+  FlightRecorder merged(4);
+  merged.AbsorbShard(shard_a, 0);
+  merged.AbsorbShard(shard_b, 1);
+  merged.SortMergedEvents();
+  const std::vector<FlightEvent> events = merged.RecentEvents();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_DOUBLE_EQ(events[0].t_s, 1.0);
+  EXPECT_EQ(events[0].cell, 0);
+  EXPECT_DOUBLE_EQ(events[1].t_s, 2.0);
+  EXPECT_EQ(events[1].cell, 1);
+  // (t_s, cell, seq) tie at t=3.0: cell 0 before cell 1.
+  EXPECT_DOUBLE_EQ(events[2].t_s, 3.0);
+  EXPECT_EQ(events[2].cell, 0);
+  EXPECT_DOUBLE_EQ(events[3].t_s, 3.0);
+  EXPECT_EQ(events[3].cell, 1);
+}
+
+TEST(FlightRecorder, EarliestTriggerWinsAcrossShards) {
+  FlightRecorder shard_a(4);
+  shard_a.TriggerSnapshot("late_alarm", 5.0);
+  FlightRecorder shard_b(4);
+  shard_b.TriggerSnapshot("early_alarm", 2.0);
+
+  FlightRecorder merged(4);
+  merged.AbsorbShard(shard_a, 0);
+  merged.AbsorbShard(shard_b, 1);
+  EXPECT_TRUE(merged.triggered());
+  EXPECT_EQ(merged.trigger_reason(), "early_alarm");
+  EXPECT_DOUBLE_EQ(merged.trigger_t_s(), 2.0);
+}
+
+}  // namespace
+}  // namespace flare

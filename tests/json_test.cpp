@@ -1,0 +1,110 @@
+// util/json parser: the reader half of the observability layer's
+// hand-written JSON. Exercised against the exact shapes the repo emits
+// (registry exports, QoE sections, google-benchmark output) plus the
+// grammar corners a hand-rolled parser usually gets wrong.
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace flare {
+namespace {
+
+JsonValue Parse(const std::string& text) {
+  JsonValue value;
+  std::string error;
+  EXPECT_TRUE(ParseJson(text, &value, &error)) << error;
+  return value;
+}
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Parse("null").is_null());
+  EXPECT_TRUE(Parse("true").AsBool());
+  EXPECT_FALSE(Parse("false").AsBool(true));
+  EXPECT_DOUBLE_EQ(Parse("42").AsNumber(), 42.0);
+  EXPECT_DOUBLE_EQ(Parse("-1.5e3").AsNumber(), -1500.0);
+  EXPECT_EQ(Parse("\"hi\"").AsString(), "hi");
+}
+
+TEST(Json, ParsesNestedContainersAndPreservesMemberOrder) {
+  const JsonValue doc = Parse(
+      R"({"b": [1, 2, {"c": true}], "a": {"x": null}, "z": 3})");
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_EQ(doc.members().size(), 3u);
+  // Source order, not sorted: diffs over exported files stay stable.
+  EXPECT_EQ(doc.members()[0].first, "b");
+  EXPECT_EQ(doc.members()[1].first, "a");
+  EXPECT_EQ(doc.members()[2].first, "z");
+  const JsonValue* b = doc.Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(b->items().size(), 3u);
+  EXPECT_TRUE(b->items()[2].Find("c")->AsBool());
+  EXPECT_EQ(doc.FindPath({"a", "x"})->kind(), JsonValue::Kind::kNull);
+  EXPECT_EQ(doc.FindPath({"a", "missing"}), nullptr);
+}
+
+TEST(Json, ParsesStringEscapes) {
+  const JsonValue doc = Parse(R"("a\"b\\c\n\tAé")");
+  EXPECT_EQ(doc.AsString(), "a\"b\\c\n\tA\xc3\xa9");
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  JsonValue value;
+  std::string error;
+  EXPECT_FALSE(ParseJson("", &value, &error));
+  EXPECT_FALSE(ParseJson("{", &value, &error));
+  EXPECT_FALSE(ParseJson("{\"a\": 1,}", &value, &error));  // trailing comma
+  EXPECT_FALSE(ParseJson("[1, 2] trailing", &value, &error));
+  EXPECT_FALSE(ParseJson("nan", &value, &error));
+  EXPECT_FALSE(ParseJson("'single'", &value, &error));
+  // The error carries a byte offset for debugging exports.
+  ParseJson("{\"a\": !}", &value, &error);
+  EXPECT_NE(error.find("at byte"), std::string::npos) << error;
+}
+
+TEST(Json, RejectsRunawayNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  JsonValue value;
+  EXPECT_FALSE(ParseJson(deep, &value));
+}
+
+TEST(Json, RoundTripsARegistryStyleExport) {
+  const std::string text = R"({
+    "counters": {"player.stalls": 3},
+    "gauges": {"churn.sessions_active": 2.5},
+    "histograms": {"h": {"count": 0, "sum": 0, "mean": null,
+                         "p50": null, "p95": null, "p99": null}}
+  })";
+  const JsonValue doc = Parse(text);
+  EXPECT_DOUBLE_EQ(doc.FindPath({"counters", "player.stalls"})->AsNumber(),
+                   3.0);
+  EXPECT_TRUE(doc.FindPath({"histograms", "h", "p50"})->is_null());
+  // Null aggregates (empty histogram) read back as fallback, not NaN.
+  EXPECT_DOUBLE_EQ(doc.FindPath({"histograms", "h", "mean"})->AsNumber(-1.0),
+                   -1.0);
+}
+
+TEST(Json, ParseJsonFileReportsIoVsSyntax) {
+  JsonValue value;
+  std::string error;
+  EXPECT_FALSE(ParseJsonFile("/nonexistent/p.json", &value, &error));
+  EXPECT_NE(error.find("/nonexistent/p.json"), std::string::npos);
+
+  const std::string path =
+      ::testing::TempDir() + "/json_test_roundtrip.json";
+  {
+    std::ofstream out(path);
+    out << R"({"k": [1, 2.5, "three"]})";
+  }
+  ASSERT_TRUE(ParseJsonFile(path, &value, &error)) << error;
+  EXPECT_DOUBLE_EQ(value.Find("k")->items()[1].AsNumber(), 2.5);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace flare

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <set>
@@ -330,8 +331,11 @@ TEST(Histogram, QuantileInterpolatesWithinBuckets) {
 }
 
 TEST(Histogram, QuantileEdgeCases) {
+  // Empty histogram: NaN, never a fake 0 — downstream JSON renders null.
   Histogram empty({1.0, 2.0});
-  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+  EXPECT_TRUE(std::isnan(empty.Quantile(0.5)));
+  EXPECT_TRUE(std::isnan(empty.Quantile(0.0)));
+  EXPECT_TRUE(std::isnan(empty.Quantile(1.0)));
 
   // Every observation in the overflow bucket: clamp to the largest
   // finite bound rather than inventing a value for (+inf).
@@ -372,6 +376,18 @@ TEST(MetricsRegistry, JsonHistogramsIncludeQuantiles) {
   EXPECT_NE(json.find("\"p50\""), std::string::npos);
   EXPECT_NE(json.find("\"p95\""), std::string::npos);
   EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonEmptyHistogramExportsNullNotNaN) {
+  MetricsRegistry registry;
+  registry.GetHistogram("empty", {1.0, 10.0});
+  std::ostringstream out;
+  registry.WriteJson(out);
+  const std::string json = out.str();
+  // A bare `nan` token is invalid JSON; empty aggregates must be null.
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"mean\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p50\": null"), std::string::npos) << json;
 }
 
 // --- CSV escaping -----------------------------------------------------------

@@ -1,0 +1,273 @@
+// QoE analytics engine: hand-computed sessions with exact expectations,
+// fairness edge cases, churn verdict accounting, shard merging, and a
+// scenario integration cross-check against the offline QoeScore path.
+#include "obs/qoe_analytics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "has/metrics.h"
+#include "scenario/scenario.h"
+#include "util/json.h"
+#include "util/stats.h"
+
+namespace flare {
+namespace {
+
+/// One fully hand-computed session. Segments (2 s each) at 1, 2, 2,
+/// 1 Mbps -> q = [1, 2, 2, 1]: quality_sum 6, two switches of magnitude 1
+/// each. One 1.5 s stall inside 6.5 s of playback:
+///   QoE = (6 - 1*2)/4 - 8 * (1.5 / (6.5 + 1.5)) = 1.0 - 1.5 = -0.5
+/// All values are exactly representable, so expectations are EQ, not NEAR.
+QoeAnalytics HandComputedSession() {
+  QoeAnalytics qoe;
+  qoe.StartSession(0, /*flow=*/7, /*t_s=*/0.5,
+                   QoeSessionOrigin::kStaticVideo);
+  qoe.OnSegment(0, 1e6, 2.0);
+  qoe.OnPlayoutStart(0, 2.25);
+  qoe.OnSegment(0, 2e6, 2.0);
+  qoe.OnSegment(0, 2e6, 2.0);
+  qoe.OnStallBegin(0, 5.0);
+  qoe.OnStallEnd(0, 6.5);
+  qoe.OnSegment(0, 1e6, 2.0);
+  qoe.EndSession(0, 10.0, /*played_s=*/6.5);
+  return qoe;
+}
+
+TEST(QoeAnalytics, HandComputedSessionMatchesExactly) {
+  const QoeAnalytics qoe = HandComputedSession();
+  const QoeSessionStats* s = qoe.FindSession(0, 0);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->segments, 4u);
+  EXPECT_DOUBLE_EQ(s->media_s, 8.0);
+  EXPECT_DOUBLE_EQ(s->AvgBitrateBps(), 1.5e6);
+  EXPECT_EQ(s->switches, 2u);
+  EXPECT_DOUBLE_EQ(s->switch_magnitude_sum, 2.0);
+  EXPECT_EQ(s->stalls, 1u);
+  EXPECT_DOUBLE_EQ(s->stall_s, 1.5);
+  EXPECT_DOUBLE_EQ(s->StallRatio(), 0.1875);  // 1.5 / (6.5 + 1.5)
+  EXPECT_DOUBLE_EQ(s->startup_delay_s, 1.75);  // 2.25 - 0.5
+  EXPECT_DOUBLE_EQ(s->Qoe(qoe.weights()), -0.5);
+  EXPECT_TRUE(s->ended);
+  EXPECT_DOUBLE_EQ(s->end_s, 10.0);
+}
+
+TEST(QoeAnalytics, EngineQoeMatchesOfflineQoeScore) {
+  // Same session replayed through the offline vector-based scorer the
+  // scenario layer uses for ClientMetrics: identical by construction.
+  const QoeAnalytics qoe = HandComputedSession();
+  const QoeSessionStats* s = qoe.FindSession(0, 0);
+  ASSERT_NE(s, nullptr);
+  const std::vector<double> bitrates = {1e6, 2e6, 2e6, 1e6};
+  EXPECT_DOUBLE_EQ(s->Qoe(qoe.weights()),
+                   QoeScore(bitrates, 1.5, 6.5 + 1.5));
+}
+
+TEST(QoeAnalytics, SegmentlessSessionHasNullQoeAndZeroAverages) {
+  QoeAnalytics qoe;
+  qoe.StartSession(0, 1, 0.0, QoeSessionOrigin::kDynamicVideo);
+  qoe.EndSession(0, 5.0, 0.0);
+  const QoeSessionStats* s = qoe.FindSession(0, 0);
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->AvgBitrateBps(), 0.0);
+  EXPECT_DOUBLE_EQ(s->StallRatio(), 0.0);
+  EXPECT_DOUBLE_EQ(s->Qoe(qoe.weights()), 0.0);
+  EXPECT_LT(s->startup_delay_s, 0.0);  // never started playing
+
+  std::ostringstream out;
+  qoe.WriteJson(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"qoe\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"startup_delay_s\": null"), std::string::npos);
+}
+
+TEST(QoeAnalytics, StallBeginIsIdempotentAndEndClosesOpenStall) {
+  QoeAnalytics qoe;
+  qoe.StartSession(0, 1, 0.0, QoeSessionOrigin::kStaticVideo);
+  qoe.OnSegment(0, 1e6, 2.0);
+  qoe.OnStallBegin(0, 4.0);
+  qoe.OnStallBegin(0, 5.0);  // double-begin must not double-count
+  const QoeSessionStats* s = qoe.FindSession(0, 0);
+  EXPECT_EQ(s->stalls, 1u);
+  // EndSession closes the still-open stall up to the end time.
+  qoe.EndSession(0, 7.0, 2.0);
+  EXPECT_DOUBLE_EQ(s->stall_s, 3.0);
+}
+
+// --- Fairness edge cases ----------------------------------------------------
+
+TEST(QoeAnalytics, JainIndexWithNoPlayedSessionsIsOne) {
+  // n=0: a run with no sessions must report fairness 1, not 0/0.
+  EXPECT_DOUBLE_EQ(JainIndex({}), 1.0);
+  QoeAnalytics qoe;
+  std::ostringstream out;
+  qoe.WriteJson(out);
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(out.str(), &doc, &error)) << error;
+  EXPECT_DOUBLE_EQ(
+      doc.FindPath({"summary", "jain_avg_bitrate"})->AsNumber(), 1.0);
+  EXPECT_DOUBLE_EQ(doc.FindPath({"summary", "sessions"})->AsNumber(), 0.0);
+}
+
+TEST(QoeAnalytics, JainIndexWithOneSessionIsOne) {
+  // n=1: a single client is perfectly fair by definition.
+  EXPECT_DOUBLE_EQ(JainIndex({5e6}), 1.0);
+  QoeAnalytics qoe;
+  qoe.StartSession(0, 1, 0.0, QoeSessionOrigin::kStaticVideo);
+  qoe.OnSegment(0, 5e6, 2.0);
+  qoe.EndSession(0, 2.0, 2.0);
+  std::ostringstream out;
+  qoe.WriteJson(out);
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(out.str(), &doc));
+  EXPECT_DOUBLE_EQ(
+      doc.FindPath({"summary", "jain_avg_bitrate"})->AsNumber(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      doc.FindPath({"summary", "avg_bitrate_bps"})->AsNumber(), 5e6);
+}
+
+// --- Churn accounting -------------------------------------------------------
+
+TEST(QoeAnalytics, AdmissionVerdictsAndBlockedQoeSeparation) {
+  QoeAnalytics qoe;
+  // Two admitted dynamic sessions (one plays, one blocked-then-spawned
+  // never gets a segment) and one rejection.
+  qoe.OnAdmissionVerdict(true);
+  qoe.OnAdmissionVerdict(true);
+  qoe.OnAdmissionVerdict(false);
+  qoe.StartSession(10, 5, 1.0, QoeSessionOrigin::kDynamicVideo);
+  qoe.OnSegment(10, 2e6, 2.0);
+  qoe.EndSession(10, 5.0, 2.0);
+  qoe.StartSession(11, 6, 2.0, QoeSessionOrigin::kDynamicVideo);
+  qoe.EndSession(11, 2.5, 0.0);
+
+  EXPECT_EQ(qoe.admitted(), 2u);
+  EXPECT_EQ(qoe.blocked(), 1u);
+  std::ostringstream out;
+  qoe.WriteJson(out);
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(out.str(), &doc, &error)) << error;
+  const JsonValue* summary = doc.Find("summary");
+  EXPECT_DOUBLE_EQ(summary->Find("admitted")->AsNumber(), 2.0);
+  EXPECT_DOUBLE_EQ(summary->Find("blocked")->AsNumber(), 1.0);
+  // The JSON export renders numbers with %.6g, so the parsed value only
+  // carries six significant digits of 1/3.
+  EXPECT_NEAR(summary->Find("blocking_probability")->AsNumber(), 1.0 / 3.0,
+              1e-6);
+  // avg_admitted_qoe averages over BOTH dynamic sessions — the one that
+  // never played drags it down as a 0, it is not silently dropped.
+  const double played_qoe = 2.0 * 2.0 / 2.0 - 0.0;  // q=2 per segment
+  EXPECT_DOUBLE_EQ(summary->Find("avg_admitted_qoe")->AsNumber(),
+                   played_qoe / 2.0);
+}
+
+TEST(QoeAnalytics, RungChangeCausesAreCounted) {
+  QoeAnalytics qoe;
+  qoe.OnRungChange("solver-up");
+  qoe.OnRungChange("solver-up");
+  qoe.OnRungChange("capacity-down");
+  std::ostringstream out;
+  qoe.WriteJson(out);
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(out.str(), &doc));
+  const JsonValue* causes =
+      doc.FindPath({"summary", "rung_change_causes"});
+  ASSERT_NE(causes, nullptr);
+  EXPECT_DOUBLE_EQ(causes->Find("solver-up")->AsNumber(), 2.0);
+  EXPECT_DOUBLE_EQ(causes->Find("capacity-down")->AsNumber(), 1.0);
+}
+
+// --- Shard merging ----------------------------------------------------------
+
+TEST(QoeAnalytics, AbsorbShardRestampsCellsAndFoldsAggregates) {
+  QoeAnalytics shard0;
+  shard0.StartSession(0, 1, 0.0, QoeSessionOrigin::kStaticVideo);
+  shard0.OnSegment(0, 1e6, 2.0);
+  shard0.EndSession(0, 2.0, 2.0);
+  shard0.OnAdmissionVerdict(false);
+
+  QoeAnalytics shard1;
+  shard1.StartSession(0, 2, 0.0, QoeSessionOrigin::kStaticVideo);
+  shard1.OnSegment(0, 3e6, 2.0);
+  shard1.EndSession(0, 2.0, 2.0);
+  shard1.OnRungChange("init");
+
+  QoeAnalytics merged;
+  merged.AbsorbShard(shard0, 0);
+  merged.AbsorbShard(shard1, 1);
+  EXPECT_EQ(merged.session_count(), 2u);
+  const QoeSessionStats* c0 = merged.FindSession(0, 0);
+  const QoeSessionStats* c1 = merged.FindSession(1, 0);
+  ASSERT_NE(c0, nullptr);
+  ASSERT_NE(c1, nullptr);
+  EXPECT_EQ(c0->cell, 0);
+  EXPECT_EQ(c1->cell, 1);
+  EXPECT_DOUBLE_EQ(c0->AvgBitrateBps(), 1e6);
+  EXPECT_DOUBLE_EQ(c1->AvgBitrateBps(), 3e6);
+  EXPECT_EQ(merged.blocked(), 1u);
+
+  // Merge is deterministic: absorbing in the same cell order from equal
+  // shards gives byte-identical JSON.
+  QoeAnalytics merged2;
+  merged2.AbsorbShard(shard0, 0);
+  merged2.AbsorbShard(shard1, 1);
+  std::ostringstream a;
+  std::ostringstream b;
+  merged.WriteJson(a);
+  merged2.WriteJson(b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+// --- Scenario integration ---------------------------------------------------
+
+TEST(QoeAnalytics, ScenarioRunAgreesWithOfflineClientMetrics) {
+  // The engine accumulates online from Player hooks; ComputeClientMetrics
+  // recomputes offline from the stored per-segment vectors. Values agree
+  // up to fp accumulation noise (stall time is summed differently), so
+  // NEAR, not EQ.
+  QoeAnalytics qoe;
+  ScenarioConfig config = TestbedPreset(Scheme::kFlare);
+  config.duration_s = 30.0;
+  config.seed = 11;
+  config.qoe = &qoe;
+  const ScenarioResult result = RunScenario(config);
+  ASSERT_EQ(result.video.size(), static_cast<std::size_t>(config.n_video));
+  ASSERT_EQ(qoe.session_count(), static_cast<std::size_t>(config.n_video));
+  for (int i = 0; i < config.n_video; ++i) {
+    const QoeSessionStats* s = qoe.FindSession(0, i);
+    ASSERT_NE(s, nullptr) << "session " << i;
+    const ClientMetrics& m = result.video[static_cast<std::size_t>(i)];
+    EXPECT_EQ(static_cast<int>(s->segments), m.segments);
+    EXPECT_NEAR(s->AvgBitrateBps(), m.avg_bitrate_bps,
+                1e-6 * m.avg_bitrate_bps + 1e-9);
+    EXPECT_EQ(static_cast<int>(s->switches), m.bitrate_changes);
+    EXPECT_NEAR(s->stall_s, m.rebuffer_time_s, 1e-6);
+    EXPECT_NEAR(s->Qoe(qoe.weights()), m.qoe, 1e-6);
+    EXPECT_TRUE(s->ended);
+  }
+}
+
+TEST(QoeAnalytics, JsonParsesAndCarriesWeights) {
+  const QoeAnalytics qoe = HandComputedSession();
+  std::ostringstream out;
+  qoe.WriteJson(out);
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(out.str(), &doc, &error)) << error;
+  EXPECT_DOUBLE_EQ(doc.FindPath({"weights", "lambda_switch"})->AsNumber(),
+                   1.0);
+  EXPECT_DOUBLE_EQ(doc.FindPath({"weights", "mu_rebuffer"})->AsNumber(),
+                   8.0);
+  ASSERT_EQ(doc.Find("sessions")->items().size(), 1u);
+  const JsonValue& row = doc.Find("sessions")->items()[0];
+  EXPECT_DOUBLE_EQ(row.Find("qoe")->AsNumber(), -0.5);
+  EXPECT_EQ(row.Find("origin")->AsString(), "static");
+}
+
+}  // namespace
+}  // namespace flare

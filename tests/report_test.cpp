@@ -1,0 +1,281 @@
+// flare_report core: artifact flattening, watch-spec parsing, the
+// direction-aware regression gate, and trajectory line emission. These are
+// the guarantees CI leans on when it fails a build over a QoE regression.
+#include "report_core.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace flare {
+namespace {
+
+RunSummary Flatten(const std::string& text) {
+  JsonValue root;
+  std::string error;
+  EXPECT_TRUE(ParseJson(text, &root, &error)) << error;
+  RunSummary run;
+  FlattenRun(root, &run);
+  return run;
+}
+
+TEST(ReportFlatten, BenchEnvelopeDescendsIntoRun) {
+  const RunSummary run = Flatten(R"({
+    "schema_version": 1,
+    "scenario": "fig6",
+    "config": {"duration_s": 60, "scheme": "flare"},
+    "run": {
+      "counters": {"player.stalls": 2},
+      "gauges": {},
+      "histograms": {}
+    }
+  })");
+  EXPECT_EQ(run.schema_version, 1);
+  EXPECT_EQ(run.scenario, "fig6");
+  ASSERT_EQ(run.metrics.count("metrics.counters.player.stalls"), 1u);
+  EXPECT_DOUBLE_EQ(run.metrics.at("metrics.counters.player.stalls"), 2.0);
+}
+
+TEST(ReportFlatten, TraceExportFlattensQoeHealthAndPlayers) {
+  const RunSummary run = Flatten(R"({
+    "metrics": {
+      "counters": {"controller.bai_total": 10},
+      "gauges": {"churn.sessions_active": 3},
+      "histograms": {"h": {"count": 0, "sum": 0, "mean": null,
+                           "p50": null, "p95": null, "p99": null}}
+    },
+    "run_health": {"healthy": false, "warnings": [{"t_s": 1.0, "cell": 0,
+      "kind": "stall_streak", "client": 2, "value": 3, "detail": "x"}]},
+    "qoe": {
+      "weights": {"lambda_switch": 1, "mu_stall": 8},
+      "sessions": [],
+      "cells": [{"cell": 0, "sessions": 2, "avg_qoe": 1.5}],
+      "summary": {"sessions": 2, "avg_bitrate_bps": 2000000,
+                  "avg_qoe": 1.5, "stall_ratio": 0.01,
+                  "rung_change_causes": {"init": 2, "solver-up": 5}}
+    },
+    "players": [
+      {"cell": 0, "client": 0, "flow": 1, "avg_bitrate_bps": 1000000,
+       "switches": 1, "stalls": 0, "stall_s": 0, "qoe": 1.0, "segments": 10},
+      {"cell": 0, "client": 1, "flow": 2, "avg_bitrate_bps": 3000000,
+       "switches": 3, "stalls": 2, "stall_s": 1.5, "qoe": 2.0, "segments": 10}
+    ]
+  })");
+  EXPECT_DOUBLE_EQ(run.metrics.at("metrics.counters.controller.bai_total"),
+                   10.0);
+  // Null histogram aggregates are skipped, not poisoned to NaN.
+  EXPECT_EQ(run.metrics.count("metrics.histograms.h.p50"), 0u);
+  EXPECT_DOUBLE_EQ(run.metrics.at("metrics.histograms.h.count"), 0.0);
+  EXPECT_DOUBLE_EQ(run.metrics.at("health.healthy"), 0.0);
+  EXPECT_DOUBLE_EQ(run.metrics.at("health.warnings"), 1.0);
+  EXPECT_DOUBLE_EQ(run.metrics.at("qoe.summary.avg_qoe"), 1.5);
+  EXPECT_DOUBLE_EQ(run.metrics.at("qoe.summary.cause.solver-up"), 5.0);
+  // Causes absent from the run are zero-filled so diffs never go missing.
+  EXPECT_DOUBLE_EQ(run.metrics.at("qoe.summary.cause.capacity-down"), 0.0);
+  EXPECT_DOUBLE_EQ(run.metrics.at("qoe.cell0.avg_qoe"), 1.5);
+  EXPECT_DOUBLE_EQ(run.metrics.at("players.count"), 2.0);
+  EXPECT_DOUBLE_EQ(run.metrics.at("players.avg_bitrate_bps"), 2000000.0);
+  EXPECT_DOUBLE_EQ(run.metrics.at("players.stalls"), 2.0);
+}
+
+TEST(ReportFlatten, GoogleBenchmarkFormat) {
+  const RunSummary run = Flatten(R"({
+    "benchmarks": [
+      {"name": "BM_DecideBai/32", "real_time": 12.5, "cpu_time": 12.0,
+       "iterations": 1000}
+    ]
+  })");
+  EXPECT_DOUBLE_EQ(run.metrics.at("bench.BM_DecideBai/32.real_time"), 12.5);
+  EXPECT_DOUBLE_EQ(run.metrics.at("bench.BM_DecideBai/32.iterations"),
+                   1000.0);
+}
+
+TEST(ReportWatch, ParsesSpecsAndRejectsMalformed) {
+  WatchSpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseWatchSpec("qoe.summary.avg_qoe:up", &spec, &error));
+  EXPECT_EQ(spec.metric, "qoe.summary.avg_qoe");
+  EXPECT_TRUE(spec.higher_is_better);
+  EXPECT_DOUBLE_EQ(spec.threshold_pct, 5.0);
+
+  ASSERT_TRUE(ParseWatchSpec("qoe.summary.stall_ratio:down:12.5", &spec,
+                             &error));
+  EXPECT_FALSE(spec.higher_is_better);
+  EXPECT_DOUBLE_EQ(spec.threshold_pct, 12.5);
+
+  EXPECT_FALSE(ParseWatchSpec("", &spec, &error));
+  EXPECT_FALSE(ParseWatchSpec("metric", &spec, &error));
+  EXPECT_FALSE(ParseWatchSpec("metric:sideways", &spec, &error));
+  EXPECT_FALSE(ParseWatchSpec("metric:up:notanumber", &spec, &error));
+  EXPECT_FALSE(ParseWatchSpec("metric:up:-3", &spec, &error));
+}
+
+RunSummary MakeRun(const std::string& label,
+                   std::map<std::string, double> metrics) {
+  RunSummary run;
+  run.label = label;
+  run.metrics = std::move(metrics);
+  return run;
+}
+
+TEST(ReportCompare, FlagsDirectionAwareRegressions) {
+  const RunSummary baseline = MakeRun("base", {
+      {"qoe.summary.avg_qoe", 2.0},
+      {"qoe.summary.stall_ratio", 0.10},
+      {"untracked.counter", 5.0},
+  });
+  const RunSummary candidate = MakeRun("cand", {
+      {"qoe.summary.avg_qoe", 1.6},     // -20% on an up metric
+      {"qoe.summary.stall_ratio", 0.2}, // +100% on a down metric
+      {"untracked.counter", 1.0},       // -80% but unwatched
+  });
+  const std::vector<WatchSpec> watches = {
+      {"qoe.summary.avg_qoe", true, 5.0},
+      {"qoe.summary.stall_ratio", false, 5.0},
+  };
+  const RunComparison cmp = Compare(baseline, candidate, watches);
+  EXPECT_TRUE(cmp.HasRegression());
+  ASSERT_EQ(cmp.deltas.size(), 3u);  // sorted by metric name
+  EXPECT_EQ(cmp.deltas[0].metric, "qoe.summary.avg_qoe");
+  EXPECT_TRUE(cmp.deltas[0].watched);
+  EXPECT_TRUE(cmp.deltas[0].regressed);
+  EXPECT_NEAR(cmp.deltas[0].delta_pct, -20.0, 1e-9);
+  EXPECT_TRUE(cmp.deltas[1].regressed);  // stall_ratio went up
+  EXPECT_FALSE(cmp.deltas[2].watched);
+  EXPECT_FALSE(cmp.deltas[2].regressed);
+}
+
+TEST(ReportCompare, WithinThresholdPasses) {
+  const RunSummary baseline =
+      MakeRun("base", {{"qoe.summary.avg_qoe", 2.0}});
+  const RunSummary candidate =
+      MakeRun("cand", {{"qoe.summary.avg_qoe", 1.95}});  // -2.5%
+  const RunComparison cmp =
+      Compare(baseline, candidate, {{"qoe.summary.avg_qoe", true, 5.0}});
+  EXPECT_FALSE(cmp.HasRegression());
+  ASSERT_EQ(cmp.deltas.size(), 1u);
+  EXPECT_TRUE(cmp.deltas[0].watched);
+  EXPECT_FALSE(cmp.deltas[0].regressed);
+}
+
+TEST(ReportCompare, ZeroBaselineIsNeverGated) {
+  const RunSummary baseline =
+      MakeRun("base", {{"qoe.summary.avg_qoe", 0.0}});
+  const RunSummary candidate =
+      MakeRun("cand", {{"qoe.summary.avg_qoe", -5.0}});
+  const RunComparison cmp =
+      Compare(baseline, candidate, {{"qoe.summary.avg_qoe", true, 5.0}});
+  EXPECT_FALSE(cmp.HasRegression());
+}
+
+TEST(ReportCompare, WatchedMetricMissingFromOneRunIsSurfaced) {
+  const RunSummary baseline =
+      MakeRun("base", {{"qoe.summary.avg_qoe", 2.0}});
+  const RunSummary candidate = MakeRun("cand", {{"players.qoe", 1.0}});
+  const RunComparison cmp =
+      Compare(baseline, candidate, {{"qoe.summary.avg_qoe", true, 5.0}});
+  ASSERT_EQ(cmp.missing_watched.size(), 1u);
+  EXPECT_EQ(cmp.missing_watched[0], "qoe.summary.avg_qoe");
+  // Missing is a warning, not a regression: renames should be loud but not
+  // spuriously red.
+  EXPECT_FALSE(cmp.HasRegression());
+}
+
+TEST(ReportOutput, MarkdownFlagsRegressions) {
+  const RunSummary baseline =
+      MakeRun("base", {{"qoe.summary.avg_qoe", 2.0}});
+  const RunSummary candidate =
+      MakeRun("cand", {{"qoe.summary.avg_qoe", 1.0}});
+  const RunComparison cmp =
+      Compare(baseline, candidate, {{"qoe.summary.avg_qoe", true, 5.0}});
+  std::ostringstream out;
+  WriteMarkdownReport(out, {baseline, candidate}, {cmp});
+  EXPECT_NE(out.str().find("REGRESSED"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("qoe.summary.avg_qoe"), std::string::npos);
+}
+
+TEST(ReportOutput, CsvListsEveryMetricOfEveryRun) {
+  const RunSummary a = MakeRun("a", {{"m1", 1.0}, {"m2", 2.0}});
+  const RunSummary b = MakeRun("b", {{"m1", 3.0}});
+  std::ostringstream out;
+  WriteCsvReport(out, {a, b});
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("a,m1,1"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("a,m2,2"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("b,m1,3"), std::string::npos) << csv;
+}
+
+TEST(ReportOutput, TrajectoryLineIsOneParseableJsonObject) {
+  RunSummary run = MakeRun("fig6", {{"qoe.summary.avg_qoe", 1.25}});
+  run.scenario = "fig6";
+  run.schema_version = 1;
+  run.path = "/tmp/BENCH_fig6.json";
+  std::ostringstream out;
+  WriteTrajectoryLine(out, run, 1754000000LL);
+  const std::string line = out.str();
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_EQ(line.find('\n'), line.size() - 1);  // exactly one line
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(line, &doc, &error)) << error;
+  EXPECT_EQ(doc.Find("scenario")->AsString(), "fig6");
+  EXPECT_EQ(doc.Find("label")->AsString(), "fig6");
+  EXPECT_DOUBLE_EQ(doc.Find("recorded_unix")->AsNumber(), 1754000000.0);
+  EXPECT_DOUBLE_EQ(
+      doc.FindPath({"metrics", "qoe.summary.avg_qoe"})->AsNumber(), 1.25);
+}
+
+TEST(ReportOutput, AppendTrajectoryAccumulatesLines) {
+  const std::string path =
+      ::testing::TempDir() + "/report_test_trajectory.jsonl";
+  std::remove(path.c_str());
+  const RunSummary a = MakeRun("a", {{"m", 1.0}});
+  const RunSummary b = MakeRun("b", {{"m", 2.0}});
+  ASSERT_TRUE(AppendTrajectory(path, {a}, 100));
+  ASSERT_TRUE(AppendTrajectory(path, {a, b}, 200));
+
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    JsonValue doc;
+    std::string error;
+    EXPECT_TRUE(ParseJson(line, &doc, &error)) << error;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 3);
+  std::remove(path.c_str());
+}
+
+TEST(ReportLoad, LoadRunSummaryReportsMissingAndMalformedFiles) {
+  RunSummary run;
+  std::string error;
+  EXPECT_FALSE(LoadRunSummary("/nonexistent/run.json", &run, &error));
+  EXPECT_FALSE(error.empty());
+
+  const std::string path = ::testing::TempDir() + "/report_test_bad.json";
+  {
+    std::ofstream out(path);
+    out << "{not json";
+  }
+  EXPECT_FALSE(LoadRunSummary(path, &run, &error));
+
+  {
+    std::ofstream out(path);
+    out << R"({"counters": {"c": 1}, "gauges": {}, "histograms": {}})";
+  }
+  ASSERT_TRUE(LoadRunSummary(path, &run, &error)) << error;
+  EXPECT_EQ(run.schema_version, 0);  // legacy: no envelope
+  EXPECT_DOUBLE_EQ(run.metrics.at("metrics.counters.c"), 1.0);
+  EXPECT_FALSE(run.label.empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace flare

@@ -1,0 +1,208 @@
+// flare_report: cross-run regression reporting over the repo's structured
+// run outputs.
+//
+//   flare_report <run.json> [<run.json> ...] [key=value ...]
+//
+// Inputs may be standardized BENCH_*.json envelopes, raw BaiTraceSink /
+// MetricsRegistry exports, or google-benchmark JSON. The first input (or
+// baseline=<path>) is the baseline; every other input is compared against
+// it. Watched QoE metrics gate the exit code:
+//
+//   0  loaded fine, no watched-metric regression
+//   1  usage / IO / parse error
+//   3  at least one watched metric regressed past its threshold
+//
+// Knobs:
+//   baseline=<path>     baseline run (default: first positional input)
+//   md=<path>           write the markdown report here (default: stdout)
+//   csv=<path>          also write a flat label,metric,value CSV
+//   trajectory=<path>   append one JSONL line per run
+//                       (default bench_results/trajectory.jsonl; "none"
+//                       disables)
+//   watch=<specs>       comma/semicolon-separated metric:up|down[:PCT]
+//                       overrides the default QoE watch list
+//   threshold=<pct>     default threshold for the built-in watch list (5)
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "report_core.h"
+
+namespace flare {
+namespace {
+
+constexpr const char* kUsage = R"(usage: flare_report <run.json> [<run.json> ...] [key=value ...]
+
+Loads structured run outputs (BENCH_*.json envelopes, BaiTraceSink /
+MetricsRegistry exports, google-benchmark JSON), prints a markdown
+comparison of every run against the baseline, and exits non-zero when a
+watched metric regresses.
+
+knobs:
+  baseline=<path>    baseline run (default: first positional input)
+  md=<path>          markdown report destination (default: stdout)
+  csv=<path>         flat label,metric,value CSV destination
+  trajectory=<path>  JSONL trajectory to append to
+                     (default bench_results/trajectory.jsonl, none=off)
+  watch=<specs>      metric:up|down[:PCT], comma/semicolon separated
+  threshold=<pct>    threshold for the default watch list (default 5)
+
+exit codes: 0 ok, 1 usage/IO error, 3 watched-metric regression
+)";
+
+std::vector<std::string> SplitList(const std::string& text) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : text) {
+    if (c == ',' || c == ';') {
+      if (!current.empty()) parts.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) parts.push_back(current);
+  return parts;
+}
+
+int Main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  std::string baseline_path;
+  std::string md_path;
+  std::string csv_path;
+  std::string trajectory_path = "bench_results/trajectory.jsonl";
+  std::string watch_text;
+  double threshold_pct = 5.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h" || arg == "help") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+    const std::size_t eq = arg.find('=');
+    const std::string key = eq == std::string::npos ? "" : arg.substr(0, eq);
+    if (key == "baseline") {
+      baseline_path = arg.substr(eq + 1);
+    } else if (key == "md") {
+      md_path = arg.substr(eq + 1);
+    } else if (key == "csv") {
+      csv_path = arg.substr(eq + 1);
+    } else if (key == "trajectory") {
+      trajectory_path = arg.substr(eq + 1);
+    } else if (key == "watch") {
+      watch_text = arg.substr(eq + 1);
+    } else if (key == "threshold") {
+      try {
+        threshold_pct = std::stod(arg.substr(eq + 1));
+      } catch (...) {
+        std::fprintf(stderr, "flare_report: bad threshold '%s'\n",
+                     arg.c_str());
+        return 1;
+      }
+    } else if (eq != std::string::npos &&
+               key.find('/') == std::string::npos &&
+               key.find('.') == std::string::npos) {
+      // A bare word before '=' is a mistyped knob; paths (with '/' or an
+      // extension dot) fall through as positional inputs.
+      std::fprintf(stderr, "flare_report: unknown knob '%s'\n%s",
+                   arg.c_str(), kUsage);
+      return 1;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (!baseline_path.empty()) {
+    inputs.insert(inputs.begin(), baseline_path);
+  }
+  if (inputs.empty()) {
+    std::fputs(kUsage, stderr);
+    return 1;
+  }
+
+  std::vector<WatchSpec> watches;
+  if (watch_text.empty()) {
+    watches = DefaultWatches(threshold_pct);
+  } else {
+    for (const std::string& spec : SplitList(watch_text)) {
+      WatchSpec watch;
+      std::string error;
+      if (!ParseWatchSpec(spec, &watch, &error)) {
+        std::fprintf(stderr, "flare_report: %s\n", error.c_str());
+        return 1;
+      }
+      watches.push_back(watch);
+    }
+  }
+
+  std::vector<RunSummary> runs;
+  for (const std::string& path : inputs) {
+    RunSummary run;
+    std::string error;
+    if (!LoadRunSummary(path, &run, &error)) {
+      std::fprintf(stderr, "flare_report: %s\n", error.c_str());
+      return 1;
+    }
+    runs.push_back(run);
+  }
+
+  std::vector<RunComparison> comparisons;
+  bool regression = false;
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    comparisons.push_back(Compare(runs[0], runs[i], watches));
+    regression = regression || comparisons.back().HasRegression();
+  }
+
+  std::ostringstream markdown;
+  WriteMarkdownReport(markdown, runs, comparisons);
+  if (md_path.empty()) {
+    std::fputs(markdown.str().c_str(), stdout);
+  } else {
+    std::ofstream out(md_path);
+    if (!out) {
+      std::fprintf(stderr, "flare_report: cannot write %s\n",
+                   md_path.c_str());
+      return 1;
+    }
+    out << markdown.str();
+    std::printf("markdown report written to %s\n", md_path.c_str());
+  }
+
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    if (!out) {
+      std::fprintf(stderr, "flare_report: cannot write %s\n",
+                   csv_path.c_str());
+      return 1;
+    }
+    WriteCsvReport(out, runs);
+    std::printf("csv report written to %s\n", csv_path.c_str());
+  }
+
+  if (!trajectory_path.empty() && trajectory_path != "none") {
+    if (!AppendTrajectory(trajectory_path, runs,
+                          static_cast<long long>(std::time(nullptr)))) {
+      std::fprintf(stderr, "flare_report: cannot append to %s\n",
+                   trajectory_path.c_str());
+      return 1;
+    }
+    std::printf("%zu run(s) appended to %s\n", runs.size(),
+                trajectory_path.c_str());
+  }
+
+  if (regression) {
+    std::fprintf(stderr,
+                 "flare_report: watched-metric regression detected\n");
+    return 3;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace flare
+
+int main(int argc, char** argv) { return flare::Main(argc, argv); }

@@ -1,0 +1,400 @@
+#include "report_core.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+
+#include "core/rate_controller.h"
+#include "obs/span_trace.h"
+#include "util/csv.h"
+
+namespace flare {
+namespace {
+
+void Put(RunSummary* out, const std::string& key, double value) {
+  if (!std::isfinite(value)) return;
+  out->metrics[key] = value;
+}
+
+void PutNumber(RunSummary* out, const std::string& key,
+               const JsonValue* value) {
+  if (value == nullptr) return;
+  if (value->is_number()) Put(out, key, value->AsNumber());
+  if (value->is_bool()) Put(out, key, value->AsBool() ? 1.0 : 0.0);
+}
+
+/// {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
+/// mean, p50, p95, p99, ...}}} -> prefix.counters.<name> etc. Null
+/// aggregates (empty histograms) are skipped, not zero-filled.
+void FlattenRegistry(const JsonValue& registry, const std::string& prefix,
+                     RunSummary* out) {
+  for (const char* family : {"counters", "gauges"}) {
+    const JsonValue* section = registry.Find(family);
+    if (section == nullptr || !section->is_object()) continue;
+    for (const auto& [name, value] : section->members()) {
+      PutNumber(out, prefix + family + "." + name, &value);
+    }
+  }
+  const JsonValue* histograms = registry.Find("histograms");
+  if (histograms != nullptr && histograms->is_object()) {
+    for (const auto& [name, histogram] : histograms->members()) {
+      if (!histogram.is_object()) continue;
+      const std::string base = prefix + "histograms." + name + ".";
+      for (const char* field : {"count", "mean", "p50", "p95", "p99"}) {
+        PutNumber(out, base + field, histogram.Find(field));
+      }
+    }
+  }
+}
+
+/// One QoE aggregate object (a cell row or the summary): every numeric
+/// member becomes prefix.<k>; rung_change_causes fan out as
+/// prefix.cause.<name>, zero-filled over the stable DecisionCause table so
+/// a cause that stops firing shows up as a 0, not a missing metric.
+void FlattenQoeAggregate(const JsonValue& agg, const std::string& prefix,
+                         RunSummary* out) {
+  for (const char* name : AllDecisionCauseNames()) {
+    Put(out, prefix + "cause." + name, 0.0);
+  }
+  for (const auto& [key, value] : agg.members()) {
+    if (key == "cell") continue;
+    if (key == "rung_change_causes" && value.is_object()) {
+      for (const auto& [cause, count] : value.members()) {
+        PutNumber(out, prefix + "cause." + cause, &count);
+      }
+      continue;
+    }
+    PutNumber(out, prefix + key, &value);
+  }
+}
+
+void FlattenQoe(const JsonValue& qoe, RunSummary* out) {
+  const JsonValue* sessions = qoe.Find("sessions");
+  if (sessions != nullptr && sessions->is_array()) {
+    Put(out, "qoe.sessions", static_cast<double>(sessions->items().size()));
+  }
+  const JsonValue* summary = qoe.Find("summary");
+  if (summary != nullptr && summary->is_object()) {
+    FlattenQoeAggregate(*summary, "qoe.summary.", out);
+  }
+  const JsonValue* cells = qoe.Find("cells");
+  if (cells != nullptr && cells->is_array()) {
+    for (const JsonValue& cell : cells->items()) {
+      const JsonValue* id = cell.Find("cell");
+      if (id == nullptr || !id->is_number()) continue;
+      const std::string prefix =
+          "qoe.cell" + std::to_string(static_cast<int>(id->AsNumber())) +
+          ".";
+      FlattenQoeAggregate(cell, prefix, out);
+    }
+  }
+}
+
+void FlattenPlayers(const JsonValue& players, RunSummary* out) {
+  double bitrate_sum = 0.0;
+  double qoe_sum = 0.0;
+  double stalls = 0.0;
+  const double n = static_cast<double>(players.items().size());
+  for (const JsonValue& p : players.items()) {
+    const JsonValue* bitrate = p.Find("avg_bitrate_bps");
+    const JsonValue* qoe = p.Find("qoe");
+    const JsonValue* stall = p.Find("stalls");
+    if (bitrate != nullptr) bitrate_sum += bitrate->AsNumber();
+    if (qoe != nullptr) qoe_sum += qoe->AsNumber();
+    if (stall != nullptr) stalls += stall->AsNumber();
+  }
+  Put(out, "players.count", n);
+  if (n > 0.0) {
+    Put(out, "players.avg_bitrate_bps", bitrate_sum / n);
+    Put(out, "players.qoe", qoe_sum / n);
+    Put(out, "players.stalls", stalls);
+  }
+}
+
+/// google-benchmark --benchmark_format=json.
+void FlattenGoogleBenchmark(const JsonValue& root, RunSummary* out) {
+  const JsonValue* benchmarks = root.Find("benchmarks");
+  if (benchmarks == nullptr || !benchmarks->is_array()) return;
+  for (const JsonValue& b : benchmarks->items()) {
+    const JsonValue* name = b.Find("name");
+    if (name == nullptr || !name->is_string()) continue;
+    const std::string base = "bench." + name->AsString() + ".";
+    PutNumber(out, base + "real_time", b.Find("real_time"));
+    PutNumber(out, base + "cpu_time", b.Find("cpu_time"));
+    PutNumber(out, base + "iterations", b.Find("iterations"));
+  }
+}
+
+/// The payload inside the envelope (or a legacy top-level document).
+void FlattenPayload(const JsonValue& payload, RunSummary* out) {
+  if (payload.Find("benchmarks") != nullptr) {
+    FlattenGoogleBenchmark(payload, out);
+    return;
+  }
+  if (payload.Find("counters") != nullptr &&
+      payload.Find("histograms") != nullptr) {
+    FlattenRegistry(payload, "metrics.", out);
+    return;
+  }
+  // BaiTraceSink export.
+  const JsonValue* metrics = payload.Find("metrics");
+  if (metrics != nullptr && metrics->is_object()) {
+    FlattenRegistry(*metrics, "metrics.", out);
+  }
+  const JsonValue* qoe = payload.Find("qoe");
+  if (qoe != nullptr && qoe->is_object()) FlattenQoe(*qoe, out);
+  const JsonValue* health = payload.Find("run_health");
+  if (health != nullptr && health->is_object()) {
+    PutNumber(out, "health.healthy", health->Find("healthy"));
+    const JsonValue* warnings = health->Find("warnings");
+    if (warnings != nullptr && warnings->is_array()) {
+      Put(out, "health.warnings",
+          static_cast<double>(warnings->items().size()));
+    }
+  }
+  const JsonValue* players = payload.Find("players");
+  if (players != nullptr && players->is_array()) {
+    FlattenPlayers(*players, out);
+  }
+  const JsonValue* bai = payload.Find("bai_trace");
+  if (bai != nullptr && bai->is_array()) {
+    Put(out, "bai_trace.rows", static_cast<double>(bai->items().size()));
+  }
+}
+
+std::string Stem(const std::string& path) {
+  return std::filesystem::path(path).stem().string();
+}
+
+}  // namespace
+
+void FlattenRun(const JsonValue& root, RunSummary* out) {
+  const JsonValue* version = root.Find("schema_version");
+  const JsonValue* run = root.Find("run");
+  if (version != nullptr && version->is_number() && run != nullptr) {
+    out->schema_version = static_cast<int>(version->AsNumber());
+    const JsonValue* scenario = root.Find("scenario");
+    if (scenario != nullptr && scenario->is_string()) {
+      out->scenario = scenario->AsString();
+    }
+    FlattenPayload(*run, out);
+    return;
+  }
+  FlattenPayload(root, out);
+}
+
+bool LoadRunSummary(const std::string& path, RunSummary* out,
+                    std::string* error) {
+  *out = RunSummary{};
+  out->path = path;
+  out->label = Stem(path);
+  JsonValue root;
+  if (!ParseJsonFile(path, &root, error)) return false;
+  if (!root.is_object()) {
+    if (error != nullptr) *error = path + ": top-level value is not an object";
+    return false;
+  }
+  FlattenRun(root, out);
+  if (out->metrics.empty()) {
+    if (error != nullptr) {
+      *error = path + ": no recognizable metrics "
+               "(expected a BENCH envelope, trace/registry export, or "
+               "google-benchmark JSON)";
+    }
+    return false;
+  }
+  return true;
+}
+
+bool ParseWatchSpec(const std::string& text, WatchSpec* out,
+                    std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = "bad watch spec '" + text + "': " + why +
+               " (expected metric:up[:PCT] or metric:down[:PCT])";
+    }
+    return false;
+  };
+  const std::size_t first = text.find(':');
+  if (first == std::string::npos || first == 0) {
+    return fail("missing direction");
+  }
+  out->metric = text.substr(0, first);
+  std::string rest = text.substr(first + 1);
+  std::string direction = rest;
+  const std::size_t second = rest.find(':');
+  out->threshold_pct = 5.0;
+  if (second != std::string::npos) {
+    direction = rest.substr(0, second);
+    const std::string pct = rest.substr(second + 1);
+    char* end = nullptr;
+    out->threshold_pct = std::strtod(pct.c_str(), &end);
+    if (end == pct.c_str() || *end != '\0' || out->threshold_pct < 0.0) {
+      return fail("bad threshold '" + pct + "'");
+    }
+  }
+  if (direction == "up") {
+    out->higher_is_better = true;
+  } else if (direction == "down") {
+    out->higher_is_better = false;
+  } else {
+    return fail("bad direction '" + direction + "'");
+  }
+  return true;
+}
+
+std::vector<WatchSpec> DefaultWatches(double threshold_pct) {
+  std::vector<WatchSpec> watches;
+  for (const char* up : {"qoe.summary.avg_bitrate_bps", "qoe.summary.avg_qoe",
+                         "qoe.summary.jain_avg_bitrate",
+                         "players.avg_bitrate_bps", "players.qoe"}) {
+    watches.push_back({up, true, threshold_pct});
+  }
+  watches.push_back({"qoe.summary.stall_ratio", false, threshold_pct});
+  return watches;
+}
+
+bool RunComparison::HasRegression() const {
+  for (const MetricDelta& d : deltas) {
+    if (d.regressed) return true;
+  }
+  return false;
+}
+
+RunComparison Compare(const RunSummary& baseline,
+                      const RunSummary& candidate,
+                      const std::vector<WatchSpec>& watches) {
+  RunComparison cmp;
+  cmp.baseline_label = baseline.label;
+  cmp.candidate_label = candidate.label;
+  const auto watch_for = [&](const std::string& metric) -> const WatchSpec* {
+    for (const WatchSpec& w : watches) {
+      if (w.metric == metric) return &w;
+    }
+    return nullptr;
+  };
+  for (const auto& [metric, base] : baseline.metrics) {
+    const auto it = candidate.metrics.find(metric);
+    if (it == candidate.metrics.end()) continue;
+    MetricDelta d;
+    d.metric = metric;
+    d.baseline = base;
+    d.candidate = it->second;
+    d.delta_pct = base != 0.0
+                      ? (d.candidate - base) / std::abs(base) * 100.0
+                      : 0.0;
+    if (const WatchSpec* w = watch_for(metric)) {
+      d.watched = true;
+      // Ratios against a zero/negative baseline are meaningless; such
+      // metrics are shown but never gate.
+      if (base > 0.0) {
+        const double scale = w->threshold_pct / 100.0;
+        d.regressed = w->higher_is_better
+                          ? d.candidate < base * (1.0 - scale)
+                          : d.candidate > base * (1.0 + scale);
+      }
+    }
+    cmp.deltas.push_back(d);
+  }
+  for (const WatchSpec& w : watches) {
+    const bool in_base = baseline.metrics.count(w.metric) > 0;
+    const bool in_cand = candidate.metrics.count(w.metric) > 0;
+    if (in_base != in_cand) cmp.missing_watched.push_back(w.metric);
+  }
+  return cmp;
+}
+
+namespace {
+
+std::string Cell(double value) { return FormatNumber(value); }
+
+void WriteComparisonTable(std::ostream& out, const RunComparison& cmp,
+                          bool watched_only) {
+  out << "| metric | " << cmp.baseline_label << " | " << cmp.candidate_label
+      << " | delta % | status |\n";
+  out << "|---|---:|---:|---:|---|\n";
+  for (const MetricDelta& d : cmp.deltas) {
+    if (watched_only && !d.watched) continue;
+    out << "| `" << d.metric << "` | " << Cell(d.baseline) << " | "
+        << Cell(d.candidate) << " | " << Cell(d.delta_pct) << " | "
+        << (d.regressed ? "**REGRESSED**" : (d.watched ? "ok" : ""))
+        << " |\n";
+  }
+}
+
+}  // namespace
+
+void WriteMarkdownReport(std::ostream& out,
+                         const std::vector<RunSummary>& runs,
+                         const std::vector<RunComparison>& comparisons) {
+  out << "# flare_report\n\n## Runs\n\n";
+  out << "| label | scenario | schema | metrics | source |\n";
+  out << "|---|---|---:|---:|---|\n";
+  for (const RunSummary& run : runs) {
+    out << "| " << run.label << " | "
+        << (run.scenario.empty() ? "-" : run.scenario) << " | "
+        << run.schema_version << " | " << run.metrics.size() << " | `"
+        << run.path << "` |\n";
+  }
+  for (const RunComparison& cmp : comparisons) {
+    out << "\n## " << cmp.baseline_label << " vs " << cmp.candidate_label
+        << (cmp.HasRegression() ? " — REGRESSION" : "") << "\n\n";
+    out << "### Watched metrics\n\n";
+    WriteComparisonTable(out, cmp, /*watched_only=*/true);
+    for (const std::string& metric : cmp.missing_watched) {
+      out << "\n> watched metric `" << metric
+          << "` is present in only one run — not gated\n";
+    }
+    out << "\n<details><summary>All shared metrics ("
+        << cmp.deltas.size() << ")</summary>\n\n";
+    WriteComparisonTable(out, cmp, /*watched_only=*/false);
+    out << "\n</details>\n";
+  }
+}
+
+void WriteCsvReport(std::ostream& out, const std::vector<RunSummary>& runs) {
+  out << "label,metric,value\n";
+  for (const RunSummary& run : runs) {
+    for (const auto& [metric, value] : run.metrics) {
+      out << CsvField(run.label) << ',' << CsvField(metric) << ','
+          << FormatNumber(value) << '\n';
+    }
+  }
+}
+
+void WriteTrajectoryLine(std::ostream& out, const RunSummary& run,
+                         long long recorded_unix) {
+  out << "{\"schema_version\": " << run.schema_version
+      << ", \"scenario\": " << JsonQuote(run.scenario)
+      << ", \"label\": " << JsonQuote(run.label)
+      << ", \"source\": " << JsonQuote(run.path)
+      << ", \"recorded_unix\": " << recorded_unix << ", \"metrics\": {";
+  bool first = true;
+  for (const auto& [metric, value] : run.metrics) {
+    if (!first) out << ", ";
+    first = false;
+    out << JsonQuote(metric) << ": " << JsonNumber(value);
+  }
+  out << "}}\n";
+}
+
+bool AppendTrajectory(const std::string& path,
+                      const std::vector<RunSummary>& runs,
+                      long long recorded_unix) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+  }
+  std::ofstream out(path, std::ios::app);
+  if (!out) return false;
+  for (const RunSummary& run : runs) {
+    WriteTrajectoryLine(out, run, recorded_unix);
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace flare

@@ -1,0 +1,112 @@
+// Core of the flare_report CLI: load run outputs (standardized
+// BENCH_*.json envelopes, raw BaiTraceSink / MetricsRegistry exports,
+// google-benchmark JSON), flatten them into a comparable metric map, diff
+// candidate runs against a baseline with per-metric direction-aware
+// regression thresholds, and render markdown / CSV / trajectory.jsonl.
+//
+// Lives in tools/ (not src/) because it is a consumer of run artifacts,
+// not part of the simulation; it links flare_util for the JSON parser and
+// flare_core for the stable DecisionCause name table.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace flare {
+
+/// One loaded run artifact, flattened to "dotted.metric.name" -> value.
+struct RunSummary {
+  std::string path;
+  std::string label;        // defaults to the file stem
+  int schema_version = 0;   // 0 = legacy (no envelope)
+  std::string scenario;     // "" when the artifact carries none
+  /// Sorted by key (std::map), so iteration order is deterministic.
+  std::map<std::string, double> metrics;
+};
+
+/// Parse `path` and flatten it. Recognizes, in order:
+///  * the BenchJsonWriter envelope {"schema_version", "scenario", "run"}
+///    (descends into "run");
+///  * a BaiTraceSink export ({"metrics", "qoe", "run_health", "players"});
+///  * a bare MetricsRegistry export ({"counters", "gauges", "histograms"});
+///  * google-benchmark --benchmark_format=json ({"benchmarks": [...]}).
+/// Returns false (and fills *error) on unreadable / unparseable input.
+bool LoadRunSummary(const std::string& path, RunSummary* out,
+                    std::string* error);
+
+/// Flatten an already-parsed artifact (testing seam for LoadRunSummary).
+void FlattenRun(const JsonValue& root, RunSummary* out);
+
+/// A metric watched for regressions. Direction matters: for
+/// higher_is_better, a candidate below baseline*(1 - threshold_pct/100)
+/// regresses; otherwise a candidate above baseline*(1 + threshold_pct/100)
+/// does. Zero/negative baselines are compared but never gated (a ratio
+/// against zero is meaningless).
+struct WatchSpec {
+  std::string metric;
+  bool higher_is_better = true;
+  double threshold_pct = 5.0;
+};
+
+/// Parse "metric:up[:PCT]" / "metric:down[:PCT]" (default threshold 5%).
+/// Returns false on malformed spec.
+bool ParseWatchSpec(const std::string& text, WatchSpec* out,
+                    std::string* error);
+
+/// The default watch list when the CLI gets no watch= overrides: the QoE
+/// headline metrics of the paper's Figures 6/7.
+std::vector<WatchSpec> DefaultWatches(double threshold_pct);
+
+/// One metric compared between baseline and candidate.
+struct MetricDelta {
+  std::string metric;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double delta_pct = 0.0;  // (candidate - baseline) / |baseline| * 100
+  bool watched = false;
+  bool regressed = false;
+};
+
+struct RunComparison {
+  std::string baseline_label;
+  std::string candidate_label;
+  /// Metrics present in both runs, sorted by name.
+  std::vector<MetricDelta> deltas;
+  /// Watched metrics present in only one run (renames break gating
+  /// silently otherwise, so they are surfaced).
+  std::vector<std::string> missing_watched;
+  bool HasRegression() const;
+};
+
+RunComparison Compare(const RunSummary& baseline,
+                      const RunSummary& candidate,
+                      const std::vector<WatchSpec>& watches);
+
+/// Markdown report: per-run overview table, then one comparison section
+/// per candidate (watched metrics first, regressions flagged), then the
+/// full delta table.
+void WriteMarkdownReport(std::ostream& out,
+                         const std::vector<RunSummary>& runs,
+                         const std::vector<RunComparison>& comparisons);
+
+/// Flat CSV: run_label,metric,value for every loaded run.
+void WriteCsvReport(std::ostream& out, const std::vector<RunSummary>& runs);
+
+/// One JSON line for `run` appended to a trajectory.jsonl file:
+/// {"schema_version", "scenario", "label", "source", "recorded_unix",
+///  "metrics": {...}}. `recorded_unix` comes from the caller so the core
+/// stays clock-free and testable.
+void WriteTrajectoryLine(std::ostream& out, const RunSummary& run,
+                         long long recorded_unix);
+
+/// Append trajectory lines for every run; creates the file (and parent
+/// directory) if needed. Returns false if the file cannot be opened.
+bool AppendTrajectory(const std::string& path,
+                      const std::vector<RunSummary>& runs,
+                      long long recorded_unix);
+
+}  // namespace flare

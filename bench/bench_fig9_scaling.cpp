@@ -138,31 +138,77 @@ int Main(int argc, char** argv) {
       .Set(static_cast<double>(hw_threads));
   const double multicell_duration_s =
       scale.duration_s > 0.0 ? scale.duration_s : 30.0;
-  double serial_ms = 0.0;
-  for (const int workers : {0, 2, 8}) {
+  // One wall-clock sample on a shared/1-core box swings tens of percent;
+  // min-of-N with *interleaved* reps (serial and parallel alternate, so a
+  // slow system phase taxes every configuration equally) is the
+  // de-noising for a "how fast can this go" measurement. The timing reps
+  // run *bare* (no metrics, no span tracer) so instrumentation cost
+  // cannot masquerade as runtime overhead; the instrumented run
+  // afterwards feeds the exported histograms and the workers=8 trace.
+  const int timing_reps = 5;
+  const std::vector<int> worker_configs = {0, 2, 8};
+  const auto multicell_config = [&](int workers) {
     MultiCellConfig multi;
     multi.cell = TestbedPreset(Scheme::kFlare);
     multi.cell.duration_s = multicell_duration_s;
     multi.cell.seed = 42;
     multi.n_cells = 8;
     multi.workers = workers;
+    return multi;
+  };
+  std::vector<double> min_wall_ms(worker_configs.size(), 0.0);
+  for (int rep = 0; rep < timing_reps; ++rep) {
+    for (std::size_t i = 0; i < worker_configs.size(); ++i) {
+      const MultiCellResult timed =
+          RunMultiCellScenario(multicell_config(worker_configs[i]));
+      if (rep == 0 || timed.wall_ms < min_wall_ms[i]) {
+        min_wall_ms[i] = timed.wall_ms;
+      }
+    }
+  }
+  double serial_ms = 0.0;
+  double overhead8_pct = 0.0;
+  for (std::size_t config = 0; config < worker_configs.size(); ++config) {
+    const int workers = worker_configs[config];
+    const double wall_ms = min_wall_ms[config];
     // Per-config runner metrics (epoch / barrier-wait / drain histograms),
-    // merged into the bench export under a workersN prefix.
+    // merged into the bench export under a workersN prefix. The widest
+    // configuration also exports a causal span trace, showing where the
+    // 8 domains spend wall-clock inside each epoch.
+    MultiCellConfig multi = multicell_config(workers);
     MetricsRegistry run_registry;
     multi.metrics = &run_registry;
-    // The widest configuration also exports a causal span trace, showing
-    // where the 8 domains spend wall-clock inside each epoch.
     SpanTracer spans;
     if (workers == 8) multi.span_trace = &spans;
     const MultiCellResult result = RunMultiCellScenario(multi);
-    if (workers == 0) serial_ms = result.wall_ms;
-    const double speedup =
-        result.wall_ms > 0.0 ? serial_ms / result.wall_ms : 0.0;
-    std::printf("workers=%d: %8.1f ms wall, speedup vs serial %5.2fx "
-                "(%llu epochs, %llu msgs)\n",
-                workers, result.wall_ms, speedup,
+    if (workers == 0) serial_ms = wall_ms;
+    const double speedup = wall_ms > 0.0 ? serial_ms / wall_ms : 0.0;
+    // Overhead (parallel wall vs serial wall) is meaningful on any
+    // machine; speedup is only meaningful when the hardware can actually
+    // run `workers` threads at once, so it is published conditionally
+    // below — an 8-worker "speedup" measured on 1 hardware thread is a
+    // coin toss around 1.0x and poisons the trajectory.
+    const double overhead_pct =
+        serial_ms > 0.0 ? (wall_ms / serial_ms - 1.0) * 100.0 : 0.0;
+    if (workers == 8) overhead8_pct = overhead_pct;
+    const bool hw_can_speedup = hw_threads >= static_cast<unsigned>(workers);
+    std::printf("workers=%d: %8.1f ms wall (min of %d), overhead vs serial "
+                "%+6.2f%% (%llu epochs, %llu msgs)\n",
+                workers, wall_ms, timing_reps, overhead_pct,
                 static_cast<unsigned long long>(result.barrier_epochs),
                 static_cast<unsigned long long>(result.mailbox_messages));
+    if (workers > 0) {
+      if (hw_can_speedup) {
+        std::printf("           speedup vs serial %5.2fx (hw can run %d "
+                    "threads)\n",
+                    speedup, workers);
+      } else {
+        std::printf("           speedup unreported: only %u hardware "
+                    "thread(s) for %d workers (bound: overhead is the "
+                    "single-core signal)\n",
+                    hw_threads, workers);
+      }
+    }
     const auto wait = run_registry.histograms().find("runner.barrier_wait_ms");
     if (wait != run_registry.histograms().end() && wait->second.count() > 0) {
       std::printf("           barrier wait p50=%.3f ms p95=%.3f ms "
@@ -173,14 +219,26 @@ int Main(int argc, char** argv) {
     const std::string key =
         "fig9.multicell.workers" + std::to_string(workers);
     registry.MergeFrom(run_registry, key + ".");
-    MakeGaugeHandle(&registry, key + ".wall_ms").Set(result.wall_ms);
-    MakeGaugeHandle(&registry, key + ".speedup").Set(speedup);
+    MakeGaugeHandle(&registry, key + ".wall_ms").Set(wall_ms);
+    if (workers > 0) {
+      MakeGaugeHandle(&registry, key + ".overhead_pct").Set(overhead_pct);
+      if (hw_can_speedup) {
+        MakeGaugeHandle(&registry, key + ".speedup").Set(speedup);
+      }
+    }
     if (workers == 8) {
       spans.ExportJson(BenchJsonPath("fig9_trace"));
       std::printf("           span trace written to %s\n",
                   BenchJsonPath("fig9_trace").c_str());
     }
   }
+
+  // The coordination gate that works on any machine: persistent epoch
+  // workers must cost (almost) nothing when they cannot help. Watched in
+  // flare_report as fig9.multicell.workers8.overhead_pct.
+  std::printf("\n--- Runtime overhead gate ---\n");
+  PrintPaperComparison("workers=8 overhead vs serial (%, gate <= 5)", 5.0,
+                       overhead8_pct);
 
   BenchJsonWriter writer("fig9");
   writer.Echo("solves_per_population", static_cast<double>(n_bais));

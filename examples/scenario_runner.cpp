@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/bai_trace.h"
@@ -349,6 +350,17 @@ int main(int argc, char** argv) {
   const int runs = args.GetInt("runs", 1);
   const int cells = args.GetInt("cells", 1);
   const int workers = args.GetInt("parallel", 0);
+  // Results are bit-identical either way, but oversubscribed workers can
+  // only add scheduling overhead — say so instead of letting a user read
+  // the wall clock as a parallelism measurement.
+  const unsigned hw_threads =
+      std::max(1u, std::thread::hardware_concurrency());
+  if (workers > static_cast<int>(hw_threads)) {
+    std::fprintf(stderr,
+                 "warning: parallel=%d exceeds the %u hardware thread(s) "
+                 "on this machine; expect overhead, not speedup\n",
+                 workers, hw_threads);
+  }
 
   // Observability: attach a registry/trace sink only when an export path
   // was requested, so the default run keeps the zero-cost disabled path.

@@ -1,6 +1,7 @@
 #include "scenario/multi_cell.h"
 
 #include <algorithm>
+#include <charconv>
 #include <chrono>
 #include <deque>
 #include <memory>
@@ -15,14 +16,25 @@ namespace flare {
 
 namespace {
 
+void AppendNumber(std::string& out, long long value) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  out.append(buf, res.ptr);
+}
+
 /// Wire format for PCRF mirror ops crossing the domain mailbox:
-/// "pcrf <1|0> <flow> <type> <cell_tag>" (1 = register).
-std::string EncodePcrfOp(FlowId id, FlowType type, Pcrf::CellTag cell,
-                         bool registered) {
-  std::ostringstream out;
-  out << "pcrf " << (registered ? 1 : 0) << ' ' << id << ' '
-      << static_cast<int>(type) << ' ' << cell;
-  return out.str();
+/// "pcrf <1|0> <flow> <type> <cell_tag>" (1 = register). Built in place
+/// in the domain's pooled payload buffer (EventDomain::StartPost), so
+/// steady-state mirror traffic allocates nothing.
+void PostPcrfOp(EventDomain& domain, FlowId id, FlowType type,
+                Pcrf::CellTag cell, bool registered) {
+  std::string& payload = domain.StartPost(kCoordinatorDomain);
+  payload.append(registered ? "pcrf 1 " : "pcrf 0 ");
+  AppendNumber(payload, static_cast<long long>(id));
+  payload.push_back(' ');
+  AppendNumber(payload, static_cast<long long>(type));
+  payload.push_back(' ');
+  AppendNumber(payload, static_cast<long long>(cell));
 }
 
 void ApplyPcrfOp(Pcrf& pcrf, const std::string& payload) {
@@ -98,8 +110,7 @@ MultiCellResult RunMultiCellScenario(const MultiCellConfig& config) {
 
     shard.pcrf.SetOnChange([&domain](FlowId id, FlowType type,
                                      Pcrf::CellTag cell, bool registered) {
-      domain.Post(kCoordinatorDomain,
-                  EncodePcrfOp(id, type, cell, registered));
+      PostPcrfOp(domain, id, type, cell, registered);
     });
 
     ScenarioConfig cell_config = config.cell;

@@ -18,13 +18,24 @@ double SteadyNowUs() {
 
 }  // namespace
 
-void EventDomain::Post(int to, std::string payload) {
+std::string& EventDomain::StartPost(int to) {
   DomainMessage msg;
+  if (!free_.empty()) {
+    msg = std::move(free_.back());
+    free_.pop_back();
+  }
   msg.from = id_;
   msg.to = to;
   msg.seq = next_seq_++;
-  msg.payload = std::move(payload);
+  msg.payload.clear();  // keep the recycled buffer's capacity
   outbox_.push_back(std::move(msg));
+  return outbox_.back().payload;
+}
+
+void EventDomain::Post(int to, std::string payload) {
+  // assign() copies into the pooled buffer so its capacity survives for
+  // the next epoch; the caller's string dies either way.
+  StartPost(to).assign(payload);
 }
 
 void EventDomain::Advance(SimTime until, SimTime epoch_start) {
@@ -43,12 +54,10 @@ void EventDomain::Advance(SimTime until, SimTime epoch_start) {
 
 ParallelRunner::ParallelRunner(const Options& options) : options_(options) {
   options_.epoch = std::max<SimTime>(options_.epoch, kTti);
-  if (options_.workers > 0) {
-    pool_ = std::make_unique<ThreadPool>(options_.workers);
-  }
+  options_.workers = std::max(options_.workers, 0);
 }
 
-ParallelRunner::~ParallelRunner() = default;
+ParallelRunner::~ParallelRunner() { StopWorkers(); }
 
 EventDomain& ParallelRunner::AddDomain() {
   const int id = static_cast<int>(domains_.size());
@@ -72,7 +81,97 @@ void ParallelRunner::SetObservers(MetricsRegistry* registry,
   messages_metric_ = MakeCounterHandle(registry, "runner.messages");
 }
 
+void ParallelRunner::PreparePartitions() {
+  const std::size_t n_domains = domains_.size();
+  const std::size_t n_workers = std::min<std::size_t>(
+      static_cast<std::size_t>(options_.workers), n_domains);
+  if (n_workers == 0) return;
+  // Static id-ordered partition: worker w owns the contiguous domain
+  // range [w*D/N, (w+1)*D/N) for the whole run. Ownership is fixed, so
+  // epochs build no closures and touch no shared job queue.
+  if (partitions_.size() != workers_.size() ||
+      (!partitions_.empty() && partitions_.back().second != n_domains) ||
+      workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(barrier_mu_);
+      partitions_.resize(n_workers);
+      for (std::size_t w = 0; w < n_workers; ++w) {
+        partitions_[w] = {w * n_domains / n_workers,
+                          (w + 1) * n_domains / n_workers};
+      }
+    }
+    // Spawn once, lazily: domains are added after construction, and the
+    // partition needs the final count. A worker spawned after earlier
+    // runs must start at the current generation or it would "arrive" at
+    // an epoch that already completed.
+    while (workers_.size() < n_workers) {
+      const std::size_t w = workers_.size();
+      workers_.emplace_back(
+          [this, w, gen = generation_] { WorkerLoop(w, gen); });
+    }
+  }
+}
+
+void ParallelRunner::RunEpochOnWorkers(SimTime until, SimTime epoch_start) {
+  std::unique_lock<std::mutex> lock(barrier_mu_);
+  epoch_until_ = until;
+  epoch_start_ = epoch_start;
+  workers_remaining_ = workers_.size();
+  ++generation_;
+  // Every worker has a non-empty partition, so waking them all is work,
+  // not a thundering herd.
+  epoch_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return workers_remaining_ == 0; });
+  if (worker_error_ != nullptr) {
+    std::exception_ptr error = std::exchange(worker_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ParallelRunner::WorkerLoop(std::size_t worker, std::uint64_t seen) {
+  std::unique_lock<std::mutex> lock(barrier_mu_);
+  for (;;) {
+    epoch_cv_.wait(lock,
+                   [this, seen] { return stop_workers_ || generation_ != seen; });
+    if (stop_workers_) return;
+    seen = generation_;
+    const SimTime until = epoch_until_;
+    const SimTime epoch_start = epoch_start_;
+    const auto range = partitions_[worker];
+    lock.unlock();
+    // A throwing domain must still arrive at the barrier or the
+    // coordinator waits forever; the first error is rethrown there.
+    std::exception_ptr error;
+    try {
+      for (std::size_t i = range.first; i < range.second; ++i) {
+        domains_[i]->Advance(until, epoch_start);
+      }
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (error != nullptr && worker_error_ == nullptr) {
+      worker_error_ = std::move(error);
+    }
+    if (--workers_remaining_ == 0) done_cv_.notify_one();
+  }
+}
+
+void ParallelRunner::StopWorkers() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(barrier_mu_);
+    stop_workers_ = true;
+  }
+  epoch_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  stop_workers_ = false;
+}
+
 void ParallelRunner::RunUntil(SimTime horizon) {
+  if (options_.workers > 0) PreparePartitions();
   SimTime now = 0;
   while (now < horizon) {
     const SimTime epoch_start = now;
@@ -82,21 +181,14 @@ void ParallelRunner::RunUntil(SimTime horizon) {
     const bool timed =
         !deterministic_ && (tracer_ != nullptr || epoch_ms_metric_.enabled());
     const double phase_begin = timed ? SteadyNowUs() : 0.0;
-    if (pool_ != nullptr) {
-      std::vector<std::function<void()>> jobs;
-      jobs.reserve(domains_.size());
-      for (auto& d : domains_) {
-        EventDomain* domain = d.get();
-        jobs.push_back(
-            [domain, now, epoch_start] { domain->Advance(now, epoch_start); });
-      }
-      pool_->RunAll(std::move(jobs));  // full barrier
+    if (!workers_.empty()) {
+      RunEpochOnWorkers(now, epoch_start);
     } else {
       for (auto& d : domains_) d->Advance(now, epoch_start);
     }
     const double phase_us = timed ? SteadyNowUs() - phase_begin : 0.0;
-    // Post-barrier the coordinator owns every shard (the pool join is the
-    // happens-before edge), so it may append the per-domain wait spans.
+    // Post-barrier the coordinator owns every shard (the barrier join is
+    // the happens-before edge), so it may append the per-domain wait spans.
     for (auto& d : domains_) {
       if (d->tracer_ == nullptr) continue;
       const double wait_us =
@@ -128,29 +220,42 @@ void ParallelRunner::RunUntil(SimTime horizon) {
   }
 }
 
+void ParallelRunner::Deliver(const DomainMessage& msg) {
+  if (msg.to == kCoordinatorDomain) {
+    if (coordinator_handler_) coordinator_handler_(msg);
+  } else if (msg.to >= 0 && msg.to < static_cast<int>(domains_.size())) {
+    auto& handler = domains_[static_cast<std::size_t>(msg.to)]->handler_;
+    if (handler) handler(msg);
+  }
+  ++delivered_;
+}
+
 void ParallelRunner::DeliverAtBarrier() {
   // Handlers may post follow-ups; keep draining rounds until quiescent.
   // Each round visits domains in id order and each outbox in seq order,
   // so delivery order is a pure function of what was posted — never of
-  // thread scheduling.
+  // thread scheduling. Outboxes are swapped whole into per-domain scratch
+  // vectors (handlers then post into the emptied outbox without
+  // invalidating the batch being walked), and every delivered entry goes
+  // back to its sender's free list with payload capacity intact.
+  drain_scratch_.resize(domains_.size());
   for (;;) {
-    std::vector<DomainMessage> batch;
-    for (auto& d : domains_) {
-      for (DomainMessage& msg : d->outbox_) {
-        batch.push_back(std::move(msg));
+    bool any = false;
+    for (std::size_t i = 0; i < domains_.size(); ++i) {
+      if (!domains_[i]->outbox_.empty()) {
+        domains_[i]->outbox_.swap(drain_scratch_[i]);
+        any = true;
       }
-      d->outbox_.clear();
     }
-    if (batch.empty()) return;
-    for (const DomainMessage& msg : batch) {
-      if (msg.to == kCoordinatorDomain) {
-        if (coordinator_handler_) coordinator_handler_(msg);
-      } else if (msg.to >= 0 &&
-                 msg.to < static_cast<int>(domains_.size())) {
-        auto& handler = domains_[static_cast<std::size_t>(msg.to)]->handler_;
-        if (handler) handler(msg);
-      }
-      ++delivered_;
+    if (!any) return;
+    for (std::size_t i = 0; i < domains_.size(); ++i) {
+      std::vector<DomainMessage>& batch = drain_scratch_[i];
+      for (const DomainMessage& msg : batch) Deliver(msg);
+      // All entries in this scratch came from domain i's outbox; recycle
+      // them (and their payload buffers) for its next epoch's posts.
+      std::vector<DomainMessage>& pool = domains_[i]->free_;
+      for (DomainMessage& msg : batch) pool.push_back(std::move(msg));
+      batch.clear();
     }
   }
 }

@@ -7,15 +7,29 @@
 // handover bookkeeping) is exchanged as serialized messages that are
 // applied only at epoch barriers. That makes the runtime *embarrassingly
 // deterministic*: whether the domains advance sequentially on one thread
-// (workers = 0) or concurrently on a pool, every domain sees exactly the
-// same inputs at exactly the same simulated times, so parallel execution
-// is bit-identical to serial execution — same BAI trace bytes, same
-// metrics JSON, same QoE numbers (tests/determinism_test.cpp holds the
-// runtime to this).
+// (workers = 0) or concurrently on persistent workers, every domain sees
+// exactly the same inputs at exactly the same simulated times, so
+// parallel execution is bit-identical to serial execution — same BAI
+// trace bytes, same metrics JSON, same QoE numbers
+// (tests/determinism_test.cpp holds the runtime to this).
+//
+// Execution model: each worker thread owns a static, id-ordered partition
+// of the domains for the whole run. Epochs are released through a
+// generation counter — the coordinator publishes the epoch bounds, bumps
+// the generation, and every worker advances its own partition; the last
+// arrival wakes the coordinator. No per-epoch closures are built, no job
+// queue is contended, and the one notify_all per epoch wakes only threads
+// that all have work. Steady-state epochs allocate nothing on the hot
+// path: mailbox entries (including their payload buffers) are recycled
+// through per-domain free lists, and the barrier drain moves whole
+// outboxes into reusable scratch vectors instead of copying per message.
 //
 // Epoch protocol, repeated until the horizon:
-//   1. advance every domain's Simulator to the epoch end (pool or inline);
-//   2. barrier (ThreadPool::RunAll returns only when all domains arrived);
+//   1. advance every domain's Simulator to the epoch end (each worker
+//      runs its partition in domain-id order; workers = 0 runs all
+//      domains inline);
+//   2. barrier (the coordinator blocks until every worker's partition
+//      arrived — the mutex handoff is the happens-before edge);
 //   3. drain the domains' outboxes in (domain id, enqueue seq) order and
 //      deliver each message on the coordinator thread — to the target
 //      domain's handler, or to the coordinator handler for shared state.
@@ -25,16 +39,20 @@
 // synchronization cost at one barrier per control-loop interval.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "obs/span_trace.h"
 #include "sim/simulator.h"
-#include "util/thread_pool.h"
 #include "util/time.h"
 
 namespace flare {
@@ -45,7 +63,9 @@ inline constexpr int kCoordinatorDomain = -1;
 
 /// One mailbox entry. Payloads are opaque serialized strings (the
 /// net/messages key=value codec style); the runner only orders and routes
-/// them.
+/// them. Delivered entries (and their payload capacity) are recycled
+/// through the sender's free list, so steady-state posting allocates
+/// nothing once buffers have warmed up.
 struct DomainMessage {
   int from = kCoordinatorDomain;
   int to = kCoordinatorDomain;
@@ -70,6 +90,13 @@ class EventDomain {
   /// and from barrier handlers.
   void Post(int to, std::string payload);
 
+  /// Zero-copy variant: appends a pooled outbox entry addressed to `to`
+  /// and returns its payload buffer (cleared, capacity retained from a
+  /// previously delivered message) for the caller to build in place.
+  /// The reference is invalidated by the next Post/StartPost on this
+  /// domain — finish writing the payload before posting again.
+  std::string& StartPost(int to);
+
   /// Handler for messages addressed to this domain, run on the
   /// coordinator thread at barriers.
   void SetHandler(HandlerFn fn) { handler_ = std::move(fn); }
@@ -78,7 +105,7 @@ class EventDomain {
   /// records an "advance" span (the domain's own wall-clock) and a
   /// "barrier.wait" span (idle time until the slowest domain arrived).
   /// The shard is written by whichever worker advances the domain and by
-  /// the coordinator at barriers — never concurrently (the pool barrier
+  /// the coordinator at barriers — never concurrently (the epoch barrier
   /// is the handoff), matching the metrics-shard threading model.
   void SetSpanTracer(SpanTracer* tracer) { tracer_ = tracer; }
 
@@ -93,6 +120,7 @@ class EventDomain {
   Simulator sim_;
   HandlerFn handler_;
   std::vector<DomainMessage> outbox_;
+  std::vector<DomainMessage> free_;  // recycled entries, payload capacity kept
   std::uint64_t next_seq_ = 0;
   SpanTracer* tracer_ = nullptr;
   double last_advance_wall_us_ = 0.0;
@@ -116,7 +144,8 @@ class ParallelRunner {
   ParallelRunner& operator=(const ParallelRunner&) = delete;
 
   /// Create the next domain (ids are dense, starting at 0). Domains live
-  /// as long as the runner.
+  /// as long as the runner. Add domains before RunUntil; adding more
+  /// between runs re-partitions the existing workers.
   EventDomain& AddDomain();
 
   /// Handler for messages addressed to kCoordinatorDomain (shared state).
@@ -125,7 +154,9 @@ class ParallelRunner {
   }
 
   /// Run all domains to `horizon` with an epoch barrier + mailbox
-  /// delivery every `options.epoch`.
+  /// delivery every `options.epoch`. If a domain's events throw, the
+  /// epoch still completes on every worker and the first exception (in
+  /// domain-id order within a partition) is rethrown here.
   void RunUntil(SimTime horizon);
 
   std::size_t NumDomains() const { return domains_.size(); }
@@ -145,16 +176,45 @@ class ParallelRunner {
                     bool deterministic);
 
  private:
+  /// Spawn workers (first parallel run) or re-partition after AddDomain.
+  /// Each worker owns the contiguous id range partitions_[w].
+  void PreparePartitions();
+  /// Release one epoch to the persistent workers and block until every
+  /// partition has advanced to `until`. Rethrows the first worker error.
+  void RunEpochOnWorkers(SimTime until, SimTime epoch_start);
+  void WorkerLoop(std::size_t worker, std::uint64_t seen);
+  void StopWorkers();
+
   /// Drain every outbox in (domain, seq) order; repeat until no handler
-  /// posted a follow-up. Runs on the coordinator thread.
+  /// posted a follow-up. Runs on the coordinator thread. Moves whole
+  /// outboxes into pooled scratch vectors (no per-message push_back) and
+  /// recycles delivered entries to their sender's free list.
   void DeliverAtBarrier();
+  void Deliver(const DomainMessage& msg);
 
   Options options_;
   std::vector<std::unique_ptr<EventDomain>> domains_;
   EventDomain::HandlerFn coordinator_handler_;
-  std::unique_ptr<ThreadPool> pool_;  // null in serial mode
   std::uint64_t epochs_ = 0;
   std::uint64_t delivered_ = 0;
+
+  // --- Persistent epoch workers (empty in serial mode). All handshake
+  // state is guarded by barrier_mu_; workers idle between generations.
+  std::vector<std::thread> workers_;
+  std::vector<std::pair<std::size_t, std::size_t>> partitions_;  // [begin,end)
+  std::mutex barrier_mu_;
+  std::condition_variable epoch_cv_;  // coordinator -> workers: new gen/stop
+  std::condition_variable done_cv_;   // last worker -> coordinator
+  std::uint64_t generation_ = 0;
+  SimTime epoch_until_ = 0;
+  SimTime epoch_start_ = 0;
+  std::size_t workers_remaining_ = 0;
+  std::exception_ptr worker_error_;
+  bool stop_workers_ = false;
+
+  // --- Barrier drain scratch, one vector per domain; capacities ping-
+  // pong with the outboxes so steady-state drains never reallocate.
+  std::vector<std::vector<DomainMessage>> drain_scratch_;
 
   SpanTracer* tracer_ = nullptr;
   bool deterministic_ = false;

@@ -26,8 +26,16 @@ void ThreadPool::RunAll(std::vector<std::function<void()>> jobs) {
   if (jobs.empty()) return;
   std::unique_lock<std::mutex> lock(mu_);
   for (auto& job : jobs) pending_.push_back(std::move(job));
-  work_cv_.notify_all();
+  // Wake one worker per job: a 2-job batch on a 16-thread pool must not
+  // stampede 16 threads through the mutex just to find an empty queue.
+  const std::size_t wakes = std::min(jobs.size(), threads_.size());
+  for (std::size_t i = 0; i < wakes; ++i) work_cv_.notify_one();
   done_cv_.wait(lock, [this] { return pending_.empty() && in_flight_ == 0; });
+  if (first_error_ != nullptr) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -35,12 +43,23 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     work_cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
     if (stop_) return;
-    std::function<void()> job = std::move(pending_.back());
-    pending_.pop_back();
+    std::function<void()> job = std::move(pending_.front());
+    pending_.pop_front();
     ++in_flight_;
     lock.unlock();
-    job();
+    // A throwing job must still count as completed — otherwise in_flight_
+    // never reaches 0 and RunAll deadlocks. Capture the first failure for
+    // RunAll to rethrow after the batch drains.
+    std::exception_ptr error;
+    try {
+      job();
+    } catch (...) {
+      error = std::current_exception();
+    }
     lock.lock();
+    if (error != nullptr && first_error_ == nullptr) {
+      first_error_ = std::move(error);
+    }
     --in_flight_;
     if (pending_.empty() && in_flight_ == 0) done_cv_.notify_all();
   }

@@ -1,14 +1,21 @@
-// Fixed-size worker pool for the sharded simulation runtime.
+// Fixed-size worker pool for batch-parallel helper work.
 //
 // The pool runs *batches*: RunAll() submits a set of independent jobs and
 // blocks until every one of them has finished, so the caller gets a full
 // barrier — everything the jobs wrote happens-before RunAll() returns
-// (release/acquire through the pool mutex). That barrier is exactly the
-// synchronization contract the parallel runner needs at BAI boundaries;
-// nothing here is FLARE-specific.
+// (release/acquire through the pool mutex). Jobs are dispatched FIFO (the
+// order they were submitted in) and each submission wakes at most one
+// worker per job, so a small batch does not stampede a large pool.
+//
+// The sharded simulation runtime used to drive its epochs through this
+// pool; it now keeps its own persistent per-partition workers
+// (sim/parallel_runner.h), and the pool remains for one-off batch work.
 #pragma once
 
 #include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -27,9 +34,11 @@ class ThreadPool {
 
   int size() const { return static_cast<int>(threads_.size()); }
 
-  /// Run every job on the pool and block until all of them completed.
-  /// Jobs must not call RunAll() recursively. Exceptions thrown by a job
-  /// terminate (the simulation domains report errors by other means).
+  /// Run every job on the pool, FIFO, and block until all of them
+  /// completed. Jobs must not call RunAll() recursively. If a job throws,
+  /// the batch still runs to completion (every job executes exactly once,
+  /// every worker survives) and the *first* exception, in completion
+  /// order, is rethrown to the caller once the batch has drained.
   void RunAll(std::vector<std::function<void()>> jobs);
 
  private:
@@ -38,8 +47,9 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable work_cv_;   // signals workers: job or stop
   std::condition_variable done_cv_;   // signals RunAll: batch drained
-  std::vector<std::function<void()>> pending_;
+  std::deque<std::function<void()>> pending_;  // FIFO: pop from the front
   std::size_t in_flight_ = 0;
+  std::exception_ptr first_error_;  // first job failure of the batch
   bool stop_ = false;
   std::vector<std::thread> threads_;
 };

@@ -114,6 +114,23 @@ TEST(ReportWatch, ParsesSpecsAndRejectsMalformed) {
   EXPECT_FALSE(ParseWatchSpec("metric:up:-3", &spec, &error));
 }
 
+TEST(ReportWatch, DefaultsGateRuntimeOverheadDownward) {
+  // The parallel-runtime honesty gate rides the default watch list: the
+  // 8-worker overhead gauge from bench_fig9_scaling, lower-is-better,
+  // so an overhead increase exits 3 exactly like a QoE regression.
+  const std::vector<WatchSpec> watches = DefaultWatches(5.0);
+  bool found = false;
+  for (const WatchSpec& w : watches) {
+    if (w.metric != "metrics.gauges.fig9.multicell.workers8.overhead_pct") {
+      continue;
+    }
+    found = true;
+    EXPECT_FALSE(w.higher_is_better);
+    EXPECT_DOUBLE_EQ(w.threshold_pct, 5.0);
+  }
+  EXPECT_TRUE(found);
+}
+
 RunSummary MakeRun(const std::string& label,
                    std::map<std::string, double> metrics) {
   RunSummary run;

@@ -1,0 +1,224 @@
+// ThreadPool contract tests (FIFO dispatch, batch reuse, exception
+// safety, clean teardown) plus runtime-cost smoke checks for the
+// persistent-worker parallel runner: message pooling must not change
+// delivery semantics, and running 8 workers on the 8-cell determinism
+// scenario must stay within 15% of the serial wall clock even on a
+// single-core machine — the "parallel mode is never pure overhead"
+// guarantee that bench_fig9_scaling gates in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "scenario/multi_cell.h"
+#include "sim/parallel_runner.h"
+#include "util/thread_pool.h"
+
+namespace flare {
+namespace {
+
+TEST(ThreadPool, RunsEveryJobExactlyOnce) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> jobs;
+  for (int i = 0; i < 100; ++i) {
+    jobs.push_back([&count] { count.fetch_add(1); });
+  }
+  pool.RunAll(std::move(jobs));
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, DispatchesJobsInSubmissionOrder) {
+  // With a single worker, execution order == dispatch order, so a LIFO
+  // queue (the old pending_.back() bug) reverses this sequence.
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::function<void()>> jobs;
+  for (int i = 0; i < 16; ++i) {
+    jobs.push_back([&order, i] { order.push_back(i); });
+  }
+  pool.RunAll(std::move(jobs));
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ThreadPool, IsReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    std::vector<std::function<void()>> jobs;
+    for (int i = 0; i < 10; ++i) {
+      jobs.push_back([&count] { count.fetch_add(1); });
+    }
+    pool.RunAll(std::move(jobs));
+    EXPECT_EQ(count.load(), (batch + 1) * 10);
+  }
+}
+
+TEST(ThreadPool, ThrowingJobDoesNotDeadlockAndPropagates) {
+  // Regression: WorkerLoop used to skip the in_flight_ decrement when a
+  // job threw, so RunAll waited forever. Now the batch completes, the
+  // first exception is rethrown to the caller, and the pool stays usable.
+  ThreadPool pool(2);
+  std::atomic<int> survivors{0};
+  std::vector<std::function<void()>> jobs;
+  jobs.push_back([] { throw std::runtime_error("job failed"); });
+  for (int i = 0; i < 8; ++i) {
+    jobs.push_back([&survivors] { survivors.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.RunAll(std::move(jobs)), std::runtime_error);
+  // Every non-throwing job of the batch still ran exactly once.
+  EXPECT_EQ(survivors.load(), 8);
+  // The pool survives the failed batch.
+  std::vector<std::function<void()>> again;
+  again.push_back([&survivors] { survivors.fetch_add(1); });
+  pool.RunAll(std::move(again));
+  EXPECT_EQ(survivors.load(), 9);
+}
+
+TEST(ThreadPool, DestructsCleanlyWithIdleWorkers) {
+  // No jobs ever submitted: destruction must wake and join all workers.
+  ThreadPool pool(8);
+  EXPECT_EQ(pool.size(), 8);
+}
+
+TEST(ParallelRunner, PooledMailboxesPreserveDeliverySemantics) {
+  // Two domains ping-pong payloads across epochs. Recycled message
+  // buffers must not corrupt content, ordering, or follow-up rounds
+  // (handlers posting from inside the barrier drain).
+  ParallelRunner::Options options;
+  options.workers = 2;
+  options.epoch = kSecond;
+  ParallelRunner runner(options);
+  EventDomain& a = runner.AddDomain();
+  EventDomain& b = runner.AddDomain();
+
+  std::vector<std::string> b_got;
+  std::vector<std::string> coord_got;
+  b.SetHandler([&](const DomainMessage& msg) {
+    b_got.push_back(msg.payload);
+    // Follow-up from inside the drain: must be delivered in the same
+    // barrier's next round.
+    b.StartPost(kCoordinatorDomain).append("ack " + msg.payload);
+  });
+  runner.SetCoordinatorHandler(
+      [&](const DomainMessage& msg) { coord_got.push_back(msg.payload); });
+
+  // Each epoch, domain A posts two messages built in pooled buffers
+  // (mid-epoch ticks at 0.5s, 1.5s, 2.5s — one per 1 s epoch).
+  int tick = 0;
+  a.sim().Every(kSecond / 2, kSecond, [&] {
+    const std::string n = std::to_string(tick++);
+    a.StartPost(b.id()).append("hello " + n);
+    a.StartPost(b.id()).append("world " + n);
+  });
+  runner.RunUntil(3 * kSecond);
+
+  ASSERT_EQ(b_got.size(), 6u);
+  ASSERT_EQ(coord_got.size(), 6u);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    const std::string n = std::to_string(epoch);
+    EXPECT_EQ(b_got[static_cast<size_t>(epoch * 2)], "hello " + n);
+    EXPECT_EQ(b_got[static_cast<size_t>(epoch * 2 + 1)], "world " + n);
+    EXPECT_EQ(coord_got[static_cast<size_t>(epoch * 2)], "ack hello " + n);
+    EXPECT_EQ(coord_got[static_cast<size_t>(epoch * 2 + 1)],
+              "ack world " + n);
+  }
+  EXPECT_EQ(runner.messages_delivered(), 12u);
+  EXPECT_EQ(runner.epochs(), 3u);
+}
+
+TEST(ParallelRunner, AddingDomainsBetweenRunsRepartitionsWorkers) {
+  // The static partitions are rebuilt (and extra workers spawned, seeded
+  // at the current barrier generation) when domains are added between
+  // RunUntil calls.
+  ParallelRunner::Options options;
+  options.workers = 3;
+  ParallelRunner runner(options);
+  std::atomic<int> ticks{0};
+  const auto add_domain = [&] {
+    EventDomain& d = runner.AddDomain();
+    d.sim().Every(kSecond / 2, kSecond, [&ticks] { ticks.fetch_add(1); });
+  };
+  add_domain();
+  add_domain();
+  runner.RunUntil(2 * kSecond);  // 2 domains x ticks at 0.5s, 1.5s
+  EXPECT_EQ(ticks.load(), 4);
+  add_domain();
+  add_domain();
+  add_domain();
+  // The second run re-covers [0, 4s): the old domains' clocks are at 2s
+  // already (+2 ticks each), the new ones replay from 0 (+4 ticks each).
+  runner.RunUntil(4 * kSecond);
+  EXPECT_EQ(ticks.load(), 4 + 2 * 2 + 3 * 4);
+}
+
+TEST(ParallelRunner, ThrowingDomainEventPropagatesWithoutHanging) {
+  ParallelRunner::Options options;
+  options.workers = 2;
+  ParallelRunner runner(options);
+  EventDomain& a = runner.AddDomain();
+  runner.AddDomain();
+  a.sim().At(kSecond / 2,
+             [] { throw std::runtime_error("domain event failed"); });
+  EXPECT_THROW(runner.RunUntil(2 * kSecond), std::runtime_error);
+}
+
+/// The 8-cell determinism scenario (the churn harness of
+/// tests/determinism_test.cpp, shortened): 8 worker threads must cost at
+/// most 15% wall clock over serial, regardless of how many hardware
+/// threads this machine has. Min-of-3 on both sides filters scheduler
+/// noise; results are bit-identical either way, so only time differs.
+MultiCellConfig OverheadConfig(int workers) {
+  MultiCellConfig multi;
+  multi.cell = TestbedPreset(Scheme::kFlare);
+  multi.cell.duration_s = 10.0;
+  multi.cell.seed = 7;
+  multi.cell.oneapi.deterministic_timing = true;
+  multi.cell.n_video = 2;
+  multi.cell.churn.enabled = true;
+  multi.cell.churn.arrival_rate_per_s = 0.4;
+  multi.cell.churn.mean_hold_s = 8.0;
+  multi.n_cells = 8;
+  multi.workers = workers;
+  return multi;
+}
+
+double MinWallMs(int workers, int reps) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const MultiCellResult result = RunMultiCellScenario(OverheadConfig(workers));
+    if (r == 0 || result.wall_ms < best) best = result.wall_ms;
+  }
+  return best;
+}
+
+#if defined(__SANITIZE_THREAD__)
+#define FLARE_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define FLARE_TSAN 1
+#endif
+#endif
+
+TEST(ParallelRunner, EightWorkerOverheadStaysUnderFifteenPercent) {
+#ifdef FLARE_TSAN
+  GTEST_SKIP() << "wall-clock bound is meaningless under TSan "
+                  "instrumentation; the suite still runs the runner's "
+                  "synchronization under TSan via the other tests";
+#endif
+  const double serial_ms = MinWallMs(/*workers=*/0, /*reps=*/3);
+  const double parallel_ms = MinWallMs(/*workers=*/8, /*reps=*/3);
+  ASSERT_GT(serial_ms, 0.0);
+  EXPECT_LE(parallel_ms, serial_ms * 1.15)
+      << "workers=8 wall " << parallel_ms << " ms vs serial " << serial_ms
+      << " ms on " << std::thread::hardware_concurrency()
+      << " hardware thread(s)";
+}
+
+}  // namespace
+}  // namespace flare

@@ -20,7 +20,8 @@
 //                       (default bench_results/trajectory.jsonl; "none"
 //                       disables)
 //   watch=<specs>       comma/semicolon-separated metric:up|down[:PCT]
-//                       overrides the default QoE watch list
+//                       overrides the default watch list (QoE headliners
+//                       + fig9.multicell.workers8.overhead_pct:down)
 //   threshold=<pct>     default threshold for the built-in watch list (5)
 #include <cstdio>
 #include <ctime>
@@ -50,6 +51,8 @@ knobs:
                      (default bench_results/trajectory.jsonl, none=off)
   watch=<specs>      metric:up|down[:PCT], comma/semicolon separated
   threshold=<pct>    threshold for the default watch list (default 5)
+                     (defaults: Fig 6/7 QoE headliners, plus runtime
+                     overhead fig9.multicell.workers8.overhead_pct:down)
 
 exit codes: 0 ok, 1 usage/IO error, 3 watched-metric regression
 )";

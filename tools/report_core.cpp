@@ -253,6 +253,13 @@ std::vector<WatchSpec> DefaultWatches(double threshold_pct) {
     watches.push_back({up, true, threshold_pct});
   }
   watches.push_back({"qoe.summary.stall_ratio", false, threshold_pct});
+  // Parallel-runtime honesty gate (bench_fig9_scaling): the 8-worker
+  // epoch wall clock relative to serial, flattened from the BENCH
+  // envelope's registry (gauge fig9.multicell.workers8.overhead_pct).
+  // Lower is better — an overhead increase past the threshold exits 3
+  // exactly like a QoE regression.
+  watches.push_back({"metrics.gauges.fig9.multicell.workers8.overhead_pct",
+                     false, threshold_pct});
   return watches;
 }
 

@@ -58,7 +58,9 @@ bool ParseWatchSpec(const std::string& text, WatchSpec* out,
                     std::string* error);
 
 /// The default watch list when the CLI gets no watch= overrides: the QoE
-/// headline metrics of the paper's Figures 6/7.
+/// headline metrics of the paper's Figures 6/7, plus the parallel
+/// runtime's fig9.multicell.workers8.overhead_pct (down: overhead going
+/// up is the regression).
 std::vector<WatchSpec> DefaultWatches(double threshold_pct);
 
 /// One metric compared between baseline and candidate.

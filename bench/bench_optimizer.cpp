@@ -4,15 +4,21 @@
 // full DecideBai path.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <string>
 #include <vector>
 
+#include "core/batch_solver.h"
 #include "core/optimizer.h"
 #include "core/rate_controller.h"
 #include "has/mpd.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/span_trace.h"
+#include "scenario/experiment.h"
 #include "util/rng.h"
+#include "util/stats.h"
 
 namespace flare {
 namespace {
@@ -119,6 +125,38 @@ void BM_SweepWarmDelta(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SweepWarmDelta)->Arg(100)->Arg(500)->Arg(1000);
+
+// --- Batched SoA sweep: the metro-scale path. Same bit-exact results as
+// BM_SweepCold's SolveSweep (tests/solver_differential_test.cpp), but flat
+// arrays instead of a per-flow std::map — the 1k/10k/100k ladder is the
+// Figure-9-style scaling story for item 3 of the roadmap.
+void BM_BatchSolve(benchmark::State& state) {
+  const OptProblem problem =
+      MakeProblem(static_cast<int>(state.range(0)), 6);
+  BatchSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Solve(problem));
+  }
+}
+BENCHMARK(BM_BatchSolve)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// Many small cells solved cache-hot on one thread: the control-plane
+// shape where one worker owns hundreds of cells per BAI.
+void BM_BatchSolveManyCells(benchmark::State& state) {
+  const int n_cells = static_cast<int>(state.range(0));
+  const int flows_per_cell = static_cast<int>(state.range(1));
+  std::vector<OptProblem> cells;
+  cells.reserve(static_cast<std::size_t>(n_cells));
+  for (int c = 0; c < n_cells; ++c) {
+    cells.push_back(MakeProblem(flows_per_cell,
+                                static_cast<std::uint64_t>(c) + 11));
+  }
+  BatchSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.SolveMany(cells));
+  }
+}
+BENCHMARK(BM_BatchSolveManyCells)->Args({64, 64})->Args({256, 64});
 
 void BM_SolveExhaustiveSmall(benchmark::State& state) {
   // Exponential solver: tests/cross-validation scale only.
@@ -252,7 +290,124 @@ void BM_DecideBaiWithObs(benchmark::State& state) {
 }
 BENCHMARK(BM_DecideBaiWithObs)->Arg(0)->Arg(1);
 
+// --- Structured ladder export: after the google-benchmark tables, time
+// the batched solver at 1k/10k/100k flows (plus the 256x64 many-cells
+// batch) against the cold SolveSweep baseline and export optimizer.batch.*
+// gauges through the standard BENCH envelope, so tools/flare_report can
+// trend them and DefaultWatches gates flows10k.p99_us like any QoE metric.
+int ExportBatchLadder() {
+  struct Rung {
+    const char* tag;
+    int flows;
+    int reps;
+  };
+  // Rep counts shrink with problem size to keep CI wall time bounded; the
+  // p99 of a small sample is its max, which is the conservative gate.
+  const Rung kLadder[] = {{"flows1k", 1'000, 30},
+                          {"flows10k", 10'000, 12},
+                          {"flows100k", 100'000, 4}};
+  MetricsRegistry registry;
+  BenchJsonWriter writer("optimizer");
+  writer.Echo("ladder_flows", "1000/10000/100000");
+  writer.Echo("batch_cells", 256.0);
+  writer.Echo("flows_per_cell", 64.0);
+
+  const auto now = [] { return std::chrono::steady_clock::now(); };
+  const auto us = [](auto d) {
+    return std::chrono::duration<double, std::micro>(d).count();
+  };
+
+  BatchSolver solver;
+  for (const Rung& rung : kLadder) {
+    const OptProblem problem = MakeProblem(rung.flows, 6);
+    // Cold baseline: SolveSweep builds a fresh IncrementalSolver (a map
+    // of per-flow envelope nodes) every call — the reference the >= 2x
+    // batched-solver acceptance bar is measured against.
+    Cdf cold_us;
+    OptResult cold_result;
+    const int cold_reps = rung.reps / 4 > 3 ? rung.reps / 4 : 3;
+    for (int r = 0; r < cold_reps; ++r) {
+      const auto t0 = now();
+      cold_result = SolveSweep(problem);
+      cold_us.Add(us(now() - t0));
+    }
+    solver.Solve(problem);  // size the scratch arrays outside the timing
+    Cdf batch_us;
+    OptResult batch_result;
+    for (int r = 0; r < rung.reps; ++r) {
+      const auto t0 = now();
+      batch_result = solver.Solve(problem);
+      batch_us.Add(us(now() - t0));
+    }
+    // Spot-check the differential contract in the bench binary too: a
+    // speedup claimed over a solver that disagrees would be meaningless.
+    if (batch_result.objective != cold_result.objective ||
+        batch_result.levels != cold_result.levels) {
+      std::fprintf(stderr,
+                   "FATAL: BatchSolver diverged from SolveSweep at %d "
+                   "flows\n",
+                   rung.flows);
+      return 1;
+    }
+    const double p50 = batch_us.Quantile(0.5);
+    const double p99 = batch_us.Quantile(0.99);
+    const double cold_p50 = cold_us.Quantile(0.5);
+    const double speedup = cold_p50 / (p50 > 1e-9 ? p50 : 1e-9);
+    const std::string prefix = std::string("optimizer.batch.") + rung.tag;
+    MakeGaugeHandle(&registry, prefix + ".p50_us").Set(p50);
+    MakeGaugeHandle(&registry, prefix + ".p99_us").Set(p99);
+    MakeGaugeHandle(&registry, prefix + ".cold_p50_us").Set(cold_p50);
+    MakeGaugeHandle(&registry, prefix + ".speedup_vs_cold").Set(speedup);
+    std::printf(
+        "optimizer.batch.%s: p50=%.1f us  p99=%.1f us  cold_p50=%.1f us  "
+        "speedup=%.2fx\n",
+        rung.tag, p50, p99, cold_p50, speedup);
+  }
+
+  // Many small cells on one thread: the control-plane shape where a
+  // worker owns hundreds of cells per BAI and SolveMany amortizes one
+  // scratch arena across all of them.
+  std::vector<OptProblem> cells;
+  cells.reserve(256);
+  for (int c = 0; c < 256; ++c) {
+    cells.push_back(MakeProblem(64, static_cast<std::uint64_t>(c) + 11));
+  }
+  solver.SolveMany(cells);  // warm
+  Cdf total_ms;
+  for (int r = 0; r < 10; ++r) {
+    const auto t0 = now();
+    benchmark::DoNotOptimize(solver.SolveMany(cells));
+    total_ms.Add(us(now() - t0) / 1000.0);
+  }
+  const double batch_p50_ms = total_ms.Quantile(0.5);
+  MakeGaugeHandle(&registry, "optimizer.batch.cells256x64.total_p50_ms")
+      .Set(batch_p50_ms);
+  MakeGaugeHandle(&registry, "optimizer.batch.cells256x64.total_p99_ms")
+      .Set(total_ms.Quantile(0.99));
+  MakeGaugeHandle(&registry, "optimizer.batch.cells256x64.per_cell_p50_us")
+      .Set(batch_p50_ms * 1000.0 / 256.0);
+  std::printf(
+      "optimizer.batch.cells256x64: total_p50=%.2f ms  per_cell=%.1f us\n",
+      batch_p50_ms, batch_p50_ms * 1000.0 / 256.0);
+
+  const std::string path = BenchJsonPath("optimizer");
+  if (!writer.Export(path, registry)) {
+    std::fprintf(stderr, "FATAL: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace flare
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN): run the registered
+// microbenchmarks, then the structured optimizer.batch.* ladder export.
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return flare::ExportBatchLadder();
+}

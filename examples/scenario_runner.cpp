@@ -53,7 +53,8 @@ const char* const kKnownKeys[] = {
     "postmortem_json", "qoe_csv",
     "runs",          "scheme",
     "seed",          "segment_s",
-    "series_csv",    "static_itbs",
+    "series_csv",    "solver",
+    "static_itbs",
     "testbed",       "trace_json",
     "vbr_sigma",     "warm_solver",
 };
@@ -95,6 +96,9 @@ Video keys:
   client_caps=N,N,...         per-client rung caps, -1 = none
 Control-loop keys:
   alpha=F delta=N bai_s=F     FLARE optimizer / BAI knobs
+  solver=NAME        auto | greedy | continuous | incremental | batched;
+                     auto follows the scheme/churn wiring, batched is the
+                     SoA sweep for very large cells (auto)
 Churn keys (all except churn= require churn=1):
   churn=0|1          session arrivals/departures on top of the static
                      population (0)
@@ -275,6 +279,23 @@ int main(int argc, char** argv) {
       args.GetInt("delta", config.oneapi.params.delta);
   config.oneapi.bai = FromSeconds(
       args.GetDouble("bai_s", ToSeconds(config.oneapi.bai)));
+  if (const auto solver = args.GetString("solver")) {
+    if (*solver == "greedy") {
+      config.solver_override = SolverMode::kGreedyDiscrete;
+    } else if (*solver == "continuous") {
+      config.solver_override = SolverMode::kContinuousRelaxation;
+    } else if (*solver == "incremental") {
+      config.solver_override = SolverMode::kIncrementalSweep;
+    } else if (*solver == "batched") {
+      config.solver_override = SolverMode::kBatchedSweep;
+    } else if (*solver != "auto") {
+      std::fprintf(stderr,
+                   "scenario_runner: unknown solver '%s' (expected auto | "
+                   "greedy | continuous | incremental | batched)\n",
+                   solver->c_str());
+      return 1;
+    }
+  }
   if (const auto ladder = args.GetString("ladder")) {
     config.ladder_kbps = ParseLadder(*ladder);
   }

@@ -130,6 +130,9 @@ BaiDecision FlareRateController::DecideBai(
                           problem.alpha, problem.max_video_fraction,
                           span_trace_);
     recommended = solved.levels;
+  } else if (params_.solver == SolverMode::kBatchedSweep) {
+    solved = batch_.Solve(problem);
+    recommended = solved.levels;
   } else {
     solved = SolveGreedy(problem);
     recommended = solved.levels;

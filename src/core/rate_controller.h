@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/batch_solver.h"
 #include "core/optimizer.h"
 #include "lte/types.h"
 #include "obs/span_trace.h"
@@ -28,6 +29,10 @@ enum class SolverMode {
   /// persists per-flow state across BAIs so flow-set deltas (session
   /// churn) re-solve incrementally instead of from scratch.
   kIncrementalSweep,
+  /// Batched structure-of-arrays sweep (BatchSolver): bit-identical
+  /// results to kIncrementalSweep's cold path, rebuilt from flat arrays
+  /// every BAI — the 10k+-flows-per-solve / many-cells-per-thread layout.
+  kBatchedSweep,
 };
 
 struct FlareParams {
@@ -138,6 +143,9 @@ class FlareRateController {
   /// Persistent warm state for kIncrementalSweep (unused by the other
   /// modes); RemoveFlow keeps it in sync with flows_.
   IncrementalSolver sweep_;
+  /// Scratch-reusing SoA solver for kBatchedSweep (stateless between
+  /// solves beyond reusable buffers, so flow-set changes need no sync).
+  BatchSolver batch_;
   SpanTracer* span_trace_ = nullptr;
 };
 

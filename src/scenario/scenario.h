@@ -130,6 +130,13 @@ struct ScenarioConfig {
   /// kAvis run without gateway MBR caps.
   ChurnConfig churn;
 
+  /// Optional override of the FLARE solver chosen by the scheme/churn
+  /// wiring (greedy for kFlare, continuous for kFlareRelaxed, incremental
+  /// sweep under churn.warm_solver). Set to force one — e.g.
+  /// SolverMode::kBatchedSweep for metro-scale cells — in every FLARE
+  /// cell of the run; non-FLARE schemes ignore it.
+  std::optional<SolverMode> solver_override;
+
   /// Collect 1 Hz time series (Figures 4/5); off for CDF sweeps.
   bool sample_series = false;
 

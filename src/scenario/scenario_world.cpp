@@ -101,6 +101,11 @@ OneApiConfig MakeOneApiConfig(const ScenarioConfig& config) {
       oneapi_config.params.solver == SolverMode::kGreedyDiscrete) {
     oneapi_config.params.solver = SolverMode::kIncrementalSweep;
   }
+  // An explicit override beats both the scheme default and the churn
+  // auto-upgrade (e.g. the batched SoA sweep for metro-scale cells).
+  if (config.solver_override) {
+    oneapi_config.params.solver = *config.solver_override;
+  }
   return oneapi_config;
 }
 

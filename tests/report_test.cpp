@@ -131,6 +131,23 @@ TEST(ReportWatch, DefaultsGateRuntimeOverheadDownward) {
   EXPECT_TRUE(found);
 }
 
+TEST(ReportWatch, DefaultsGateBatchSolverTailLatencyDownward) {
+  // The batched-solver latency gate rides the default watch list too: the
+  // 10k-flow p99 from bench_optimizer's ladder export, lower-is-better,
+  // so an SoA-solver slowdown exits 3 without any extra CLI flags.
+  const std::vector<WatchSpec> watches = DefaultWatches(7.5);
+  bool found = false;
+  for (const WatchSpec& w : watches) {
+    if (w.metric != "metrics.gauges.optimizer.batch.flows10k.p99_us") {
+      continue;
+    }
+    found = true;
+    EXPECT_FALSE(w.higher_is_better);
+    EXPECT_DOUBLE_EQ(w.threshold_pct, 7.5);
+  }
+  EXPECT_TRUE(found);
+}
+
 RunSummary MakeRun(const std::string& label,
                    std::map<std::string, double> metrics) {
   RunSummary run;

@@ -260,6 +260,11 @@ std::vector<WatchSpec> DefaultWatches(double threshold_pct) {
   // exactly like a QoE regression.
   watches.push_back({"metrics.gauges.fig9.multicell.workers8.overhead_pct",
                      false, threshold_pct});
+  // Batched-solver latency gate (bench_optimizer's ladder export): tail
+  // solve time for one 10k-flow cell under the SoA sweep. Lower is
+  // better — a p99 increase past the threshold exits 3.
+  watches.push_back({"metrics.gauges.optimizer.batch.flows10k.p99_us",
+                     false, threshold_pct});
   return watches;
 }
 

@@ -20,8 +20,10 @@
 #include "has/mpd.h"
 #include "obs/metrics.h"
 #include "obs/span_trace.h"
+#include "obs/telemetry_server.h"
 #include "scenario/experiment.h"
 #include "scenario/multi_cell.h"
+#include "util/config.h"
 #include "util/csv.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -77,6 +79,26 @@ Cdf MeasureSolveTimes(int n_clients, int n_bais, SolverMode mode, Rng& rng,
 int Main(int argc, char** argv) {
   const BenchScale scale = ScaleFromEnv(2000, 0.0, argc, argv);
   const int n_bais = scale.runs;  // solves per population size
+  // Optional live telemetry for the instrumented multi-cell run below
+  // (telemetry_port=N key; 0 = ephemeral). The bare timing reps stay
+  // uninstrumented either way.
+  const Config args =
+      argv != nullptr ? Config::FromArgs(argc, argv) : Config{};
+  const bool telemetry = args.GetString("telemetry_port").has_value();
+  TelemetryServer::Options telemetry_opts;
+  telemetry_opts.port =
+      static_cast<std::uint16_t>(args.GetInt("telemetry_port", 0));
+  TelemetryServer telemetry_server(telemetry_opts);
+  if (telemetry) {
+    if (!telemetry_server.Start()) {
+      std::fprintf(stderr, "bench_fig9: cannot bind telemetry port %d\n",
+                   args.GetInt("telemetry_port", 0));
+      return 1;
+    }
+    std::printf("telemetry: http://127.0.0.1:%u (instrumented multi-cell "
+                "runs)\n",
+                static_cast<unsigned>(telemetry_server.port()));
+  }
   std::printf(
       "=== Figure 9: bitrate-selection computation time, %d solves per "
       "population ===\n\n",
@@ -180,6 +202,11 @@ int Main(int argc, char** argv) {
     multi.metrics = &run_registry;
     SpanTracer spans;
     if (workers == 8) multi.span_trace = &spans;
+    if (telemetry) {
+      multi.telemetry = &telemetry_server;
+      multi.telemetry_interval_ms =
+          args.GetDouble("telemetry_interval_ms", 1000.0);
+    }
     const MultiCellResult result = RunMultiCellScenario(multi);
     if (workers == 0) serial_ms = wall_ms;
     const double speedup = wall_ms > 0.0 ? serial_ms / wall_ms : 0.0;

@@ -16,6 +16,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/span_trace.h"
+#include "obs/telemetry_publisher.h"
 #include "scenario/experiment.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -254,6 +255,30 @@ void BM_FlightRecorderOverhead(benchmark::State& state) {
 }
 BENCHMARK(BM_FlightRecorderOverhead)->Arg(0)->Arg(1);
 
+// Telemetry publish hook as it sits in the epoch-barrier / BAI path.
+// Arg 0: no server attached — MaybePublish must be one predicted null
+// check (same order as the disabled flight-recorder site, ~2.5 ns incl.
+// loop scaffolding). Arg 1: server attached but the interval not due —
+// adds one steady_clock read, still far below a barrier. Neither arm may
+// allocate or lock. Exported as obs.telemetry.disabled_hook_ns and gated
+// by flare_report's default watches.
+void BM_TelemetryOverhead(benchmark::State& state) {
+  const bool attached = state.range(0) != 0;
+  // Never Start()ed: the enabled arm measures the not-yet-due clock
+  // check, not socket work. A huge interval keeps it never-due.
+  TelemetryServer server;
+  TelemetryPublisher publisher(attached ? &server : nullptr,
+                               /*interval_ms=*/1e12);
+  double sim_time_s = 0.0;
+  for (auto _ : state) {
+    sim_time_s += 0.04;
+    publisher.MaybePublish(sim_time_s);
+    benchmark::DoNotOptimize(sim_time_s);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TelemetryOverhead)->Arg(0)->Arg(1);
+
 // DecideBai through the OneAPI-style wrapper with metrics attached vs not:
 // the "no measurable slowdown when disabled" acceptance check.
 void BM_DecideBaiWithObs(benchmark::State& state) {
@@ -389,6 +414,31 @@ int ExportBatchLadder() {
   std::printf(
       "optimizer.batch.cells256x64: total_p50=%.2f ms  per_cell=%.1f us\n",
       batch_p50_ms, batch_p50_ms * 1000.0 / 256.0);
+
+  // Zero-cost-when-off telemetry gate: per-call cost of MaybePublish
+  // with no server attached, min over reps of a tight loop so scheduler
+  // noise cannot inflate the gauge. Watched (down, generous threshold)
+  // by flare_report's DefaultWatches.
+  {
+    TelemetryPublisher publisher(nullptr, 1000.0);
+    const int iters = 2'000'000;
+    double best_ns = 0.0;
+    for (int rep = 0; rep < 5; ++rep) {
+      double sim_time_s = 0.0;
+      const auto t0 = now();
+      for (int i = 0; i < iters; ++i) {
+        sim_time_s += 0.04;
+        publisher.MaybePublish(sim_time_s);
+        benchmark::DoNotOptimize(sim_time_s);
+      }
+      const double ns =
+          us(now() - t0) * 1000.0 / static_cast<double>(iters);
+      if (rep == 0 || ns < best_ns) best_ns = ns;
+    }
+    MakeGaugeHandle(&registry, "obs.telemetry.disabled_hook_ns")
+        .Set(best_ns);
+    std::printf("obs.telemetry.disabled_hook_ns: %.2f ns/call\n", best_ns);
+  }
 
   const std::string path = BenchJsonPath("optimizer");
   if (!writer.Export(path, registry)) {

@@ -22,6 +22,7 @@
 #include "obs/metrics.h"
 #include "obs/qoe_analytics.h"
 #include "obs/span_trace.h"
+#include "obs/telemetry_server.h"
 #include "obs/watchdog.h"
 #include "scenario/multi_cell.h"
 #include "scenario/scenario.h"
@@ -54,8 +55,9 @@ const char* const kKnownKeys[] = {
     "runs",          "scheme",
     "seed",          "segment_s",
     "series_csv",    "solver",
-    "static_itbs",
-    "testbed",       "trace_json",
+    "static_itbs",   "telemetry_interval_ms",
+    "telemetry_port", "testbed",
+    "trace_json",
     "vbr_sigma",     "warm_solver",
 };
 
@@ -132,6 +134,14 @@ Output keys:
                      watchdog alarm, on a fail_on_unhealthy exit, or on
                      a fatal signal
   fail_on_unhealthy=0|1  exit 2 if run-health watchdogs fired (0)
+Live telemetry keys:
+  telemetry_port=N   serve GET /metrics (OpenMetrics), /healthz (JSON)
+                     and /events (NDJSON tail) on 127.0.0.1:N while the
+                     run executes; 0 picks an ephemeral port (printed).
+                     Attaches metrics/QoE/health/flight observers
+                     automatically; run bytes stay identical to a
+                     telemetry-off run (off)
+  telemetry_interval_ms=F  wall-clock publish period (1000)
 )");
 }
 
@@ -400,16 +410,42 @@ int main(int argc, char** argv) {
   FlightRecorder flight(flight_capacity > 0
                             ? static_cast<std::size_t>(flight_capacity)
                             : FlightRecorder::kDefaultCapacity);
+  // Live telemetry plane: telemetry_port= starts the background scrape
+  // server and implies the observers it serves from (registry, QoE,
+  // health, flight), even without end-of-run export paths.
+  const auto telemetry_port = args.GetString("telemetry_port");
+  TelemetryServer::Options telemetry_opts;
+  telemetry_opts.port =
+      static_cast<std::uint16_t>(args.GetInt("telemetry_port", 0));
+  TelemetryServer telemetry_server(telemetry_opts);
+  const bool telemetry = telemetry_port.has_value();
+  if (telemetry) {
+    if (!telemetry_server.Start()) {
+      std::fprintf(stderr, "scenario_runner: cannot bind telemetry port "
+                   "%s\n", telemetry_port->c_str());
+      return 1;
+    }
+    config.telemetry = &telemetry_server;
+    config.telemetry_interval_ms =
+        args.GetDouble("telemetry_interval_ms", 1000.0);
+    std::printf("telemetry: http://127.0.0.1:%u  "
+                "(/metrics /healthz /events)\n",
+                static_cast<unsigned>(telemetry_server.port()));
+  }
   if (metrics_json || bai_trace_csv) {
     config.metrics = &registry;
     config.bai_trace = &trace;
   }
+  if (telemetry && !config.metrics) config.metrics = &registry;
   if (trace_json) config.span_trace = &spans;
-  if (trace_json || metrics_json || fail_on_unhealthy || postmortem_json) {
+  if (trace_json || metrics_json || fail_on_unhealthy || postmortem_json ||
+      telemetry) {
     config.health = &health;
   }
-  if (metrics_json || qoe_csv) config.qoe = &qoe;
-  if (flight_capacity > 0 || postmortem_json) config.flight = &flight;
+  if (metrics_json || qoe_csv || telemetry) config.qoe = &qoe;
+  if (flight_capacity > 0 || postmortem_json || telemetry) {
+    config.flight = &flight;
+  }
   if (postmortem_json) {
     // Fatal signals (SIGSEGV/SIGABRT/SIGFPE) dump the black box before
     // re-raising, so even a crash leaves the last events on disk.
@@ -436,6 +472,9 @@ int main(int argc, char** argv) {
     multi.health = config.health;
     multi.qoe = config.qoe;
     multi.flight = config.flight;
+    multi.telemetry = config.telemetry;
+    multi.telemetry_interval_ms = config.telemetry_interval_ms;
+    multi.cell.telemetry = nullptr;  // published from the barrier hook
     const MultiCellResult result = RunMultiCellScenario(multi);
 
     for (int c = 0; c < cells; ++c) {
@@ -496,6 +535,7 @@ int main(int argc, char** argv) {
     rest.bai_trace = nullptr;
     rest.span_trace = nullptr;
     rest.health = nullptr;
+    rest.telemetry = nullptr;  // live view covers the first run only
     rest.seed = config.seed + 1;
     for (const ScenarioResult& r : RunMany(rest, runs - 1)) {
       results.push_back(r);

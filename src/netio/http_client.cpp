@@ -1,0 +1,256 @@
+#include "netio/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace flare {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int RemainingMs(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+/// recv with a poll()-enforced deadline; returns <= 0 like recv.
+ssize_t RecvWithDeadline(int fd, char* buf, std::size_t len,
+                         Clock::time_point deadline) {
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = poll(&pfd, 1, RemainingMs(deadline));
+    if (ready == 0) return -1;  // timeout
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    const ssize_t n = recv(fd, buf, len, 0);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
+
+bool SendAll(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string LowerCopy(std::string text) {
+  std::transform(text.begin(), text.end(), text.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return text;
+}
+
+std::string RequestText(const std::string& host, const std::string& path) {
+  return "GET " + path + " HTTP/1.1\r\nHost: " + host +
+         "\r\nUser-Agent: flare-netio\r\nConnection: close\r\n\r\n";
+}
+
+/// Parse "HTTP/1.1 200 OK" + headers from `head` (without the blank
+/// line). Returns false on a malformed status line.
+bool ParseHead(const std::string& head, int* status,
+               std::map<std::string, std::string>* headers) {
+  std::size_t line_end = head.find("\r\n");
+  const std::string status_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  const std::size_t sp = status_line.find(' ');
+  if (sp == std::string::npos || status_line.compare(0, 5, "HTTP/") != 0) {
+    return false;
+  }
+  *status = std::atoi(status_line.c_str() + sp + 1);
+  std::size_t pos =
+      line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t end = head.find("\r\n", pos);
+    if (end == std::string::npos) end = head.size();
+    const std::string line = head.substr(pos, end - pos);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string value = line.substr(colon + 1);
+      const std::size_t start = value.find_first_not_of(" \t");
+      value = start == std::string::npos ? "" : value.substr(start);
+      (*headers)[LowerCopy(line.substr(0, colon))] = value;
+    }
+    pos = end + 2;
+  }
+  return true;
+}
+
+bool DecodeChunked(const std::string& raw, std::string* out) {
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t line_end = raw.find("\r\n", pos);
+    if (line_end == std::string::npos) return false;
+    const unsigned long size =
+        std::strtoul(raw.substr(pos, line_end - pos).c_str(), nullptr, 16);
+    pos = line_end + 2;
+    if (size == 0) return true;
+    if (pos + size > raw.size()) return false;
+    out->append(raw, pos, size);
+    pos += size;
+    if (raw.compare(pos, 2, "\r\n") == 0) pos += 2;
+  }
+}
+
+}  // namespace
+
+int BlockingConnect(const std::string& host, std::uint16_t port,
+                    int timeout_ms) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return -1;
+  }
+  // Blocking connect is fine for a localhost scraper; enforce the
+  // deadline with SO_SNDTIMEO so a dead address cannot hang a test.
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return -1;
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool HttpGet(const std::string& host, std::uint16_t port,
+             const std::string& path, HttpResponse* out, int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  const int fd = BlockingConnect(host, port, timeout_ms);
+  if (fd < 0) return false;
+  if (!SendAll(fd, RequestText(host, path))) {
+    close(fd);
+    return false;
+  }
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = RecvWithDeadline(fd, buf, sizeof(buf), deadline);
+    if (n < 0) {
+      close(fd);
+      return false;  // timeout or error before EOF
+    }
+    if (n == 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  close(fd);
+
+  const std::size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos) return false;
+  out->headers.clear();
+  out->body.clear();
+  if (!ParseHead(raw.substr(0, head_end), &out->status, &out->headers)) {
+    return false;
+  }
+  const std::string payload = raw.substr(head_end + 4);
+  const auto te = out->headers.find("transfer-encoding");
+  if (te != out->headers.end() &&
+      LowerCopy(te->second).find("chunked") != std::string::npos) {
+    return DecodeChunked(payload, &out->body);
+  }
+  out->body = payload;
+  return true;
+}
+
+HttpTail::~HttpTail() { Close(); }
+
+void HttpTail::Close() {
+  if (fd_ >= 0) close(fd_);
+  fd_ = -1;
+}
+
+bool HttpTail::FillBuffer(int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  char buf[4096];
+  const ssize_t n = RecvWithDeadline(fd_, buf, sizeof(buf), deadline);
+  if (n <= 0) return false;
+  buffer_.append(buf, static_cast<std::size_t>(n));
+  return true;
+}
+
+bool HttpTail::ReadLine(std::string* line, int timeout_ms) {
+  for (;;) {
+    const std::size_t end = buffer_.find("\r\n");
+    if (end != std::string::npos) {
+      line->assign(buffer_, 0, end);
+      buffer_.erase(0, end + 2);
+      return true;
+    }
+    if (!FillBuffer(timeout_ms)) return false;
+  }
+}
+
+bool HttpTail::Open(const std::string& host, std::uint16_t port,
+                    const std::string& path, int timeout_ms) {
+  Close();
+  status_ = 0;
+  buffer_.clear();
+  fd_ = BlockingConnect(host, port, timeout_ms);
+  if (fd_ < 0) return false;
+  if (!SendAll(fd_, RequestText(host, path))) {
+    Close();
+    return false;
+  }
+  // Consume the status line and headers.
+  std::string line;
+  if (!ReadLine(&line, timeout_ms)) {
+    Close();
+    return false;
+  }
+  std::map<std::string, std::string> headers;
+  if (!ParseHead(line, &status_, &headers)) {
+    Close();
+    return false;
+  }
+  while (ReadLine(&line, timeout_ms)) {
+    if (line.empty()) return status_ >= 200 && status_ < 300;
+  }
+  Close();
+  return false;
+}
+
+bool HttpTail::NextChunk(std::string* chunk, int timeout_ms) {
+  if (fd_ < 0) return false;
+  std::string line;
+  if (!ReadLine(&line, timeout_ms)) return false;
+  const unsigned long size = std::strtoul(line.c_str(), nullptr, 16);
+  if (size == 0) return false;  // terminal chunk
+  while (buffer_.size() < size + 2) {
+    if (!FillBuffer(timeout_ms)) return false;
+  }
+  chunk->assign(buffer_, 0, size);
+  buffer_.erase(0, size + 2);  // payload + CRLF
+  return true;
+}
+
+}  // namespace flare

@@ -1,0 +1,67 @@
+// Small blocking HTTP/1.1 client for scrapers and tests.
+//
+// This is the consumer side of the telemetry plane: flare_top polls
+// /metrics + /healthz with HttpGet, and tests/telemetry_test drives a
+// live in-process server with it. HttpTail follows a chunked response
+// (the /events NDJSON stream) chunk by chunk with a deadline per read,
+// so a test can take N events and hang up — exactly what a misbehaving
+// scrape client would do to the server.
+//
+// Deliberately minimal: IPv4, no TLS, no redirects, no keep-alive reuse.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace flare {
+
+struct HttpResponse {
+  int status = 0;
+  /// Header names lowercased.
+  std::map<std::string, std::string> headers;
+  std::string body;  // chunked transfer coding already decoded
+};
+
+/// One blocking GET with Connection: close semantics. Returns false on
+/// connect/IO/parse failure or when the deadline expires.
+bool HttpGet(const std::string& host, std::uint16_t port,
+             const std::string& path, HttpResponse* out,
+             int timeout_ms = 5000);
+
+/// Blocking streaming GET over a chunked response.
+class HttpTail {
+ public:
+  HttpTail() = default;
+  ~HttpTail();
+  HttpTail(const HttpTail&) = delete;
+  HttpTail& operator=(const HttpTail&) = delete;
+
+  /// Connect, send the request and parse the response headers. False on
+  /// failure or a non-2xx status (status() still reports it).
+  bool Open(const std::string& host, std::uint16_t port,
+            const std::string& path, int timeout_ms = 5000);
+  int status() const { return status_; }
+
+  /// Read the next chunk payload (one NDJSON line for /events). False on
+  /// end of stream, error, or timeout.
+  bool NextChunk(std::string* chunk, int timeout_ms = 5000);
+
+  /// Hang up without reading further — leaves server-side buffered data
+  /// undelivered, which is how the slow-client tests apply backpressure.
+  void Close();
+
+ private:
+  bool FillBuffer(int timeout_ms);
+  bool ReadLine(std::string* line, int timeout_ms);
+
+  int fd_ = -1;
+  int status_ = 0;
+  std::string buffer_;
+};
+
+/// Blocking connect helper (IPv4, millisecond deadline); -1 on failure.
+int BlockingConnect(const std::string& host, std::uint16_t port,
+                    int timeout_ms);
+
+}  // namespace flare

@@ -67,6 +67,18 @@ std::vector<FlightEvent> FlightRecorder::RecentEvents() const {
   return events;
 }
 
+std::uint64_t FlightRecorder::CollectEventsSince(
+    std::uint64_t from_seq, int cell, std::vector<FlightEvent>* out) const {
+  std::uint64_t next_seq = from_seq;
+  for (FlightEvent event : RecentEvents()) {
+    if (event.seq < from_seq) continue;
+    event.cell = cell;
+    if (event.seq + 1 > next_seq) next_seq = event.seq + 1;
+    out->push_back(std::move(event));
+  }
+  return next_seq;
+}
+
 void FlightRecorder::AbsorbShard(const FlightRecorder& shard, int cell) {
   merged_ = true;
   for (FlightEvent event : shard.RecentEvents()) {

@@ -67,6 +67,13 @@ class FlightRecorder {
 
   /// Ring contents oldest-first (after a merge: the absorbed events).
   std::vector<FlightEvent> RecentEvents() const;
+  /// Append still-ringed events with seq >= `from_seq` (oldest-first) to
+  /// `out`, restamped with `cell` like AbsorbShard would. Returns the
+  /// next unseen seq (pass it back as the next `from_seq`; start at 0).
+  /// Read-only: the telemetry publisher tails shards with this at epoch
+  /// barriers.
+  std::uint64_t CollectEventsSince(std::uint64_t from_seq, int cell,
+                                   std::vector<FlightEvent>* out) const;
   const std::vector<FlightEvent>& snapshot() const { return snapshot_; }
 
   /// Fold a shard's ring and snapshot in, restamped with `cell`. The

@@ -25,31 +25,75 @@ void Histogram::Observe(double value) {
   sum_ += value;
 }
 
+namespace {
+
+/// Shared quantile kernel: the live Histogram and the detached
+/// HistogramSnapshot must agree bit for bit, so both call this.
+double QuantileImpl(const std::vector<double>& bounds,
+                    const std::vector<std::uint64_t>& buckets,
+                    std::uint64_t count, double sum, double q) {
+  // NaN rather than a fake 0: downstream JSON export turns it into null
+  // so tools never mistake "no samples" for "all samples were zero".
+  if (count == 0) return std::numeric_limits<double>::quiet_NaN();
+  if (bounds.empty()) return sum / static_cast<double>(count);  // == Mean()
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t below = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double lo_count = static_cast<double>(below);
+    below += buckets[i];
+    if (static_cast<double>(below) < target) continue;
+    if (i == bounds.size()) break;  // overflow bucket: clamp below
+    const double hi = bounds[i];
+    const double lo = i == 0 ? std::min(0.0, hi) : bounds[i - 1];
+    const double frac = std::clamp(
+        (target - lo_count) / static_cast<double>(buckets[i]), 0.0, 1.0);
+    return lo + (hi - lo) * frac;
+  }
+  return bounds.back();
+}
+
+std::vector<std::uint64_t> CumulativeImpl(
+    const std::vector<std::uint64_t>& buckets) {
+  std::vector<std::uint64_t> cumulative(buckets.size(), 0);
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    running += buckets[i];
+    cumulative[i] = running;
+  }
+  return cumulative;
+}
+
+}  // namespace
+
 double Histogram::Mean() const {
   return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }
 
 double Histogram::Quantile(double q) const {
-  // NaN rather than a fake 0: downstream JSON export turns it into null
-  // so tools never mistake "no samples" for "all samples were zero".
-  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
-  if (bounds_.empty()) return Mean();
-  q = std::clamp(q, 0.0, 1.0);
-  const double target = q * static_cast<double>(count_);
-  std::uint64_t below = 0;
-  for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    if (buckets_[i] == 0) continue;
-    const double lo_count = static_cast<double>(below);
-    below += buckets_[i];
-    if (static_cast<double>(below) < target) continue;
-    if (i == bounds_.size()) break;  // overflow bucket: clamp below
-    const double hi = bounds_[i];
-    const double lo = i == 0 ? std::min(0.0, hi) : bounds_[i - 1];
-    const double frac = std::clamp(
-        (target - lo_count) / static_cast<double>(buckets_[i]), 0.0, 1.0);
-    return lo + (hi - lo) * frac;
-  }
-  return bounds_.back();
+  return QuantileImpl(bounds_, buckets_, count_, sum_, q);
+}
+
+double HistogramSnapshot::Mean() const {
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  return QuantileImpl(bounds, buckets, count, sum, q);
+}
+
+std::vector<std::uint64_t> HistogramSnapshot::CumulativeCounts() const {
+  return CumulativeImpl(buckets);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.buckets = buckets_;
+  snap.count = count_;
+  snap.sum = sum_;
+  return snap;
 }
 
 void Histogram::MergeFrom(const Histogram& other) {
@@ -62,13 +106,7 @@ void Histogram::MergeFrom(const Histogram& other) {
 }
 
 std::vector<std::uint64_t> Histogram::CumulativeCounts() const {
-  std::vector<std::uint64_t> cumulative(buckets_.size(), 0);
-  std::uint64_t running = 0;
-  for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    running += buckets_[i];
-    cumulative[i] = running;
-  }
-  return cumulative;
+  return CumulativeImpl(buckets_);
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
@@ -114,40 +152,72 @@ void WriteJsonString(std::ostream& out, const std::string& text) {
 
 }  // namespace
 
-void MetricsRegistry::WriteJson(std::ostream& out) const {
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.AbsorbFrom(*this);
+  return snap;
+}
+
+void MetricsSnapshot::AbsorbFrom(const MetricsRegistry& registry,
+                                 const std::string& prefix) {
+  for (const auto& [name, counter] : registry.counters()) {
+    counters[prefix + name] += counter.value();
+  }
+  for (const auto& [name, gauge] : registry.gauges()) {
+    gauges[prefix + name] = gauge.value();
+  }
+  for (const auto& [name, histogram] : registry.histograms()) {
+    const auto [it, inserted] =
+        histograms.emplace(prefix + name, HistogramSnapshot{});
+    HistogramSnapshot& dest = it->second;
+    if (inserted) {
+      dest = histogram.Snapshot();
+      continue;
+    }
+    if (dest.bounds != histogram.bounds()) continue;  // shards share config
+    const HistogramSnapshot shard = histogram.Snapshot();
+    for (std::size_t i = 0; i < dest.buckets.size(); ++i) {
+      dest.buckets[i] += shard.buckets[i];
+    }
+    dest.count += shard.count;
+    dest.sum += shard.sum;
+  }
+}
+
+void MetricsSnapshot::WriteJson(std::ostream& out) const {
   out << "{\n  \"counters\": {";
   bool first = true;
-  for (const auto& [name, counter] : counters_) {
+  for (const auto& [name, value] : counters) {
     out << (first ? "\n    " : ",\n    ");
     first = false;
     WriteJsonString(out, name);
-    out << ": " << counter.value();
+    out << ": " << value;
   }
   out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
   first = true;
-  for (const auto& [name, gauge] : gauges_) {
+  for (const auto& [name, value] : gauges) {
     out << (first ? "\n    " : ",\n    ");
     first = false;
     WriteJsonString(out, name);
-    out << ": " << JsonNumber(gauge.value());
+    out << ": " << JsonNumber(value);
   }
   out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
   first = true;
-  for (const auto& [name, histogram] : histograms_) {
+  for (const auto& [name, histogram] : histograms) {
     out << (first ? "\n    " : ",\n    ");
     first = false;
     WriteJsonString(out, name);
     // Empty histograms export null aggregates (Quantile is NaN, and a
     // bare `nan` token would make the whole document unparseable).
-    const bool empty = histogram.count() == 0;
-    out << ": {\"count\": " << histogram.count()
-        << ", \"sum\": " << JsonNumber(histogram.sum()) << ", \"mean\": "
+    const bool empty = histogram.count == 0;
+    out << ": {\"count\": " << histogram.count
+        << ", \"sum\": " << JsonNumber(histogram.sum) << ", \"mean\": "
         << (empty ? "null" : JsonNumber(histogram.Mean()))
         << ", \"p50\": " << JsonNumber(histogram.Quantile(0.50))
         << ", \"p95\": " << JsonNumber(histogram.Quantile(0.95))
         << ", \"p99\": " << JsonNumber(histogram.Quantile(0.99))
         << ", \"buckets\": [";
-    const std::vector<double>& bounds = histogram.bounds();
+    const std::vector<double>& bounds = histogram.bounds;
     const std::vector<std::uint64_t> cumulative =
         histogram.CumulativeCounts();
     for (std::size_t i = 0; i < cumulative.size(); ++i) {
@@ -163,6 +233,10 @@ void MetricsRegistry::WriteJson(std::ostream& out) const {
     out << "]}";
   }
   out << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+void MetricsRegistry::WriteJson(std::ostream& out) const {
+  Snapshot().WriteJson(out);
 }
 
 bool MetricsRegistry::ExportJson(const std::string& path) const {

@@ -44,6 +44,8 @@ class Gauge {
   double value_ = 0.0;
 };
 
+struct HistogramSnapshot;
+
 /// Fixed-bucket histogram: `bounds` are inclusive upper bounds of the
 /// finite buckets; one overflow bucket (+inf) is implicit.
 class Histogram {
@@ -69,12 +71,54 @@ class Histogram {
   /// Cumulative count of observations <= bounds()[i]; the final entry is
   /// the overflow bucket and equals count().
   std::vector<std::uint64_t> CumulativeCounts() const;
+  /// Detached plain-data copy (see MetricsSnapshot).
+  HistogramSnapshot Snapshot() const;
 
  private:
   std::vector<double> bounds_;
   std::vector<std::uint64_t> buckets_;  // bounds_.size() + 1 (overflow last)
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
+};
+
+class MetricsRegistry;
+
+/// Plain-data copy of one histogram, detached from the live instrument.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  /// Per-bucket counts, bounds.size() + 1 with the overflow bucket last
+  /// (same layout as the live Histogram).
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  double Mean() const;
+  /// Bit-identical to Histogram::Quantile (both call one shared
+  /// implementation), so exports rendered from a snapshot match exports
+  /// rendered from the live registry byte for byte.
+  double Quantile(double q) const;
+  std::vector<std::uint64_t> CumulativeCounts() const;
+};
+
+/// Point-in-time copy of a whole registry (or several, via AbsorbFrom):
+/// the read-path synchronization story for concurrent export. Live
+/// instruments are only ever touched by their owning event domain; a
+/// snapshot is taken at an epoch barrier (or any other quiescent point)
+/// on the coordinator thread and then handed to readers — the telemetry
+/// server serves /metrics from its latest snapshot under its own mutex,
+/// and the end-of-run JSON export renders from a snapshot too, so both
+/// paths share one renderer and one consistency model.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Fold a registry in under `prefix` + name, MergeFrom semantics
+  /// (counters add, gauges overwrite, histograms fold when bounds match).
+  void AbsorbFrom(const MetricsRegistry& registry,
+                  const std::string& prefix = {});
+  /// Same JSON bytes MetricsRegistry::WriteJson has always produced.
+  void WriteJson(std::ostream& out) const;
 };
 
 /// Name-keyed instrument store. Instruments live as long as the registry;
@@ -111,7 +155,13 @@ class MetricsRegistry {
   /// export is identical whether the domains ran serially or in parallel.
   void MergeFrom(const MetricsRegistry& other, const std::string& prefix);
 
+  /// Detach a point-in-time copy of every instrument. Call from the
+  /// thread that owns the registry (or at an epoch barrier); the returned
+  /// value is independent data that may cross threads freely.
+  MetricsSnapshot Snapshot() const;
+
   /// JSON object {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  /// Renders via Snapshot() — one renderer for live and snapshotted data.
   void WriteJson(std::ostream& out) const;
   /// Convenience file form; returns false if the file cannot be opened.
   bool ExportJson(const std::string& path) const;

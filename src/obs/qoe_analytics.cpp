@@ -142,6 +142,43 @@ void QoeAnalytics::AbsorbShard(const QoeAnalytics& shard, int cell) {
   }
 }
 
+QoeLiveSummary QoeAnalytics::LiveSummary() const {
+  QoeLiveSummary live;
+  live.sessions = sessions_.size();
+  std::vector<double> bitrates;
+  double stall_s = 0.0;
+  double playtime_s = 0.0;
+  double qoe_sum = 0.0;
+  for (const auto& [key, s] : sessions_) {
+    live.stalls += s.stalls;
+    if (s.segments == 0) continue;
+    ++live.played;
+    bitrates.push_back(s.AvgBitrateBps());
+    live.switches += s.switches;
+    stall_s += s.stall_s;
+    playtime_s += s.played_s + s.stall_s;
+    qoe_sum += s.Qoe(weights_);
+  }
+  // Mean over an empty vector is 0 but Jain of nothing stays the
+  // "perfectly fair" 1.0 default, matching the end-of-run summary.
+  if (!bitrates.empty()) {
+    double sum = 0.0;
+    for (double b : bitrates) sum += b;
+    live.avg_bitrate_bps = sum / static_cast<double>(bitrates.size());
+    live.jain_avg_bitrate = JainIndex(bitrates);
+    live.avg_qoe = qoe_sum / static_cast<double>(bitrates.size());
+  }
+  live.stall_ratio = playtime_s > 0.0 ? stall_s / playtime_s : 0.0;
+  live.admitted = admitted();
+  live.blocked = blocked();
+  const std::uint64_t arrivals = live.admitted + live.blocked;
+  live.blocking_probability =
+      arrivals > 0 ? static_cast<double>(live.blocked) /
+                         static_cast<double>(arrivals)
+                   : 0.0;
+  return live;
+}
+
 const QoeSessionStats* QoeAnalytics::FindSession(int cell, int session) const {
   const auto it = sessions_.find({cell, session});
   return it == sessions_.end() ? nullptr : &it->second;

@@ -45,6 +45,23 @@ enum class QoeSessionOrigin { kStaticVideo, kConventional, kDynamicVideo };
 
 const char* QoeSessionOriginName(QoeSessionOrigin origin);
 
+/// Point-in-time aggregates for the live telemetry plane. Same semantics
+/// as the end-of-run summary: averages and fairness are over sessions
+/// that played at least one segment.
+struct QoeLiveSummary {
+  std::uint64_t sessions = 0;
+  std::uint64_t played = 0;
+  double avg_bitrate_bps = 0.0;
+  double jain_avg_bitrate = 1.0;
+  double avg_qoe = 0.0;
+  double stall_ratio = 0.0;
+  std::uint64_t stalls = 0;
+  std::uint64_t switches = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t blocked = 0;
+  double blocking_probability = 0.0;
+};
+
 struct QoeSessionStats {
   int cell = 0;
   int session = -1;
@@ -115,7 +132,11 @@ class QoeAnalytics {
   /// One CSV row per session; false if the file cannot be opened.
   bool ExportCsv(const std::string& path) const;
 
-  // --- Introspection (tests, result plumbing) ---
+  // --- Introspection (tests, result plumbing, live telemetry) ---
+  /// Read-only mid-run aggregates across every tracked session. Called
+  /// at epoch barriers by the telemetry publisher; never mutates, so a
+  /// run's bytes are identical with or without telemetry attached.
+  QoeLiveSummary LiveSummary() const;
   const QoeSessionStats* FindSession(int cell, int session) const;
   std::size_t session_count() const { return sessions_.size(); }
   std::uint64_t admitted() const;

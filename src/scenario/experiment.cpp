@@ -1,8 +1,12 @@
 #include "scenario/experiment.h"
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 #include <utility>
 
 #include "obs/bai_trace.h"
@@ -12,6 +16,28 @@
 #include "util/csv.h"
 
 namespace flare {
+
+namespace {
+
+/// Commit identity of the producing build: CI stamps GITHUB_SHA, local
+/// harnesses may set FLARE_GIT_SHA (which wins). Empty when neither is
+/// set — the envelope then records "unknown" rather than shelling out to
+/// git, so exports stay reproducible in hermetic build environments.
+std::string HostGitSha() {
+  for (const char* var : {"FLARE_GIT_SHA", "GITHUB_SHA"}) {
+    const char* sha = std::getenv(var);
+    if (sha != nullptr && *sha != '\0') return sha;
+  }
+  return "unknown";
+}
+
+std::string HostName() {
+  char buf[256] = {};
+  if (gethostname(buf, sizeof(buf) - 1) != 0) return "unknown";
+  return buf[0] != '\0' ? std::string(buf) : std::string("unknown");
+}
+
+}  // namespace
 
 double PooledMetrics::MeanJain() const {
   if (jain_per_run.empty()) return 1.0;
@@ -91,7 +117,13 @@ void BenchJsonWriter::WriteEnvelopeOpen(std::ostream& out) const {
     first = false;
     out << JsonQuote(key) << ": " << value;
   }
-  out << "}, \"run\": ";
+  // Provenance lives in its own section so "config" stays commit- and
+  // machine-invariant (flare_report keys run comparisons off the config
+  // echo; it reads "host" only to stamp trajectory lines).
+  out << "}, \"host\": {\"git_sha\": " << JsonQuote(HostGitSha())
+      << ", \"hostname\": " << JsonQuote(HostName())
+      << ", \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << "}, \"run\": ";
 }
 
 bool BenchJsonWriter::Export(const std::string& path,

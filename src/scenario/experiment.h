@@ -66,10 +66,16 @@ class RunHealthMonitor;
 
 /// Standardized BENCH_*.json envelope shared by every bench binary:
 ///   {"schema_version": 1, "scenario": "<id>", "config": {<echo>},
+///    "host": {"git_sha", "hostname", "hardware_concurrency"},
 ///    "run": <payload>}
 /// The config echo is commit-invariant (scenario knobs only, no wall
 /// clocks or machine facts) so tools/flare_report can compare runs across
 /// revisions and flag genuine metric regressions rather than host noise.
+/// Machine facts live in the separate "host" section: git_sha comes from
+/// $FLARE_GIT_SHA (or CI's $GITHUB_SHA), hostname from gethostname(), and
+/// hardware_concurrency from std::thread — flare_report stamps trajectory
+/// lines from these fields instead of re-reading ambient state at report
+/// time.
 class BenchJsonWriter {
  public:
   static constexpr int kSchemaVersion = 1;

@@ -9,8 +9,10 @@
 #include <string>
 
 #include "net/pcrf.h"
+#include "obs/telemetry_publisher.h"
 #include "scenario/scenario_world.h"
 #include "sim/parallel_runner.h"
+#include "util/time.h"
 
 namespace flare {
 
@@ -98,6 +100,12 @@ MultiCellResult RunMultiCellScenario(const MultiCellConfig& config) {
   }
 
   const Rng master(config.cell.seed);
+  // Live telemetry rides the barrier hook; shard observers are treated
+  // as enabled whenever the server is attached so mid-run QoE/health/
+  // event tailing works even without end-of-run export sinks.
+  const bool telemetry_on = config.telemetry != nullptr;
+  TelemetryPublisher publisher(config.telemetry,
+                               config.telemetry_interval_ms);
   std::deque<CellShard> shards;
   for (int c = 0; c < n_cells; ++c) {
     EventDomain& domain = runner.AddDomain();
@@ -115,24 +123,54 @@ MultiCellResult RunMultiCellScenario(const MultiCellConfig& config) {
 
     ScenarioConfig cell_config = config.cell;
     cell_config.oneapi.cell_tag = static_cast<Pcrf::CellTag>(c);
-    cell_config.metrics = config.metrics != nullptr ? &shard.metrics : nullptr;
+    cell_config.metrics = config.metrics != nullptr || telemetry_on
+                              ? &shard.metrics
+                              : nullptr;
     cell_config.bai_trace =
         config.bai_trace != nullptr ? &shard.trace : nullptr;
     cell_config.span_trace =
         config.span_trace != nullptr ? &shard.spans : nullptr;
-    cell_config.health = config.health != nullptr ? &shard.health : nullptr;
-    cell_config.qoe = config.qoe != nullptr ? &shard.qoe : nullptr;
-    cell_config.flight = config.flight != nullptr ? &shard.flight : nullptr;
+    cell_config.health = config.health != nullptr || telemetry_on
+                             ? &shard.health
+                             : nullptr;
+    cell_config.qoe =
+        config.qoe != nullptr || telemetry_on ? &shard.qoe : nullptr;
+    cell_config.flight = config.flight != nullptr || telemetry_on
+                             ? &shard.flight
+                             : nullptr;
+    // Telemetry is published from the coordinator's barrier hook, never
+    // from inside a cell's world.
+    cell_config.telemetry = nullptr;
 
     shard.world = std::make_unique<ScenarioWorld>(
         cell_config, domain.sim(), shard.pcrf,
         master.SplitStream(static_cast<std::uint64_t>(c)));
     shard.world->Start();
+
+    if (telemetry_on) {
+      publisher.AddShard({&shard.metrics, &shard.qoe, &shard.health,
+                          &shard.flight,
+                          "cell" + std::to_string(c) + "."},
+                         c);
+    }
+  }
+  if (telemetry_on) {
+    publisher.ConfigureRun(
+        std::string(SchemeName(config.cell.scheme)) + " x" +
+            std::to_string(n_cells),
+        config.cell.duration_s, n_cells, options.workers);
+    publisher.SetCoordinatorMetrics(config.metrics);
+    runner.SetBarrierHook([&publisher](SimTime now) {
+      publisher.MaybePublish(ToSeconds(now));
+    });
   }
 
   const auto wall_start = std::chrono::steady_clock::now();
   runner.RunUntil(FromSeconds(config.cell.duration_s));
   const auto wall_end = std::chrono::steady_clock::now();
+  // Final snapshot so scrapers see the end-of-run state even when the
+  // last interval had not elapsed.
+  if (telemetry_on) publisher.PublishNow(config.cell.duration_s);
 
   MultiCellResult result;
   result.wall_ms = std::chrono::duration<double, std::milli>(

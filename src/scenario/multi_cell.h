@@ -53,6 +53,17 @@ struct MultiCellConfig {
   /// Per-cell flight recorders (capacity copied from this one), merged in
   /// cell order; the earliest shard trigger wins. Not owned.
   FlightRecorder* flight = nullptr;
+
+  /// Live telemetry server (obs/telemetry_server.h). When set, the
+  /// runner's barrier hook publishes read-only snapshots of every shard's
+  /// observers (absorbed under "cell<N>." like the post-run merge) every
+  /// `telemetry_interval_ms` of wall clock. Shard observers are fed even
+  /// when the merged sinks above are null, so live QoE/health/flight
+  /// telemetry works without requesting end-of-run exports. Run bytes
+  /// stay byte-identical with telemetry on or off. Not owned; must be
+  /// Start()ed by the caller.
+  TelemetryServer* telemetry = nullptr;
+  double telemetry_interval_ms = 1000.0;
 };
 
 struct MultiCellResult {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/pcrf.h"
+#include "obs/telemetry_publisher.h"
 #include "scenario/scenario_world.h"
 #include "sim/simulator.h"
 
@@ -78,7 +79,23 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   Pcrf pcrf;
   ScenarioWorld world(config, sim, pcrf, Rng(config.seed));
   world.Start();
+  // Live telemetry: BAI-periodic read-only publishes of the attached
+  // observers. Purely additive — the event only reads state — so run
+  // bytes match a telemetry-off run.
+  TelemetryPublisher publisher(config.telemetry, config.telemetry_interval_ms);
+  if (publisher.enabled()) {
+    publisher.ConfigureRun(SchemeName(config.scheme), config.duration_s,
+                           /*cells=*/1, /*workers=*/0);
+    publisher.AddShard({config.metrics, config.qoe, config.health,
+                        config.flight, /*metrics_prefix=*/""},
+                       /*cell=*/0);
+    const SimTime bai = config.oneapi.bai;
+    sim.Every(bai, bai, [&publisher, &sim] {
+      publisher.MaybePublish(ToSeconds(sim.Now()));
+    });
+  }
   sim.RunUntil(FromSeconds(config.duration_s));
+  if (publisher.enabled()) publisher.PublishNow(config.duration_s);
   return world.Collect();
 }
 

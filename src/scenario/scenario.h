@@ -24,6 +24,8 @@
 
 namespace flare {
 
+class TelemetryServer;  // obs/telemetry_server.h
+
 /// Which rate-adaptation system runs the video flows.
 enum class Scheme {
   kFlare,         // coordinated, exact/greedy discrete solver
@@ -161,6 +163,14 @@ struct ScenarioConfig {
   /// snapshotted on the first watchdog alarm. One recorder per cell shard
   /// in multi-cell runs. Not owned.
   FlightRecorder* flight = nullptr;
+  /// Live telemetry server (obs/telemetry_server.h). When set, RunScenario
+  /// publishes read-only snapshots of the attached observers every
+  /// `telemetry_interval_ms` of wall clock on BAI boundaries; run bytes
+  /// stay identical to a telemetry-off run. Multi-cell runs wire this
+  /// through MultiCellConfig instead (the per-cell copy is cleared).
+  /// Not owned; must be Start()ed by the caller.
+  TelemetryServer* telemetry = nullptr;
+  double telemetry_interval_ms = 1000.0;
 };
 
 /// One sampled point of the Figure 4/5 time series.

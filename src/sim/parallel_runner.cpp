@@ -217,6 +217,7 @@ void ParallelRunner::RunUntil(SimTime horizon) {
                        static_cast<double>(now),
                        static_cast<double>(batch));
     }
+    if (barrier_hook_) barrier_hook_(now);
   }
 }
 

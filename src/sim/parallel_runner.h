@@ -175,6 +175,16 @@ class ParallelRunner {
   void SetObservers(MetricsRegistry* registry, SpanTracer* tracer,
                     bool deterministic);
 
+  /// Hook run on the coordinator thread at the end of every epoch, after
+  /// the barrier drain — the one moment every domain is quiescent and
+  /// the coordinator owns all shard state. The telemetry publisher hangs
+  /// here; the hook must be read-only with respect to simulation state
+  /// (the determinism suite runs with it attached). Null clears it; when
+  /// unset the cost is one predicted branch per epoch.
+  void SetBarrierHook(std::function<void(SimTime)> hook) {
+    barrier_hook_ = std::move(hook);
+  }
+
  private:
   /// Spawn workers (first parallel run) or re-partition after AddDomain.
   /// Each worker owns the contiguous id range partitions_[w].
@@ -195,6 +205,7 @@ class ParallelRunner {
   Options options_;
   std::vector<std::unique_ptr<EventDomain>> domains_;
   EventDomain::HandlerFn coordinator_handler_;
+  std::function<void(SimTime)> barrier_hook_;
   std::uint64_t epochs_ = 0;
   std::uint64_t delivered_ = 0;
 

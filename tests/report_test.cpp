@@ -94,6 +94,31 @@ TEST(ReportFlatten, GoogleBenchmarkFormat) {
                    1000.0);
 }
 
+TEST(ReportFlatten, HostProvenanceReadFromEnvelopeNotAmbientState) {
+  const RunSummary run = Flatten(R"({
+    "schema_version": 1,
+    "scenario": "fig9",
+    "config": {"duration_s": 5},
+    "host": {"git_sha": "abc1234", "hostname": "ci-runner-7",
+             "hardware_concurrency": 16},
+    "run": {"counters": {}, "gauges": {"fig9.x": 1}, "histograms": {}}
+  })");
+  EXPECT_EQ(run.git_sha, "abc1234");
+  EXPECT_EQ(run.hostname, "ci-runner-7");
+  EXPECT_EQ(run.hardware_concurrency, 16);
+  // Provenance never leaks into the compared metric set.
+  EXPECT_EQ(run.metrics.count("host.hardware_concurrency"), 0u);
+
+  // Legacy envelopes without the host section stay loadable.
+  const RunSummary legacy = Flatten(R"({
+    "schema_version": 1, "scenario": "fig6", "config": {},
+    "run": {"counters": {}, "gauges": {}, "histograms": {}}
+  })");
+  EXPECT_TRUE(legacy.git_sha.empty());
+  EXPECT_TRUE(legacy.hostname.empty());
+  EXPECT_EQ(legacy.hardware_concurrency, 0);
+}
+
 TEST(ReportWatch, ParsesSpecsAndRejectsMalformed) {
   WatchSpec spec;
   std::string error;
@@ -154,6 +179,23 @@ RunSummary MakeRun(const std::string& label,
   run.label = label;
   run.metrics = std::move(metrics);
   return run;
+}
+
+TEST(ReportWatch, DefaultsGateTelemetryDisabledHookDownward) {
+  // Zero-cost-when-off guard: the measured disabled MaybePublish hook
+  // (single-digit nanoseconds, so the threshold floors at 100% to ride
+  // out timing noise) is watched lower-is-better by default.
+  const std::vector<WatchSpec> watches = DefaultWatches(5.0);
+  bool found = false;
+  for (const WatchSpec& w : watches) {
+    if (w.metric != "metrics.gauges.obs.telemetry.disabled_hook_ns") {
+      continue;
+    }
+    found = true;
+    EXPECT_FALSE(w.higher_is_better);
+    EXPECT_GE(w.threshold_pct, 100.0);
+  }
+  EXPECT_TRUE(found);
 }
 
 TEST(ReportCompare, FlagsDirectionAwareRegressions) {
@@ -263,6 +305,32 @@ TEST(ReportOutput, TrajectoryLineIsOneParseableJsonObject) {
   EXPECT_DOUBLE_EQ(doc.Find("recorded_unix")->AsNumber(), 1754000000.0);
   EXPECT_DOUBLE_EQ(
       doc.FindPath({"metrics", "qoe.summary.avg_qoe"})->AsNumber(), 1.25);
+}
+
+TEST(ReportOutput, TrajectoryLineStampsHostProvenance) {
+  RunSummary run = MakeRun("fig6", {{"qoe.summary.avg_qoe", 1.25}});
+  run.scenario = "fig6";
+  run.git_sha = "abc1234";
+  run.hostname = "ci-runner-7";
+  run.hardware_concurrency = 16;
+  std::ostringstream out;
+  WriteTrajectoryLine(out, run, 1754000000LL);
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(out.str(), &doc, &error)) << error;
+  EXPECT_EQ(doc.Find("git_sha")->AsString(), "abc1234");
+  EXPECT_EQ(doc.Find("hostname")->AsString(), "ci-runner-7");
+  EXPECT_DOUBLE_EQ(doc.Find("hardware_concurrency")->AsNumber(), 16.0);
+
+  // Runs loaded from artifacts without provenance omit the fields
+  // instead of stamping empties.
+  RunSummary bare = MakeRun("fig6", {{"qoe.summary.avg_qoe", 1.0}});
+  std::ostringstream bare_out;
+  WriteTrajectoryLine(bare_out, bare, 1754000000LL);
+  EXPECT_EQ(bare_out.str().find("git_sha"), std::string::npos);
+  EXPECT_EQ(bare_out.str().find("hostname"), std::string::npos);
+  EXPECT_EQ(bare_out.str().find("hardware_concurrency"),
+            std::string::npos);
 }
 
 TEST(ReportOutput, AppendTrajectoryAccumulatesLines) {

@@ -1,5 +1,6 @@
 #include "report_core.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <filesystem>
@@ -179,6 +180,20 @@ void FlattenRun(const JsonValue& root, RunSummary* out) {
     if (scenario != nullptr && scenario->is_string()) {
       out->scenario = scenario->AsString();
     }
+    // Optional provenance section; legacy envelopes simply lack it.
+    const JsonValue* host = root.Find("host");
+    if (host != nullptr && host->is_object()) {
+      const JsonValue* sha = host->Find("git_sha");
+      if (sha != nullptr && sha->is_string()) out->git_sha = sha->AsString();
+      const JsonValue* name = host->Find("hostname");
+      if (name != nullptr && name->is_string()) {
+        out->hostname = name->AsString();
+      }
+      const JsonValue* hw = host->Find("hardware_concurrency");
+      if (hw != nullptr && hw->is_number()) {
+        out->hardware_concurrency = static_cast<int>(hw->AsNumber());
+      }
+    }
     FlattenPayload(*run, out);
     return;
   }
@@ -265,6 +280,12 @@ std::vector<WatchSpec> DefaultWatches(double threshold_pct) {
   // better — a p99 increase past the threshold exits 3.
   watches.push_back({"metrics.gauges.optimizer.batch.flows10k.p99_us",
                      false, threshold_pct});
+  // Telemetry zero-cost-when-off gate (bench_optimizer's
+  // BM_TelemetryOverhead): the disabled publish hook must stay a null
+  // check, a few ns. Single-digit-ns timings are noisy, so the gate only
+  // trips on a blowup (>= 2x), never on jitter.
+  watches.push_back({"metrics.gauges.obs.telemetry.disabled_hook_ns",
+                     false, std::max(threshold_pct, 100.0)});
   return watches;
 }
 
@@ -382,7 +403,19 @@ void WriteTrajectoryLine(std::ostream& out, const RunSummary& run,
       << ", \"scenario\": " << JsonQuote(run.scenario)
       << ", \"label\": " << JsonQuote(run.label)
       << ", \"source\": " << JsonQuote(run.path)
-      << ", \"recorded_unix\": " << recorded_unix << ", \"metrics\": {";
+      << ", \"recorded_unix\": " << recorded_unix;
+  // Envelope-sourced provenance; omitted for artifacts without it so old
+  // trajectory consumers see unchanged lines for unchanged inputs.
+  if (!run.git_sha.empty()) {
+    out << ", \"git_sha\": " << JsonQuote(run.git_sha);
+  }
+  if (!run.hostname.empty()) {
+    out << ", \"hostname\": " << JsonQuote(run.hostname);
+  }
+  if (run.hardware_concurrency > 0) {
+    out << ", \"hardware_concurrency\": " << run.hardware_concurrency;
+  }
+  out << ", \"metrics\": {";
   bool first = true;
   for (const auto& [metric, value] : run.metrics) {
     if (!first) out << ", ";

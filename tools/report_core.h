@@ -24,6 +24,14 @@ struct RunSummary {
   std::string label;        // defaults to the file stem
   int schema_version = 0;   // 0 = legacy (no envelope)
   std::string scenario;     // "" when the artifact carries none
+  /// Provenance from the envelope's "host" section (BenchJsonWriter):
+  /// all empty/zero for legacy artifacts that predate it. These are
+  /// never flattened into `metrics` (they would poison run comparisons)
+  /// but are stamped onto trajectory lines, so a drifting trajectory can
+  /// be traced to the commit and machine that produced each point.
+  std::string git_sha;
+  std::string hostname;
+  int hardware_concurrency = 0;
   /// Sorted by key (std::map), so iteration order is deterministic.
   std::map<std::string, double> metrics;
 };
@@ -100,8 +108,11 @@ void WriteCsvReport(std::ostream& out, const std::vector<RunSummary>& runs);
 
 /// One JSON line for `run` appended to a trajectory.jsonl file:
 /// {"schema_version", "scenario", "label", "source", "recorded_unix",
-///  "metrics": {...}}. `recorded_unix` comes from the caller so the core
-/// stays clock-free and testable.
+///  ["git_sha", "hostname", "hardware_concurrency",] "metrics": {...}}.
+/// `recorded_unix` comes from the caller so the core stays clock-free and
+/// testable; the provenance fields come from the run's envelope (never
+/// from ambient state at report time) and are omitted when the envelope
+/// lacks them.
 void WriteTrajectoryLine(std::ostream& out, const RunSummary& run,
                          long long recorded_unix);
 

@@ -1,6 +1,7 @@
 #include "netio/http_client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -26,7 +27,10 @@ int RemainingMs(Clock::time_point deadline) {
   return left > 0 ? static_cast<int>(left) : 0;
 }
 
-/// recv with a poll()-enforced deadline; returns <= 0 like recv.
+/// recv with a poll()-enforced deadline; returns <= 0 like recv. A
+/// connection reset maps to EOF: servers that RST after the final byte
+/// (no lingering close) must not fail a response we already hold — the
+/// caller's parser decides whether the bytes received so far are whole.
 ssize_t RecvWithDeadline(int fd, char* buf, std::size_t len,
                          Clock::time_point deadline) {
   for (;;) {
@@ -38,18 +42,33 @@ ssize_t RecvWithDeadline(int fd, char* buf, std::size_t len,
       return -1;
     }
     const ssize_t n = recv(fd, buf, len, 0);
-    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EINTR || errno == EAGAIN ||
+                  errno == EWOULDBLOCK)) {
+      continue;  // spurious wakeup on the non-blocking fd
+    }
+    if (n < 0 && errno == ECONNRESET) return 0;
     return n;
   }
 }
 
-bool SendAll(int fd, const std::string& data) {
+/// send with the same poll()-enforced deadline (the fd is non-blocking,
+/// so a stalled peer surfaces as EAGAIN instead of blocking forever).
+bool SendAll(int fd, const std::string& data, Clock::time_point deadline) {
   std::size_t off = 0;
   while (off < data.size()) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = poll(&pfd, 1, RemainingMs(deadline));
+    if (ready == 0) return false;  // timeout
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
     const ssize_t n =
         send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
       return false;
     }
     off += static_cast<std::size_t>(n);
@@ -128,16 +147,40 @@ int BlockingConnect(const std::string& host, std::uint16_t port,
     close(fd);
     return -1;
   }
-  // Blocking connect is fine for a localhost scraper; enforce the
-  // deadline with SO_SNDTIMEO so a dead address cannot hang a test.
-  timeval tv{};
-  tv.tv_sec = timeout_ms / 1000;
-  tv.tv_usec = (timeout_ms % 1000) * 1000;
-  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  // Non-blocking connect with a poll()-enforced deadline: SO_SNDTIMEO
+  // does not reliably bound connect() on all kernels, and a blackholed
+  // address would otherwise hang for the SYN-retry budget (minutes).
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
     close(fd);
     return -1;
   }
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      close(fd);
+      return -1;
+    }
+    for (;;) {
+      pollfd pfd{fd, POLLOUT, 0};
+      const int ready = poll(&pfd, 1, RemainingMs(deadline));
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready <= 0) {  // timeout or poll failure
+        close(fd);
+        return -1;
+      }
+      break;
+    }
+    int error = 0;
+    socklen_t len = sizeof(error);
+    if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &error, &len) != 0 ||
+        error != 0) {
+      close(fd);
+      return -1;
+    }
+  }
+  // The fd stays non-blocking: every read/write in this module polls
+  // with a deadline first, so nothing here can block indefinitely.
   const int one = 1;
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return fd;
@@ -148,7 +191,7 @@ bool HttpGet(const std::string& host, std::uint16_t port,
   const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
   const int fd = BlockingConnect(host, port, timeout_ms);
   if (fd < 0) return false;
-  if (!SendAll(fd, RequestText(host, path))) {
+  if (!SendAll(fd, RequestText(host, path), deadline)) {
     close(fd);
     return false;
   }
@@ -189,8 +232,7 @@ void HttpTail::Close() {
   fd_ = -1;
 }
 
-bool HttpTail::FillBuffer(int timeout_ms) {
-  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+bool HttpTail::FillBuffer(Clock::time_point deadline) {
   char buf[4096];
   const ssize_t n = RecvWithDeadline(fd_, buf, sizeof(buf), deadline);
   if (n <= 0) return false;
@@ -198,7 +240,7 @@ bool HttpTail::FillBuffer(int timeout_ms) {
   return true;
 }
 
-bool HttpTail::ReadLine(std::string* line, int timeout_ms) {
+bool HttpTail::ReadLine(std::string* line, Clock::time_point deadline) {
   for (;;) {
     const std::size_t end = buffer_.find("\r\n");
     if (end != std::string::npos) {
@@ -206,7 +248,7 @@ bool HttpTail::ReadLine(std::string* line, int timeout_ms) {
       buffer_.erase(0, end + 2);
       return true;
     }
-    if (!FillBuffer(timeout_ms)) return false;
+    if (!FillBuffer(deadline)) return false;
   }
 }
 
@@ -215,15 +257,19 @@ bool HttpTail::Open(const std::string& host, std::uint16_t port,
   Close();
   status_ = 0;
   buffer_.clear();
+  // One deadline for the whole open — connect, request, status line and
+  // every header — so a hung or dribbling server cannot stretch each
+  // read into its own fresh timeout.
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
   fd_ = BlockingConnect(host, port, timeout_ms);
   if (fd_ < 0) return false;
-  if (!SendAll(fd_, RequestText(host, path))) {
+  if (!SendAll(fd_, RequestText(host, path), deadline)) {
     Close();
     return false;
   }
   // Consume the status line and headers.
   std::string line;
-  if (!ReadLine(&line, timeout_ms)) {
+  if (!ReadLine(&line, deadline)) {
     Close();
     return false;
   }
@@ -232,7 +278,7 @@ bool HttpTail::Open(const std::string& host, std::uint16_t port,
     Close();
     return false;
   }
-  while (ReadLine(&line, timeout_ms)) {
+  while (ReadLine(&line, deadline)) {
     if (line.empty()) return status_ >= 200 && status_ < 300;
   }
   Close();
@@ -241,12 +287,14 @@ bool HttpTail::Open(const std::string& host, std::uint16_t port,
 
 bool HttpTail::NextChunk(std::string* chunk, int timeout_ms) {
   if (fd_ < 0) return false;
+  // One deadline per call, covering the size line and the full payload.
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
   std::string line;
-  if (!ReadLine(&line, timeout_ms)) return false;
+  if (!ReadLine(&line, deadline)) return false;
   const unsigned long size = std::strtoul(line.c_str(), nullptr, 16);
   if (size == 0) return false;  // terminal chunk
   while (buffer_.size() < size + 2) {
-    if (!FillBuffer(timeout_ms)) return false;
+    if (!FillBuffer(deadline)) return false;
   }
   chunk->assign(buffer_, 0, size);
   buffer_.erase(0, size + 2);  // payload + CRLF

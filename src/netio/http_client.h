@@ -10,6 +10,7 @@
 // Deliberately minimal: IPv4, no TLS, no redirects, no keep-alive reuse.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -52,15 +53,24 @@ class HttpTail {
   void Close();
 
  private:
-  bool FillBuffer(int timeout_ms);
-  bool ReadLine(std::string* line, int timeout_ms);
+  /// Deadline-bounded helpers: one deadline covers a whole Open() or
+  /// NextChunk() call, so a peer dribbling one byte per poll cannot
+  /// extend the wait indefinitely (each FillBuffer used to get a fresh
+  /// timeout).
+  bool FillBuffer(std::chrono::steady_clock::time_point deadline);
+  bool ReadLine(std::string* line,
+                std::chrono::steady_clock::time_point deadline);
 
   int fd_ = -1;
   int status_ = 0;
   std::string buffer_;
 };
 
-/// Blocking connect helper (IPv4, millisecond deadline); -1 on failure.
+/// Connect helper (IPv4); -1 on failure. The connect itself is
+/// non-blocking with a poll()-enforced deadline — a blackholed address
+/// fails after timeout_ms instead of hanging for the kernel's SYN-retry
+/// budget. The returned fd is non-blocking; all reads/writes in this
+/// module poll before touching it.
 int BlockingConnect(const std::string& host, std::uint16_t port,
                     int timeout_ms);
 

@@ -1,0 +1,142 @@
+#include "svc/frame.h"
+
+#include <cassert>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+namespace flare {
+namespace {
+
+constexpr std::size_t kHeaderBytes = 4;  // u32 LE length
+
+bool KnownType(std::uint8_t raw) {
+  return raw >= static_cast<std::uint8_t>(FrameType::kClientInfo) &&
+         raw <= static_cast<std::uint8_t>(FrameType::kOverload);
+}
+
+// Minimal key=value;key=value split matching the net/messages.h grammar:
+// strict, no empty fields, no empty keys. Returns false on malformed input.
+bool SplitFields(const std::string& payload,
+                 std::map<std::string, std::string>* out) {
+  out->clear();
+  if (payload.empty()) return true;
+  std::size_t start = 0;
+  while (start <= payload.size()) {
+    std::size_t end = payload.find(';', start);
+    if (end == std::string::npos) end = payload.size();
+    std::string field = payload.substr(start, end - start);
+    std::size_t eq = field.find('=');
+    if (field.empty() || eq == std::string::npos || eq == 0) return false;
+    (*out)[field.substr(0, eq)] = field.substr(eq + 1);
+    start = end + 1;
+    if (end == payload.size()) break;
+  }
+  return true;
+}
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+}  // namespace
+
+void AppendFrame(FrameType type, std::string_view payload, std::string* out) {
+  assert(payload.size() <= kMaxFramePayload);
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size()) + 1;
+  char header[kHeaderBytes + 1];
+  header[0] = static_cast<char>(length & 0xff);
+  header[1] = static_cast<char>((length >> 8) & 0xff);
+  header[2] = static_cast<char>((length >> 16) & 0xff);
+  header[3] = static_cast<char>((length >> 24) & 0xff);
+  header[4] = static_cast<char>(static_cast<std::uint8_t>(type));
+  out->append(header, kHeaderBytes + 1);
+  out->append(payload.data(), payload.size());
+}
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kHeaderBytes + 1 + payload.size());
+  AppendFrame(type, payload, &out);
+  return out;
+}
+
+FrameParseStatus ParseFrame(std::string* buffer, Frame* out) {
+  if (buffer->size() < kHeaderBytes) return FrameParseStatus::kNeedMore;
+  const unsigned char* b =
+      reinterpret_cast<const unsigned char*>(buffer->data());
+  const std::uint32_t length = static_cast<std::uint32_t>(b[0]) |
+                               (static_cast<std::uint32_t>(b[1]) << 8) |
+                               (static_cast<std::uint32_t>(b[2]) << 16) |
+                               (static_cast<std::uint32_t>(b[3]) << 24);
+  if (length == 0 || length > kMaxFramePayload + 1) {
+    return FrameParseStatus::kError;
+  }
+  if (buffer->size() < kHeaderBytes + length) return FrameParseStatus::kNeedMore;
+  const std::uint8_t raw_type = b[kHeaderBytes];
+  if (!KnownType(raw_type)) return FrameParseStatus::kError;
+  out->type = static_cast<FrameType>(raw_type);
+  out->payload.assign(*buffer, kHeaderBytes + 1, length - 1);
+  buffer->erase(0, kHeaderBytes + length);
+  return FrameParseStatus::kFrame;
+}
+
+std::string EncodeWelcome(std::uint64_t flow) {
+  return "flow=" + std::to_string(flow);
+}
+
+std::optional<std::uint64_t> DecodeWelcome(const std::string& payload) {
+  std::map<std::string, std::string> fields;
+  if (!SplitFields(payload, &fields)) return std::nullopt;
+  auto it = fields.find("flow");
+  if (it == fields.end() || it->second.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(it->second.c_str(), &end, 10);
+  if (errno != 0 || end == it->second.c_str() || *end != '\0') {
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+std::string EncodeOverload(const OverloadInfo& info) {
+  // map-ordered like net/messages.cpp: policy < reason < value.
+  std::ostringstream out;
+  bool first = true;
+  auto emit = [&](const char* key, const std::string& value) {
+    if (value.empty()) return;
+    if (!first) out << ';';
+    out << key << '=' << value;
+    first = false;
+  };
+  emit("policy", info.policy);
+  emit("reason", info.reason);
+  emit("value", FormatDouble(info.value));
+  return out.str();
+}
+
+std::optional<OverloadInfo> DecodeOverload(const std::string& payload) {
+  std::map<std::string, std::string> fields;
+  if (!SplitFields(payload, &fields)) return std::nullopt;
+  auto reason = fields.find("reason");
+  if (reason == fields.end() || reason->second.empty()) return std::nullopt;
+  OverloadInfo info;
+  info.reason = reason->second;
+  auto policy = fields.find("policy");
+  if (policy != fields.end()) info.policy = policy->second;
+  auto value = fields.find("value");
+  if (value != fields.end()) {
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(value->second.c_str(), &end);
+    if (errno != 0 || end == value->second.c_str() || *end != '\0') {
+      return std::nullopt;
+    }
+    info.value = v;
+  }
+  return info;
+}
+
+}  // namespace flare

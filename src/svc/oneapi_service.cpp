@@ -1,0 +1,627 @@
+#include "svc/oneapi_service.h"
+
+#include <sys/socket.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/messages.h"
+#include "netio/event_loop.h"
+#include "netio/tcp.h"
+#include "obs/telemetry_server.h"
+#include "svc/frame.h"
+#include "util/logging.h"
+
+namespace flare {
+namespace {
+
+/// One TCP connection; `flow` stays kInvalidFlow until a ClientInfo is
+/// admitted, after which the connection is the session's delivery path.
+struct SessionConn {
+  explicit SessionConn(int fd) : conn(fd) {}
+  TcpConnection conn;
+  FlowId flow = kInvalidFlow;
+};
+
+/// Per-admitted-flow state, mirroring OneApiServer::ClientEntry plus the
+/// latest stats sample waiting for the next BAI tick.
+struct Session {
+  ClientInfo info;
+  double smoothed_bits_per_rb = 0.0;  // 0 = no observation yet
+  double pending_sample = 0.0;
+  bool has_pending_sample = false;
+  int conn_fd = -1;
+};
+
+const std::vector<double> kMicrosBounds = {10.0,    50.0,    100.0,
+                                           500.0,   1000.0,  5000.0,
+                                           10000.0, 50000.0, 100000.0};
+
+OverloadInfo Overload(const char* reason, const char* policy = "",
+                      double value = 0.0) {
+  OverloadInfo info;
+  info.reason = reason;
+  info.policy = policy;
+  info.value = value;
+  return info;
+}
+
+}  // namespace
+
+struct OneApiService::Impl {
+  explicit Impl(OneApiServiceOptions opts)
+      : options(std::move(opts)),
+        controller(options.params),
+        admission(options.admission) {
+    admission.SetObservers(&registry);
+  }
+
+  OneApiServiceOptions options;
+  EpollLoop loop;
+  TcpListener listener;
+  std::thread thread;
+  bool started = false;
+  int timer_fd = -1;
+
+  // --- Loop-thread-only state -------------------------------------------
+  std::map<int, std::unique_ptr<SessionConn>> conns;
+  std::map<FlowId, Session> sessions;  // ascending FlowId, like OneApiServer
+  FlareRateController controller;
+  AdmissionController admission;
+
+  /// Registry writes happen on the loop thread, snapshots from any
+  /// thread; both sides take this (uncontended) mutex.
+  mutable std::mutex metrics_mu;
+  MetricsRegistry registry;
+
+  // --- Thread-safe progress counters ------------------------------------
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::uint64_t> infos_received{0};
+  std::atomic<std::uint64_t> stats_received{0};
+  std::atomic<std::uint64_t> bais{0};
+  std::atomic<std::uint64_t> assignments_sent{0};
+  std::atomic<std::uint64_t> assignments_dropped{0};
+  std::atomic<std::uint64_t> admission_rejects{0};
+  std::atomic<std::uint64_t> overload_rejects{0};
+  std::atomic<std::uint64_t> session_count{0};
+  std::atomic<std::uint64_t> arrivals{0};
+  std::atomic<std::uint64_t> blocked{0};
+
+  void OnAccept();
+  void OnConnIo(int fd, std::uint32_t events);
+  void OnTimer();
+  void ProcessInbox(SessionConn& sc);
+  void HandleClientInfo(SessionConn& sc, const std::string& payload);
+  void HandleStats(SessionConn& sc, const std::string& payload);
+  void SendOverloadAndClose(SessionConn& sc, const OverloadInfo& info);
+  void UpdateInterest(SessionConn& sc);
+  void TeardownConn(int fd);
+  void Tick();
+  void PublishTelemetry();
+  void UpdateBlockingRate();
+  void ShutdownOnLoop();
+};
+
+void OneApiService::Impl::OnAccept() {
+  for (;;) {
+    const int fd = listener.Accept();
+    if (fd < 0) return;
+    if (options.send_buffer_bytes > 0) {
+      // Tests shrink the kernel send buffer so a deliberately slow client
+      // backs up into the bounded user-space outbox quickly.
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options.send_buffer_bytes,
+                   sizeof(options.send_buffer_bytes));
+    }
+    connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(metrics_mu);
+      registry.GetCounter("svc.oneapi.connections").Add();
+    }
+    conns.emplace(fd, std::make_unique<SessionConn>(fd));
+    loop.Watch(fd, EpollLoop::kReadable | EpollLoop::kError,
+               [this, fd](std::uint32_t events) { OnConnIo(fd, events); });
+  }
+}
+
+void OneApiService::Impl::OnConnIo(int fd, std::uint32_t events) {
+  const auto it = conns.find(fd);
+  if (it == conns.end()) return;
+  SessionConn& sc = *it->second;
+
+  if ((events & EpollLoop::kError) != 0) {
+    TeardownConn(fd);
+    return;
+  }
+  if ((events & EpollLoop::kReadable) != 0) {
+    const IoStatus status = sc.conn.ReadSome();
+    ProcessInbox(sc);
+    if (conns.find(fd) == conns.end()) return;  // closed while processing
+    if (status == IoStatus::kEof || status == IoStatus::kError) {
+      // Flush any goodbye frames we just queued, then drop the peer.
+      sc.conn.Flush();
+      TeardownConn(fd);
+      return;
+    }
+  }
+  if ((events & EpollLoop::kWritable) != 0) {
+    if (sc.conn.Flush() == IoStatus::kError) {
+      TeardownConn(fd);
+      return;
+    }
+  }
+  if (sc.conn.FlushedAndDone()) {
+    TeardownConn(fd);
+    return;
+  }
+  UpdateInterest(sc);
+}
+
+void OneApiService::Impl::ProcessInbox(SessionConn& sc) {
+  const int fd = sc.conn.fd();
+  for (;;) {
+    Frame frame;
+    const FrameParseStatus status = ParseFrame(&sc.conn.inbox(), &frame);
+    if (status == FrameParseStatus::kNeedMore) return;
+    if (status == FrameParseStatus::kError) {
+      SendOverloadAndClose(sc, Overload("malformed"));
+      return;
+    }
+    switch (frame.type) {
+      case FrameType::kClientInfo:
+        HandleClientInfo(sc, frame.payload);
+        break;
+      case FrameType::kStatsReport:
+        HandleStats(sc, frame.payload);
+        break;
+      case FrameType::kBye:
+        TeardownConn(fd);
+        return;
+      default:
+        // Server->client frame types are a protocol violation upstream.
+        SendOverloadAndClose(sc, Overload("malformed"));
+        return;
+    }
+    if (conns.find(fd) == conns.end()) return;
+    if (sc.conn.close_after_flush()) return;  // reject queued: stop reading
+  }
+}
+
+void OneApiService::Impl::HandleClientInfo(SessionConn& sc,
+                                           const std::string& payload) {
+  const std::optional<ClientInfo> info = DecodeClientInfo(payload);
+  if (!info || info->ladder_bps.empty()) {
+    SendOverloadAndClose(sc, Overload("malformed"));
+    return;
+  }
+  infos_received.fetch_add(1, std::memory_order_relaxed);
+
+  if (sc.flow != kInvalidFlow) {
+    // Mid-session refresh (new cost cap, clickstream state, ...): mirrors
+    // OneApiServer::UpdateClientInfo — constraints update, ladder does not.
+    if (info->flow != sc.flow) {
+      SendOverloadAndClose(sc, Overload("malformed"));
+      return;
+    }
+    const auto session = sessions.find(sc.flow);
+    if (session != sessions.end()) {
+      session->second.info.max_level = info->max_level;
+      session->second.info.utility = info->utility;
+      session->second.info.skimming = info->skimming;
+    }
+    return;
+  }
+
+  arrivals.fetch_add(1, std::memory_order_relaxed);
+  if (sessions.count(info->flow) > 0) {
+    blocked.fetch_add(1, std::memory_order_relaxed);
+    overload_rejects.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(metrics_mu);
+      registry.GetCounter("svc.oneapi.overload_rejects").Add();
+    }
+    UpdateBlockingRate();
+    SendOverloadAndClose(sc, Overload("duplicate_flow"));
+    return;
+  }
+  if (options.max_sessions > 0 && sessions.size() >= options.max_sessions) {
+    blocked.fetch_add(1, std::memory_order_relaxed);
+    overload_rejects.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(metrics_mu);
+      registry.GetCounter("svc.oneapi.overload_rejects").Add();
+    }
+    UpdateBlockingRate();
+    SendOverloadAndClose(
+        sc, Overload("session_limit", "",
+                     static_cast<double>(options.max_sessions)));
+    return;
+  }
+
+  // Admission: candidate pinned at the lowest rung with the configured
+  // connect-time efficiency estimate, exactly like OneApiServer.
+  AdmissionRequest request;
+  request.flow = info->flow;
+  OptFlow candidate;
+  candidate.ladder_bps = info->ladder_bps;
+  candidate.utility = info->utility.value_or(options.params.utility);
+  candidate.bits_per_rb = options.default_bits_per_rb;
+  candidate.min_level = 0;
+  candidate.max_level = 0;
+  request.candidate = candidate;
+  request.n_data_flows = options.n_data_flows;
+  request.rb_rate = static_cast<double>(options.num_rbs) * 1000.0;
+
+  AdmissionDecision decision;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu);
+    decision = admission.Decide(request);
+  }
+  if (!decision.admit) {
+    blocked.fetch_add(1, std::memory_order_relaxed);
+    admission_rejects.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(metrics_mu);
+      registry.GetCounter("svc.oneapi.admission_rejects").Add();
+    }
+    UpdateBlockingRate();
+    SendOverloadAndClose(
+        sc, Overload("admission",
+                     AdmissionPolicyName(options.admission.policy),
+                     decision.value));
+    return;
+  }
+
+  controller.AddFlow(info->flow, info->ladder_bps);
+  candidate.max_level = static_cast<int>(candidate.ladder_bps.size()) - 1;
+  admission.OnAdmitted(info->flow, candidate);
+  Session session;
+  session.info = *info;
+  session.conn_fd = sc.conn.fd();
+  sessions[info->flow] = std::move(session);
+  sc.flow = info->flow;
+  session_count.store(sessions.size(), std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu);
+    registry.GetGauge("svc.oneapi.sessions")
+        .Set(static_cast<double>(sessions.size()));
+  }
+  UpdateBlockingRate();
+  sc.conn.Queue(EncodeFrame(FrameType::kWelcome, EncodeWelcome(info->flow)));
+  sc.conn.Flush();
+  UpdateInterest(sc);
+}
+
+void OneApiService::Impl::HandleStats(SessionConn& sc,
+                                      const std::string& payload) {
+  const std::optional<FlowStatsReport> report = DecodeStatsReport(payload);
+  if (!report) {
+    SendOverloadAndClose(sc, Overload("malformed"));
+    return;
+  }
+  if (sc.flow == kInvalidFlow || report->flow != sc.flow) {
+    // Stats before admission, or for someone else's flow: drop the peer
+    // rather than let it steer another session's capacity estimate.
+    SendOverloadAndClose(sc, Overload("malformed"));
+    return;
+  }
+  const auto it = sessions.find(sc.flow);
+  if (it == sessions.end()) return;
+  if (report->rbs > 0) {
+    // e_u = 8 * b_u / n_u, the RB & Rate Trace efficiency sample. A
+    // zero-RB report carries no signal (idle BAI) and leaves the EWMA
+    // untouched, mirroring the in-simulator nominal-capacity fallback
+    // (the smoothed value already is the standing estimate).
+    it->second.pending_sample = static_cast<double>(report->tx_bytes) * 8.0 /
+                                static_cast<double>(report->rbs);
+    it->second.has_pending_sample = true;
+  }
+  stats_received.fetch_add(1, std::memory_order_relaxed);
+}
+
+void OneApiService::Impl::SendOverloadAndClose(SessionConn& sc,
+                                               const OverloadInfo& info) {
+  sc.conn.Queue(EncodeFrame(FrameType::kOverload, EncodeOverload(info)));
+  sc.conn.CloseAfterFlush();
+  sc.conn.Flush();
+  if (sc.conn.FlushedAndDone()) {
+    TeardownConn(sc.conn.fd());
+    return;
+  }
+  UpdateInterest(sc);
+}
+
+void OneApiService::Impl::UpdateInterest(SessionConn& sc) {
+  std::uint32_t mask = EpollLoop::kReadable | EpollLoop::kError;
+  if (sc.conn.pending_bytes() > 0) mask |= EpollLoop::kWritable;
+  const int fd = sc.conn.fd();
+  loop.Watch(fd, mask, [this, fd](std::uint32_t ev) { OnConnIo(fd, ev); });
+}
+
+void OneApiService::Impl::TeardownConn(int fd) {
+  const auto it = conns.find(fd);
+  if (it == conns.end()) return;
+  const FlowId flow = it->second->flow;
+  if (flow != kInvalidFlow) {
+    const auto session = sessions.find(flow);
+    if (session != sessions.end() && session->second.conn_fd == fd) {
+      sessions.erase(session);
+      controller.RemoveFlow(flow);
+      admission.OnDeparted(flow);
+      session_count.store(sessions.size(), std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(metrics_mu);
+      registry.GetGauge("svc.oneapi.sessions")
+          .Set(static_cast<double>(sessions.size()));
+    }
+  }
+  loop.Unwatch(fd);
+  conns.erase(it);  // TcpConnection destructor closes the fd
+}
+
+void OneApiService::Impl::UpdateBlockingRate() {
+  const std::uint64_t total = arrivals.load(std::memory_order_relaxed);
+  const std::uint64_t rejected = blocked.load(std::memory_order_relaxed);
+  const double rate =
+      total > 0 ? static_cast<double>(rejected) / static_cast<double>(total)
+                : 0.0;
+  std::lock_guard<std::mutex> lock(metrics_mu);
+  registry.GetGauge("svc.oneapi.blocking_rate").Set(rate);
+}
+
+void OneApiService::Impl::OnTimer() {
+  std::uint64_t expirations = 0;
+  // Coalesce missed expirations into one tick — the BAI is a cadence, not
+  // a work queue; catching up would just burn solves on stale samples.
+  while (::read(timer_fd, &expirations, sizeof(expirations)) ==
+         static_cast<ssize_t>(sizeof(expirations))) {
+  }
+  Tick();
+}
+
+void OneApiService::Impl::Tick() {
+  const auto tick_start = std::chrono::steady_clock::now();
+
+  // --- Gather: ascending FlowId, the same iteration order (and the same
+  // EWMA arithmetic) as OneApiServer::RunBai, so wire assignments match
+  // an in-process run observation-for-observation.
+  std::vector<FlowObservation> observations;
+  observations.reserve(sessions.size());
+  const double w = std::clamp(options.efficiency_smoothing, 0.0, 1.0);
+  for (auto& [id, session] : sessions) {
+    const double sample =
+        session.has_pending_sample
+            ? session.pending_sample
+            : (session.smoothed_bits_per_rb > 0.0
+                   ? session.smoothed_bits_per_rb
+                   : options.default_bits_per_rb);
+    session.has_pending_sample = false;
+    session.smoothed_bits_per_rb =
+        session.smoothed_bits_per_rb <= 0.0
+            ? sample
+            : (1.0 - w) * session.smoothed_bits_per_rb + w * sample;
+    {
+      std::lock_guard<std::mutex> lock(metrics_mu);
+      admission.OnEstimate(id, session.smoothed_bits_per_rb);
+    }
+
+    FlowObservation obs;
+    obs.id = id;
+    obs.bits_per_rb = session.smoothed_bits_per_rb;
+    obs.client_max_level = session.info.max_level;
+    if (session.info.skimming) obs.client_max_level = 0;
+    obs.utility = session.info.utility;
+    observations.push_back(obs);
+  }
+
+  if (!observations.empty()) {
+    const double rb_rate = static_cast<double>(options.num_rbs) * 1000.0;
+    const BaiDecision decision =
+        controller.DecideBai(observations, options.n_data_flows, rb_rate);
+
+    // --- Fan out: one kAssignment frame per flow, bounded outbox. A full
+    // buffer drops this BAI's frame for that client only (counted); the
+    // tick itself never waits on anyone's socket.
+    for (const RateAssignment& a : decision.assignments) {
+      const auto session = sessions.find(a.id);
+      if (session == sessions.end()) continue;
+      const auto conn = conns.find(session->second.conn_fd);
+      if (conn == conns.end()) continue;
+      RateAssignmentMsg msg;
+      msg.flow = a.id;
+      msg.level = a.level;
+      msg.rate_bps = a.rate_bps;
+      msg.gbr_bps = a.rate_bps * options.gbr_headroom;
+      const std::string frame =
+          EncodeFrame(FrameType::kAssignment, EncodeRateAssignment(msg));
+      SessionConn& sc = *conn->second;
+      if (sc.conn.pending_bytes() + frame.size() >
+          options.connection_buffer_limit) {
+        assignments_dropped.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(metrics_mu);
+        registry.GetCounter("svc.oneapi.assignments_dropped").Add();
+        continue;
+      }
+      sc.conn.Queue(frame);
+      assignments_sent.fetch_add(1, std::memory_order_relaxed);
+      if (sc.conn.Flush() == IoStatus::kError) {
+        TeardownConn(sc.conn.fd());
+        continue;
+      }
+      UpdateInterest(sc);
+    }
+
+    const double solve_us =
+        options.deterministic_timing
+            ? 0.0
+            : static_cast<double>(decision.solve_time.count()) / 1e3;
+    std::lock_guard<std::mutex> lock(metrics_mu);
+    registry.GetCounter("svc.oneapi.assignments")
+        .Add(decision.assignments.size());
+    registry.GetHistogram("svc.oneapi.solve_us", kMicrosBounds)
+        .Observe(solve_us);
+    registry.GetGauge("svc.oneapi.video_fraction")
+        .Set(decision.video_fraction);
+  }
+
+  bais.fetch_add(1, std::memory_order_relaxed);
+  const double tick_us =
+      options.deterministic_timing
+          ? 0.0
+          : std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - tick_start)
+                    .count() /
+                1e3;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu);
+    registry.GetCounter("svc.oneapi.bais").Add();
+    registry.GetHistogram("svc.oneapi.tick_us", kMicrosBounds)
+        .Observe(tick_us);
+  }
+  PublishTelemetry();
+}
+
+void OneApiService::Impl::PublishTelemetry() {
+  if (options.telemetry == nullptr) return;
+  TelemetrySnapshot snapshot;
+  snapshot.scenario = options.scenario;
+  snapshot.healthy = true;
+  snapshot.cells = 1;
+  snapshot.workers = 1;
+  snapshot.epochs = bais.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu);
+    snapshot.metrics.AbsorbFrom(registry);
+  }
+  options.telemetry->Publish(std::move(snapshot));
+}
+
+void OneApiService::Impl::ShutdownOnLoop() {
+  for (auto& [fd, sc] : conns) {
+    sc->conn.Queue(
+        EncodeFrame(FrameType::kOverload, EncodeOverload(Overload("shutdown"))));
+    sc->conn.Flush();  // best effort
+    loop.Unwatch(fd);
+  }
+  conns.clear();
+  sessions.clear();
+  if (timer_fd >= 0) {
+    loop.Unwatch(timer_fd);
+    ::close(timer_fd);
+    timer_fd = -1;
+  }
+  loop.Unwatch(listener.fd());
+  listener.Close();
+}
+
+OneApiService::OneApiService(OneApiServiceOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+OneApiService::~OneApiService() { Stop(); }
+
+bool OneApiService::Start() {
+  if (impl_->started) return true;
+  if (!impl_->loop.ok()) return false;
+  if (!impl_->listener.Listen(impl_->options.bind_address,
+                              impl_->options.port)) {
+    return false;
+  }
+  // Initial watches are registered before the loop thread starts — the
+  // one other moment Watch() is legal off the loop thread.
+  impl_->loop.Watch(
+      impl_->listener.fd(), EpollLoop::kReadable | EpollLoop::kError,
+      [impl = impl_.get()](std::uint32_t) { impl->OnAccept(); });
+  if (impl_->options.bai_ms > 0) {
+    impl_->timer_fd =
+        ::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC);
+    if (impl_->timer_fd >= 0) {
+      itimerspec spec{};
+      spec.it_interval.tv_sec = impl_->options.bai_ms / 1000;
+      spec.it_interval.tv_nsec =
+          static_cast<long>(impl_->options.bai_ms % 1000) * 1000000L;
+      spec.it_value = spec.it_interval;
+      ::timerfd_settime(impl_->timer_fd, 0, &spec, nullptr);
+      impl_->loop.Watch(impl_->timer_fd, EpollLoop::kReadable,
+                        [impl = impl_.get()](std::uint32_t) {
+                          impl->OnTimer();
+                        });
+    } else {
+      FLOG_WARN << "OneApiService: timerfd_create failed; BAI timer off";
+    }
+  }
+  impl_->thread = std::thread([impl = impl_.get()] {
+    impl->loop.Run();
+    impl->ShutdownOnLoop();
+  });
+  impl_->started = true;
+  return true;
+}
+
+void OneApiService::Stop() {
+  if (!impl_->started) return;
+  impl_->loop.Stop();
+  if (impl_->thread.joinable()) impl_->thread.join();
+  impl_->started = false;
+}
+
+bool OneApiService::running() const { return impl_->started; }
+
+std::uint16_t OneApiService::port() const {
+  return impl_->listener.bound_port();
+}
+
+void OneApiService::TriggerTick() {
+  if (!impl_->started) return;
+  // Run on the loop thread and wait: callers sequence deterministic BAIs
+  // against their own socket IO. Must not race Stop() — a tick posted
+  // after the loop exits would never complete.
+  auto done = std::make_shared<std::promise<void>>();
+  std::future<void> future = done->get_future();
+  impl_->loop.Post([impl = impl_.get(), done] {
+    impl->Tick();
+    done->set_value();
+  });
+  future.wait();
+}
+
+MetricsSnapshot OneApiService::SnapshotMetrics() const {
+  std::lock_guard<std::mutex> lock(impl_->metrics_mu);
+  return impl_->registry.Snapshot();
+}
+
+std::uint64_t OneApiService::connections_accepted() const {
+  return impl_->connections_accepted.load(std::memory_order_relaxed);
+}
+std::uint64_t OneApiService::infos_received() const {
+  return impl_->infos_received.load(std::memory_order_relaxed);
+}
+std::uint64_t OneApiService::stats_received() const {
+  return impl_->stats_received.load(std::memory_order_relaxed);
+}
+std::uint64_t OneApiService::bais() const {
+  return impl_->bais.load(std::memory_order_relaxed);
+}
+std::uint64_t OneApiService::assignments_sent() const {
+  return impl_->assignments_sent.load(std::memory_order_relaxed);
+}
+std::uint64_t OneApiService::assignments_dropped() const {
+  return impl_->assignments_dropped.load(std::memory_order_relaxed);
+}
+std::uint64_t OneApiService::admission_rejects() const {
+  return impl_->admission_rejects.load(std::memory_order_relaxed);
+}
+std::uint64_t OneApiService::overload_rejects() const {
+  return impl_->overload_rejects.load(std::memory_order_relaxed);
+}
+std::uint64_t OneApiService::sessions() const {
+  return impl_->session_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace flare

@@ -1,0 +1,535 @@
+// Tests for the networked OneAPI control plane (src/svc): the frame
+// layer's incremental parser, the live OneApiService against real
+// loopback sockets — including the acceptance bar that assignments seen
+// on the wire are byte-identical to an in-process OneApiServer run over
+// the same schedule — typed overload rejects, bounded-outbox drops for
+// slow clients, and the deterministic load generator.
+#include <gtest/gtest.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "churn/admission.h"
+#include "has/mpd.h"
+#include "lte/cell.h"
+#include "lte/gbr_scheduler.h"
+#include "lte/tbs_table.h"
+#include "net/flare_plugin.h"
+#include "net/messages.h"
+#include "net/oneapi_server.h"
+#include "net/pcef.h"
+#include "net/pcrf.h"
+#include "netio/http_client.h"
+#include "obs/bai_trace.h"
+#include "sim/simulator.h"
+#include "svc/frame.h"
+#include "svc/loadgen.h"
+#include "svc/oneapi_service.h"
+#include "util/rng.h"
+
+namespace flare {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// ---------------------------------------------------------------------
+// Frame layer
+// ---------------------------------------------------------------------
+
+TEST(Frame, RoundTripsCoalescedFrames) {
+  std::string buffer;
+  AppendFrame(FrameType::kClientInfo, "type=client_info;flow=1", &buffer);
+  AppendFrame(FrameType::kBye, "", &buffer);
+  AppendFrame(FrameType::kAssignment, "payload", &buffer);
+  Frame frame;
+  ASSERT_EQ(ParseFrame(&buffer, &frame), FrameParseStatus::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kClientInfo);
+  EXPECT_EQ(frame.payload, "type=client_info;flow=1");
+  ASSERT_EQ(ParseFrame(&buffer, &frame), FrameParseStatus::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kBye);
+  EXPECT_TRUE(frame.payload.empty());
+  ASSERT_EQ(ParseFrame(&buffer, &frame), FrameParseStatus::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kAssignment);
+  EXPECT_EQ(frame.payload, "payload");
+  EXPECT_EQ(ParseFrame(&buffer, &frame), FrameParseStatus::kNeedMore);
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(Frame, ParsesByteByByteArrival) {
+  const std::string wire =
+      EncodeFrame(FrameType::kStatsReport, "type=stats_report;flow=2");
+  std::string buffer;
+  Frame frame;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    buffer.push_back(wire[i]);
+    ASSERT_EQ(ParseFrame(&buffer, &frame), FrameParseStatus::kNeedMore)
+        << "premature frame after " << (i + 1) << " bytes";
+  }
+  buffer.push_back(wire.back());
+  ASSERT_EQ(ParseFrame(&buffer, &frame), FrameParseStatus::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kStatsReport);
+  EXPECT_EQ(frame.payload, "type=stats_report;flow=2");
+}
+
+TEST(Frame, RejectsMalformedStreams) {
+  Frame frame;
+  // Zero length: a frame always carries at least the type byte.
+  std::string zero("\x00\x00\x00\x00", 4);
+  EXPECT_EQ(ParseFrame(&zero, &frame), FrameParseStatus::kError);
+  // Oversized length.
+  std::string big;
+  const std::uint32_t huge = kMaxFramePayload + 2;
+  for (int i = 0; i < 4; ++i) {
+    big.push_back(static_cast<char>((huge >> (8 * i)) & 0xff));
+  }
+  EXPECT_EQ(ParseFrame(&big, &frame), FrameParseStatus::kError);
+  // Unknown type byte.
+  std::string bad_type("\x01\x00\x00\x00\x7f", 5);
+  EXPECT_EQ(ParseFrame(&bad_type, &frame), FrameParseStatus::kError);
+  // kError must leave the buffer untouched (caller drops the peer).
+  EXPECT_EQ(bad_type.size(), 5u);
+}
+
+TEST(Frame, GarbageNeverCrashesParser) {
+  Rng rng(99);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string buffer;
+    const int len = static_cast<int>(rng.UniformInt(0, 64));
+    for (int i = 0; i < len; ++i) {
+      buffer.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+    }
+    Frame frame;
+    // Drain until the parser wants more bytes or poisons the stream.
+    for (int steps = 0; steps < 100; ++steps) {
+      const FrameParseStatus status = ParseFrame(&buffer, &frame);
+      if (status != FrameParseStatus::kFrame) break;
+    }
+  }
+}
+
+TEST(Frame, WelcomeAndOverloadPayloadsRoundTrip) {
+  EXPECT_EQ(DecodeWelcome(EncodeWelcome(77)).value_or(0), 77u);
+  EXPECT_FALSE(DecodeWelcome("flow=abc").has_value());
+  OverloadInfo info;
+  info.reason = "admission";
+  info.policy = "capacity-threshold";
+  info.value = 0.95;
+  const auto decoded = DecodeOverload(EncodeOverload(info));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->reason, "admission");
+  EXPECT_EQ(decoded->policy, "capacity-threshold");
+  EXPECT_DOUBLE_EQ(decoded->value, 0.95);
+  EXPECT_FALSE(DecodeOverload("").has_value());
+}
+
+// ---------------------------------------------------------------------
+// A minimal blocking protocol client for driving the live service.
+// ---------------------------------------------------------------------
+
+class TestClient {
+ public:
+  ~TestClient() { Close(); }
+
+  bool Connect(std::uint16_t port, int timeout_ms = 2000) {
+    fd_ = BlockingConnect("127.0.0.1", port, timeout_ms);
+    return fd_ >= 0;
+  }
+
+  bool SendFrame(FrameType type, const std::string& payload) {
+    const std::string wire = EncodeFrame(type, payload);
+    std::size_t off = 0;
+    const auto deadline = Clock::now() + std::chrono::seconds(2);
+    while (off < wire.size()) {
+      pollfd pfd{fd_, POLLOUT, 0};
+      if (poll(&pfd, 1, RemainingMs(deadline)) <= 0) return false;
+      const ssize_t n =
+          send(fd_, wire.data() + off, wire.size() - off, MSG_NOSIGNAL);
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                    errno == EINTR)) {
+        continue;
+      }
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  std::optional<Frame> ReadFrame(int timeout_ms = 2000) {
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(timeout_ms);
+    Frame frame;
+    for (;;) {
+      const FrameParseStatus status = ParseFrame(&buffer_, &frame);
+      if (status == FrameParseStatus::kFrame) return frame;
+      if (status == FrameParseStatus::kError) return std::nullopt;
+      pollfd pfd{fd_, POLLIN, 0};
+      if (poll(&pfd, 1, RemainingMs(deadline)) <= 0) return std::nullopt;
+      char buf[4096];
+      const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                    errno == EINTR)) {
+        continue;
+      }
+      if (n <= 0) return std::nullopt;
+      buffer_.append(buf, static_cast<std::size_t>(n));
+    }
+  }
+
+  void Close() {
+    if (fd_ >= 0) close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  static int RemainingMs(Clock::time_point deadline) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - Clock::now())
+                          .count();
+    return left > 0 ? static_cast<int>(left) : 0;
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// Spin until `predicate` holds (the IO thread owns the state) or the
+/// timeout expires; returns the final predicate value.
+template <typename Pred>
+bool WaitFor(Pred predicate, int timeout_ms = 2000) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (!predicate()) {
+    if (Clock::now() >= deadline) return predicate();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// Wire vs in-process equivalence (the acceptance bar)
+// ---------------------------------------------------------------------
+
+TEST(OneApiService, WireAssignmentsMatchInProcessServer) {
+  // Reference: the in-simulator OneApiServer over three video flows with
+  // distinct static channels. The cell is never started, so every BAI
+  // observes the idle-flow fallback — the channel's nominal bits-per-RB —
+  // which the wire clients below reproduce exactly as stats reports
+  // (tx_bytes = e, rbs = 8 => e_u = e).
+  constexpr int kBais = 6;
+  const std::vector<int> kItbs = {6, 9, 12};
+  const Mpd mpd = MakeMpd(SimulationLadderKbps(), 10.0);
+
+  Simulator sim;
+  Cell cell(sim, std::make_unique<TwoPhaseGbrScheduler>(), CellConfig{},
+            Rng(1));
+  Pcrf pcrf;
+  Pcef pcef(sim, cell, 0);
+  OneApiConfig config;
+  config.uplink_latency = 0;
+  config.downlink_latency = 0;
+  config.deterministic_timing = true;
+  config.params = OneApiServiceOptions::BatchedParams();
+  OneApiServer server(sim, cell, pcrf, pcef, config);
+  BaiTraceSink sink;
+  server.SetObservers(nullptr, &sink);
+
+  std::vector<FlowId> flows;
+  std::vector<std::unique_ptr<FlarePlugin>> plugins;
+  std::vector<std::string> info_wires;
+  for (int itbs : kItbs) {
+    const UeId ue = cell.AddUe(std::make_unique<StaticItbsChannel>(itbs));
+    const FlowId flow = cell.AddFlow(ue, FlowType::kVideo);
+    flows.push_back(flow);
+    plugins.push_back(std::make_unique<FlarePlugin>(flow));
+    info_wires.push_back(
+        EncodeClientInfo(plugins.back()->BuildClientInfo(mpd)));
+    server.ConnectVideoClient(plugins.back().get(), mpd);
+  }
+  sim.RunUntil(kMillisecond);  // land the zero-latency registrations
+  for (int i = 0; i < kBais; ++i) server.RunBai();
+  ASSERT_EQ(sink.bai_rows().size(),
+            static_cast<std::size_t>(kBais) * flows.size());
+
+  // Wire: the standalone service with the identical controller
+  // parameters, driven tick by tick. Every client sends the exact
+  // ClientInfo bytes the reference plugins sent.
+  OneApiServiceOptions options;
+  options.bai_ms = 0;  // ticks only via TriggerTick
+  options.num_rbs = cell.num_rbs();
+  options.deterministic_timing = true;
+  OneApiService service(options);
+  ASSERT_TRUE(service.Start());
+
+  std::vector<std::unique_ptr<TestClient>> clients;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    clients.push_back(std::make_unique<TestClient>());
+    ASSERT_TRUE(clients.back()->Connect(service.port()));
+    ASSERT_TRUE(
+        clients.back()->SendFrame(FrameType::kClientInfo, info_wires[i]));
+    const auto welcome = clients.back()->ReadFrame();
+    ASSERT_TRUE(welcome.has_value());
+    ASSERT_EQ(welcome->type, FrameType::kWelcome);
+    EXPECT_EQ(DecodeWelcome(welcome->payload).value_or(0), flows[i]);
+  }
+
+  // One reference BAI at a time: stats in, tick, one assignment out per
+  // flow, compared byte-for-byte against the re-encoded trace row.
+  for (int bai = 0; bai < kBais; ++bai) {
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      FlowStatsReport report;
+      report.flow = flows[i];
+      report.type = FlowType::kVideo;
+      report.tx_bytes =
+          static_cast<std::uint64_t>(TbsBitsPerPrb(kItbs[i]));
+      report.rbs = 8;
+      ASSERT_TRUE(clients[i]->SendFrame(FrameType::kStatsReport,
+                                        EncodeStatsReport(report)));
+    }
+    const std::uint64_t want =
+        static_cast<std::uint64_t>(flows.size()) *
+        static_cast<std::uint64_t>(bai + 1);
+    ASSERT_TRUE(WaitFor([&] { return service.stats_received() >= want; }))
+        << "stats did not land before tick " << bai;
+    service.TriggerTick();
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      const auto frame = clients[i]->ReadFrame();
+      ASSERT_TRUE(frame.has_value()) << "no assignment, bai " << bai;
+      ASSERT_EQ(frame->type, FrameType::kAssignment);
+      const BaiTraceRow& row =
+          sink.bai_rows()[static_cast<std::size_t>(bai) * flows.size() + i];
+      ASSERT_EQ(row.flow, flows[i]);
+      RateAssignmentMsg msg;
+      msg.flow = row.flow;
+      msg.level = row.enforced_level;
+      msg.rate_bps = row.rate_bps;
+      msg.gbr_bps = row.gbr_bps;
+      EXPECT_EQ(frame->payload, EncodeRateAssignment(msg))
+          << "wire assignment diverged from in-process run at bai " << bai
+          << " flow " << flows[i];
+    }
+  }
+
+  for (auto& client : clients) {
+    EXPECT_TRUE(client->SendFrame(FrameType::kBye, ""));
+  }
+  EXPECT_TRUE(WaitFor([&] { return service.sessions() == 0; }));
+  EXPECT_EQ(service.assignments_dropped(), 0u);
+  service.Stop();
+}
+
+// ---------------------------------------------------------------------
+// Overload behaviour
+// ---------------------------------------------------------------------
+
+ClientInfo BasicInfo(FlowId flow) {
+  ClientInfo info;
+  info.flow = flow;
+  info.ladder_bps = {100e3, 250e3, 500e3};
+  return info;
+}
+
+TEST(OneApiService, SessionLimitSendsTypedOverload) {
+  OneApiServiceOptions options;
+  options.bai_ms = 0;
+  options.max_sessions = 1;
+  OneApiService service(options);
+  ASSERT_TRUE(service.Start());
+
+  TestClient first;
+  ASSERT_TRUE(first.Connect(service.port()));
+  ASSERT_TRUE(first.SendFrame(FrameType::kClientInfo,
+                              EncodeClientInfo(BasicInfo(1))));
+  const auto welcome = first.ReadFrame();
+  ASSERT_TRUE(welcome.has_value());
+  EXPECT_EQ(welcome->type, FrameType::kWelcome);
+
+  TestClient second;
+  ASSERT_TRUE(second.Connect(service.port()));
+  ASSERT_TRUE(second.SendFrame(FrameType::kClientInfo,
+                               EncodeClientInfo(BasicInfo(2))));
+  const auto reject = second.ReadFrame();
+  ASSERT_TRUE(reject.has_value());
+  ASSERT_EQ(reject->type, FrameType::kOverload);
+  const auto info = DecodeOverload(reject->payload);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->reason, "session_limit");
+  EXPECT_DOUBLE_EQ(info->value, 1.0);
+  // The rejected stream then closes server-side.
+  EXPECT_FALSE(second.ReadFrame(500).has_value());
+
+  EXPECT_TRUE(WaitFor([&] { return service.overload_rejects() == 1; }));
+  EXPECT_EQ(service.sessions(), 1u);
+  const MetricsSnapshot snapshot = service.SnapshotMetrics();
+  EXPECT_EQ(snapshot.counters.at("svc.oneapi.overload_rejects"), 1u);
+  EXPECT_GT(snapshot.gauges.at("svc.oneapi.blocking_rate"), 0.0);
+  service.Stop();
+}
+
+TEST(OneApiService, AdmissionRejectNamesPolicyOnWire) {
+  OneApiServiceOptions options;
+  options.bai_ms = 0;
+  options.admission.policy = AdmissionPolicy::kCapacityThreshold;
+  // One floor-rung flow at the default 100 bits-per-RB estimate projects
+  // an RB fraction of 100e3/100/50000 = 0.02, above this threshold: every
+  // arrival is rejected by policy, never by the hard session cap.
+  options.admission.capacity_threshold = 0.01;
+  OneApiService service(options);
+  ASSERT_TRUE(service.Start());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(service.port()));
+  ASSERT_TRUE(client.SendFrame(FrameType::kClientInfo,
+                               EncodeClientInfo(BasicInfo(5))));
+  const auto reject = client.ReadFrame();
+  ASSERT_TRUE(reject.has_value());
+  ASSERT_EQ(reject->type, FrameType::kOverload);
+  const auto info = DecodeOverload(reject->payload);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->reason, "admission");
+  EXPECT_EQ(info->policy, "capacity-threshold");
+  EXPECT_GT(info->value, 0.0);  // the offending projected RB fraction
+
+  EXPECT_TRUE(WaitFor([&] { return service.admission_rejects() == 1; }));
+  EXPECT_EQ(service.sessions(), 0u);
+  service.Stop();
+}
+
+TEST(OneApiService, MalformedFrameGetsTypedRejectAndClose) {
+  OneApiServiceOptions options;
+  options.bai_ms = 0;
+  OneApiService service(options);
+  ASSERT_TRUE(service.Start());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(service.port()));
+  ASSERT_TRUE(client.SendFrame(FrameType::kClientInfo, "not a message"));
+  const auto reject = client.ReadFrame();
+  ASSERT_TRUE(reject.has_value());
+  ASSERT_EQ(reject->type, FrameType::kOverload);
+  const auto info = DecodeOverload(reject->payload);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->reason, "malformed");
+  EXPECT_FALSE(client.ReadFrame(500).has_value());  // closed
+  service.Stop();
+}
+
+// ---------------------------------------------------------------------
+// Slow clients lose frames, not the tick
+// ---------------------------------------------------------------------
+
+TEST(OneApiService, SlowClientDropsAssignmentsInsteadOfStallingTick) {
+  OneApiServiceOptions options;
+  options.bai_ms = 0;
+  // Tiny kernel send buffer + tiny outbox cap: a non-reading client
+  // saturates quickly and further assignment frames must be dropped.
+  options.send_buffer_bytes = 2048;
+  options.connection_buffer_limit = 2048;
+  OneApiService service(options);
+  ASSERT_TRUE(service.Start());
+
+  TestClient slow;
+  ASSERT_TRUE(slow.Connect(service.port()));
+  ASSERT_TRUE(slow.SendFrame(FrameType::kClientInfo,
+                             EncodeClientInfo(BasicInfo(3))));
+  ASSERT_TRUE(slow.ReadFrame().has_value());  // welcome
+  FlowStatsReport report;
+  report.flow = 3;
+  report.type = FlowType::kVideo;
+  report.tx_bytes = 160;
+  report.rbs = 8;
+  ASSERT_TRUE(slow.SendFrame(FrameType::kStatsReport,
+                             EncodeStatsReport(report)));
+  ASSERT_TRUE(WaitFor([&] { return service.stats_received() >= 1; }));
+
+  // The client now stops reading. Ticks keep producing assignments; once
+  // the kernel buffer and the bounded outbox fill, drops must start —
+  // and each TriggerTick still completes promptly (it round-trips the IO
+  // thread, so a stalled tick would hang this very loop).
+  bool dropped = false;
+  for (int tick = 0; tick < 5000 && !dropped; ++tick) {
+    service.TriggerTick();
+    dropped = service.assignments_dropped() > 0;
+  }
+  EXPECT_TRUE(dropped);
+  EXPECT_GT(service.assignments_sent(), 0u);
+  // The session itself survives — load shedding, not eviction.
+  EXPECT_EQ(service.sessions(), 1u);
+  service.Stop();
+}
+
+// ---------------------------------------------------------------------
+// Load generator
+// ---------------------------------------------------------------------
+
+TEST(LoadGen, ScheduleIsDeterministicPerSeed) {
+  LoadGenOptions options;
+  options.sessions = 40;
+  options.seed = 7;
+  const LoadGenerator a(options);
+  const LoadGenerator b(options);
+  const auto schedule_a = a.BuildSchedule();
+  const auto schedule_b = b.BuildSchedule();
+  ASSERT_EQ(schedule_a.size(), schedule_b.size());
+  EXPECT_EQ(schedule_a.size(), 2u * options.sessions);  // arrival + departure
+  for (std::size_t i = 0; i < schedule_a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(schedule_a[i].t_s, schedule_b[i].t_s);
+    EXPECT_EQ(schedule_a[i].arrival, schedule_b[i].arrival);
+    EXPECT_EQ(schedule_a[i].session, schedule_b[i].session);
+  }
+  options.seed = 8;
+  const auto schedule_c = LoadGenerator(options).BuildSchedule();
+  bool differs = schedule_c.size() != schedule_a.size();
+  for (std::size_t i = 0; !differs && i < schedule_a.size(); ++i) {
+    differs = schedule_a[i].t_s != schedule_c[i].t_s;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(LoadGen, ChurnedRunAgainstLiveServiceCompletes) {
+  OneApiServiceOptions service_options;
+  service_options.bai_ms = 20;
+  OneApiService service(service_options);
+  ASSERT_TRUE(service.Start());
+
+  LoadGenOptions options;
+  options.port = service.port();
+  options.sessions = 12;
+  options.arrival_rate_per_s = 40.0;
+  options.mean_hold_s = 0.3;
+  options.seed = 3;
+  options.time_scale = 2.0;
+  options.max_wall_s = 30.0;
+  LoadGenerator generator(options);
+  const LoadGenResult result = generator.Run();
+
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.attempted, options.sessions);
+  EXPECT_EQ(result.admitted + result.blocked, options.sessions);
+  EXPECT_EQ(result.blocked, 0u);  // admit-all default
+  EXPECT_EQ(result.connect_failures, 0u);
+  EXPECT_EQ(result.protocol_errors, 0u);
+  EXPECT_EQ(result.departed, result.admitted);
+
+  // The SLO gauges flare_report watches must be present in the export.
+  MetricsRegistry registry;
+  result.ExportTo(&registry);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_TRUE(snapshot.gauges.count("svc.oneapi.assign_turnaround.p99_us"));
+  EXPECT_TRUE(snapshot.gauges.count("svc.oneapi.blocking_rate"));
+  if (result.assignments > 0) {
+    EXPECT_GT(
+        snapshot.gauges.at("svc.oneapi.assign_turnaround.p99_us"), 0.0);
+    EXPECT_GE(result.turnaround_p99_us, result.turnaround_p50_us);
+  }
+  service.Stop();
+  EXPECT_GT(service.bais(), 0u);
+}
+
+}  // namespace
+}  // namespace flare

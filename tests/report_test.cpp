@@ -198,6 +198,43 @@ TEST(ReportWatch, DefaultsGateTelemetryDisabledHookDownward) {
   EXPECT_TRUE(found);
 }
 
+TEST(ReportWatch, DefaultsGateControlPlaneSlosDownward) {
+  // The networked control plane rides the default watch list: the
+  // loadgen-measured assignment-turnaround p99 and session blocking
+  // rate (BENCH_oneapid.json) are lower-is-better, so a server
+  // regression exits 3 without extra CLI flags.
+  const std::vector<WatchSpec> watches = DefaultWatches(5.0);
+  bool found_p99 = false;
+  bool found_blocking = false;
+  for (const WatchSpec& w : watches) {
+    if (w.metric == "metrics.gauges.svc.oneapi.assign_turnaround.p99_us") {
+      found_p99 = true;
+      EXPECT_FALSE(w.higher_is_better);
+      EXPECT_DOUBLE_EQ(w.threshold_pct, 5.0);
+    }
+    if (w.metric == "metrics.gauges.svc.oneapi.blocking_rate") {
+      found_blocking = true;
+      EXPECT_FALSE(w.higher_is_better);
+    }
+  }
+  EXPECT_TRUE(found_p99);
+  EXPECT_TRUE(found_blocking);
+
+  // End to end through Compare: a turnaround-tail blowup regresses, a
+  // tail improvement plus unchanged blocking rate passes.
+  const RunSummary baseline = MakeRun(
+      "base", {{"metrics.gauges.svc.oneapi.assign_turnaround.p99_us", 1000.0},
+               {"metrics.gauges.svc.oneapi.blocking_rate", 0.1}});
+  const RunSummary slower = MakeRun(
+      "slow", {{"metrics.gauges.svc.oneapi.assign_turnaround.p99_us", 1500.0},
+               {"metrics.gauges.svc.oneapi.blocking_rate", 0.1}});
+  EXPECT_TRUE(Compare(baseline, slower, watches).HasRegression());
+  const RunSummary faster = MakeRun(
+      "fast", {{"metrics.gauges.svc.oneapi.assign_turnaround.p99_us", 800.0},
+               {"metrics.gauges.svc.oneapi.blocking_rate", 0.1}});
+  EXPECT_FALSE(Compare(baseline, faster, watches).HasRegression());
+}
+
 TEST(ReportCompare, FlagsDirectionAwareRegressions) {
   const RunSummary baseline = MakeRun("base", {
       {"qoe.summary.avg_qoe", 2.0},

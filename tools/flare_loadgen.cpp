@@ -1,0 +1,113 @@
+// flare_loadgen — deterministic load generator for flare_oneapid.
+//
+// Replays a churn-engine session schedule (Poisson arrivals, lognormal
+// holds, one seed = one workload) against a live control-plane server
+// over real sockets, measuring assignment-turnaround p50/p95/p99,
+// blocking rate and churn capacity. With report= set, the measured SLOs
+// export through BenchJsonWriter as bench_results/BENCH_<name>.json so
+// flare_report gates them in CI (assign_turnaround.p99_us and
+// blocking_rate are default watches).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.h"
+#include "scenario/experiment.h"
+#include "svc/loadgen.h"
+#include "util/config.h"
+
+namespace {
+
+using namespace flare;
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out, R"(usage: flare_loadgen port=N [key=value ...]
+
+Deterministic churned load against a flare_oneapid server.
+
+Keys:
+  port=N            server port (required)
+  host=ADDR         server host (127.0.0.1)
+  sessions=N        total sessions to offer (100)
+  arrival_rate=F    Poisson arrivals per schedule second (10)
+  mean_hold_s=F     mean session holding time, schedule seconds (2)
+  sigma=F           lognormal hold shape (1.0)
+  seed=N            schedule seed (1)
+  time_scale=F      replay speedup: wall = schedule / F (1.0)
+  max_wall_s=F      abort the replay after F wall seconds (120)
+  report=NAME       write bench_results/BENCH_<NAME>.json (off)
+Flags:
+  --help            this text
+)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      PrintUsage(stdout);
+      return 0;
+    }
+  }
+  const Config config = Config::FromArgs(argc, argv);
+  if (!config.Has("port")) {
+    PrintUsage(stderr);
+    return 2;
+  }
+
+  LoadGenOptions options;
+  options.host = config.GetString("host").value_or(std::string("127.0.0.1"));
+  options.port = static_cast<std::uint16_t>(config.GetInt("port", 0));
+  options.sessions =
+      static_cast<std::uint64_t>(config.GetInt("sessions", 100));
+  options.arrival_rate_per_s = config.GetDouble("arrival_rate", 10.0);
+  options.mean_hold_s = config.GetDouble("mean_hold_s", 2.0);
+  options.lognormal_sigma = config.GetDouble("sigma", 1.0);
+  options.seed = static_cast<std::uint64_t>(config.GetInt("seed", 1));
+  options.time_scale = config.GetDouble("time_scale", 1.0);
+  options.max_wall_s = config.GetDouble("max_wall_s", 120.0);
+
+  LoadGenerator generator(options);
+  const LoadGenResult result = generator.Run();
+
+  std::printf(
+      "flare_loadgen: %llu offered, %llu admitted, %llu blocked "
+      "(rate %.3f), %llu departed, %llu assignments, %llu connect "
+      "failures, %llu protocol errors, %.1f s wall (%.1f sessions/s)\n",
+      static_cast<unsigned long long>(result.attempted),
+      static_cast<unsigned long long>(result.admitted),
+      static_cast<unsigned long long>(result.blocked), result.blocking_rate,
+      static_cast<unsigned long long>(result.departed),
+      static_cast<unsigned long long>(result.assignments),
+      static_cast<unsigned long long>(result.connect_failures),
+      static_cast<unsigned long long>(result.protocol_errors), result.wall_s,
+      result.session_rate_per_s);
+  std::printf(
+      "assignment turnaround: p50 %.0f us, p95 %.0f us, p99 %.0f us\n",
+      result.turnaround_p50_us, result.turnaround_p95_us,
+      result.turnaround_p99_us);
+
+  if (const auto report = config.GetString("report")) {
+    MetricsRegistry registry;
+    result.ExportTo(&registry);
+    BenchJsonWriter writer(*report);
+    writer.Echo("sessions", static_cast<double>(options.sessions));
+    writer.Echo("arrival_rate_per_s", options.arrival_rate_per_s);
+    writer.Echo("mean_hold_s", options.mean_hold_s);
+    writer.Echo("seed", static_cast<double>(options.seed));
+    writer.Echo("time_scale", options.time_scale);
+    const std::string path = BenchJsonPath(*report);
+    if (!writer.Export(path, registry)) {
+      std::fprintf(stderr, "flare_loadgen: cannot write %s\n", path.c_str());
+      return 2;
+    }
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+  if (!result.completed) {
+    std::fprintf(stderr, "flare_loadgen: replay did not complete cleanly\n");
+    return 1;
+  }
+  return 0;
+}

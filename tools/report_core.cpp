@@ -286,6 +286,14 @@ std::vector<WatchSpec> DefaultWatches(double threshold_pct) {
   // trips on a blowup (>= 2x), never on jitter.
   watches.push_back({"metrics.gauges.obs.telemetry.disabled_hook_ns",
                      false, std::max(threshold_pct, 100.0)});
+  // Control-plane SLO gates (flare_loadgen report= against a live
+  // flare_oneapid): assignment turnaround tail and session blocking
+  // rate over a churned workload. Lower is better for both — a p99
+  // latency or blocking-rate increase past the threshold exits 3.
+  watches.push_back({"metrics.gauges.svc.oneapi.assign_turnaround.p99_us",
+                     false, threshold_pct});
+  watches.push_back({"metrics.gauges.svc.oneapi.blocking_rate", false,
+                     threshold_pct});
   return watches;
 }
 

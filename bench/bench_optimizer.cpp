@@ -6,6 +6,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "obs/span_trace.h"
 #include "obs/telemetry_publisher.h"
 #include "scenario/experiment.h"
+#include "svc/request_trace.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -279,6 +281,58 @@ void BM_TelemetryOverhead(benchmark::State& state) {
 }
 BENCHMARK(BM_TelemetryOverhead)->Arg(0)->Arg(1);
 
+// Request-tracer call sites as they sit in the service's per-request hot
+// path. Arg 0: tracing off — a null RequestTracer* at every site, so one
+// predicted branch and no argument construction (acceptance bar is
+// <= ~5 ns/request; a null check is well under 1 ns). Arg 1: tracing
+// live — the full queue/finalize sequence for one request (sample
+// queued, assignment queued, connection drained past its watermark)
+// against a small event cap, so steady state measures stage histograms
+// plus the bounded drop path rather than unbounded buffering.
+void BM_RequestTraceOverhead(benchmark::State& state) {
+  const bool enabled = state.range(0) != 0;
+  MetricsRegistry registry;
+  std::mutex registry_mu;
+  RequestTracerOptions options;
+  options.max_events = 65536;  // bound the enabled arm's memory
+  RequestTracer live(&registry, &registry_mu, nullptr, options);
+  RequestTracer* tracer = enabled ? &live : nullptr;
+  std::uint64_t watermark = 0;
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    // Model the member load the service performs each request; without
+    // this the compiler folds the null arm into an empty loop.
+    benchmark::DoNotOptimize(tracer);
+    ++seq;
+    watermark += 64;
+    if (tracer != nullptr) {
+      RequestTiming timing;
+      timing.ctx.trace_id = seq;
+      timing.ctx.client_send_us = static_cast<std::int64_t>(seq);
+      timing.flow = static_cast<FlowId>(seq % 32 + 1);
+      timing.start_us = static_cast<double>(seq);
+      timing.recv_us = 1.0;
+      timing.parse_us = 0.5;
+      timing.queued_at_us = timing.start_us + 2.0;
+      timing.queue_wait_us = 40.0;
+      timing.solve_us = 15.0;
+      timing.encode_us = 1.5;
+      timing.send_us = timing.start_us + 60.0;
+      timing.cause = "steady";
+      tracer->OnSampleQueued(timing);
+      tracer->OnAssignmentQueued(timing, /*fd=*/7, watermark);
+      tracer->OnConnFlushed(/*fd=*/7, watermark, timing.send_us + 5.0);
+    }
+    benchmark::DoNotOptimize(watermark);
+    benchmark::ClobberMemory();
+  }
+  if (enabled) {
+    state.counters["finalized"] =
+        static_cast<double>(live.finalized_requests());
+  }
+}
+BENCHMARK(BM_RequestTraceOverhead)->Arg(0)->Arg(1);
+
 // DecideBai through the OneAPI-style wrapper with metrics attached vs not:
 // the "no measurable slowdown when disabled" acceptance check.
 void BM_DecideBaiWithObs(benchmark::State& state) {
@@ -438,6 +492,34 @@ int ExportBatchLadder() {
     MakeGaugeHandle(&registry, "obs.telemetry.disabled_hook_ns")
         .Set(best_ns);
     std::printf("obs.telemetry.disabled_hook_ns: %.2f ns/call\n", best_ns);
+  }
+
+  // Tracing-off guard for the control plane's per-request hot path: the
+  // null-RequestTracer* branch, min over reps so scheduler noise cannot
+  // inflate the gauge (acceptance bar <= ~5 ns/request).
+  {
+    RequestTracer* tracer = nullptr;
+    const int iters = 2'000'000;
+    double best_ns = 0.0;
+    for (int rep = 0; rep < 5; ++rep) {
+      std::uint64_t watermark = 0;
+      const auto t0 = now();
+      for (int i = 0; i < iters; ++i) {
+        benchmark::DoNotOptimize(tracer);
+        watermark += 64;
+        if (tracer != nullptr) {
+          tracer->OnConnFlushed(7, watermark, 0.0);
+        }
+        benchmark::DoNotOptimize(watermark);
+      }
+      const double ns =
+          us(now() - t0) * 1000.0 / static_cast<double>(iters);
+      if (rep == 0 || ns < best_ns) best_ns = ns;
+    }
+    MakeGaugeHandle(&registry, "svc.oneapi.trace.disabled_hook_ns")
+        .Set(best_ns);
+    std::printf("svc.oneapi.trace.disabled_hook_ns: %.2f ns/request\n",
+                best_ns);
   }
 
   const std::string path = BenchJsonPath("optimizer");

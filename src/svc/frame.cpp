@@ -1,6 +1,8 @@
 #include "svc/frame.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <sstream>
@@ -41,25 +43,125 @@ std::string FormatDouble(double value) {
   return buf;
 }
 
+bool ParseI64(const std::string& text, std::int64_t* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') return false;
+  *out = static_cast<std::int64_t>(value);
+  return true;
+}
+
+bool ParseHex64(const std::string& text, std::uint64_t* out) {
+  if (text.empty() || text.size() > 16) return false;
+  std::uint64_t value = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+    else return false;
+    value = (value << 4) | static_cast<std::uint64_t>(digit);
+  }
+  *out = value;
+  return true;
+}
+
+void AppendTraceTrailer(const TraceContext& trace, std::string* out) {
+  char id[17];
+  std::snprintf(id, sizeof(id), "%016llx",
+                static_cast<unsigned long long>(trace.trace_id));
+  out->push_back('\0');
+  out->append("trace=");
+  out->append(id);
+  out->append(";ts=");
+  out->append(std::to_string(trace.client_send_us));
+  if (trace.server_recv_us != 0 || trace.server_send_us != 0) {
+    out->append(";srx=");
+    out->append(std::to_string(trace.server_recv_us));
+    out->append(";stx=");
+    out->append(std::to_string(trace.server_send_us));
+  }
+}
+
+// Parse the extension block (bytes after the first '\0'). Known keys are
+// strict — a frame that claims to carry a trace context but mangles it is
+// a protocol violation, same as a mangled length. Everything else
+// (unknown keys, field syntax noise, bytes past a second '\0') is the
+// forward-compatibility surface: tolerated and flagged.
+bool ParseTraceExt(std::string ext, TraceContext* trace, bool* unknown_ext) {
+  const std::size_t nul = ext.find('\0');
+  if (nul != std::string::npos) {
+    ext.resize(nul);
+    *unknown_ext = true;
+  }
+  bool have_trace = false;
+  std::size_t start = 0;
+  while (start <= ext.size()) {
+    std::size_t end = ext.find(';', start);
+    if (end == std::string::npos) end = ext.size();
+    const std::string field = ext.substr(start, end - start);
+    const std::size_t eq = field.find('=');
+    if (field.empty() || eq == std::string::npos || eq == 0) {
+      if (!field.empty()) *unknown_ext = true;
+      start = end + 1;
+      if (end == ext.size()) break;
+      continue;
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key == "trace") {
+      if (!ParseHex64(value, &trace->trace_id)) return false;
+      have_trace = true;
+    } else if (key == "ts") {
+      if (!ParseI64(value, &trace->client_send_us)) return false;
+    } else if (key == "srx") {
+      if (!ParseI64(value, &trace->server_recv_us)) return false;
+    } else if (key == "stx") {
+      if (!ParseI64(value, &trace->server_send_us)) return false;
+    } else {
+      *unknown_ext = true;
+    }
+    start = end + 1;
+    if (end == ext.size()) break;
+  }
+  return have_trace;
+}
+
 }  // namespace
 
 void AppendFrame(FrameType type, std::string_view payload, std::string* out) {
-  assert(payload.size() <= kMaxFramePayload);
-  const std::uint32_t length = static_cast<std::uint32_t>(payload.size()) + 1;
+  AppendFrame(type, payload, nullptr, out);
+}
+
+void AppendFrame(FrameType type, std::string_view payload,
+                 const TraceContext* trace, std::string* out) {
+  std::string body(payload);
+  if (trace != nullptr) AppendTraceTrailer(*trace, &body);
+  assert(body.size() <= kMaxFramePayload);
+  const std::uint32_t length = static_cast<std::uint32_t>(body.size()) + 1;
   char header[kHeaderBytes + 1];
   header[0] = static_cast<char>(length & 0xff);
   header[1] = static_cast<char>((length >> 8) & 0xff);
   header[2] = static_cast<char>((length >> 16) & 0xff);
   header[3] = static_cast<char>((length >> 24) & 0xff);
-  header[4] = static_cast<char>(static_cast<std::uint8_t>(type));
+  const std::uint8_t raw = static_cast<std::uint8_t>(type) |
+                           (trace != nullptr ? kFrameTraceExtBit : 0);
+  header[4] = static_cast<char>(raw);
   out->append(header, kHeaderBytes + 1);
-  out->append(payload.data(), payload.size());
+  out->append(body.data(), body.size());
 }
 
 std::string EncodeFrame(FrameType type, std::string_view payload) {
+  return EncodeFrame(type, payload, nullptr);
+}
+
+std::string EncodeFrame(FrameType type, std::string_view payload,
+                        const TraceContext* trace) {
   std::string out;
-  out.reserve(kHeaderBytes + 1 + payload.size());
-  AppendFrame(type, payload, &out);
+  out.reserve(kHeaderBytes + 1 + payload.size() + (trace != nullptr ? 48 : 0));
+  AppendFrame(type, payload, trace, &out);
   return out;
 }
 
@@ -76,9 +178,30 @@ FrameParseStatus ParseFrame(std::string* buffer, Frame* out) {
   }
   if (buffer->size() < kHeaderBytes + length) return FrameParseStatus::kNeedMore;
   const std::uint8_t raw_type = b[kHeaderBytes];
-  if (!KnownType(raw_type)) return FrameParseStatus::kError;
-  out->type = static_cast<FrameType>(raw_type);
-  out->payload.assign(*buffer, kHeaderBytes + 1, length - 1);
+  const bool has_ext = (raw_type & kFrameTraceExtBit) != 0;
+  const std::uint8_t base_type =
+      static_cast<std::uint8_t>(raw_type & ~kFrameTraceExtBit);
+  if (!KnownType(base_type)) return FrameParseStatus::kError;
+  out->type = static_cast<FrameType>(base_type);
+  out->trace.reset();
+  out->unknown_ext = false;
+  std::string body(*buffer, kHeaderBytes + 1, length - 1);
+  if (!has_ext) {
+    // Legacy frame: the payload is handed to the strict text codec
+    // verbatim, so trailing bytes stay rejected exactly as before the
+    // extension existed.
+    out->payload = std::move(body);
+  } else {
+    const std::size_t nul = body.find('\0');
+    if (nul == std::string::npos) return FrameParseStatus::kError;
+    TraceContext trace;
+    if (!ParseTraceExt(body.substr(nul + 1), &trace, &out->unknown_ext)) {
+      return FrameParseStatus::kError;
+    }
+    body.resize(nul);
+    out->payload = std::move(body);
+    out->trace = trace;
+  }
   buffer->erase(0, kHeaderBytes + length);
   return FrameParseStatus::kFrame;
 }

@@ -18,6 +18,23 @@
 // split or coalesced) and strict: a zero length, an oversized length or an
 // unknown type poisons the stream (kError) and the owning connection must
 // be dropped — there is no resynchronization on a binary framed stream.
+//
+// Trace-context extension. Bit 0x80 of the type byte marks an optional
+// trailer appended after the text payload:
+//
+//   text-payload '\0' "trace=<16 hex>;ts=<i64>[;srx=<i64>;stx=<i64>]"
+//
+// carrying a client-chosen trace id and the client's send timestamp (µs,
+// client clock); the server echoes both on the matching assignment and
+// adds its own receive/transmit timestamps (µs, server clock) so an
+// offline merger can align the two clocks. The extension is
+// backward-compatible by construction: peers that never set the bit
+// produce byte-identical frames to the pre-extension protocol, and the
+// strictness asymmetry is deliberate — legacy frames keep today's strict
+// rejection of trailing bytes (the text codec refuses them), while the
+// extension block tolerates unknown keys and post-'\0' trailing bytes
+// (flagged via Frame::unknown_ext, counted by the service) so future
+// fields can ride along without breaking deployed peers.
 #pragma once
 
 #include <cstdint>
@@ -41,16 +58,43 @@ enum class FrameType : std::uint8_t {
 /// hostile peer can make the server buffer for a single frame.
 inline constexpr std::size_t kMaxFramePayload = 64 * 1024;
 
+/// Type-byte bit marking the trace-context trailer. The base frame type is
+/// `type & ~kFrameTraceExtBit` and must still be a known FrameType.
+inline constexpr std::uint8_t kFrameTraceExtBit = 0x80;
+
+/// Optional per-request trace context carried in the frame trailer.
+/// Timestamps are microseconds on the owning process's steady clock
+/// (client_send_us: client clock; server_recv_us / server_send_us: server
+/// clock, populated only on the echoed assignment).
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::int64_t client_send_us = 0;
+  std::int64_t server_recv_us = 0;
+  std::int64_t server_send_us = 0;
+};
+
 struct Frame {
   FrameType type = FrameType::kBye;
   std::string payload;
+  /// Decoded trace-context trailer, when the frame carried one.
+  std::optional<TraceContext> trace;
+  /// True when an extension-bearing frame carried unknown ext keys or
+  /// trailing bytes (tolerated; the service counts them).
+  bool unknown_ext = false;
 };
 
 /// Append one encoded frame to `out` (header + payload). Payloads longer
 /// than kMaxFramePayload are truncated-by-contract: callers never build
-/// them; an assert guards debug builds.
+/// them; an assert guards debug builds. The `trace` overloads append the
+/// trace-context trailer and set kFrameTraceExtBit; passing nullptr (or
+/// using the base overload) encodes byte-identically to the
+/// pre-extension protocol.
 void AppendFrame(FrameType type, std::string_view payload, std::string* out);
+void AppendFrame(FrameType type, std::string_view payload,
+                 const TraceContext* trace, std::string* out);
 std::string EncodeFrame(FrameType type, std::string_view payload);
+std::string EncodeFrame(FrameType type, std::string_view payload,
+                        const TraceContext* trace);
 
 enum class FrameParseStatus {
   kNeedMore,  // buffer holds a partial frame; read more bytes

@@ -13,11 +13,14 @@
 #include <cstring>
 #include <limits>
 #include <map>
+#include <sstream>
 
 #include "churn/session_churn.h"
 #include "net/messages.h"
+#include "obs/span_trace.h"
 #include "sim/simulator.h"
 #include "svc/frame.h"
+#include "svc/request_trace.h"
 #include "util/rng.h"
 #include "util/time.h"
 
@@ -46,8 +49,9 @@ int ConnectBlocking(const std::string& host, std::uint16_t port) {
   return fd;
 }
 
-bool SendFrame(int fd, FrameType type, std::string_view payload) {
-  const std::string frame = EncodeFrame(type, payload);
+bool SendFrame(int fd, FrameType type, std::string_view payload,
+               const TraceContext* trace = nullptr) {
+  const std::string frame = EncodeFrame(type, payload, trace);
   std::size_t sent = 0;
   while (sent < frame.size()) {
     const ssize_t n =
@@ -75,6 +79,10 @@ struct Client {
   double efficiency = 0.0;
   /// When the sample the next assignment will consume became available.
   Clock::time_point sample_time;
+  /// Trace context of the in-flight stats report, awaiting its echo.
+  std::uint64_t pending_trace = 0;
+  double pending_t0_us = 0.0;
+  bool has_pending_trace = false;
 };
 
 }  // namespace
@@ -90,6 +98,9 @@ void LoadGenResult::ExportTo(MetricsRegistry* registry) const {
       .Add(connect_failures);
   registry->GetCounter("svc.oneapi.loadgen.protocol_errors")
       .Add(protocol_errors);
+  registry->GetCounter("svc.oneapi.loadgen.traced").Add(traced);
+  registry->GetCounter("svc.oneapi.loadgen.trace_mismatches")
+      .Add(trace_mismatches);
   registry->GetGauge("svc.oneapi.assign_turnaround.p50_us")
       .Set(turnaround_p50_us);
   registry->GetGauge("svc.oneapi.assign_turnaround.p95_us")
@@ -145,6 +156,18 @@ LoadGenResult LoadGenerator::Run() {
   const double scale = options_.time_scale > 0.0 ? options_.time_scale : 1.0;
   bool aborted = false;
 
+  // Client-side tracing: one span per echoed assignment, timestamps in
+  // microseconds since `start` (this process's trace clock). flare_trace
+  // aligns it to the daemon's clock via the srx/stx echoes.
+  const bool tracing = options_.trace || !options_.trace_json.empty();
+  SpanTracer tracer;
+  tracer.set_default_pid(2);  // daemon records at pid 1
+  const auto trace_now_us = [&start] {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start)
+        .count();
+  };
+  std::uint64_t trace_counter = 0;
+
   const auto send_stats = [&](Client& client) {
     FlowStatsReport report;
     report.flow = static_cast<FlowId>(client.session) + 1;
@@ -155,9 +178,24 @@ LoadGenResult LoadGenerator::Run() {
     report.rbs = 8;
     report.throughput_bps = client.efficiency * 8.0 * 1000.0;
     report.rb_utilization = 0.0;
+    TraceContext ctx;
+    const TraceContext* ctx_ptr = nullptr;
+    if (tracing) {
+      // Session in the high bits keeps ids unique across the run while
+      // staying attributable at a glance.
+      ctx.trace_id =
+          (static_cast<std::uint64_t>(client.session + 1) << 32) |
+          ++trace_counter;
+      const double t0_us = trace_now_us();
+      ctx.client_send_us = static_cast<std::int64_t>(t0_us);
+      client.pending_trace = ctx.trace_id;
+      client.pending_t0_us = t0_us;
+      client.has_pending_trace = true;
+      ctx_ptr = &ctx;
+    }
     client.sample_time = Clock::now();
     return SendFrame(client.fd, FrameType::kStatsReport,
-                     EncodeStatsReport(report));
+                     EncodeStatsReport(report), ctx_ptr);
   };
 
   const auto close_client = [&](Client& client) {
@@ -277,6 +315,29 @@ LoadGenResult LoadGenerator::Run() {
               std::chrono::duration<double, std::micro>(Clock::now() -
                                                         client.sample_time)
                   .count());
+          if (tracing && frame.trace) {
+            if (client.has_pending_trace &&
+                frame.trace->trace_id == client.pending_trace) {
+              const double t3_us = trace_now_us();
+              client.has_pending_trace = false;
+              result.traced += 1;
+              std::ostringstream args;
+              args << "{\"trace\":\"" << TraceIdHex(frame.trace->trace_id)
+                   << "\",\"flow\":" << (client.session + 1)
+                   << ",\"t0_us\":" << client.pending_t0_us
+                   << ",\"t3_us\":" << t3_us
+                   << ",\"srx_us\":" << frame.trace->server_recv_us
+                   << ",\"stx_us\":" << frame.trace->server_send_us
+                   << ",\"turnaround_us\":" << (t3_us - client.pending_t0_us)
+                   << "}";
+              tracer.CompleteSpan(
+                  RequestLane(static_cast<FlowId>(client.session) + 1),
+                  "client", "request", client.pending_t0_us,
+                  t3_us - client.pending_t0_us, args.str());
+            } else {
+              result.trace_mismatches += 1;
+            }
+          }
           // Ping-pong: answer every assignment with a fresh stats report,
           // one e_u sample per BAI like the femtocell reporter.
           if (!send_stats(client)) {
@@ -318,6 +379,10 @@ LoadGenResult LoadGenerator::Run() {
   result.turnaround_p50_us = SortedQuantile(turnarounds_us, 0.50);
   result.turnaround_p95_us = SortedQuantile(turnarounds_us, 0.95);
   result.turnaround_p99_us = SortedQuantile(turnarounds_us, 0.99);
+  if (!options_.trace_json.empty()) {
+    tracer.SortMergedEvents();
+    tracer.ExportJson(options_.trace_json);
+  }
   return result;
 }
 

@@ -52,6 +52,15 @@ struct LoadGenOptions {
   std::vector<double> efficiencies = {80.0, 120.0, 160.0, 220.0};
   /// Abort the replay after this much wall time (hung-server guard).
   double max_wall_s = 120.0;
+  /// Attach a trace context (svc/frame.h) to every stats report and
+  /// record a client-side span per echoed assignment. Old daemons ignore
+  /// nothing — the extension is opt-in per frame — but only a PR-10+
+  /// daemon echoes srx/stx back.
+  bool trace = false;
+  /// Write the client-side spans as Chrome trace JSON here after the run
+  /// (implies trace). tools/flare_trace merges this with the daemon's
+  /// trace_json= output into one Perfetto timeline.
+  std::string trace_json;
 };
 
 struct LoadGenResult {
@@ -65,6 +74,11 @@ struct LoadGenResult {
   std::uint64_t assignments = 0;
   std::uint64_t connect_failures = 0;
   std::uint64_t protocol_errors = 0;
+  /// Assignments that carried the matching trace-context echo (0 with
+  /// tracing off or against a pre-extension daemon).
+  std::uint64_t traced = 0;
+  /// Echoes with a trace id we never sent / no longer expect.
+  std::uint64_t trace_mismatches = 0;
   double wall_s = 0.0;
   /// Exact quantiles over every assignment's turnaround, microseconds
   /// (0 when no assignments were received).

@@ -19,6 +19,7 @@
 #include "netio/tcp.h"
 #include "obs/telemetry_server.h"
 #include "svc/frame.h"
+#include "svc/request_trace.h"
 #include "util/logging.h"
 
 namespace flare {
@@ -30,6 +31,17 @@ struct SessionConn {
   explicit SessionConn(int fd) : conn(fd) {}
   TcpConnection conn;
   FlowId flow = kInvalidFlow;
+  /// Cumulative bytes ever handed to Queue(); `queued_bytes -
+  /// pending_bytes()` is the cumulative flushed count the tracer uses as
+  /// the outbox-drain watermark.
+  std::uint64_t queued_bytes = 0;
+  std::uint64_t drained_bytes() const {
+    return queued_bytes - conn.pending_bytes();
+  }
+  void QueueFrame(const std::string& frame) {
+    queued_bytes += frame.size();
+    conn.Queue(frame);
+  }
 };
 
 /// Per-admitted-flow state, mirroring OneApiServer::ClientEntry plus the
@@ -40,6 +52,21 @@ struct Session {
   double pending_sample = 0.0;
   bool has_pending_sample = false;
   int conn_fd = -1;
+  /// Trace context of the latest traced stats report, waiting to be
+  /// echoed on (and attributed to) the next assignment. Lives in the
+  /// session — not the tracer — because the wire echo works even when
+  /// server-side tracing is off (a traced client against an untraced
+  /// daemon still gets srx/stx back).
+  std::optional<RequestTiming> pending_trace;
+};
+
+/// recv/parse timestamps for the frame currently being handled, threaded
+/// from the read site into the frame handlers. All zero when tracing is
+/// off.
+struct FrameTiming {
+  double read_start_us = 0.0;
+  double recv_us = 0.0;
+  double parse_start_us = 0.0;
 };
 
 const std::vector<double> kMicrosBounds = {10.0,    50.0,    100.0,
@@ -61,8 +88,13 @@ struct OneApiService::Impl {
   explicit Impl(OneApiServiceOptions opts)
       : options(std::move(opts)),
         controller(options.params),
-        admission(options.admission) {
+        admission(options.admission),
+        epoch(std::chrono::steady_clock::now()) {
     admission.SetObservers(&registry);
+    if (!options.trace_json.empty()) {
+      tracer = std::make_unique<RequestTracer>(
+          &registry, &metrics_mu, options.flight_recorder, options.trace);
+    }
   }
 
   OneApiServiceOptions options;
@@ -77,6 +109,22 @@ struct OneApiService::Impl {
   std::map<FlowId, Session> sessions;  // ascending FlowId, like OneApiServer
   FlareRateController controller;
   AdmissionController admission;
+  /// Null when tracing is off: the request path then never reads a clock
+  /// or records a span, and assignments to untraced clients are
+  /// byte-identical to the pre-tracing protocol.
+  std::unique_ptr<RequestTracer> tracer;
+  /// Server clock origin for the srx/stx wire echo when the tracer is
+  /// off (a traced client still deserves aligned timestamps back).
+  std::chrono::steady_clock::time_point epoch;
+
+  double NowUs() const {
+    if (tracer != nullptr) return tracer->now_us();
+    return static_cast<double>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now() - epoch)
+                   .count()) /
+           1e3;
+  }
 
   /// Registry writes happen on the loop thread, snapshots from any
   /// thread; both sides take this (uncontended) mutex.
@@ -99,10 +147,13 @@ struct OneApiService::Impl {
   void OnAccept();
   void OnConnIo(int fd, std::uint32_t events);
   void OnTimer();
-  void ProcessInbox(SessionConn& sc);
-  void HandleClientInfo(SessionConn& sc, const std::string& payload);
-  void HandleStats(SessionConn& sc, const std::string& payload);
+  void ProcessInbox(SessionConn& sc, double read_start_us, double recv_us);
+  void HandleClientInfo(SessionConn& sc, const Frame& frame,
+                        const FrameTiming& timing);
+  void HandleStats(SessionConn& sc, const Frame& frame,
+                   const FrameTiming& timing);
   void SendOverloadAndClose(SessionConn& sc, const OverloadInfo& info);
+  void NotifyFlushed(SessionConn& sc);
   void UpdateInterest(SessionConn& sc);
   void TeardownConn(int fd);
   void Tick();
@@ -142,8 +193,13 @@ void OneApiService::Impl::OnConnIo(int fd, std::uint32_t events) {
     return;
   }
   if ((events & EpollLoop::kReadable) != 0) {
+    // One ReadSome may complete several frames; they share its duration
+    // as their recv phase.
+    const double read_start_us = tracer != nullptr ? tracer->now_us() : 0.0;
     const IoStatus status = sc.conn.ReadSome();
-    ProcessInbox(sc);
+    const double recv_us =
+        tracer != nullptr ? tracer->now_us() - read_start_us : 0.0;
+    ProcessInbox(sc, read_start_us, recv_us);
     if (conns.find(fd) == conns.end()) return;  // closed while processing
     if (status == IoStatus::kEof || status == IoStatus::kError) {
       // Flush any goodbye frames we just queued, then drop the peer.
@@ -157,6 +213,7 @@ void OneApiService::Impl::OnConnIo(int fd, std::uint32_t events) {
       TeardownConn(fd);
       return;
     }
+    NotifyFlushed(sc);
   }
   if (sc.conn.FlushedAndDone()) {
     TeardownConn(fd);
@@ -165,9 +222,14 @@ void OneApiService::Impl::OnConnIo(int fd, std::uint32_t events) {
   UpdateInterest(sc);
 }
 
-void OneApiService::Impl::ProcessInbox(SessionConn& sc) {
+void OneApiService::Impl::ProcessInbox(SessionConn& sc, double read_start_us,
+                                       double recv_us) {
   const int fd = sc.conn.fd();
   for (;;) {
+    FrameTiming timing;
+    timing.read_start_us = read_start_us;
+    timing.recv_us = recv_us;
+    if (tracer != nullptr) timing.parse_start_us = tracer->now_us();
     Frame frame;
     const FrameParseStatus status = ParseFrame(&sc.conn.inbox(), &frame);
     if (status == FrameParseStatus::kNeedMore) return;
@@ -175,12 +237,18 @@ void OneApiService::Impl::ProcessInbox(SessionConn& sc) {
       SendOverloadAndClose(sc, Overload("malformed"));
       return;
     }
+    if (frame.unknown_ext) {
+      // Extension-bearing frame with unknown keys/trailing bytes: the
+      // forward-compatibility path, tolerated but visible.
+      std::lock_guard<std::mutex> lock(metrics_mu);
+      registry.GetCounter("svc.oneapi.frames_with_unknown_ext").Add();
+    }
     switch (frame.type) {
       case FrameType::kClientInfo:
-        HandleClientInfo(sc, frame.payload);
+        HandleClientInfo(sc, frame, timing);
         break;
       case FrameType::kStatsReport:
-        HandleStats(sc, frame.payload);
+        HandleStats(sc, frame, timing);
         break;
       case FrameType::kBye:
         TeardownConn(fd);
@@ -196,13 +264,26 @@ void OneApiService::Impl::ProcessInbox(SessionConn& sc) {
 }
 
 void OneApiService::Impl::HandleClientInfo(SessionConn& sc,
-                                           const std::string& payload) {
-  const std::optional<ClientInfo> info = DecodeClientInfo(payload);
+                                           const Frame& frame,
+                                           const FrameTiming& timing) {
+  const std::optional<ClientInfo> info = DecodeClientInfo(frame.payload);
   if (!info || info->ladder_bps.empty()) {
     SendOverloadAndClose(sc, Overload("malformed"));
     return;
   }
   infos_received.fetch_add(1, std::memory_order_relaxed);
+  // Parse covers frame extraction + message decode; admit covers the
+  // decision from here to the verdict.
+  const double admit_start_us = tracer != nullptr ? tracer->now_us() : 0.0;
+  const double parse_us =
+      tracer != nullptr ? admit_start_us - timing.parse_start_us : 0.0;
+  const auto record_admit = [&](bool admitted) {
+    if (tracer == nullptr) return;
+    tracer->OnAdmit(frame.trace ? &*frame.trace : nullptr, info->flow,
+                    timing.read_start_us, timing.recv_us,
+                    timing.parse_start_us, parse_us, admit_start_us,
+                    tracer->now_us() - admit_start_us, admitted);
+  };
 
   if (sc.flow != kInvalidFlow) {
     // Mid-session refresh (new cost cap, clickstream state, ...): mirrors
@@ -229,6 +310,7 @@ void OneApiService::Impl::HandleClientInfo(SessionConn& sc,
       registry.GetCounter("svc.oneapi.overload_rejects").Add();
     }
     UpdateBlockingRate();
+    record_admit(false);
     SendOverloadAndClose(sc, Overload("duplicate_flow"));
     return;
   }
@@ -240,6 +322,7 @@ void OneApiService::Impl::HandleClientInfo(SessionConn& sc,
       registry.GetCounter("svc.oneapi.overload_rejects").Add();
     }
     UpdateBlockingRate();
+    record_admit(false);
     SendOverloadAndClose(
         sc, Overload("session_limit", "",
                      static_cast<double>(options.max_sessions)));
@@ -273,6 +356,7 @@ void OneApiService::Impl::HandleClientInfo(SessionConn& sc,
       registry.GetCounter("svc.oneapi.admission_rejects").Add();
     }
     UpdateBlockingRate();
+    record_admit(false);
     SendOverloadAndClose(
         sc, Overload("admission",
                      AdmissionPolicyName(options.admission.policy),
@@ -295,14 +379,17 @@ void OneApiService::Impl::HandleClientInfo(SessionConn& sc,
         .Set(static_cast<double>(sessions.size()));
   }
   UpdateBlockingRate();
-  sc.conn.Queue(EncodeFrame(FrameType::kWelcome, EncodeWelcome(info->flow)));
+  record_admit(true);
+  sc.QueueFrame(EncodeFrame(FrameType::kWelcome, EncodeWelcome(info->flow)));
   sc.conn.Flush();
+  NotifyFlushed(sc);
   UpdateInterest(sc);
 }
 
-void OneApiService::Impl::HandleStats(SessionConn& sc,
-                                      const std::string& payload) {
-  const std::optional<FlowStatsReport> report = DecodeStatsReport(payload);
+void OneApiService::Impl::HandleStats(SessionConn& sc, const Frame& frame,
+                                      const FrameTiming& timing) {
+  const std::optional<FlowStatsReport> report =
+      DecodeStatsReport(frame.payload);
   if (!report) {
     SendOverloadAndClose(sc, Overload("malformed"));
     return;
@@ -324,12 +411,33 @@ void OneApiService::Impl::HandleStats(SessionConn& sc,
                                 static_cast<double>(report->rbs);
     it->second.has_pending_sample = true;
   }
+  if (frame.trace) {
+    // Latest-wins, like the sample itself: a second traced report before
+    // the tick supersedes the first (counted — its id will never echo).
+    if (it->second.pending_trace) {
+      std::lock_guard<std::mutex> lock(metrics_mu);
+      registry.GetCounter("svc.oneapi.trace.superseded").Add();
+    }
+    const double now_us = NowUs();
+    RequestTiming pending;
+    pending.ctx = *frame.trace;
+    pending.ctx.server_recv_us = static_cast<std::int64_t>(now_us);
+    pending.flow = sc.flow;
+    pending.start_us = timing.read_start_us;
+    pending.recv_us = timing.recv_us;
+    pending.parse_start_us = timing.parse_start_us;
+    pending.parse_us =
+        tracer != nullptr ? now_us - timing.parse_start_us : 0.0;
+    pending.queued_at_us = now_us;
+    it->second.pending_trace = pending;
+    if (tracer != nullptr) tracer->OnSampleQueued(pending);
+  }
   stats_received.fetch_add(1, std::memory_order_relaxed);
 }
 
 void OneApiService::Impl::SendOverloadAndClose(SessionConn& sc,
                                                const OverloadInfo& info) {
-  sc.conn.Queue(EncodeFrame(FrameType::kOverload, EncodeOverload(info)));
+  sc.QueueFrame(EncodeFrame(FrameType::kOverload, EncodeOverload(info)));
   sc.conn.CloseAfterFlush();
   sc.conn.Flush();
   if (sc.conn.FlushedAndDone()) {
@@ -337,6 +445,11 @@ void OneApiService::Impl::SendOverloadAndClose(SessionConn& sc,
     return;
   }
   UpdateInterest(sc);
+}
+
+void OneApiService::Impl::NotifyFlushed(SessionConn& sc) {
+  if (tracer == nullptr) return;
+  tracer->OnConnFlushed(sc.conn.fd(), sc.drained_bytes(), tracer->now_us());
 }
 
 void OneApiService::Impl::UpdateInterest(SessionConn& sc) {
@@ -349,6 +462,9 @@ void OneApiService::Impl::UpdateInterest(SessionConn& sc) {
 void OneApiService::Impl::TeardownConn(int fd) {
   const auto it = conns.find(fd);
   if (it == conns.end()) return;
+  if (tracer != nullptr) {
+    tracer->OnConnClosed(fd, it->second->drained_bytes(), tracer->now_us());
+  }
   const FlowId flow = it->second->flow;
   if (flow != kInvalidFlow) {
     const auto session = sessions.find(flow);
@@ -388,6 +504,7 @@ void OneApiService::Impl::OnTimer() {
 
 void OneApiService::Impl::Tick() {
   const auto tick_start = std::chrono::steady_clock::now();
+  const double tick_start_us = tracer != nullptr ? tracer->now_us() : 0.0;
 
   // --- Gather: ascending FlowId, the same iteration order (and the same
   // EWMA arithmetic) as OneApiServer::RunBai, so wire assignments match
@@ -421,10 +538,17 @@ void OneApiService::Impl::Tick() {
     observations.push_back(obs);
   }
 
+  double solve_start_us = 0.0;
+  double solve_span_us = 0.0;
+  std::size_t n_assignments = 0;
   if (!observations.empty()) {
     const double rb_rate = static_cast<double>(options.num_rbs) * 1000.0;
+    solve_start_us = tracer != nullptr ? tracer->now_us() : 0.0;
     const BaiDecision decision =
         controller.DecideBai(observations, options.n_data_flows, rb_rate);
+    solve_span_us =
+        tracer != nullptr ? tracer->now_us() - solve_start_us : 0.0;
+    n_assignments = decision.assignments.size();
 
     // --- Fan out: one kAssignment frame per flow, bounded outbox. A full
     // buffer drops this BAI's frame for that client only (counted); the
@@ -434,27 +558,62 @@ void OneApiService::Impl::Tick() {
       if (session == sessions.end()) continue;
       const auto conn = conns.find(session->second.conn_fd);
       if (conn == conns.end()) continue;
+      Session& sess = session->second;
+      const double encode_start_us =
+          tracer != nullptr && sess.pending_trace ? tracer->now_us() : 0.0;
       RateAssignmentMsg msg;
       msg.flow = a.id;
       msg.level = a.level;
       msg.rate_bps = a.rate_bps;
       msg.gbr_bps = a.rate_bps * options.gbr_headroom;
-      const std::string frame =
-          EncodeFrame(FrameType::kAssignment, EncodeRateAssignment(msg));
+      // Echo the client's trace context (with our receive/transmit
+      // stamps) on the assignment that answers it — whether or not
+      // server-side tracing is on. Untraced clients get byte-identical
+      // pre-extension frames.
+      TraceContext echo;
+      const TraceContext* echo_ptr = nullptr;
+      if (sess.pending_trace) {
+        echo = sess.pending_trace->ctx;
+        echo.server_send_us = static_cast<std::int64_t>(NowUs());
+        echo_ptr = &echo;
+      }
+      const std::string frame = EncodeFrame(
+          FrameType::kAssignment, EncodeRateAssignment(msg), echo_ptr);
       SessionConn& sc = *conn->second;
       if (sc.conn.pending_bytes() + frame.size() >
           options.connection_buffer_limit) {
         assignments_dropped.fetch_add(1, std::memory_order_relaxed);
+        if (tracer != nullptr && sess.pending_trace) {
+          tracer->OnAssignmentDropped(a.id);
+        }
+        sess.pending_trace.reset();
         std::lock_guard<std::mutex> lock(metrics_mu);
         registry.GetCounter("svc.oneapi.assignments_dropped").Add();
         continue;
       }
-      sc.conn.Queue(frame);
+      sc.QueueFrame(frame);
+      if (tracer != nullptr && sess.pending_trace) {
+        RequestTiming timing = *sess.pending_trace;
+        const double send_us = tracer->now_us();
+        timing.queue_wait_us = solve_start_us - timing.queued_at_us;
+        timing.solve_start_us = solve_start_us;
+        timing.solve_us = solve_span_us;
+        timing.encode_start_us = encode_start_us;
+        timing.encode_us = send_us - encode_start_us;
+        timing.send_us = send_us;
+        timing.cause = DecisionCauseName(a.cause);
+        tracer->OnAssignmentQueued(std::move(timing), sc.conn.fd(),
+                                   sc.queued_bytes);
+      }
+      // One echo per traced request: the context is consumed by the
+      // assignment that answered it.
+      sess.pending_trace.reset();
       assignments_sent.fetch_add(1, std::memory_order_relaxed);
       if (sc.conn.Flush() == IoStatus::kError) {
         TeardownConn(sc.conn.fd());
         continue;
       }
+      NotifyFlushed(sc);
       UpdateInterest(sc);
     }
 
@@ -485,6 +644,11 @@ void OneApiService::Impl::Tick() {
     registry.GetHistogram("svc.oneapi.tick_us", kMicrosBounds)
         .Observe(tick_us);
   }
+  if (tracer != nullptr) {
+    tracer->EndTick(tick_start_us, solve_start_us, solve_span_us,
+                    tracer->now_us() - tick_start_us, sessions.size(),
+                    n_assignments);
+  }
   PublishTelemetry();
 }
 
@@ -505,9 +669,12 @@ void OneApiService::Impl::PublishTelemetry() {
 
 void OneApiService::Impl::ShutdownOnLoop() {
   for (auto& [fd, sc] : conns) {
-    sc->conn.Queue(
+    sc->QueueFrame(
         EncodeFrame(FrameType::kOverload, EncodeOverload(Overload("shutdown"))));
     sc->conn.Flush();  // best effort
+    if (tracer != nullptr) {
+      tracer->OnConnClosed(fd, sc->drained_bytes(), tracer->now_us());
+    }
     loop.Unwatch(fd);
   }
   conns.clear();
@@ -569,6 +736,10 @@ void OneApiService::Stop() {
   impl_->loop.Stop();
   if (impl_->thread.joinable()) impl_->thread.join();
   impl_->started = false;
+  // The loop thread is gone: the tracer is safe to touch from here.
+  if (impl_->tracer != nullptr && !impl_->options.trace_json.empty()) {
+    impl_->tracer->ExportJson(impl_->options.trace_json);
+  }
 }
 
 bool OneApiService::running() const { return impl_->started; }
@@ -622,6 +793,9 @@ std::uint64_t OneApiService::overload_rejects() const {
 }
 std::uint64_t OneApiService::sessions() const {
   return impl_->session_count.load(std::memory_order_relaxed);
+}
+std::uint64_t OneApiService::traced_requests() const {
+  return impl_->tracer != nullptr ? impl_->tracer->finalized_requests() : 0;
 }
 
 }  // namespace flare

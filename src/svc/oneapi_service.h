@@ -38,9 +38,11 @@
 #include "churn/admission.h"
 #include "core/rate_controller.h"
 #include "obs/metrics.h"
+#include "svc/request_trace.h"
 
 namespace flare {
 
+class FlightRecorder;
 class TelemetryServer;
 
 struct OneApiServiceOptions {
@@ -89,6 +91,18 @@ struct OneApiServiceOptions {
   TelemetryServer* telemetry = nullptr;
   /// Scenario tag for telemetry/health output.
   std::string scenario = "oneapid";
+  /// When non-empty, server-side request tracing (svc/request_trace.h) is
+  /// on: every admitted request and BAI tick records a phase timeline,
+  /// svc.oneapi.stage.* histograms + quantile gauges appear in the
+  /// registry, and the Perfetto JSON is written here at Stop(). Empty
+  /// (the default) keeps the request path trace-free: no clock reads, no
+  /// spans, and wire bytes identical to the pre-tracing protocol.
+  std::string trace_json;
+  /// Tracer tuning (event cap, worst-K exemplar window).
+  RequestTracerOptions trace;
+  /// Slow-request exemplar sink (not owned; may be null). Only read when
+  /// tracing is enabled.
+  FlightRecorder* flight_recorder = nullptr;
 };
 
 class OneApiService {
@@ -126,6 +140,9 @@ class OneApiService {
   std::uint64_t admission_rejects() const;
   std::uint64_t overload_rejects() const;
   std::uint64_t sessions() const;
+  /// Requests finalized by the tracer (0 when tracing is off). Like the
+  /// other counters, safe from any thread.
+  std::uint64_t traced_requests() const;
 
  private:
   struct Impl;

@@ -1,8 +1,14 @@
 // Tests for the OneAPI wire-message codec: round trips, field coverage,
 // and strict rejection of malformed input (including fuzz-ish mutations).
+// The FrameInterop section pins the trace-context extension's
+// compatibility contract: a new peer without tracing emits bytes an old
+// peer parses identically, and an old peer's bytes parse unchanged here.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "net/messages.h"
+#include "svc/frame.h"
 #include "util/rng.h"
 
 namespace flare {
@@ -262,6 +268,193 @@ TEST(Messages, GarbageAcrossAllDecodersNeverCrashes) {
   // A random string should essentially never spell out a full typed
   // key=value message.
   EXPECT_EQ(parsed, 0);
+}
+
+// ---------------------------------------------------------------------
+// Frame-layer interop: the trace-context extension vs. legacy peers
+// ---------------------------------------------------------------------
+
+/// The pre-extension wire format, built by hand: u32 LE length (type +
+/// payload), raw type byte, payload. What an old peer sends and expects.
+std::string LegacyWire(std::uint8_t type, const std::string& payload) {
+  std::string wire;
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size()) + 1;
+  for (int i = 0; i < 4; ++i) {
+    wire.push_back(static_cast<char>((length >> (8 * i)) & 0xff));
+  }
+  wire.push_back(static_cast<char>(type));
+  wire += payload;
+  return wire;
+}
+
+std::string RandomPayload(Rng* rng, int max_len) {
+  const std::string alphabet =
+      "abcdefghijklmnopqrstuvwxyz0123456789=;,.-+ ";
+  const int len = static_cast<int>(rng->UniformInt(0, max_len));
+  std::string payload;
+  for (int i = 0; i < len; ++i) {
+    payload.push_back(alphabet[static_cast<std::size_t>(rng->UniformInt(
+        0, static_cast<std::int64_t>(alphabet.size()) - 1))]);
+  }
+  return payload;
+}
+
+TEST(FrameInterop, OldToNewFramesParseUnchanged) {
+  // Direction 1: bytes from an old peer. Every legacy frame must parse
+  // byte-for-byte as before the extension — no trace, no unknown_ext —
+  // and the new encoder without a trace context must emit exactly those
+  // legacy bytes (so old peers in turn parse *us*).
+  Rng rng(31);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto type =
+        static_cast<FrameType>(rng.UniformInt(1, 6));
+    const std::string payload = RandomPayload(&rng, 64);
+    const std::string legacy =
+        LegacyWire(static_cast<std::uint8_t>(type), payload);
+    EXPECT_EQ(EncodeFrame(type, payload), legacy);
+    EXPECT_EQ(EncodeFrame(type, payload, nullptr), legacy);
+
+    std::string buffer = legacy;
+    Frame frame;
+    ASSERT_EQ(ParseFrame(&buffer, &frame), FrameParseStatus::kFrame);
+    EXPECT_TRUE(buffer.empty());
+    EXPECT_EQ(frame.type, type);
+    EXPECT_EQ(frame.payload, payload);
+    EXPECT_FALSE(frame.trace.has_value());
+    EXPECT_FALSE(frame.unknown_ext);
+  }
+}
+
+TEST(FrameInterop, NewToNewTraceContextRoundTrips) {
+  // Direction 2: extension-bearing frames between new peers. The trailer
+  // must round-trip every field exactly, never leak into the payload,
+  // and visibly set the ext bit (which is what makes an *old* strict
+  // parser reject the frame instead of silently mis-parsing it — tracing
+  // is opt-in per frame precisely so it is only sent to new daemons).
+  Rng rng(32);
+  for (int trial = 0; trial < 300; ++trial) {
+    TraceContext ctx;
+    ctx.trace_id =
+        (static_cast<std::uint64_t>(rng.UniformInt(0, 0x7fffffff)) << 32) |
+        static_cast<std::uint64_t>(rng.UniformInt(0, 0x7fffffff));
+    ctx.client_send_us = rng.UniformInt(0, 1'000'000'000);
+    if (rng.UniformInt(0, 1) == 1) {
+      ctx.server_recv_us = rng.UniformInt(1, 1'000'000'000);
+      ctx.server_send_us = rng.UniformInt(1, 1'000'000'000);
+    }
+    const auto type = static_cast<FrameType>(rng.UniformInt(1, 6));
+    const std::string payload = RandomPayload(&rng, 64);
+    const std::string wire = EncodeFrame(type, payload, &ctx);
+    ASSERT_GT(wire.size(), 4u);
+    EXPECT_NE(static_cast<std::uint8_t>(wire[4]) & kFrameTraceExtBit, 0);
+
+    std::string buffer = wire;
+    Frame frame;
+    ASSERT_EQ(ParseFrame(&buffer, &frame), FrameParseStatus::kFrame);
+    EXPECT_EQ(frame.type, type);
+    EXPECT_EQ(frame.payload, payload);
+    EXPECT_FALSE(frame.unknown_ext);
+    ASSERT_TRUE(frame.trace.has_value());
+    EXPECT_EQ(frame.trace->trace_id, ctx.trace_id);
+    EXPECT_EQ(frame.trace->client_send_us, ctx.client_send_us);
+    EXPECT_EQ(frame.trace->server_recv_us, ctx.server_recv_us);
+    EXPECT_EQ(frame.trace->server_send_us, ctx.server_send_us);
+  }
+}
+
+TEST(FrameInterop, DecoderAsymmetryStrictLegacyTolerantExt) {
+  // Legacy frames keep today's strictness: trailing bytes after a text
+  // payload stay part of the payload, and anything that is not a clean
+  // key=value field (a NUL-introduced trailer, a bare token) still makes
+  // the message codec reject the whole payload.
+  {
+    FlowStatsReport report;
+    report.flow = 4;
+    report.type = FlowType::kVideo;
+    report.tx_bytes = 100;
+    report.rbs = 8;
+    const std::string payload = EncodeStatsReport(report);
+    for (const std::string& trailer :
+         {std::string(";trailing-no-equals"),
+          std::string(1, '\0') + "trace=1;ts=2"}) {
+      std::string buffer = LegacyWire(2, payload + trailer);
+      Frame frame;
+      ASSERT_EQ(ParseFrame(&buffer, &frame), FrameParseStatus::kFrame);
+      EXPECT_FALSE(frame.trace.has_value());
+      EXPECT_FALSE(DecodeStatsReport(frame.payload).has_value());
+    }
+  }
+  // Ext frames tolerate unknown keys... (flagged, not fatal)
+  {
+    const std::string body = std::string("payload") + '\0' +
+                             "trace=00000000000000ff;ts=5;future=1";
+    std::string buffer = LegacyWire(2 | kFrameTraceExtBit, body);
+    Frame frame;
+    ASSERT_EQ(ParseFrame(&buffer, &frame), FrameParseStatus::kFrame);
+    EXPECT_EQ(frame.payload, "payload");
+    ASSERT_TRUE(frame.trace.has_value());
+    EXPECT_EQ(frame.trace->trace_id, 0xffu);
+    EXPECT_EQ(frame.trace->client_send_us, 5);
+    EXPECT_TRUE(frame.unknown_ext);
+  }
+  // ...and bytes after a second NUL (a future binary section).
+  {
+    const std::string body = std::string("p") + '\0' +
+                             "trace=1;ts=2" + '\0' + "binary-blob";
+    std::string buffer = LegacyWire(2 | kFrameTraceExtBit, body);
+    Frame frame;
+    ASSERT_EQ(ParseFrame(&buffer, &frame), FrameParseStatus::kFrame);
+    ASSERT_TRUE(frame.trace.has_value());
+    EXPECT_EQ(frame.trace->trace_id, 1u);
+    EXPECT_TRUE(frame.unknown_ext);
+  }
+  // Known ext keys stay strict: malformed values poison the stream.
+  for (const std::string& bad :
+       {std::string("trace=xyz;ts=5"), std::string("trace=1;ts=abc"),
+        std::string("trace=11112222333344445;ts=5")}) {
+    std::string buffer = LegacyWire(2 | kFrameTraceExtBit,
+                                    std::string("p") + '\0' + bad);
+    Frame frame;
+    EXPECT_EQ(ParseFrame(&buffer, &frame), FrameParseStatus::kError)
+        << "accepted malformed ext: " << bad;
+  }
+  // An ext-flagged frame without the NUL separator is malformed.
+  {
+    std::string buffer = LegacyWire(2 | kFrameTraceExtBit, "no-separator");
+    Frame frame;
+    EXPECT_EQ(ParseFrame(&buffer, &frame), FrameParseStatus::kError);
+  }
+  // The ext bit never rescues an unknown base type.
+  {
+    std::string buffer = LegacyWire(0x7f | kFrameTraceExtBit,
+                                    std::string("p") + '\0' + "trace=1;ts=2");
+    Frame frame;
+    EXPECT_EQ(ParseFrame(&buffer, &frame), FrameParseStatus::kError);
+  }
+}
+
+TEST(FrameInterop, FuzzedExtTrailersNeverCrash) {
+  // Random bytes in the trailer region: parse must return kFrame or
+  // kError, never crash; whenever it accepts, known fields are sane.
+  Rng rng(33);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string body = RandomPayload(&rng, 16);
+    body.push_back('\0');
+    const int len = static_cast<int>(rng.UniformInt(0, 48));
+    for (int i = 0; i < len; ++i) {
+      body.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+    }
+    std::string buffer = LegacyWire(
+        static_cast<std::uint8_t>(rng.UniformInt(1, 6)) | kFrameTraceExtBit,
+        body);
+    Frame frame;
+    const FrameParseStatus status = ParseFrame(&buffer, &frame);
+    if (status == FrameParseStatus::kFrame) {
+      EXPECT_TRUE(buffer.empty());
+    } else {
+      EXPECT_EQ(status, FrameParseStatus::kError);
+    }
+  }
 }
 
 }  // namespace

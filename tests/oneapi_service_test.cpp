@@ -16,8 +16,13 @@
 #include <thread>
 #include <vector>
 
+#include <atomic>
+#include <cstdio>
+
 #include "churn/admission.h"
 #include "has/mpd.h"
+#include "obs/flight_recorder.h"
+#include "util/json.h"
 #include "lte/cell.h"
 #include "lte/gbr_scheduler.h"
 #include "lte/tbs_table.h"
@@ -142,8 +147,13 @@ class TestClient {
     return fd_ >= 0;
   }
 
-  bool SendFrame(FrameType type, const std::string& payload) {
-    const std::string wire = EncodeFrame(type, payload);
+  bool SendFrame(FrameType type, const std::string& payload,
+                 const TraceContext* trace = nullptr) {
+    return SendRaw(EncodeFrame(type, payload, trace));
+  }
+
+  /// Send pre-built wire bytes (lets tests hand-craft extension frames).
+  bool SendRaw(const std::string& wire) {
     std::size_t off = 0;
     const auto deadline = Clock::now() + std::chrono::seconds(2);
     while (off < wire.size()) {
@@ -464,6 +474,242 @@ TEST(OneApiService, SlowClientDropsAssignmentsInsteadOfStallingTick) {
 }
 
 // ---------------------------------------------------------------------
+// Request tracing (PR 10)
+// ---------------------------------------------------------------------
+
+std::string SendStats(TestClient* client, FlowId flow,
+                      const TraceContext* ctx) {
+  FlowStatsReport report;
+  report.flow = flow;
+  report.type = FlowType::kVideo;
+  report.tx_bytes = 160;
+  report.rbs = 8;
+  const std::string payload = EncodeStatsReport(report);
+  EXPECT_TRUE(client->SendFrame(FrameType::kStatsReport, payload, ctx));
+  return payload;
+}
+
+TEST(OneApiService, TracedRunEchoesEachContextOnceAndExportsSpans) {
+  const std::string trace_path =
+      testing::TempDir() + "/oneapid_trace_test.json";
+  OneApiServiceOptions options;
+  options.bai_ms = 0;
+  options.trace_json = trace_path;
+  options.trace.exemplar_k = 2;
+  options.trace.exemplar_window_ticks = 2;
+  FlightRecorder flight;
+  options.flight_recorder = &flight;
+  OneApiService service(options);
+  ASSERT_TRUE(service.Start());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(service.port()));
+  ASSERT_TRUE(client.SendFrame(FrameType::kClientInfo,
+                               EncodeClientInfo(BasicInfo(21))));
+  ASSERT_TRUE(client.ReadFrame().has_value());  // welcome
+
+  constexpr int kRounds = 5;
+  std::vector<std::uint64_t> sent_ids;
+  for (int round = 0; round < kRounds; ++round) {
+    TraceContext ctx;
+    ctx.trace_id = 0xabc0u + static_cast<std::uint64_t>(round);
+    ctx.client_send_us = 1000 + round;
+    sent_ids.push_back(ctx.trace_id);
+    SendStats(&client, 21, &ctx);
+    ASSERT_TRUE(WaitFor(
+        [&] { return service.stats_received() >= static_cast<std::uint64_t>(
+                         round + 1); }));
+    service.TriggerTick();
+    const auto frame = client.ReadFrame();
+    ASSERT_TRUE(frame.has_value()) << "no assignment, round " << round;
+    ASSERT_EQ(frame->type, FrameType::kAssignment);
+    // The assignment answering a traced report carries the echo with the
+    // server stamps in receive->transmit order.
+    ASSERT_TRUE(frame->trace.has_value());
+    EXPECT_EQ(frame->trace->trace_id, ctx.trace_id);
+    EXPECT_EQ(frame->trace->client_send_us, ctx.client_send_us);
+    EXPECT_GT(frame->trace->server_recv_us, 0);
+    EXPECT_GE(frame->trace->server_send_us, frame->trace->server_recv_us);
+  }
+
+  // A tick with no fresh traced report produces a legacy assignment: the
+  // context was consumed by the frame that answered it.
+  service.TriggerTick();
+  const auto untraced = client.ReadFrame();
+  ASSERT_TRUE(untraced.has_value());
+  ASSERT_EQ(untraced->type, FrameType::kAssignment);
+  EXPECT_FALSE(untraced->trace.has_value());
+
+  ASSERT_TRUE(WaitFor([&] {
+    return service.traced_requests() >= static_cast<std::uint64_t>(kRounds);
+  }));
+  EXPECT_TRUE(client.SendFrame(FrameType::kBye, ""));
+  EXPECT_TRUE(WaitFor([&] { return service.sessions() == 0; }));
+  service.Stop();
+
+  const MetricsSnapshot snapshot = service.SnapshotMetrics();
+  EXPECT_EQ(snapshot.counters.at("svc.oneapi.trace.requests"),
+            static_cast<std::uint64_t>(kRounds));
+  EXPECT_EQ(snapshot.counters.count("svc.oneapi.trace.superseded"), 0u);
+  // Stage quantile gauges refreshed at tick edges.
+  EXPECT_GT(snapshot.gauges.at("svc.oneapi.stage.solve.p99_us"), 0.0);
+  EXPECT_TRUE(snapshot.gauges.count("svc.oneapi.stage.queue_wait.p99_us"));
+  EXPECT_TRUE(snapshot.gauges.count("svc.oneapi.stage.outbox_drain.p50_us"));
+
+  // The exported Perfetto JSON: every sent trace id appears on exactly
+  // one request span, and each request's stage spans are in pipeline
+  // order (events are ts-sorted at export).
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJsonFile(trace_path, &doc, &error)) << error;
+  const JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::map<std::string, int> request_ids;
+  int stage_rank = -1;
+  static const std::map<std::string, int> kStageRank = {
+      {"recv", 0},  {"parse", 1},  {"queue_wait", 2},
+      {"solve", 3}, {"encode", 4}, {"outbox_drain", 5}};
+  for (const JsonValue& event : events->items()) {
+    const JsonValue* ph = event.Find("ph");
+    if (ph == nullptr || ph->AsString() != "X") continue;
+    const std::string name = event.Find("name")->AsString();
+    const std::string cat = event.Find("cat")->AsString();
+    if (name == "request" && cat == "svc") {
+      const JsonValue* args = event.Find("args");
+      ASSERT_NE(args, nullptr);
+      request_ids[args->Find("trace")->AsString()]++;
+      for (const char* phase :
+           {"recv_us", "parse_us", "queue_wait_us", "solve_us", "encode_us",
+            "outbox_drain_us", "total_us"}) {
+        EXPECT_GE(args->Find(phase)->AsNumber(), 0.0) << phase;
+      }
+      EXPECT_FALSE(args->Find("cause")->AsString().empty());
+    } else if (cat == "svc.stage") {
+      // Stage spans are ts-ordered; within one request (which starts at
+      // "recv" — the protocol is ping-pong, so requests never overlap)
+      // the rank must strictly advance through the pipeline.
+      const int rank = kStageRank.at(name);
+      if (rank == 0) {
+        stage_rank = 0;
+      } else {
+        EXPECT_EQ(rank, stage_rank + 1) << "out-of-order stage " << name;
+        stage_rank = rank;
+      }
+    }
+  }
+  EXPECT_EQ(request_ids.size(), static_cast<std::size_t>(kRounds));
+  for (std::uint64_t id : sent_ids) {
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(id));
+    EXPECT_EQ(request_ids[hex], 1) << "trace id " << hex;
+  }
+  std::remove(trace_path.c_str());
+}
+
+TEST(OneApiService, UnknownExtBytesCountedAndEchoWorksWithoutTracer) {
+  // Server-side tracing OFF: a traced client still gets its context
+  // echoed (the echo lives in the session, not the tracer), and unknown
+  // ext keys are tolerated + counted rather than poisoning the stream.
+  OneApiServiceOptions options;
+  options.bai_ms = 0;
+  OneApiService service(options);
+  ASSERT_TRUE(service.Start());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(service.port()));
+  ASSERT_TRUE(client.SendFrame(FrameType::kClientInfo,
+                               EncodeClientInfo(BasicInfo(9))));
+  ASSERT_TRUE(client.ReadFrame().has_value());  // welcome
+
+  // Hand-built extension frame with an unknown future key riding along.
+  FlowStatsReport report;
+  report.flow = 9;
+  report.type = FlowType::kVideo;
+  report.tx_bytes = 160;
+  report.rbs = 8;
+  std::string body = EncodeStatsReport(report);
+  body.push_back('\0');
+  body += "trace=00000000000000a9;ts=777;future=42";
+  std::string wire;
+  const std::uint32_t length = static_cast<std::uint32_t>(body.size()) + 1;
+  for (int i = 0; i < 4; ++i) {
+    wire.push_back(static_cast<char>((length >> (8 * i)) & 0xff));
+  }
+  wire.push_back(static_cast<char>(
+      static_cast<std::uint8_t>(FrameType::kStatsReport) | kFrameTraceExtBit));
+  wire += body;
+  ASSERT_TRUE(client.SendRaw(wire));
+  ASSERT_TRUE(WaitFor([&] { return service.stats_received() >= 1; }));
+
+  service.TriggerTick();
+  const auto frame = client.ReadFrame();
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_EQ(frame->type, FrameType::kAssignment);
+  ASSERT_TRUE(frame->trace.has_value());
+  EXPECT_EQ(frame->trace->trace_id, 0xa9u);
+  EXPECT_EQ(frame->trace->client_send_us, 777);
+  EXPECT_GT(frame->trace->server_recv_us, 0);
+  EXPECT_GE(frame->trace->server_send_us, frame->trace->server_recv_us);
+
+  const MetricsSnapshot snapshot = service.SnapshotMetrics();
+  EXPECT_EQ(snapshot.counters.at("svc.oneapi.frames_with_unknown_ext"), 1u);
+  EXPECT_EQ(service.traced_requests(), 0u);  // tracing off
+  service.Stop();
+}
+
+TEST(OneApiService, ConcurrentScrapeWhileTracingIsClean) {
+  // TSan target: the metrics plane (SnapshotMetrics) and the atomic
+  // traced_requests counter are read from this thread while the IO
+  // thread traces requests.
+  const std::string trace_path =
+      testing::TempDir() + "/oneapid_trace_scrape.json";
+  OneApiServiceOptions options;
+  options.bai_ms = 0;
+  options.trace_json = trace_path;
+  OneApiService service(options);
+  ASSERT_TRUE(service.Start());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(service.port()));
+  ASSERT_TRUE(client.SendFrame(FrameType::kClientInfo,
+                               EncodeClientInfo(BasicInfo(4))));
+  ASSERT_TRUE(client.ReadFrame().has_value());  // welcome
+
+  std::atomic<bool> done{false};
+  std::thread scraper([&] {
+    std::uint64_t scrapes = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      const MetricsSnapshot snapshot = service.SnapshotMetrics();
+      (void)snapshot.counters.size();
+      (void)service.traced_requests();
+      ++scrapes;
+    }
+    EXPECT_GT(scrapes, 0u);
+  });
+
+  for (int round = 0; round < 50; ++round) {
+    TraceContext ctx;
+    ctx.trace_id = 0x5000u + static_cast<std::uint64_t>(round);
+    ctx.client_send_us = round;
+    SendStats(&client, 4, &ctx);
+    ASSERT_TRUE(WaitFor(
+        [&] { return service.stats_received() > static_cast<std::uint64_t>(
+                         round); }));
+    service.TriggerTick();
+    const auto frame = client.ReadFrame();
+    ASSERT_TRUE(frame.has_value());
+    ASSERT_EQ(frame->type, FrameType::kAssignment);
+  }
+  done.store(true, std::memory_order_relaxed);
+  scraper.join();
+
+  EXPECT_TRUE(WaitFor([&] { return service.traced_requests() >= 50; }));
+  service.Stop();
+  std::remove(trace_path.c_str());
+}
+
+// ---------------------------------------------------------------------
 // Load generator
 // ---------------------------------------------------------------------
 
@@ -529,6 +775,65 @@ TEST(LoadGen, ChurnedRunAgainstLiveServiceCompletes) {
   }
   service.Stop();
   EXPECT_GT(service.bais(), 0u);
+}
+
+TEST(LoadGen, TracedRunProducesMergeableClientSpans) {
+  const std::string server_trace =
+      testing::TempDir() + "/loadgen_server_trace.json";
+  const std::string client_trace =
+      testing::TempDir() + "/loadgen_client_trace.json";
+  OneApiServiceOptions service_options;
+  service_options.bai_ms = 20;
+  service_options.trace_json = server_trace;
+  OneApiService service(service_options);
+  ASSERT_TRUE(service.Start());
+
+  LoadGenOptions options;
+  options.port = service.port();
+  options.sessions = 8;
+  options.arrival_rate_per_s = 40.0;
+  options.mean_hold_s = 0.3;
+  options.seed = 5;
+  options.time_scale = 2.0;
+  options.max_wall_s = 30.0;
+  options.trace = true;
+  options.trace_json = client_trace;
+  LoadGenerator generator(options);
+  const LoadGenResult result = generator.Run();
+  service.Stop();
+
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.trace_mismatches, 0u);
+  if (result.assignments > 0) {
+    EXPECT_GT(result.traced, 0u);
+    EXPECT_LE(result.traced, result.assignments);
+  }
+  // Both span files parse; client request spans carry the echoed server
+  // stamps a merger needs for clock alignment.
+  for (const std::string& path : {server_trace, client_trace}) {
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(ParseJsonFile(path, &doc, &error)) << path << ": " << error;
+    ASSERT_NE(doc.Find("traceEvents"), nullptr) << path;
+  }
+  JsonValue client_doc;
+  ASSERT_TRUE(ParseJsonFile(client_trace, &client_doc, nullptr));
+  int echoed = 0;
+  for (const JsonValue& event : client_doc.Find("traceEvents")->items()) {
+    const JsonValue* cat = event.Find("cat");
+    if (cat == nullptr || cat->AsString() != "client") continue;
+    const JsonValue* args = event.Find("args");
+    ASSERT_NE(args, nullptr);
+    if (args->Find("srx_us")->AsNumber() > 0.0) {
+      ++echoed;
+      EXPECT_GE(args->Find("stx_us")->AsNumber(),
+                args->Find("srx_us")->AsNumber());
+      EXPECT_GT(args->Find("turnaround_us")->AsNumber(), 0.0);
+    }
+  }
+  EXPECT_EQ(echoed, static_cast<int>(result.traced));
+  std::remove(server_trace.c_str());
+  std::remove(client_trace.c_str());
 }
 
 }  // namespace

@@ -235,6 +235,59 @@ TEST(ReportWatch, DefaultsGateControlPlaneSlosDownward) {
   EXPECT_FALSE(Compare(baseline, faster, watches).HasRegression());
 }
 
+TEST(ReportWatch, DefaultsGateRequestStageTailsDownward) {
+  // Per-stage attribution gates: the tracing loadgen folds the daemon's
+  // solve and queue_wait p99 gauges into BENCH_oneapid.json, and both
+  // ride the default watch list lower-is-better. A stage-tail blowup
+  // exits 3 even when the end-to-end turnaround watch stays green.
+  const std::vector<WatchSpec> watches = DefaultWatches(5.0);
+  bool found_solve = false;
+  bool found_queue = false;
+  for (const WatchSpec& w : watches) {
+    if (w.metric == "metrics.gauges.svc.oneapi.stage.solve.p99_us") {
+      found_solve = true;
+      EXPECT_FALSE(w.higher_is_better);
+      EXPECT_DOUBLE_EQ(w.threshold_pct, 5.0);
+    }
+    if (w.metric == "metrics.gauges.svc.oneapi.stage.queue_wait.p99_us") {
+      found_queue = true;
+      EXPECT_FALSE(w.higher_is_better);
+    }
+  }
+  EXPECT_TRUE(found_solve);
+  EXPECT_TRUE(found_queue);
+
+  // A queue_wait tail regression trips the gate on its own.
+  const RunSummary baseline = MakeRun(
+      "base",
+      {{"metrics.gauges.svc.oneapi.stage.solve.p99_us", 200.0},
+       {"metrics.gauges.svc.oneapi.stage.queue_wait.p99_us", 400.0}});
+  const RunSummary congested = MakeRun(
+      "congested",
+      {{"metrics.gauges.svc.oneapi.stage.solve.p99_us", 200.0},
+       {"metrics.gauges.svc.oneapi.stage.queue_wait.p99_us", 900.0}});
+  EXPECT_TRUE(Compare(baseline, congested, watches).HasRegression());
+  const RunSummary steady = MakeRun(
+      "steady",
+      {{"metrics.gauges.svc.oneapi.stage.solve.p99_us", 190.0},
+       {"metrics.gauges.svc.oneapi.stage.queue_wait.p99_us", 410.0}});
+  EXPECT_FALSE(Compare(baseline, steady, watches).HasRegression());
+
+  // Old BENCH files from untraced runs carry no stage gauges at all:
+  // absent in both runs is neither a regression nor a missing-watch
+  // warning, so the new defaults stay backward-compatible.
+  const RunSummary old_base = MakeRun(
+      "old", {{"metrics.gauges.svc.oneapi.assign_turnaround.p99_us", 1000.0}});
+  const RunSummary old_cand = MakeRun(
+      "old2", {{"metrics.gauges.svc.oneapi.assign_turnaround.p99_us", 1010.0}});
+  const RunComparison cmp = Compare(old_base, old_cand, watches);
+  EXPECT_FALSE(cmp.HasRegression());
+  for (const std::string& missing : cmp.missing_watched) {
+    EXPECT_EQ(missing.find("svc.oneapi.stage."), std::string::npos)
+        << missing;
+  }
+}
+
 TEST(ReportCompare, FlagsDirectionAwareRegressions) {
   const RunSummary baseline = MakeRun("base", {
       {"qoe.summary.avg_qoe", 2.0},

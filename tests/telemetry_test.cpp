@@ -631,6 +631,57 @@ TEST(TopCore, ParseBuildRenderRoundTrip) {
   const TopSnapshot bare = BuildTopSnapshot(samples, nullptr);
   EXPECT_EQ(bare.scenario, "fallback");
   EXPECT_EQ(bare.status, "unknown");
+
+  // Sim runs export no request-stage gauges: the control-plane section
+  // is absent from the snapshot, the table, and the JSON.
+  EXPECT_TRUE(top.stage_rows.empty());
+  EXPECT_EQ(table.find("control plane"), std::string::npos);
+  EXPECT_EQ(round.Find("stage_rows"), nullptr);
+}
+
+TEST(TopCore, StageRowsRenderOnlyForTracingDaemons) {
+  // A tracing flare_oneapid exposes per-stage quantile gauges; flare_top
+  // folds them into an ordered control-plane section. Partial exposure
+  // (a stage missing entirely) just omits that row.
+  std::string text;
+  const char* exposed[] = {"recv", "queue_wait", "solve"};
+  for (const char* stage : exposed) {
+    const std::string base =
+        std::string("flare_svc_oneapi_stage_") + stage + "_";
+    text += base + "p50_us 12.5\n";
+    text += base + "p95_us 80\n";
+    text += base + "p99_us 240\n";
+  }
+  text += "flare_svc_oneapi_stage_encode_p50_us 3\n";  // p95/p99 absent
+  text += "# EOF\n";
+
+  std::vector<PromSample> samples;
+  std::string error;
+  ASSERT_TRUE(ParsePrometheusText(text, &samples, &error)) << error;
+  const TopSnapshot top = BuildTopSnapshot(samples, nullptr);
+
+  // Rows come out in pipeline order, not exposition order.
+  ASSERT_EQ(top.stage_rows.size(), 4u);
+  EXPECT_EQ(top.stage_rows[0].stage, "recv");
+  EXPECT_EQ(top.stage_rows[1].stage, "queue_wait");
+  EXPECT_EQ(top.stage_rows[2].stage, "solve");
+  EXPECT_EQ(top.stage_rows[3].stage, "encode");
+  EXPECT_EQ(top.stage_rows[1].p50_us, 12.5);
+  EXPECT_EQ(top.stage_rows[1].p99_us, 240.0);
+  EXPECT_EQ(top.stage_rows[3].p50_us, 3.0);
+  EXPECT_EQ(top.stage_rows[3].p95_us, 0.0);
+
+  const std::string table = RenderTopTable(top);
+  EXPECT_NE(table.find("control plane"), std::string::npos);
+  EXPECT_NE(table.find("queue_wait"), std::string::npos);
+
+  JsonValue round;
+  ASSERT_TRUE(ParseJson(RenderTopJson(top), &round));
+  const JsonValue* rows = round.Find("stage_rows");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->items().size(), 4u);
+  EXPECT_EQ(rows->items()[2].Find("stage")->AsString(), "solve");
+  EXPECT_EQ(rows->items()[2].Find("p99_us")->AsNumber(), 240.0);
 }
 
 // --- Determinism with telemetry on ------------------------------------------

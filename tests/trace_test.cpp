@@ -1,0 +1,201 @@
+// Tests for tools/trace_core: loading SpanTracer JSON back, the
+// RTT-midpoint clock-offset estimate, cross-process span matching with
+// the validation rules CI gates on, and the merged-timeline writer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "trace_core.h"
+#include "util/json.h"
+
+namespace flare {
+namespace {
+
+std::string WriteTemp(const std::string& name, const std::string& body) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::ofstream out(path);
+  out << body;
+  return path;
+}
+
+/// Synthetic daemon trace: two finalized requests (aa matched below, ab
+/// a server-side orphan — its client departed before reading), plus the
+/// metadata and stage spans a real export carries.
+const char kServerTrace[] = R"({"displayTimeUnit":"ms","traceEvents":[
+{"name":"process_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"svc"}},
+{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":8,"args":{"name":"flow"}},
+{"name":"request","cat":"svc","ph":"X","ts":1000,"pid":1,"tid":8,"dur":500,
+ "args":{"trace":"00000000000000aa","flow":1,"recv_us":10,"parse_us":5,
+ "queue_wait_us":300,"solve_us":100,"encode_us":5,"outbox_drain_us":80,
+ "total_us":500,"cause":"steady"}},
+{"name":"recv","cat":"svc.stage","ph":"X","ts":1000,"pid":1,"tid":8,"dur":10},
+{"name":"request","cat":"svc","ph":"X","ts":2000,"pid":1,"tid":9,"dur":400,
+ "args":{"trace":"00000000000000ab","flow":2,"recv_us":8,"parse_us":4,
+ "queue_wait_us":200,"solve_us":150,"encode_us":6,"outbox_drain_us":32,
+ "total_us":400,"cause":"steady"}}
+]})";
+
+/// Matching client trace: one echoed request span. On the client clock
+/// the exchange ran t0=900 .. t3=1700; the echoed server stamps say the
+/// server held it srx=1010 .. stx=1600, so RTT = 800 - 590 = 210 µs and
+/// offset = ((1010-900) + (1600-1700)) / 2 = +5 µs.
+const char kClientTrace[] = R"({"displayTimeUnit":"ms","traceEvents":[
+{"name":"process_name","ph":"M","ts":0,"pid":2,"tid":0,"args":{"name":"lg"}},
+{"name":"request","cat":"client","ph":"X","ts":900,"pid":2,"tid":8,"dur":800,
+ "args":{"trace":"00000000000000aa","flow":1,"t0_us":900,"t3_us":1700,
+ "srx_us":1010,"stx_us":1600,"turnaround_us":800}}
+]})";
+
+TEST(TraceCore, LoadsSpansAndClassifiesThem) {
+  const std::string path = WriteTemp("trace_core_server.json", kServerTrace);
+  TraceDoc doc;
+  std::string error;
+  ASSERT_TRUE(LoadTraceDoc(path, &doc, &error)) << error;
+  // 'M' metadata events are not spans; the stage span loads but is not a
+  // request.
+  ASSERT_EQ(doc.spans.size(), 3u);
+  EXPECT_TRUE(doc.spans[0].is_server_request);
+  EXPECT_EQ(doc.spans[0].trace_hex, "00000000000000aa");
+  EXPECT_DOUBLE_EQ(doc.spans[0].queue_wait_us, 300.0);
+  EXPECT_FALSE(doc.spans[1].is_server_request);  // stage span
+  EXPECT_TRUE(doc.spans[2].is_server_request);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(LoadTraceDoc("/nonexistent/trace.json", &doc, &error));
+  const std::string bad =
+      WriteTemp("trace_core_bad.json", "{\"notTraceEvents\":[]}");
+  EXPECT_FALSE(LoadTraceDoc(bad, &doc, &error));
+  EXPECT_NE(error.find("traceEvents"), std::string::npos);
+  std::remove(bad.c_str());
+}
+
+TEST(TraceCore, ClockOffsetIsRttMidpointAtMinRtt) {
+  const std::string path = WriteTemp("trace_core_client.json", kClientTrace);
+  TraceDoc client;
+  ASSERT_TRUE(LoadTraceDoc(path, &client, nullptr));
+  const ClockOffset offset = EstimateClockOffset(client);
+  ASSERT_TRUE(offset.valid);
+  EXPECT_EQ(offset.samples, 1);
+  EXPECT_DOUBLE_EQ(offset.min_rtt_us, 210.0);
+  EXPECT_DOUBLE_EQ(offset.offset_us, 5.0);
+  std::remove(path.c_str());
+
+  // No echoed stamps (old daemon): no estimate.
+  TraceDoc unechoed = client;
+  unechoed.spans[0].srx_us = 0.0;
+  unechoed.spans[0].stx_us = 0.0;
+  EXPECT_FALSE(EstimateClockOffset(unechoed).valid);
+}
+
+TEST(TraceCore, AnalyzerMatchesAndToleratesServerOrphansOnly) {
+  const std::string server_path =
+      WriteTemp("trace_core_s.json", kServerTrace);
+  const std::string client_path =
+      WriteTemp("trace_core_c.json", kClientTrace);
+  TraceDoc server, client;
+  ASSERT_TRUE(LoadTraceDoc(server_path, &server, nullptr));
+  ASSERT_TRUE(LoadTraceDoc(client_path, &client, nullptr));
+
+  const TraceAnalysis analysis = AnalyzeTraces(server, client);
+  EXPECT_EQ(analysis.server_requests, 2u);
+  EXPECT_EQ(analysis.client_requests, 1u);
+  EXPECT_EQ(analysis.matched, 1u);
+  EXPECT_EQ(analysis.orphan_server, 1u);  // tolerated
+  EXPECT_EQ(analysis.orphan_client, 0u);
+  EXPECT_EQ(analysis.phase_violations, 0u);
+  EXPECT_EQ(analysis.sum_exceeds_turnaround, 0u);
+  EXPECT_TRUE(analysis.valid) << RenderStageTable(analysis);
+  ASSERT_EQ(analysis.stages.size(), 7u);
+  EXPECT_EQ(analysis.stages[0].stage, "recv");
+  EXPECT_EQ(analysis.stages[6].stage, "total");
+  EXPECT_EQ(analysis.stages[2].count, 2u);  // queue_wait over both spans
+  EXPECT_DOUBLE_EQ(analysis.stages[2].max_us, 300.0);
+  const std::string table = RenderStageTable(analysis);
+  EXPECT_NE(table.find("queue_wait"), std::string::npos);
+  EXPECT_NE(table.find("p99_us"), std::string::npos);
+
+  // A client span the server never recorded is a validation failure.
+  TraceDoc orphan = client;
+  orphan.spans[0].trace_hex = "00000000000000ff";
+  const TraceAnalysis broken = AnalyzeTraces(server, orphan);
+  EXPECT_EQ(broken.orphan_client, 1u);
+  EXPECT_EQ(broken.matched, 0u);
+  EXPECT_FALSE(broken.valid);
+  EXPECT_FALSE(broken.problems.empty());
+
+  // Server phases summing past the measured turnaround (plus slack) are
+  // a clock/attribution bug, not jitter.
+  TraceDoc slow_client = client;
+  slow_client.spans[0].turnaround_us = 100.0;
+  const TraceAnalysis impossible = AnalyzeTraces(server, slow_client);
+  EXPECT_EQ(impossible.sum_exceeds_turnaround, 1u);
+  EXPECT_FALSE(impossible.valid);
+
+  std::remove(server_path.c_str());
+  std::remove(client_path.c_str());
+}
+
+TEST(TraceCore, MergedTraceShiftsClientOntoServerClock) {
+  const std::string server_path =
+      WriteTemp("trace_core_ms.json", kServerTrace);
+  const std::string client_path =
+      WriteTemp("trace_core_mc.json", kClientTrace);
+  TraceDoc server, client;
+  ASSERT_TRUE(LoadTraceDoc(server_path, &server, nullptr));
+  ASSERT_TRUE(LoadTraceDoc(client_path, &client, nullptr));
+
+  std::ostringstream out;
+  WriteMergedTrace(out, server, client, 5.0);
+  JsonValue merged;
+  std::string error;
+  ASSERT_TRUE(ParseJson(out.str(), &merged, &error)) << error;
+  const JsonValue* events = merged.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  int process_names = 0;
+  bool saw_server = false, saw_client = false;
+  for (const JsonValue& event : events->items()) {
+    const std::string ph = event.Find("ph")->AsString();
+    const std::string name = event.Find("name")->AsString();
+    if (ph == "M" && name == "process_name") {
+      ++process_names;
+      const std::string pname =
+          event.Find("args")->Find("name")->AsString();
+      EXPECT_TRUE(pname == "flare_oneapid" || pname == "flare_loadgen")
+          << pname;
+      continue;
+    }
+    if (ph != "X" || name != "request") continue;
+    const std::string cat = event.Find("cat")->AsString();
+    if (cat == "svc" &&
+        event.Find("args")->Find("trace")->AsString() ==
+            "00000000000000aa") {
+      saw_server = true;
+      // Server events are the reference clock: unshifted.
+      EXPECT_DOUBLE_EQ(event.Find("ts")->AsNumber(), 1000.0);
+      EXPECT_EQ(static_cast<int>(event.Find("pid")->AsNumber()), 1);
+    } else if (cat == "client") {
+      saw_client = true;
+      // Client events land on the server clock: ts + offset.
+      EXPECT_DOUBLE_EQ(event.Find("ts")->AsNumber(), 905.0);
+      EXPECT_EQ(static_cast<int>(event.Find("pid")->AsNumber()), 2);
+      // args survive the re-serialization untouched.
+      EXPECT_DOUBLE_EQ(event.Find("args")->Find("t0_us")->AsNumber(),
+                       900.0);
+    }
+  }
+  // Exactly our two freshly-emitted process_name records; the originals
+  // are dropped.
+  EXPECT_EQ(process_names, 2);
+  EXPECT_TRUE(saw_server);
+  EXPECT_TRUE(saw_client);
+
+  std::remove(server_path.c_str());
+  std::remove(client_path.c_str());
+}
+
+}  // namespace
+}  // namespace flare

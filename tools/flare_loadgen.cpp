@@ -10,10 +10,14 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "netio/http_client.h"
 #include "obs/metrics.h"
 #include "scenario/experiment.h"
 #include "svc/loadgen.h"
+#include "svc/request_trace.h"
+#include "top_core.h"
 #include "util/config.h"
 
 namespace {
@@ -35,10 +39,42 @@ Keys:
   seed=N            schedule seed (1)
   time_scale=F      replay speedup: wall = schedule / F (1.0)
   max_wall_s=F      abort the replay after F wall seconds (120)
-  report=NAME       write bench_results/BENCH_<NAME>.json (off)
+  trace=0|1         attach a trace context to every stats report and
+                    count echoed assignments (0)
+  trace_json=PATH   write client-side request spans as Perfetto JSON;
+                    merge with the daemon's trace via tools/flare_trace
+                    (off; implies trace=1)
+  scrape_port=N     after the run, scrape the daemon's telemetry
+                    /metrics on this port and fold the
+                    svc.oneapi.stage.* quantile gauges into the report
+                    (off; needs report=)
+  report=NAME       write bench_results/BENCH_<NAME>.json for
+                    flare_report; NAME must be non-empty (off)
 Flags:
   --help            this text
 )");
+}
+
+/// Undo the exposition mangling for the daemon's stage quantile gauges:
+/// flare_svc_oneapi_stage_<phase>_<q>_us -> svc.oneapi.stage.<phase>.<q>_us.
+/// The '.'->'_' sanitization is lossy in general, so only the fixed
+/// phase/quantile grid is mapped back.
+void FoldStageGauges(const std::vector<PromSample>& samples,
+                     MetricsRegistry* registry) {
+  for (int p = 0; p < kNumRequestPhases; ++p) {
+    for (const char* q : {"p50", "p95", "p99"}) {
+      const std::string exposed = std::string("flare_svc_oneapi_stage_") +
+                                  kRequestPhaseNames[p] + "_" + q + "_us";
+      for (const PromSample& sample : samples) {
+        if (sample.name != exposed) continue;
+        registry
+            ->GetGauge(std::string("svc.oneapi.stage.") +
+                       kRequestPhaseNames[p] + "." + q + "_us")
+            .Set(sample.value);
+        break;
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -67,6 +103,24 @@ int main(int argc, char** argv) {
   options.seed = static_cast<std::uint64_t>(config.GetInt("seed", 1));
   options.time_scale = config.GetDouble("time_scale", 1.0);
   options.max_wall_s = config.GetDouble("max_wall_s", 120.0);
+  options.trace = config.GetBool("trace", false);
+  options.trace_json =
+      config.GetString("trace_json").value_or(std::string());
+
+  // Validate report= up front: an empty name would silently produce
+  // bench_results/BENCH_.json, which no watch ever reads.
+  const auto report = config.GetString("report");
+  if (report && report->empty()) {
+    std::fprintf(stderr,
+                 "flare_loadgen: report= needs a non-empty name "
+                 "(writes bench_results/BENCH_<NAME>.json)\n");
+    return 2;
+  }
+  const int scrape_port = config.GetInt("scrape_port", 0);
+  if (scrape_port > 0 && !report) {
+    std::fprintf(stderr, "flare_loadgen: scrape_port= needs report=\n");
+    return 2;
+  }
 
   LoadGenerator generator(options);
   const LoadGenResult result = generator.Run();
@@ -87,10 +141,33 @@ int main(int argc, char** argv) {
       "assignment turnaround: p50 %.0f us, p95 %.0f us, p99 %.0f us\n",
       result.turnaround_p50_us, result.turnaround_p95_us,
       result.turnaround_p99_us);
+  if (options.trace || !options.trace_json.empty()) {
+    std::printf("trace: %llu echoed assignments, %llu mismatches%s%s\n",
+                static_cast<unsigned long long>(result.traced),
+                static_cast<unsigned long long>(result.trace_mismatches),
+                options.trace_json.empty() ? "" : ", spans in ",
+                options.trace_json.c_str());
+  }
 
-  if (const auto report = config.GetString("report")) {
+  if (report) {
     MetricsRegistry registry;
     result.ExportTo(&registry);
+    if (scrape_port > 0) {
+      HttpResponse response;
+      std::vector<PromSample> samples;
+      std::string error;
+      if (HttpGet(options.host, static_cast<std::uint16_t>(scrape_port),
+                  "/metrics", &response) &&
+          response.status == 200 &&
+          ParsePrometheusText(response.body, &samples, &error)) {
+        FoldStageGauges(samples, &registry);
+      } else {
+        std::fprintf(stderr,
+                     "flare_loadgen: stage-gauge scrape of %s:%d failed%s%s\n",
+                     options.host.c_str(), scrape_port,
+                     error.empty() ? "" : ": ", error.c_str());
+      }
+    }
     BenchJsonWriter writer(*report);
     writer.Echo("sessions", static_cast<double>(options.sessions));
     writer.Echo("arrival_rate_per_s", options.arrival_rate_per_s);

@@ -19,6 +19,7 @@
 #include <thread>
 
 #include "churn/admission.h"
+#include "obs/flight_recorder.h"
 #include "obs/telemetry_server.h"
 #include "svc/oneapi_service.h"
 #include "util/config.h"
@@ -48,6 +49,11 @@ Keys:
   capacity_threshold=F kCapacityThreshold RB-fraction cap (0.9)
   max_sessions=N       hard session cap, 0 = unlimited (0)
   telemetry_port=N     attach the live telemetry plane (off)
+  trace_json=PATH      per-request phase spans as Perfetto JSON, written
+                       at shutdown; merge with the loadgen's trace via
+                       tools/flare_trace (off; off = byte-identical wire)
+  flight_json=PATH     dump the flight recorder (slow-request exemplars)
+                       here at shutdown (off; needs trace_json=)
   duration_s=F         exit after F seconds, 0 = run until signal (0)
 Flags:
   --help               this text
@@ -88,6 +94,22 @@ int main(int argc, char** argv) {
   }
   options.admission.capacity_threshold =
       config.GetDouble("capacity_threshold", 0.9);
+
+  // Request tracing: FlightRecorder receives the worst-K slow-request
+  // exemplars per window; with trace_json unset the service never
+  // constructs a tracer and the wire stays byte-identical.
+  FlightRecorder flight;
+  const std::string trace_json =
+      config.GetString("trace_json").value_or(std::string());
+  const std::string flight_json =
+      config.GetString("flight_json").value_or(std::string());
+  if (!trace_json.empty()) {
+    options.trace_json = trace_json;
+    options.flight_recorder = &flight;
+  } else if (!flight_json.empty()) {
+    std::fprintf(stderr, "flare_oneapid: flight_json= needs trace_json=\n");
+    return 2;
+  }
 
   TelemetryServer::Options telemetry_options;
   telemetry_options.bind_address = options.bind_address;
@@ -134,6 +156,15 @@ int main(int argc, char** argv) {
 
   service.Stop();
   telemetry.Stop();
+  if (!trace_json.empty()) {
+    std::printf("trace: %s (%llu finalized requests)\n", trace_json.c_str(),
+                static_cast<unsigned long long>(service.traced_requests()));
+    if (!flight_json.empty() &&
+        !flight.DumpPostmortem(flight_json, "shutdown")) {
+      std::fprintf(stderr, "flare_oneapid: cannot write %s\n",
+                   flight_json.c_str());
+    }
+  }
   std::printf(
       "flare_oneapid done: %llu connections, "
       "%llu bais, %llu assignments (%llu dropped), %llu admission rejects, "

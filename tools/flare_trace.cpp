@@ -1,0 +1,145 @@
+// flare_trace: merge daemon + loadgen request traces and attribute tail
+// latency per pipeline stage.
+//
+// Inputs are the two Chrome trace-event files written by
+// `flare_oneapid trace_json=` and `flare_loadgen trace_json=` for the
+// same run. The tool estimates the clock offset between the two
+// processes from the srx/stx timestamps the daemon echoed onto each
+// assignment (NTP-style midpoint at the minimum-RTT request), prints a
+// per-stage latency table and the cross-process match summary, and can
+// write one merged Perfetto timeline (`out=`) plus a flare_report-
+// compatible gauge file (`report=`).
+//
+// `validate=1` turns the span-schema checks into the exit status: 0 when
+// the merged trace is coherent (matched spans exist, no client orphans,
+// no negative phases, server phase sums within the measured turnaround),
+// 1 when any check fails. CI runs the loopback smoke in this mode.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "trace_core.h"
+#include "util/config.h"
+
+namespace {
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: flare_trace server=PATH client=PATH [key=value ...]\n"
+      "  server=PATH    daemon trace (flare_oneapid trace_json=)\n"
+      "  client=PATH    loadgen trace (flare_loadgen trace_json=)\n"
+      "  out=PATH       write the merged Perfetto timeline here\n"
+      "  report=PATH    write stage p50/p95/p99 gauges as flare_report\n"
+      "                 input (metrics.gauges.svc.oneapi.stage.*)\n"
+      "  validate=0|1   exit 1 when the span-schema checks fail (0)\n"
+      "exit: 0 ok, 1 validation failed, 2 usage or IO error\n");
+}
+
+bool WriteReport(const std::string& path,
+                 const flare::TraceAnalysis& analysis) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n  \"schema_version\": 1,\n  \"scenario\": \"flare_trace\",\n"
+      << "  \"metrics\": {\n    \"counters\": {\n"
+      << "      \"svc.oneapi.trace.matched\": " << analysis.matched << ",\n"
+      << "      \"svc.oneapi.trace.orphan_client\": "
+      << analysis.orphan_client << ",\n"
+      << "      \"svc.oneapi.trace.orphan_server\": "
+      << analysis.orphan_server << "\n    },\n    \"gauges\": {\n";
+  bool first = true;
+  for (const flare::StageStats& s : analysis.stages) {
+    const struct { const char* q; double v; } quantiles[] = {
+        {"p50", s.p50_us}, {"p95", s.p95_us}, {"p99", s.p99_us}};
+    for (const auto& q : quantiles) {
+      if (!first) out << ",\n";
+      first = false;
+      out << "      \"svc.oneapi.stage." << s.stage << "." << q.q
+          << "_us\": " << q.v;
+    }
+  }
+  if (analysis.offset.valid) {
+    out << ",\n      \"svc.oneapi.trace.clock_offset_us\": "
+        << analysis.offset.offset_us
+        << ",\n      \"svc.oneapi.trace.min_rtt_us\": "
+        << analysis.offset.min_rtt_us;
+  }
+  out << "\n    }\n  }\n}\n";
+  return out.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  flare::Config config = flare::Config::FromArgs(argc, argv);
+  const auto server_path = config.GetString("server");
+  const auto client_path = config.GetString("client");
+  if (!server_path || !client_path) {
+    PrintUsage();
+    return 2;
+  }
+
+  std::string error;
+  flare::TraceDoc server;
+  if (!flare::LoadTraceDoc(*server_path, &server, &error)) {
+    std::fprintf(stderr, "flare_trace: server trace: %s\n", error.c_str());
+    return 2;
+  }
+  flare::TraceDoc client;
+  if (!flare::LoadTraceDoc(*client_path, &client, &error)) {
+    std::fprintf(stderr, "flare_trace: client trace: %s\n", error.c_str());
+    return 2;
+  }
+
+  const flare::TraceAnalysis analysis = flare::AnalyzeTraces(server, client);
+
+  std::printf("flare_trace: server=%llu client=%llu matched=%llu "
+              "orphan_client=%llu orphan_server=%llu\n",
+              static_cast<unsigned long long>(analysis.server_requests),
+              static_cast<unsigned long long>(analysis.client_requests),
+              static_cast<unsigned long long>(analysis.matched),
+              static_cast<unsigned long long>(analysis.orphan_client),
+              static_cast<unsigned long long>(analysis.orphan_server));
+  if (analysis.offset.valid) {
+    std::printf("clock offset: %+.1f us (min RTT %.1f us over %d samples)\n",
+                analysis.offset.offset_us, analysis.offset.min_rtt_us,
+                analysis.offset.samples);
+  } else {
+    std::printf("clock offset: unavailable (no echoed server timestamps)\n");
+  }
+  std::printf("%s", flare::RenderStageTable(analysis).c_str());
+  for (const std::string& problem : analysis.problems) {
+    std::printf("problem: %s\n", problem.c_str());
+  }
+
+  if (const auto out_path = config.GetString("out")) {
+    std::ofstream out(*out_path);
+    if (!out) {
+      std::fprintf(stderr, "flare_trace: cannot open %s\n", out_path->c_str());
+      return 2;
+    }
+    flare::WriteMergedTrace(out, server, client,
+                            analysis.offset.valid ? analysis.offset.offset_us
+                                                  : 0.0);
+    if (!out.good()) {
+      std::fprintf(stderr, "flare_trace: write failed: %s\n",
+                   out_path->c_str());
+      return 2;
+    }
+    std::printf("merged trace: %s\n", out_path->c_str());
+  }
+  if (const auto report_path = config.GetString("report")) {
+    if (!WriteReport(*report_path, analysis)) {
+      std::fprintf(stderr, "flare_trace: cannot write %s\n",
+                   report_path->c_str());
+      return 2;
+    }
+    std::printf("stage report: %s\n", report_path->c_str());
+  }
+
+  if (config.GetBool("validate", false) && !analysis.valid) {
+    std::fprintf(stderr, "flare_trace: validation FAILED\n");
+    return 1;
+  }
+  return 0;
+}

@@ -294,6 +294,16 @@ std::vector<WatchSpec> DefaultWatches(double threshold_pct) {
                      false, threshold_pct});
   watches.push_back({"metrics.gauges.svc.oneapi.blocking_rate", false,
                      threshold_pct});
+  // Per-stage tail-attribution gates (flare_loadgen scrape_port= folds
+  // the daemon's svc.oneapi.stage.* quantile gauges into the same BENCH
+  // file): where inside the pipeline the turnaround tail lives. solve is
+  // the algorithmic budget, queue_wait the BAI batching delay — a p99
+  // increase in either past the threshold exits 3 before the end-to-end
+  // turnaround watch would notice.
+  watches.push_back({"metrics.gauges.svc.oneapi.stage.solve.p99_us", false,
+                     threshold_pct});
+  watches.push_back({"metrics.gauges.svc.oneapi.stage.queue_wait.p99_us",
+                     false, threshold_pct});
   return watches;
 }
 

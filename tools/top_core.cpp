@@ -198,6 +198,33 @@ TopSnapshot BuildTopSnapshot(const std::vector<PromSample>& samples,
   }
   snap.rows.reserve(rows.size());
   for (const auto& [id, r] : rows) snap.rows.push_back(r);
+
+  // Control-plane stage quantiles (flare_oneapid with tracing on). The
+  // pipeline order is fixed here rather than taken from sample order so
+  // the table always reads in request-lifecycle order; stages the daemon
+  // has not observed yet are simply absent.
+  static const char* const kStageOrder[] = {
+      "recv", "parse", "admit", "queue_wait", "solve", "encode",
+      "outbox_drain"};
+  for (const char* stage : kStageOrder) {
+    TopSnapshot::StageRow row_out;
+    row_out.stage = stage;
+    bool have = false;
+    const std::string prefix = std::string("flare_svc_oneapi_stage_") + stage;
+    for (const PromSample& s : samples) {
+      if (s.name == prefix + "_p50_us") {
+        row_out.p50_us = s.value;
+        have = true;
+      } else if (s.name == prefix + "_p95_us") {
+        row_out.p95_us = s.value;
+        have = true;
+      } else if (s.name == prefix + "_p99_us") {
+        row_out.p99_us = s.value;
+        have = true;
+      }
+    }
+    if (have) snap.stage_rows.push_back(std::move(row_out));
+  }
   return snap;
 }
 
@@ -242,6 +269,15 @@ std::string RenderTopTable(const TopSnapshot& snap) {
     out += line;
   }
   if (snap.rows.empty()) out += "(no per-cell samples yet)\n";
+  if (!snap.stage_rows.empty()) {
+    out += "\ncontrol plane (request stage latency, us)\n";
+    out += "stage            p50       p95       p99\n";
+    for (const TopSnapshot::StageRow& r : snap.stage_rows) {
+      std::snprintf(line, sizeof(line), "%-12s %9.1f %9.1f %9.1f\n",
+                    r.stage.c_str(), r.p50_us, r.p95_us, r.p99_us);
+      out += line;
+    }
+  }
   return out;
 }
 
@@ -281,7 +317,20 @@ std::string RenderTopJson(const TopSnapshot& snap) {
         << JsonNumber(r.blocking_probability)
         << ", \"healthy\": " << (r.healthy ? "true" : "false") << "}";
   }
-  out << "]}";
+  out << "]";
+  if (!snap.stage_rows.empty()) {
+    out << ", \"stage_rows\": [";
+    for (std::size_t i = 0; i < snap.stage_rows.size(); ++i) {
+      const TopSnapshot::StageRow& r = snap.stage_rows[i];
+      if (i > 0) out << ", ";
+      out << "{\"stage\": " << JsonQuote(r.stage)
+          << ", \"p50_us\": " << JsonNumber(r.p50_us)
+          << ", \"p95_us\": " << JsonNumber(r.p95_us)
+          << ", \"p99_us\": " << JsonNumber(r.p99_us) << "}";
+    }
+    out << "]";
+  }
+  out << "}";
   return out.str();
 }
 

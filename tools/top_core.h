@@ -69,6 +69,18 @@ struct TopSnapshot {
   double events_dropped = 0.0;
   double scrapes = 0.0;
   std::vector<CellRow> rows;  // sorted by cell id
+
+  /// One control-plane request stage's latency quantiles, from the
+  /// daemon's flare_svc_oneapi_stage_<stage>_<p50|p95|p99>_us gauges.
+  /// Present only when the scraped process is a tracing flare_oneapid —
+  /// simulation runs render no control-plane section at all.
+  struct StageRow {
+    std::string stage;
+    double p50_us = 0.0;
+    double p95_us = 0.0;
+    double p99_us = 0.0;
+  };
+  std::vector<StageRow> stage_rows;  // request-pipeline order
 };
 
 /// Assemble the view. Either input may be absent (null healthz / empty

@@ -1,0 +1,116 @@
+// Cross-process trace merge + per-stage analysis for flare_trace.
+//
+// The daemon (flare_oneapid trace_json=) and the load generator
+// (flare_loadgen trace_json=) each write Chrome trace-event JSON on
+// their own steady clock. This library loads both, estimates the clock
+// offset from the srx/stx timestamps the daemon echoed into the client
+// spans (NTP-style: offset = ((srx - t0) + (stx - t3)) / 2 evaluated at
+// the minimum-RTT request, where RTT = (t3 - t0) - (stx - srx)), shifts
+// the client events onto the server clock, and emits one merged
+// Perfetto timeline plus a per-stage latency breakdown table.
+//
+// Validation doubles as the CI span-schema gate: non-zero matched
+// spans, no client-side orphan trace ids (an echo the server never
+// recorded means the server trace is broken or capped), no negative
+// phase durations, and every matched request's server phases summing to
+// within the client-measured turnaround.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace flare {
+
+/// One 'X' span parsed back from a trace file, with the args fields the
+/// analyzer cares about flattened out.
+struct TraceSpanRecord {
+  std::string name;
+  std::string cat;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  int pid = 0;
+  int tid = 0;
+  std::string trace_hex;  // args.trace, empty when absent
+  std::string cause;
+  // Server request spans: per-phase durations.
+  double recv_us = 0.0;
+  double parse_us = 0.0;
+  double queue_wait_us = 0.0;
+  double solve_us = 0.0;
+  double encode_us = 0.0;
+  double outbox_drain_us = 0.0;
+  double total_us = 0.0;
+  // Client request spans: send/receive + echoed server stamps.
+  double t0_us = 0.0;
+  double t3_us = 0.0;
+  double srx_us = 0.0;
+  double stx_us = 0.0;
+  double turnaround_us = 0.0;
+  bool is_server_request = false;  // name=="request" && cat=="svc"
+  bool is_client_request = false;  // name=="request" && cat=="client"
+};
+
+struct TraceDoc {
+  JsonValue raw;  // full document, for the merged re-emit
+  std::vector<TraceSpanRecord> spans;
+};
+
+/// Load + flatten one trace file. False (with `error`) on IO/syntax/shape
+/// problems.
+bool LoadTraceDoc(const std::string& path, TraceDoc* out, std::string* error);
+
+struct ClockOffset {
+  bool valid = false;
+  /// Add to a client timestamp to land on the server clock.
+  double offset_us = 0.0;
+  double min_rtt_us = 0.0;
+  int samples = 0;
+};
+
+/// RTT-midpoint estimate over every echoed client request span.
+ClockOffset EstimateClockOffset(const TraceDoc& client);
+
+struct StageStats {
+  std::string stage;
+  std::uint64_t count = 0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+struct TraceAnalysis {
+  std::uint64_t server_requests = 0;
+  std::uint64_t client_requests = 0;
+  std::uint64_t matched = 0;
+  /// Server spans with no client counterpart: tolerated (a session can
+  /// depart before reading its last drained assignment).
+  std::uint64_t orphan_server = 0;
+  /// Client spans with no server counterpart: a validation failure.
+  std::uint64_t orphan_client = 0;
+  std::uint64_t duplicate_trace_ids = 0;
+  std::uint64_t phase_violations = 0;  // negative phase duration
+  std::uint64_t sum_exceeds_turnaround = 0;
+  ClockOffset offset;
+  /// Per-stage latency distribution over server request spans, in
+  /// kRequestPhaseNames order.
+  std::vector<StageStats> stages;
+  bool valid = false;
+  std::vector<std::string> problems;
+};
+
+TraceAnalysis AnalyzeTraces(const TraceDoc& server, const TraceDoc& client);
+
+/// Fixed-width per-stage breakdown table (the flare_trace stdout view).
+std::string RenderStageTable(const TraceAnalysis& analysis);
+
+/// One merged Perfetto timeline: server events verbatim at pid 1, client
+/// events shifted by `offset_us` at pid 2, fresh process-name metadata.
+void WriteMergedTrace(std::ostream& out, const TraceDoc& server,
+                      const TraceDoc& client, double offset_us);
+
+}  // namespace flare
